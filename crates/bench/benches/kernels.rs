@@ -1,0 +1,232 @@
+//! Criterion micro-benchmarks for the hot kernels behind every
+//! experiment: update sweeps (one group per engine/table), RNG throughput,
+//! halo exchange, and the analysis pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qmc_comm::{run_threads, Communicator, SerialComm};
+use qmc_ed::matrix::{jacobi_eigen, tridiag_eigen, SymMatrix};
+use qmc_lattice::{Chain, Square};
+use qmc_rng::{LaggedFibonacci55, Lcg64, Rng64, SplitMix64, Xoshiro256StarStar};
+use qmc_stats::{jackknife, BinningAnalysis};
+use qmc_tfim::parallel::DistTfim;
+use qmc_tfim::serial::SerialTfim;
+use qmc_tfim::TfimModel;
+use qmc_worldline::{Worldline, WorldlineParams};
+
+/// F1/F2/F3 kernel: world-line sweep throughput.
+fn bench_worldline_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worldline_sweep");
+    for l in [16usize, 64] {
+        let params = WorldlineParams {
+            l,
+            jx: 1.0,
+            jz: 1.0,
+            beta: 2.0,
+            m: 16,
+        };
+        group.throughput(Throughput::Elements((l * 32) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(l), &params, |b, &p| {
+            let mut sim = Worldline::new(p);
+            let mut rng = Xoshiro256StarStar::new(1);
+            b.iter(|| sim.sweep(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+/// F5/T5 kernel: SSE sweep throughput (diagonal + loop update).
+fn bench_sse_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sse_sweep");
+    for l in [8usize, 16] {
+        let lat = Square::new(l, l);
+        group.throughput(Throughput::Elements((l * l) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(l * l), &lat, |b, lat| {
+            let mut rng = Xoshiro256StarStar::new(2);
+            let mut sse = qmc_sse::Sse::new(lat, 1.0, 2.0, &mut rng);
+            for _ in 0..200 {
+                sse.sweep(&mut rng);
+            }
+            b.iter(|| sse.sweep(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+/// F4/T1/T2 kernel: TFIM spacetime Metropolis sweep, serial engine.
+fn bench_tfim_serial_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tfim_serial_sweep");
+    for l in [32usize, 64] {
+        let model = TfimModel {
+            lx: l,
+            ly: l,
+            j: 1.0,
+            h: 2.0,
+            beta: 1.0,
+            m: 8,
+        };
+        group.throughput(Throughput::Elements((l * l * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(l), &model, |b, &m| {
+            let mut eng = SerialTfim::new(m);
+            let mut rng = Xoshiro256StarStar::new(3);
+            b.iter(|| eng.metropolis_sweep(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+/// T1 kernel on one rank: distributed engine path including (self-) halo
+/// bookkeeping.
+fn bench_tfim_dist_sweep(c: &mut Criterion) {
+    let model = TfimModel {
+        lx: 64,
+        ly: 64,
+        j: 1.0,
+        h: 2.0,
+        beta: 1.0,
+        m: 8,
+    };
+    c.bench_function("tfim_dist_sweep_1rank", |b| {
+        let mut comm = SerialComm::new();
+        let mut eng = DistTfim::new(model, &comm);
+        let mut rng = Xoshiro256StarStar::new(4);
+        eng.halo_exchange(&mut comm);
+        b.iter(|| eng.sweep(&mut comm, &mut rng));
+    });
+}
+
+/// T3 kernel: a four-rank halo exchange round-trip on real threads.
+fn bench_halo_exchange_threads(c: &mut Criterion) {
+    let model = TfimModel {
+        lx: 64,
+        ly: 64,
+        j: 1.0,
+        h: 2.0,
+        beta: 1.0,
+        m: 8,
+    };
+    c.bench_function("halo_exchange_4ranks_100x", |b| {
+        b.iter(|| {
+            run_threads(4, |comm| {
+                let mut eng = DistTfim::new(model, comm);
+                for _ in 0..100 {
+                    eng.halo_exchange(comm);
+                }
+                comm.barrier();
+            })
+        });
+    });
+}
+
+/// T6 kernel: raw generator throughput.
+fn bench_rng_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_next_u64_1k");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("splitmix64", |b| {
+        let mut g = SplitMix64::new(1);
+        b.iter(|| (0..1000).fold(0u64, |acc, _| acc ^ g.next_u64()));
+    });
+    group.bench_function("lcg64", |b| {
+        let mut g = Lcg64::new(1);
+        b.iter(|| (0..1000).fold(0u64, |acc, _| acc ^ g.next_u64()));
+    });
+    group.bench_function("xoshiro256ss", |b| {
+        let mut g = Xoshiro256StarStar::new(1);
+        b.iter(|| (0..1000).fold(0u64, |acc, _| acc ^ g.next_u64()));
+    });
+    group.bench_function("lfg55", |b| {
+        let mut g = LaggedFibonacci55::new(1);
+        b.iter(|| (0..1000).fold(0u64, |acc, _| acc ^ g.next_u64()));
+    });
+    group.finish();
+}
+
+/// Analysis pipeline: binning + jackknife over a 64k series.
+fn bench_analysis(c: &mut Criterion) {
+    let mut rng = Xoshiro256StarStar::new(9);
+    let series: Vec<f64> = (0..1 << 16).map(|_| rng.next_f64()).collect();
+    c.bench_function("binning_64k", |b| {
+        b.iter(|| BinningAnalysis::new(&series, 32).error())
+    });
+    c.bench_function("jackknife_64k_64blocks", |b| {
+        b.iter(|| jackknife(&series, 64, |m| m * m).value)
+    });
+}
+
+/// ED oracle cost: the two eigensolvers on a 64-dim sector.
+fn bench_eigensolvers(c: &mut Criterion) {
+    let n = 64;
+    let mut rng = Xoshiro256StarStar::new(10);
+    let mut m = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..=i {
+            m.set(i, j, rng.next_f64() - 0.5);
+        }
+    }
+    c.bench_function("tridiag_eigen_64", |b| {
+        b.iter(|| tridiag_eigen(&m, false).values[0])
+    });
+    c.bench_function("jacobi_eigen_64", |b| {
+        b.iter(|| jacobi_eigen(&m, false).values[0])
+    });
+}
+
+/// Ablation: generic weight-ratio local move (world-line) vs the
+/// specialized precomputed acceptance table (TFIM engine) — measures the
+/// cost of the "recompute everything touched" safety-first design.
+fn bench_update_granularity_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_kernel_ablation");
+    // world-line: generic 4-plaquette ratio per accepted move
+    group.bench_function("worldline_generic_ratio_l32", |b| {
+        let mut sim = Worldline::new(WorldlineParams {
+            l: 32,
+            jx: 1.0,
+            jz: 1.0,
+            beta: 2.0,
+            m: 16,
+        });
+        let mut rng = Xoshiro256StarStar::new(11);
+        b.iter(|| sim.sweep(&mut rng));
+    });
+    // TFIM: table-lookup Metropolis on a comparable spacetime volume
+    group.bench_function("tfim_table_lookup_l32", |b| {
+        let mut eng = SerialTfim::new(TfimModel {
+            lx: 32,
+            ly: 1,
+            j: 1.0,
+            h: 1.0,
+            beta: 2.0,
+            m: 32,
+        });
+        let mut rng = Xoshiro256StarStar::new(12);
+        b.iter(|| eng.metropolis_sweep(&mut rng));
+    });
+    group.finish();
+}
+
+/// Chain oracle cost (used by every validation test).
+fn bench_ed_full_spectrum(c: &mut Criterion) {
+    let lat = Chain::new(8);
+    c.bench_function("ed_full_spectrum_l8", |b| {
+        b.iter(|| {
+            qmc_ed::xxz::full_spectrum(&lat, &qmc_ed::xxz::XxzParams::heisenberg(1.0))
+                .ground_energy()
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_worldline_sweep,
+        bench_sse_sweep,
+        bench_tfim_serial_sweep,
+        bench_tfim_dist_sweep,
+        bench_halo_exchange_threads,
+        bench_rng_throughput,
+        bench_analysis,
+        bench_eigensolvers,
+        bench_update_granularity_ablation,
+        bench_ed_full_spectrum,
+}
+criterion_main!(kernels);

@@ -1,0 +1,237 @@
+//! `qmc` — command-line driver for the three QMC engines.
+//!
+//! ```text
+//! qmc worldline --l 16 --jx 1.0 --jz 1.0 --beta 2.0 --m 32 --sweeps 20000
+//! qmc sse       --lattice chain  --l 16 --beta 2.0 --sweeps 20000
+//! qmc sse       --lattice square --l 8  --beta 4.0 --sweeps 20000
+//! qmc tfim      --lx 32 --ly 1 --h 1.0 --beta 8.0 --m 64 --sweeps 10000
+//! qmc tfim      --lx 64 --ly 64 --h 2.0 --beta 1.0 --m 8 --ranks 16 --machine mesh1993
+//! ```
+//!
+//! Common flags: `--seed N` (default 1), `--therm N` (default sweeps/5).
+
+use qmc_comm::{job_seconds, run_model, run_threads, Communicator, MachineModel, SerialComm};
+use qmc_lattice::{Chain, Square};
+use qmc_rng::{StreamFactory, Xoshiro256StarStar};
+use qmc_stats::BinningAnalysis;
+use qmc_tfim::parallel::DistTfim;
+use qmc_tfim::serial::SerialTfim;
+use qmc_tfim::TfimModel;
+use qmc_worldline::{Worldline, WorldlineParams};
+use std::collections::HashMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        usage_and_exit();
+    };
+    let flags = parse_flags(args.collect());
+    match cmd.as_str() {
+        "worldline" => run_worldline(&flags),
+        "sse" => run_sse(&flags),
+        "tfim" => run_tfim(&flags),
+        _ => usage_and_exit(),
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: qmc <worldline|sse|tfim> [flags]\n\
+         see crate docs (src/bin/qmc.rs) for the flag list per engine"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(items: Vec<String>) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = items.into_iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            eprintln!("expected --flag, got '{key}'");
+            std::process::exit(2);
+        };
+        let Some(value) = it.next() else {
+            eprintln!("flag --{name} needs a value");
+            std::process::exit(2);
+        };
+        out.insert(name.to_string(), value);
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
+    match flags.get(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("cannot parse --{name} value '{v}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn run_worldline(flags: &HashMap<String, String>) {
+    let sweeps: usize = get(flags, "sweeps", 20_000);
+    let params = WorldlineParams {
+        l: get(flags, "l", 16),
+        jx: get(flags, "jx", 1.0),
+        jz: get(flags, "jz", 1.0),
+        beta: get(flags, "beta", 1.0),
+        m: get(flags, "m", 16),
+    };
+    let therm: usize = get(flags, "therm", sweeps / 5);
+    let mut sim = Worldline::new(params);
+    let mut rng = Xoshiro256StarStar::new(get(flags, "seed", 1));
+    let series = sim.run(&mut rng, therm, sweeps);
+
+    let be = BinningAnalysis::new(&series.energy, 16);
+    let (chi, chi_err) = series.susceptibility();
+    let (c, c_err) = series.specific_heat();
+    println!(
+        "world-line XXZ chain: L={} Jx={} Jz={} β={} m={} (Δτ={:.4})",
+        params.l,
+        params.jx,
+        params.jz,
+        params.beta,
+        params.m,
+        params.dtau()
+    );
+    println!("  E/N  = {:+.6} ± {:.6}   (τ_int ≈ {:.1})", be.mean, be.error(), be.tau_int());
+    println!("  C/N  = {:+.6} ± {:.6}", c, c_err);
+    println!("  χ/N  = {:+.6} ± {:.6}", chi, chi_err);
+    let corr = series.correlations();
+    let shown = corr.len().min(5);
+    println!(
+        "  C(r) = {:?}",
+        corr[..shown]
+            .iter()
+            .map(|v| (v * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  acceptance: local {:.3}, straight-line {:.3}",
+        sim.local_accepted as f64 / sim.local_proposed.max(1) as f64,
+        sim.straight_accepted as f64 / sim.straight_proposed.max(1) as f64
+    );
+}
+
+fn run_sse(flags: &HashMap<String, String>) {
+    let sweeps: usize = get(flags, "sweeps", 20_000);
+    let therm: usize = get(flags, "therm", sweeps / 5);
+    let beta: f64 = get(flags, "beta", 1.0);
+    let j: f64 = get(flags, "j", 1.0);
+    let l: usize = get(flags, "l", 16);
+    let lattice = flags.get("lattice").map(|s| s.as_str()).unwrap_or("chain");
+    let mut rng = Xoshiro256StarStar::new(get(flags, "seed", 1));
+
+    let series = match lattice {
+        "chain" => {
+            let lat = Chain::new(l);
+            let mut sse = qmc_sse::Sse::new(&lat, j, beta, &mut rng);
+            sse.run(&mut rng, therm, sweeps)
+        }
+        "square" => {
+            let ly = get(flags, "ly", l);
+            let lat = Square::new(l, ly);
+            let mut sse = qmc_sse::Sse::new(&lat, j, beta, &mut rng);
+            sse.run(&mut rng, therm, sweeps)
+        }
+        other => {
+            eprintln!("unknown --lattice '{other}' (chain|square)");
+            std::process::exit(2);
+        }
+    };
+
+    let be = BinningAnalysis::new(&series.energy_samples(), 16);
+    let (c, c_err) = series.specific_heat();
+    let (chi, chi_err) = series.susceptibility();
+    println!(
+        "SSE Heisenberg {lattice}: N={} β={beta} J={j}",
+        series.n_sites
+    );
+    println!("  E/N     = {:+.6} ± {:.6}", be.mean, be.error());
+    println!("  C/N     = {:+.6} ± {:.6}", c, c_err);
+    println!("  χ/N     = {:+.6} ± {:.6}", chi, chi_err);
+    println!("  S(π)/N  = {:+.6}", series.staggered_structure_factor());
+}
+
+fn run_tfim(flags: &HashMap<String, String>) {
+    let sweeps: usize = get(flags, "sweeps", 10_000);
+    let therm: usize = get(flags, "therm", sweeps / 5);
+    let model = TfimModel {
+        lx: get(flags, "lx", 32),
+        ly: get(flags, "ly", 1),
+        j: get(flags, "j", 1.0),
+        h: get(flags, "h", 1.0),
+        beta: get(flags, "beta", 8.0),
+        m: get(flags, "m", 64),
+    };
+    let ranks: usize = get(flags, "ranks", 1);
+    let seed: u64 = get(flags, "seed", 1);
+    let machine = flags.get("machine").map(|s| s.as_str()).unwrap_or("serial");
+
+    let report = |series: &qmc_tfim::serial::TfimSeries| {
+        let be = BinningAnalysis::new(&series.energy, 16);
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "TFIM: {}×{} J={} h={} β={} m={} (Δτ={:.4})",
+            model.lx,
+            model.ly,
+            model.j,
+            model.h,
+            model.beta,
+            model.m,
+            model.dtau()
+        );
+        println!("  E/N   = {:+.6} ± {:.6}", be.mean, be.error());
+        println!("  <|m|> = {:.6}", avg(&series.abs_m));
+        println!("  U4    = {:.6}", series.binder_cumulant());
+        println!("  <σx>  = {:.6}", avg(&series.sigma_x));
+    };
+
+    match (machine, ranks) {
+        ("serial", 1) => {
+            let mut eng = SerialTfim::new(model);
+            let mut rng = Xoshiro256StarStar::new(seed);
+            let series = eng.run(&mut rng, therm, sweeps, get(flags, "wolff", 1));
+            report(&series);
+        }
+        ("serial", _) => {
+            let mut comm = SerialComm::new();
+            let mut eng = DistTfim::new(model, &comm);
+            let mut rng = StreamFactory::new(seed).stream(0);
+            let series = eng.run(&mut comm, &mut rng, therm, sweeps);
+            report(&series);
+        }
+        ("threads", p) => {
+            let results = run_threads(p, move |comm| {
+                let mut eng = DistTfim::new(model, comm);
+                let mut rng = StreamFactory::new(seed).stream(comm.rank());
+                eng.run(comm, &mut rng, therm, sweeps)
+            });
+            report(&results[0]);
+            println!("  ({p} thread-backed ranks)");
+        }
+        ("mesh1993", p) => {
+            let reports = run_model(p, MachineModel::mesh_1993(p), move |comm| {
+                let mut eng = DistTfim::new(model, comm);
+                let mut rng = StreamFactory::new(seed).stream(comm.rank());
+                eng.run(comm, &mut rng, therm, sweeps)
+            });
+            report(&reports[0].result);
+            let comm_s: f64 = reports.iter().map(|r| r.stats.comm_seconds).sum::<f64>()
+                / reports.len() as f64;
+            let comp_s: f64 = reports.iter().map(|r| r.stats.compute_seconds).sum::<f64>()
+                / reports.len() as f64;
+            println!(
+                "  simulated 1993 mesh, P={p}: job time {:.3} model-s \
+                 (comm fraction {:.1}%)",
+                job_seconds(&reports),
+                100.0 * comm_s / (comm_s + comp_s)
+            );
+        }
+        (other, _) => {
+            eprintln!("unknown --machine '{other}' (serial|threads|mesh1993)");
+            std::process::exit(2);
+        }
+    }
+}

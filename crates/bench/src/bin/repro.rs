@@ -1,0 +1,39 @@
+//! `repro` — regenerate every table and figure of the evaluation.
+//!
+//! ```text
+//! repro <experiment|all> [--quick]
+//!
+//! experiments: f1 f2 f3 f4 f5 t1 t2 t3 t4 t5 t6
+//! ```
+//!
+//! `--quick` shrinks sweep counts ~10× for smoke runs; the full settings
+//! are what EXPERIMENTS.md records.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if wanted.is_empty() {
+        eprintln!("usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all> [--quick]");
+        std::process::exit(2);
+    }
+
+    let registry = qmc_bench::registry();
+    for name in wanted {
+        if name == "all" {
+            print!("{}", qmc_bench::run_all(quick));
+            continue;
+        }
+        match registry.iter().find(|(id, _)| id == name) {
+            Some((id, f)) => {
+                println!("=== {id} ===");
+                print!("{}", f(quick));
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Experiment implementations behind the `repro` binary.
+//!
+//! One module per table/figure of the evaluation (see DESIGN.md for the
+//! experiment index). Every function returns the rendered text of its
+//! table(s) so the binary, the integration tests, and EXPERIMENTS.md all
+//! consume the same output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scaling;
+pub mod validation;
+
+/// Everything, in order — `repro all`.
+pub fn run_all(quick: bool) -> String {
+    let mut out = String::new();
+    for (name, f) in registry() {
+        out.push_str(&format!("=== {name} ===\n"));
+        out.push_str(&f(quick));
+        out.push('\n');
+    }
+    out
+}
+
+type Runner = fn(bool) -> String;
+
+/// The experiment registry: `(id, runner)` pairs.
+pub fn registry() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("f1", figures::f1_heisenberg_chain_thermo as Runner),
+        ("f2", figures::f2_trotter_extrapolation),
+        ("f3", figures::f3_xy_susceptibility),
+        ("f4", figures::f4_tfim_critical_sweep),
+        ("f5", figures::f5_heisenberg_2d),
+        ("t1", scaling::t1_strong_scaling),
+        ("t2", scaling::t2_weak_scaling),
+        ("t3", scaling::t3_comm_fraction),
+        ("t4", validation::t4_parallel_tempering),
+        ("t5", validation::t5_cross_validation),
+        ("t6", validation::t6_rng_quality),
+    ]
+}

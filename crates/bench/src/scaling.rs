@@ -1,0 +1,196 @@
+//! Machine-scaling tables T1–T3 on the simulated 1993 mesh multicomputer.
+
+use qmc_comm::{job_seconds, run_model, Communicator, MachineModel, ModelReport};
+use qmc_core::table::Table;
+use qmc_rng::StreamFactory;
+use qmc_tfim::parallel::DistTfim;
+use qmc_tfim::TfimModel;
+
+/// Run `sweeps` distributed TFIM sweeps (plus one measurement) of `model`
+/// on `p` simulated nodes; returns the per-rank reports.
+fn run_job(model: TfimModel, p: usize, sweeps: usize, seed: u64) -> Vec<ModelReport<()>> {
+    run_model(p, MachineModel::mesh_1993(p), move |comm| {
+        let mut eng = DistTfim::new(model, comm);
+        let mut rng = StreamFactory::new(seed).stream(comm.rank());
+        eng.halo_exchange(comm);
+        for _ in 0..sweeps {
+            eng.sweep(comm, &mut rng);
+        }
+        eng.measure(comm);
+    })
+}
+
+fn site_updates(model: &TfimModel, sweeps: usize) -> f64 {
+    (model.lx * model.ly * model.m * sweeps) as f64
+}
+
+/// T1: strong scaling — fixed 256×256×8 spacetime lattice, P = 1…1024.
+pub fn t1_strong_scaling(quick: bool) -> String {
+    let model = TfimModel {
+        lx: if quick { 128 } else { 256 },
+        ly: if quick { 128 } else { 256 },
+        j: 1.0,
+        h: 2.0,
+        beta: 1.0,
+        m: 8,
+    };
+    let sweeps = 4;
+    let ps: &[usize] = if quick {
+        &[1, 4, 16, 64, 256]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    };
+
+    let mut t = Table::new(
+        &format!(
+            "T1: strong scaling, 2-D TFIM {}×{}×{} on the simulated 1993 mesh",
+            model.lx, model.ly, model.m
+        ),
+        &["P", "t (model s)", "speedup", "efficiency", "Msite-upd/s"],
+    );
+    let mut t1_seconds = 0.0;
+    for &p in ps {
+        let reports = run_job(model, p, sweeps, 11);
+        let secs = job_seconds(&reports);
+        if p == 1 {
+            t1_seconds = secs;
+        }
+        let speedup = t1_seconds / secs;
+        let rate = site_updates(&model, sweeps) / secs / 1e6;
+        t.row(&[
+            format!("{p}"),
+            format!("{secs:.4}"),
+            format!("{speedup:.2}"),
+            format!("{:.3}", speedup / p as f64),
+            format!("{rate:.1}"),
+        ]);
+    }
+    t.render()
+}
+
+/// T2: weak scaling — fixed 64×64×8 block per node.
+pub fn t2_weak_scaling(quick: bool) -> String {
+    let ps: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 4, 16, 64, 256, 1024]
+    };
+    let sweeps = 4;
+    let block = 64usize;
+
+    let mut t = Table::new(
+        &format!("T2: weak scaling, {block}×{block}×8 spacetime block per node"),
+        &["P", "lattice", "t (model s)", "upd/s/node (M)", "total Mupd/s", "weak eff."],
+    );
+    let mut rate1 = 0.0;
+    for &p in ps {
+        let side = (p as f64).sqrt() as usize;
+        assert_eq!(side * side, p, "weak scaling uses square node counts");
+        let model = TfimModel {
+            lx: block * side,
+            ly: block * side,
+            j: 1.0,
+            h: 2.0,
+            beta: 1.0,
+            m: 8,
+        };
+        let reports = run_job(model, p, sweeps, 22);
+        let secs = job_seconds(&reports);
+        let per_node = site_updates(&model, sweeps) / secs / p as f64 / 1e6;
+        if p == 1 {
+            rate1 = per_node;
+        }
+        t.row(&[
+            format!("{p}"),
+            format!("{}×{}", model.lx, model.ly),
+            format!("{secs:.4}"),
+            format!("{per_node:.2}"),
+            format!("{:.1}", per_node * p as f64),
+            format!("{:.3}", per_node / rate1),
+        ]);
+    }
+    t.render()
+}
+
+/// T3: communication-time fraction breakdown for the T1 workload.
+pub fn t3_comm_fraction(quick: bool) -> String {
+    let model = TfimModel {
+        lx: if quick { 128 } else { 256 },
+        ly: if quick { 128 } else { 256 },
+        j: 1.0,
+        h: 2.0,
+        beta: 1.0,
+        m: 8,
+    };
+    let ps: &[usize] = if quick {
+        &[4, 16, 64]
+    } else {
+        &[4, 16, 64, 256, 1024]
+    };
+    let mut t = Table::new(
+        &format!(
+            "T3: communication fraction, 2-D TFIM {}×{}×{}",
+            model.lx, model.ly, model.m
+        ),
+        &["P", "compute s", "comm s", "comm %", "msgs/rank", "bytes/rank"],
+    );
+    for &p in ps {
+        let reports = run_job(model, p, 4, 33);
+        let n = reports.len() as f64;
+        let compute: f64 = reports.iter().map(|r| r.stats.compute_seconds).sum::<f64>() / n;
+        let comm: f64 = reports.iter().map(|r| r.stats.comm_seconds).sum::<f64>() / n;
+        let msgs: f64 = reports.iter().map(|r| r.stats.messages_sent as f64).sum::<f64>() / n;
+        let bytes: f64 = reports.iter().map(|r| r.stats.bytes_sent as f64).sum::<f64>() / n;
+        t.row(&[
+            format!("{p}"),
+            format!("{compute:.4}"),
+            format!("{comm:.4}"),
+            format!("{:.1}", 100.0 * comm / (comm + compute)),
+            format!("{msgs:.0}"),
+            format!("{bytes:.0}"),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_scaling_quick_speedup_monotone() {
+        let out = t1_strong_scaling(true);
+        assert!(out.contains("strong scaling"));
+        // speedups parse out of column 3 and must increase
+        let speedups: Vec<f64> = out
+            .lines()
+            .skip(3)
+            .filter_map(|l| {
+                let cells: Vec<&str> = l.split('|').collect();
+                (cells.len() == 5).then(|| cells[2].trim().parse::<f64>().ok())?
+            })
+            .collect();
+        assert!(speedups.len() >= 4);
+        for w in speedups.windows(2) {
+            assert!(w[1] > w[0], "speedup not monotone: {speedups:?}");
+        }
+    }
+
+    #[test]
+    fn comm_fraction_grows_with_p() {
+        let out = t3_comm_fraction(true);
+        let fractions: Vec<f64> = out
+            .lines()
+            .skip(3)
+            .filter_map(|l| {
+                let cells: Vec<&str> = l.split('|').collect();
+                (cells.len() == 6).then(|| cells[3].trim().parse::<f64>().ok())?
+            })
+            .collect();
+        assert_eq!(fractions.len(), 3);
+        assert!(
+            fractions[2] > fractions[0],
+            "comm fraction should grow: {fractions:?}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Shared in-memory mailboxes: the "wires" of the simulated machine.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// A message in flight. `depart` is the sender's virtual clock at the
+/// moment the message left (0.0 under the wall-clock back-end).
+#[derive(Debug)]
+pub(crate) struct Msg {
+    pub bytes: Vec<u8>,
+    pub depart: f64,
+}
+
+/// One rank's incoming mailbox, keyed by `(source, tag)`.
+///
+/// FIFO per key (message order between a fixed pair with a fixed tag is
+/// preserved — the property the deterministic matching argument rests on).
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queues: Mutex<HashMap<(usize, u32), VecDeque<Msg>>>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message from `src` with `tag`.
+    pub fn put(&self, src: usize, tag: u32, msg: Msg) {
+        let mut q = self.queues.lock();
+        q.entry((src, tag)).or_default().push_back(msg);
+        self.cond.notify_all();
+    }
+
+    /// Block until a message from `src` with `tag` arrives.
+    ///
+    /// Panics after `timeout` — in a correct SPMD program a matching send
+    /// always exists, so a timeout means deadlock (or a tag mismatch) and
+    /// aborting with context beats hanging forever.
+    pub fn take(&self, me: usize, src: usize, tag: u32, timeout: Duration) -> Msg {
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(queue) = q.get_mut(&(src, tag)) {
+                if let Some(msg) = queue.pop_front() {
+                    return msg;
+                }
+            }
+            if self.cond.wait_for(&mut q, timeout).timed_out() {
+                panic!(
+                    "rank {me}: recv(src={src}, tag={tag:#x}) timed out after {timeout:?} — \
+                     deadlock or mismatched send/recv"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_take_roundtrip() {
+        let mb = Mailbox::new();
+        mb.put(3, 7, Msg { bytes: vec![1, 2], depart: 0.5 });
+        let m = mb.take(0, 3, 7, Duration::from_secs(1));
+        assert_eq!(m.bytes, vec![1, 2]);
+        assert_eq!(m.depart, 0.5);
+    }
+
+    #[test]
+    fn fifo_order_per_key() {
+        let mb = Mailbox::new();
+        for i in 0..5u8 {
+            mb.put(0, 1, Msg { bytes: vec![i], depart: 0.0 });
+        }
+        for i in 0..5u8 {
+            assert_eq!(mb.take(0, 0, 1, Duration::from_secs(1)).bytes, vec![i]);
+        }
+    }
+
+    #[test]
+    fn keys_do_not_cross_talk() {
+        let mb = Mailbox::new();
+        mb.put(0, 1, Msg { bytes: vec![10], depart: 0.0 });
+        mb.put(0, 2, Msg { bytes: vec![20], depart: 0.0 });
+        mb.put(1, 1, Msg { bytes: vec![30], depart: 0.0 });
+        assert_eq!(mb.take(0, 1, 1, Duration::from_secs(1)).bytes, vec![30]);
+        assert_eq!(mb.take(0, 0, 2, Duration::from_secs(1)).bytes, vec![20]);
+        assert_eq!(mb.take(0, 0, 1, Duration::from_secs(1)).bytes, vec![10]);
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_put() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            mb2.take(0, 9, 9, Duration::from_secs(5)).bytes
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.put(9, 9, Msg { bytes: vec![42], depart: 0.0 });
+        assert_eq!(h.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn timeout_panics_with_context() {
+        let mb = Mailbox::new();
+        mb.take(5, 0, 0, Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,390 @@
+//! The simulated massively parallel computer: virtual clocks over a 2-D
+//! mesh network cost model.
+//!
+//! Rank programs still execute concurrently on host threads, but *time* is
+//! entirely virtual: computation advances a rank's clock only through
+//! explicit [`Communicator::compute`] charges, and every message carries
+//! its sender's departure timestamp so the receiver can advance to the
+//! modeled arrival time. Because receives name their `(source, tag)` and
+//! per-pair message order is FIFO, the virtual timeline of a fixed program
+//! is **deterministic** — independent of host scheduling and host speed.
+//! That is what lets a laptop regenerate the P = 1…1024 scaling tables of
+//! a 1993 mesh multicomputer with reproducible numbers.
+
+use crate::mailbox::{Mailbox, Msg};
+use crate::{CommStats, Communicator, COLLECTIVE_TAG_BASE};
+use qmc_lattice::ProcGrid;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cost model of one node + the interconnect of the simulated machine.
+///
+/// Message time from rank `a` to rank `b` with `n` payload bytes:
+///
+/// `t = send_overhead (on a) + per_hop·hops(a,b) + per_byte·n +
+///    recv_overhead (on b)`
+///
+/// where `hops` is the Manhattan distance on the periodic mesh — XY
+/// routing, as on the Touchstone Delta.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Seconds per abstract compute unit (one "flop-equivalent").
+    pub flop_seconds: f64,
+    /// Sender-side message initiation cost (seconds).
+    pub send_overhead: f64,
+    /// Receiver-side completion cost (seconds).
+    pub recv_overhead: f64,
+    /// Transfer time per payload byte (inverse bandwidth, seconds).
+    pub per_byte: f64,
+    /// Per-hop routing latency on the mesh (seconds).
+    pub per_hop: f64,
+    /// Mesh shape used for hop counting.
+    pub mesh: ProcGrid,
+}
+
+impl MachineModel {
+    /// A 1993 mesh multicomputer of `p` nodes (Intel Touchstone
+    /// Delta class): ~25 Mflop/s nodes, ~75 µs message latency split
+    /// between the two endpoints, ~22 MB/s channel bandwidth, sub-µs
+    /// per-hop routing.
+    pub fn mesh_1993(p: usize) -> Self {
+        Self {
+            flop_seconds: 40e-9,
+            send_overhead: 40e-6,
+            recv_overhead: 35e-6,
+            per_byte: 45e-9,
+            per_hop: 0.5e-6,
+            mesh: ProcGrid::nearly_square(p),
+        }
+    }
+
+    /// An idealized zero-latency machine (useful to isolate algorithmic
+    /// load imbalance from network cost in ablation benches).
+    pub fn ideal(p: usize) -> Self {
+        Self {
+            flop_seconds: 40e-9,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            per_byte: 0.0,
+            per_hop: 0.0,
+            mesh: ProcGrid::nearly_square(p),
+        }
+    }
+
+    /// In-flight network time for `bytes` from `src` to `dst` (excludes
+    /// endpoint overheads).
+    pub fn wire_time(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        self.per_hop * self.mesh.hops(src, dst) as f64 + self.per_byte * bytes as f64
+    }
+}
+
+/// A rank of the simulated machine.
+pub struct ModelComm {
+    rank: usize,
+    size: usize,
+    boxes: Arc<Vec<Mailbox>>,
+    model: Arc<MachineModel>,
+    clock: f64,
+    stats: CommStats,
+    coll_seq: u32,
+    timeout: Duration,
+}
+
+impl ModelComm {
+    fn raw_send(&mut self, dest: usize, tag: u32, data: &[u8]) {
+        assert!(dest < self.size, "dest rank {dest} out of range");
+        self.clock += self.model.send_overhead;
+        self.stats.comm_seconds += self.model.send_overhead;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        self.boxes[dest].put(
+            self.rank,
+            tag,
+            Msg {
+                bytes: data.to_vec(),
+                depart: self.clock,
+            },
+        );
+    }
+
+    fn raw_recv(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        assert!(src < self.size, "src rank {src} out of range");
+        let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
+        let arrival = msg.depart + self.model.wire_time(src, self.rank, msg.bytes.len());
+        let wait = (arrival - self.clock).max(0.0);
+        self.clock = self.clock.max(arrival) + self.model.recv_overhead;
+        self.stats.comm_seconds += wait + self.model.recv_overhead;
+        msg.bytes
+    }
+}
+
+impl Communicator for ModelComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_bytes(&mut self, dest: usize, tag: u32, data: &[u8]) {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag:#x} is reserved for collectives"
+        );
+        self.raw_send(dest, tag, data);
+    }
+
+    fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag:#x} is reserved for collectives"
+        );
+        self.raw_recv(src, tag)
+    }
+
+    fn compute(&mut self, units: f64) {
+        let dt = units * self.model.flop_seconds;
+        self.clock += dt;
+        self.stats.compute_seconds += dt;
+    }
+
+    fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn next_collective_seq(&mut self) -> u32 {
+        let s = self.coll_seq;
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        s
+    }
+
+    fn send_internal(&mut self, dest: usize, tag: u32, data: &[u8]) {
+        self.raw_send(dest, tag, data);
+    }
+
+    fn recv_internal(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        self.raw_recv(src, tag)
+    }
+}
+
+/// Per-rank outcome of a simulated run.
+#[derive(Debug, Clone)]
+pub struct ModelReport<T> {
+    /// The rank function's return value.
+    pub result: T,
+    /// Final virtual clock — the modeled execution time of this rank.
+    pub virtual_seconds: f64,
+    /// Communication/computation breakdown.
+    pub stats: CommStats,
+}
+
+/// Execute an SPMD program on the simulated machine; returns one
+/// [`ModelReport`] per rank (indexed by rank).
+///
+/// The modeled wall time of the whole job is
+/// `reports.iter().map(|r| r.virtual_seconds).fold(0.0, f64::max)`.
+pub fn run_model<T, F>(nranks: usize, model: MachineModel, f: F) -> Vec<ModelReport<T>>
+where
+    T: Send,
+    F: Fn(&mut ModelComm) -> T + Send + Sync,
+{
+    assert!(nranks >= 1, "need at least one rank");
+    assert!(
+        model.mesh.size() >= nranks,
+        "mesh {}×{} too small for {nranks} ranks",
+        model.mesh.px(),
+        model.mesh.py()
+    );
+    let boxes: Arc<Vec<Mailbox>> = Arc::new((0..nranks).map(|_| Mailbox::new()).collect());
+    let model = Arc::new(model);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let boxes = boxes.clone();
+            let model = model.clone();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut comm = ModelComm {
+                    rank,
+                    size: nranks,
+                    boxes,
+                    model,
+                    clock: 0.0,
+                    stats: CommStats::default(),
+                    coll_seq: 0,
+                    timeout: Duration::from_secs(300),
+                };
+                let result = f(&mut comm);
+                ModelReport {
+                    result,
+                    virtual_seconds: comm.clock,
+                    stats: comm.stats,
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+/// Modeled job time: the maximum rank clock.
+pub fn job_seconds<T>(reports: &[ModelReport<T>]) -> f64 {
+    reports
+        .iter()
+        .map(|r| r.virtual_seconds)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReduceOp;
+
+    #[test]
+    fn compute_advances_clock_deterministically() {
+        let reports = run_model(1, MachineModel::mesh_1993(1), |c| {
+            c.compute(1e6);
+            c.now()
+        });
+        assert!((reports[0].result - 1e6 * 40e-9).abs() < 1e-12);
+        assert_eq!(reports[0].virtual_seconds, reports[0].result);
+    }
+
+    #[test]
+    fn message_time_matches_model() {
+        let model = MachineModel::mesh_1993(2);
+        let expected =
+            model.send_overhead + model.wire_time(0, 1, 1000) + model.recv_overhead;
+        let reports = run_model(2, model, |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 1, &[0u8; 1000]);
+            } else {
+                c.recv_bytes(0, 1);
+            }
+            c.now()
+        });
+        assert!(
+            (reports[1].result - expected).abs() < 1e-12,
+            "got {}, expect {expected}",
+            reports[1].result
+        );
+    }
+
+    #[test]
+    fn receiver_later_than_arrival_does_not_wait() {
+        // If the receiver has computed past the arrival time, recv costs
+        // only the receive overhead.
+        let model = MachineModel::mesh_1993(2);
+        let late = 1.0; // a full virtual second of compute
+        let reports = run_model(2, model.clone(), move |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 1, &[0u8; 8]);
+            } else {
+                c.compute(late / 40e-9);
+                c.recv_bytes(0, 1);
+            }
+            c.now()
+        });
+        let expect = late + model.recv_overhead;
+        assert!((reports[1].result - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_time_is_scheduling_independent() {
+        // Run the same program several times; virtual clocks must be
+        // bit-identical even though host interleavings differ.
+        let run = || {
+            let reports = run_model(4, MachineModel::mesh_1993(4), |c| {
+                let v = [c.rank() as f64];
+                let s = c.allreduce_f64(&v, ReduceOp::Sum)[0];
+                c.compute(1000.0 * (c.rank() + 1) as f64);
+                c.barrier();
+                s
+            });
+            reports
+                .iter()
+                .map(|r| r.virtual_seconds.to_bits())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        for _ in 0..5 {
+            assert_eq!(run(), a);
+        }
+    }
+
+    #[test]
+    fn ideal_machine_messages_cost_nothing() {
+        let reports = run_model(2, MachineModel::ideal(2), |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 1, &[0u8; 1 << 20]);
+            } else {
+                c.recv_bytes(0, 1);
+            }
+            c.now()
+        });
+        assert_eq!(reports[1].result, 0.0);
+    }
+
+    #[test]
+    fn farther_ranks_cost_more_hops() {
+        let model = MachineModel::mesh_1993(16); // 4×4 mesh
+        let t_near = {
+            let r = run_model(16, model.clone(), |c| {
+                if c.rank() == 0 {
+                    c.send_bytes(1, 1, &[0]);
+                } else if c.rank() == 1 {
+                    c.recv_bytes(0, 1);
+                }
+                c.now()
+            });
+            r[1].virtual_seconds
+        };
+        let t_far = {
+            let r = run_model(16, model, |c| {
+                if c.rank() == 0 {
+                    c.send_bytes(10, 1, &[0]); // (2,2) on the mesh: 4 hops
+                } else if c.rank() == 10 {
+                    c.recv_bytes(0, 1);
+                }
+                c.now()
+            });
+            r[10].virtual_seconds
+        };
+        assert!(t_far > t_near, "far {t_far} vs near {t_near}");
+    }
+
+    #[test]
+    fn comm_fraction_accounted() {
+        let reports = run_model(2, MachineModel::mesh_1993(2), |c| {
+            if c.rank() == 0 {
+                c.compute(1e5);
+                c.send_bytes(1, 1, &[0; 64]);
+            } else {
+                c.recv_bytes(0, 1);
+                c.compute(1e5);
+            }
+        });
+        for r in &reports {
+            let total = r.stats.comm_seconds + r.stats.compute_seconds;
+            assert!((total - r.virtual_seconds).abs() < 1e-12,
+                "clock {} != comm {} + compute {}",
+                r.virtual_seconds, r.stats.comm_seconds, r.stats.compute_seconds);
+        }
+    }
+
+    #[test]
+    fn job_seconds_is_max_over_ranks() {
+        let reports = run_model(3, MachineModel::ideal(3), |c| {
+            c.compute(((c.rank() + 1) * 1000) as f64);
+        });
+        let t = job_seconds(&reports);
+        assert!((t - 3000.0 * 40e-9).abs() < 1e-15);
+    }
+}

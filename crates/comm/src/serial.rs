@@ -1,0 +1,123 @@
+//! The trivial single-rank communicator.
+
+use crate::{CommStats, Communicator, COLLECTIVE_TAG_BASE};
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Size-1 communicator: sends to self are queued, everything else is a
+/// no-op. Lets every parallel engine run serially without special cases.
+pub struct SerialComm {
+    queues: HashMap<u32, VecDeque<Vec<u8>>>,
+    start: Instant,
+    stats: CommStats,
+    coll_seq: u32,
+}
+
+impl SerialComm {
+    /// Create a fresh serial communicator.
+    pub fn new() -> Self {
+        Self {
+            queues: HashMap::new(),
+            start: Instant::now(),
+            stats: CommStats::default(),
+            coll_seq: 0,
+        }
+    }
+}
+
+impl Default for SerialComm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Communicator for SerialComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn send_bytes(&mut self, dest: usize, tag: u32, data: &[u8]) {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag:#x} is reserved for collectives"
+        );
+        assert_eq!(dest, 0, "dest rank {dest} out of range for size-1 world");
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        self.queues.entry(tag).or_default().push_back(data.to_vec());
+    }
+
+    fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        assert_eq!(src, 0, "src rank {src} out of range for size-1 world");
+        self.queues
+            .get_mut(&tag)
+            .and_then(|q| q.pop_front())
+            .unwrap_or_else(|| panic!("recv(tag={tag}) with no matching self-send — deadlock"))
+    }
+
+    fn compute(&mut self, units: f64) {
+        self.stats.compute_seconds += units;
+    }
+
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn next_collective_seq(&mut self) -> u32 {
+        let s = self.coll_seq;
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        s
+    }
+
+    fn send_internal(&mut self, _dest: usize, tag: u32, data: &[u8]) {
+        self.queues.entry(tag).or_default().push_back(data.to_vec());
+    }
+
+    fn recv_internal(&mut self, _src: usize, tag: u32) -> Vec<u8> {
+        self.queues
+            .get_mut(&tag)
+            .and_then(|q| q.pop_front())
+            .expect("internal collective receive with no matching send")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_send_recv() {
+        let mut c = SerialComm::new();
+        c.send_bytes(0, 3, &[1, 2]);
+        assert_eq!(c.recv_bytes(0, 3), vec![1, 2]);
+    }
+
+    #[test]
+    fn sendrecv_to_self() {
+        let mut c = SerialComm::new();
+        let got = c.sendrecv_bytes(0, 1, &[9], 0, 1);
+        assert_eq!(got, vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn recv_without_send_panics() {
+        let mut c = SerialComm::new();
+        c.recv_bytes(0, 1);
+    }
+
+    #[test]
+    fn stats_track_self_sends() {
+        let mut c = SerialComm::new();
+        c.send_bytes(0, 1, &[0; 8]);
+        assert_eq!(c.stats().bytes_sent, 8);
+    }
+}

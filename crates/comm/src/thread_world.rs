@@ -1,0 +1,207 @@
+//! Thread-backed ranks: real parallelism on the host machine.
+
+use crate::mailbox::{Mailbox, Msg};
+use crate::{CommStats, Communicator, COLLECTIVE_TAG_BASE};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A communicator whose ranks are OS threads on the host.
+///
+/// Obtained inside [`run_threads`]; all correctness tests and the
+/// real-speedup benchmarks use this back-end.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    boxes: Arc<Vec<Mailbox>>,
+    start: Instant,
+    stats: CommStats,
+    coll_seq: u32,
+    timeout: Duration,
+}
+
+impl ThreadComm {
+    fn new(rank: usize, size: usize, boxes: Arc<Vec<Mailbox>>, timeout: Duration) -> Self {
+        Self {
+            rank,
+            size,
+            boxes,
+            start: Instant::now(),
+            stats: CommStats::default(),
+            coll_seq: 0,
+            timeout,
+        }
+    }
+
+    fn raw_send(&mut self, dest: usize, tag: u32, data: &[u8]) {
+        assert!(dest < self.size, "dest rank {dest} out of range");
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        self.boxes[dest].put(
+            self.rank,
+            tag,
+            Msg {
+                bytes: data.to_vec(),
+                depart: 0.0,
+            },
+        );
+    }
+
+    fn raw_recv(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        assert!(src < self.size, "src rank {src} out of range");
+        let t0 = Instant::now();
+        let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
+        self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+        msg.bytes
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_bytes(&mut self, dest: usize, tag: u32, data: &[u8]) {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag:#x} is reserved for collectives"
+        );
+        self.raw_send(dest, tag, data);
+    }
+
+    fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag:#x} is reserved for collectives"
+        );
+        self.raw_recv(src, tag)
+    }
+
+    fn compute(&mut self, units: f64) {
+        // Real time passes on the host; just account for it.
+        self.stats.compute_seconds += units;
+    }
+
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn next_collective_seq(&mut self) -> u32 {
+        let s = self.coll_seq;
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        s
+    }
+
+    fn send_internal(&mut self, dest: usize, tag: u32, data: &[u8]) {
+        self.raw_send(dest, tag, data);
+    }
+
+    fn recv_internal(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        self.raw_recv(src, tag)
+    }
+}
+
+/// Run an SPMD function on `nranks` thread-backed ranks and collect each
+/// rank's return value (indexed by rank).
+///
+/// Panics in any rank propagate (the scope joins all threads first), so a
+/// deadlock timeout or an assertion inside one rank fails the whole run —
+/// the behaviour tests want.
+pub fn run_threads<T, F>(nranks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> T + Send + Sync,
+{
+    run_threads_with_timeout(nranks, Duration::from_secs(60), f)
+}
+
+/// [`run_threads`] with an explicit receive-timeout (used by the deadlock
+/// tests to fail fast).
+pub fn run_threads_with_timeout<T, F>(nranks: usize, timeout: Duration, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> T + Send + Sync,
+{
+    assert!(nranks >= 1, "need at least one rank");
+    let boxes: Arc<Vec<Mailbox>> = Arc::new((0..nranks).map(|_| Mailbox::new()).collect());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let boxes = boxes.clone();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut comm = ThreadComm::new(rank, nranks, boxes, timeout);
+                f(&mut comm)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_indexed_by_rank() {
+        let out = run_threads(4, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run_threads(1, |c| c.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn message_order_preserved_between_pair() {
+        let out = run_threads(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10u8 {
+                    c.send_bytes(1, 3, &[i]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| c.recv_bytes(0, 3)[0]).collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(out[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn deadlock_detected_by_timeout() {
+        // Both ranks receive first — classic deadlock; the 100 ms timeout
+        // turns it into a panic.
+        run_threads_with_timeout(2, Duration::from_millis(100), |c| {
+            let other = 1 - c.rank();
+            let _ = c.recv_bytes(other, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn send_to_invalid_rank_panics() {
+        run_threads(1, |c| c.send_bytes(5, 1, &[]));
+    }
+
+    #[test]
+    fn now_is_monotone() {
+        run_threads(1, |c| {
+            let a = c.now();
+            std::thread::sleep(Duration::from_millis(5));
+            assert!(c.now() > a);
+        });
+    }
+}

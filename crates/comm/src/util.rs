@@ -1,0 +1,74 @@
+//! Payload encoding helpers (little-endian byte layouts).
+
+/// Encode a `f64` slice as little-endian bytes.
+pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into `f64`s (length must be a multiple
+/// of 8).
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "byte payload length {} is not a multiple of 8",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect()
+}
+
+/// Encode a `u64` slice as little-endian bytes.
+pub fn u64s_to_bytes(data: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into `u64`s.
+pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "byte payload length {} is not a multiple of 8",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn f64_roundtrip(xs in proptest::collection::vec(any::<f64>(), 0..64)) {
+            let back = bytes_to_f64s(&f64s_to_bytes(&xs));
+            prop_assert_eq!(back.len(), xs.len());
+            for (a, b) in back.iter().zip(&xs) {
+                prop_assert!(a.to_bits() == b.to_bits());
+            }
+        }
+
+        #[test]
+        fn u64_roundtrip(xs in proptest::collection::vec(any::<u64>(), 0..64)) {
+            prop_assert_eq!(bytes_to_u64s(&u64s_to_bytes(&xs)), xs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn rejects_ragged_payload() {
+        bytes_to_f64s(&[1, 2, 3]);
+    }
+}

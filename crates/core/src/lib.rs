@@ -1,0 +1,29 @@
+//! High-level drivers: replica parallelism, parallel tempering, and
+//! result tabulation.
+//!
+//! The engines (`qmc-worldline`, `qmc-tfim`, `qmc-sse`) know how to sample
+//! one `(model, β)` point. A massively parallel production run combines
+//! two levels of parallelism, exactly as the SC'93-class codes did:
+//!
+//! * **Replica level** ([`replica`]) — independent `(β, Δτ, seed)` points
+//!   are embarrassingly parallel; ranks split the point list and results
+//!   are gathered at rank 0.
+//! * **Domain level** — within a point, the TFIM engine decomposes the
+//!   lattice itself (see `qmc_tfim::parallel`).
+//!
+//! [`pt`] adds replica-*exchange* (parallel tempering) on top of the
+//! world-line engine: neighbouring inverse temperatures swap
+//! configurations with the Metropolis probability
+//! `min(1, exp[ΔlogW])`, implemented both serially (a ladder in one
+//! process) and across ranks (one replica per rank, common-random-number
+//! pair decisions, configuration payloads exchanged point-to-point).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pt;
+pub mod replica;
+pub mod table;
+
+pub use pt::{PtConfig, PtLadder, PtStats};
+pub use replica::{run_replicas, ReplicaPlan};

@@ -1,0 +1,466 @@
+//! Replica-exchange Monte Carlo (parallel tempering) over the world-line
+//! engine.
+//!
+//! `I` replicas at inverse temperatures `β_1 < … < β_I` (all sharing the
+//! same `l` and Trotter number `m`) run independent world-line updates;
+//! periodically, neighbouring pairs propose to *swap configurations* with
+//!
+//! `P = min(1, exp[lwₖ(X_{k+1}) + lw_{k+1}(Xₖ) − lwₖ(Xₖ) − lw_{k+1}(X_{k+1})])`.
+//!
+//! Swapping configurations (rather than temperatures) keeps each
+//! replica's measurement temperature fixed — convenient for both the
+//! serial ladder and the one-replica-per-rank parallel driver, where rank
+//! ↔ β never changes and only configuration payloads travel.
+
+use qmc_comm::{util, Communicator, ReduceOp};
+use qmc_rng::{Rng64, SplitMix64};
+use qmc_worldline::weights::PlaqWeights;
+use qmc_worldline::{Worldline, WorldlineParams};
+
+/// Exchange statistics of a tempering run.
+#[derive(Debug, Clone, Default)]
+pub struct PtStats {
+    /// Per-pair accepted swaps (pair k = temperatures k, k+1).
+    pub accepted: Vec<u64>,
+    /// Per-pair attempted swaps.
+    pub attempted: Vec<u64>,
+    /// Completed walker round trips (slot 0 → top slot → slot 0).
+    pub round_trips: u64,
+}
+
+impl PtStats {
+    /// Acceptance rate of pair `k` (0 when never attempted).
+    pub fn rate(&self, k: usize) -> f64 {
+        if self.attempted[k] == 0 {
+            0.0
+        } else {
+            self.accepted[k] as f64 / self.attempted[k] as f64
+        }
+    }
+}
+
+/// Serial parallel-tempering ladder.
+pub struct PtLadder {
+    replicas: Vec<Worldline>,
+    betas: Vec<f64>,
+    stats: PtStats,
+    /// Walker identity currently occupying each slot.
+    walker_at: Vec<usize>,
+    /// Last extreme slot each walker touched: 0 = bottom, 1 = top,
+    /// 2 = none yet. A trip bottom→top→bottom increments `round_trips`.
+    walker_phase: Vec<u8>,
+}
+
+impl PtLadder {
+    /// Build a ladder; `betas` must be strictly increasing.
+    pub fn new(l: usize, jx: f64, jz: f64, m: usize, betas: Vec<f64>) -> Self {
+        assert!(betas.len() >= 2, "need at least two temperatures");
+        assert!(
+            betas.windows(2).all(|w| w[0] < w[1]),
+            "β ladder must be strictly increasing"
+        );
+        let replicas = betas
+            .iter()
+            .map(|&beta| {
+                Worldline::new(WorldlineParams {
+                    l,
+                    jx,
+                    jz,
+                    beta,
+                    m,
+                })
+            })
+            .collect();
+        let n = betas.len();
+        Self {
+            replicas,
+            stats: PtStats {
+                accepted: vec![0; n - 1],
+                attempted: vec![0; n - 1],
+                round_trips: 0,
+            },
+            walker_at: (0..n).collect(),
+            walker_phase: vec![2; n],
+            betas,
+        }
+    }
+
+    /// The temperature ladder.
+    pub fn betas(&self) -> &[f64] {
+        &self.betas
+    }
+
+    /// Immutable access to replica `k` (slot order = β order).
+    pub fn replica(&self, k: usize) -> &Worldline {
+        &self.replicas[k]
+    }
+
+    /// One update sweep on every replica.
+    pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
+        for r in &mut self.replicas {
+            r.sweep(rng);
+        }
+    }
+
+    /// One exchange phase: pairs `(k, k+1)` with `k ≡ phase (mod 2)`.
+    pub fn exchange<R: Rng64>(&mut self, rng: &mut R, phase: usize) {
+        let n = self.replicas.len();
+        let mut k = phase % 2;
+        while k + 1 < n {
+            self.stats.attempted[k] += 1;
+            let (lo, hi) = self.replicas.split_at_mut(k + 1);
+            let a = &mut lo[k];
+            let b = &mut hi[0];
+            let wa = *a.weights();
+            let wb = *b.weights();
+            let log_ratio = a.log_weight_with(&wb) + b.log_weight_with(&wa)
+                - a.log_weight()
+                - b.log_weight();
+            if rng.metropolis(log_ratio.exp()) {
+                self.stats.accepted[k] += 1;
+                let sa = a.export_spins();
+                let sb = b.export_spins();
+                a.import_spins(&sb);
+                b.import_spins(&sa);
+                self.walker_at.swap(k, k + 1);
+            }
+            k += 2;
+        }
+        self.update_round_trips();
+    }
+
+    fn update_round_trips(&mut self) {
+        let top = self.replicas.len() - 1;
+        let bottom_walker = self.walker_at[0];
+        let top_walker = self.walker_at[top];
+        if self.walker_phase[top_walker] == 0 {
+            // was last at the bottom, has now reached the top
+            self.walker_phase[top_walker] = 1;
+        } else if self.walker_phase[top_walker] == 2 {
+            self.walker_phase[top_walker] = 1;
+        }
+        if self.walker_phase[bottom_walker] == 1 {
+            self.walker_phase[bottom_walker] = 0;
+            self.stats.round_trips += 1;
+        } else if self.walker_phase[bottom_walker] == 2 {
+            self.walker_phase[bottom_walker] = 0;
+        }
+    }
+
+    /// Run with `exchange_every` sweeps between exchange phases; returns
+    /// per-slot energy series (per site).
+    pub fn run<R: Rng64>(
+        &mut self,
+        rng: &mut R,
+        therm: usize,
+        sweeps: usize,
+        exchange_every: usize,
+    ) -> Vec<Vec<f64>> {
+        assert!(exchange_every >= 1);
+        let mut phase = 0;
+        for s in 0..therm {
+            self.sweep(rng);
+            if s % exchange_every == 0 {
+                self.exchange(rng, phase);
+                phase ^= 1;
+            }
+        }
+        let mut energies: Vec<Vec<f64>> = vec![Vec::with_capacity(sweeps); self.replicas.len()];
+        for s in 0..sweeps {
+            self.sweep(rng);
+            if s % exchange_every == 0 {
+                self.exchange(rng, phase);
+                phase ^= 1;
+            }
+            for (k, r) in self.replicas.iter().enumerate() {
+                energies[k].push(qmc_worldline::estimators::measure(r).energy_per_site);
+            }
+        }
+        energies
+    }
+
+    /// Exchange statistics.
+    pub fn stats(&self) -> &PtStats {
+        &self.stats
+    }
+}
+
+/// Configuration of a distributed parallel-tempering run.
+#[derive(Debug, Clone)]
+pub struct PtConfig {
+    /// Chain length.
+    pub l: usize,
+    /// Transverse exchange.
+    pub jx: f64,
+    /// Longitudinal exchange.
+    pub jz: f64,
+    /// Trotter number (shared by all replicas).
+    pub m: usize,
+    /// Strictly increasing temperature ladder; one rank per entry.
+    pub betas: Vec<f64>,
+    /// Thermalization sweeps.
+    pub therm: usize,
+    /// Measured sweeps.
+    pub sweeps: usize,
+    /// Sweeps between exchange phases.
+    pub exchange_every: usize,
+    /// Common-random-number seed for swap decisions (must match on every
+    /// rank; independent of the per-rank sampling RNG).
+    pub seed: u64,
+}
+
+/// Distributed parallel tempering: rank `k` owns the replica at
+/// `betas[k]` (one rank per temperature, `comm.size() == betas.len()`).
+///
+/// Swap decisions use common random numbers derived from
+/// `(seed, step, pair)`, so both partners reach the same verdict without
+/// an extra message; accepted swaps exchange configuration payloads.
+/// Returns `(my_energy_series, pair_acceptance_rates)`; the acceptance
+/// vector is allreduced so every rank sees all pairs.
+pub fn run_pt_parallel<C: Communicator, R: Rng64>(
+    comm: &mut C,
+    cfg: &PtConfig,
+    rng: &mut R,
+) -> (Vec<f64>, Vec<f64>) {
+    let PtConfig {
+        l,
+        jx,
+        jz,
+        m,
+        ref betas,
+        therm,
+        sweeps,
+        exchange_every,
+        seed,
+    } = *cfg;
+    assert_eq!(
+        comm.size(),
+        betas.len(),
+        "one rank per temperature required"
+    );
+    assert!(betas.windows(2).all(|w| w[0] < w[1]));
+    let me = comm.rank();
+    let mut replica = Worldline::new(WorldlineParams {
+        l,
+        jx,
+        jz,
+        beta: betas[me],
+        m,
+    });
+    let neighbor_weights: Vec<PlaqWeights> = betas
+        .iter()
+        .map(|&b| PlaqWeights::new(jx, jz, b / m as f64))
+        .collect();
+
+    let mut accepted = vec![0.0f64; betas.len() - 1];
+    let mut attempted = vec![0.0f64; betas.len() - 1];
+    let mut energies = Vec::with_capacity(sweeps);
+    let mut step = 0u64;
+
+    let do_phase = |replica: &mut Worldline,
+                        comm: &mut C,
+                        step: u64,
+                        accepted: &mut [f64],
+                        attempted: &mut [f64]| {
+        let phase = (step % 2) as usize;
+        // The pair for me: partner above if my index parity == phase,
+        // else partner below (if any).
+        let pair_k = if me % 2 == phase {
+            me // pair (me, me+1)
+        } else {
+            me.wrapping_sub(1) // pair (me−1, me)
+        };
+        if pair_k == usize::MAX || pair_k + 1 >= betas.len() {
+            return;
+        }
+        let partner = if pair_k == me { me + 1 } else { me - 1 };
+        // Exchange the two cross log-weights.
+        let lw_own = replica.log_weight();
+        let lw_cross = replica.log_weight_with(&neighbor_weights[partner]);
+        let payload = util::f64s_to_bytes(&[lw_own, lw_cross]);
+        let other = util::bytes_to_f64s(&comm.sendrecv_bytes(partner, 7, &payload, partner, 7));
+        let (lw_partner_own, lw_partner_cross) = (other[0], other[1]);
+        let log_ratio = lw_cross + lw_partner_cross - lw_own - lw_partner_own;
+        // Common random number: both sides derive the same coin.
+        let coin = SplitMix64::new(
+            seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (pair_k as u64) << 32,
+        )
+        .next_f64_of();
+        if me == pair_k {
+            attempted[pair_k] += 1.0;
+        }
+        if coin < log_ratio.exp() {
+            if me == pair_k {
+                accepted[pair_k] += 1.0;
+            }
+            let mine = replica.export_spins();
+            let theirs = comm.sendrecv_bytes(partner, 8, &mine, partner, 8);
+            replica.import_spins(&theirs);
+        }
+    };
+
+    for s in 0..therm + sweeps {
+        replica.sweep(rng);
+        if s % exchange_every == 0 {
+            do_phase(&mut replica, comm, step, &mut accepted, &mut attempted);
+            step += 1;
+        }
+        if s >= therm {
+            energies.push(qmc_worldline::estimators::measure(&replica).energy_per_site);
+        }
+    }
+
+    let acc = comm.allreduce_f64(&accepted, ReduceOp::Sum);
+    let att = comm.allreduce_f64(&attempted, ReduceOp::Sum);
+    let rates = acc
+        .iter()
+        .zip(&att)
+        .map(|(a, t)| if *t > 0.0 { a / t } else { 0.0 })
+        .collect();
+    (energies, rates)
+}
+
+/// Helper trait bridging SplitMix to a one-shot uniform draw.
+trait OneShot {
+    fn next_f64_of(self) -> f64;
+}
+
+impl OneShot for SplitMix64 {
+    fn next_f64_of(mut self) -> f64 {
+        self.next_f64()
+    }
+}
+
+/// Build a geometric β ladder from `beta_min` to `beta_max` with `n`
+/// rungs — the textbook starting point for reasonable exchange rates.
+pub fn geometric_ladder(beta_min: f64, beta_max: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && beta_min > 0.0 && beta_max > beta_min);
+    let ratio = (beta_max / beta_min).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|k| beta_min * ratio.powi(k as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmc_ed::xxz::{full_spectrum, XxzParams};
+    use qmc_lattice::Chain;
+    use qmc_rng::Xoshiro256StarStar;
+    use qmc_stats::BinningAnalysis;
+
+    #[test]
+    fn geometric_ladder_properties() {
+        let l = geometric_ladder(0.5, 4.0, 4);
+        assert_eq!(l.len(), 4);
+        assert!((l[0] - 0.5).abs() < 1e-12);
+        assert!((l[3] - 4.0).abs() < 1e-9);
+        let r1 = l[1] / l[0];
+        let r2 = l[2] / l[1];
+        assert!((r1 - r2).abs() < 1e-9, "ratios must be constant");
+    }
+
+    #[test]
+    fn ladder_energies_match_ed_at_every_temperature() {
+        let betas = vec![0.5, 0.75, 1.0, 1.5];
+        let mut ladder = PtLadder::new(8, 1.0, 1.0, 16, betas.clone());
+        let mut rng = Xoshiro256StarStar::new(3);
+        let energies = ladder.run(&mut rng, 1500, 12_000, 2);
+
+        let lat = Chain::new(8);
+        let spec = full_spectrum(&lat, &XxzParams::heisenberg(1.0));
+        for (k, beta) in betas.iter().enumerate() {
+            let exact = spec.energy(*beta) / 8.0;
+            let b = BinningAnalysis::new(&energies[k], 16);
+            let trotter = (beta / 16.0).powi(2) * 2.0;
+            assert!(
+                (b.mean - exact).abs() < 5.0 * b.error().max(3e-4) + trotter,
+                "β={beta}: {} ± {} vs {exact}",
+                b.mean,
+                b.error()
+            );
+        }
+    }
+
+    #[test]
+    fn exchanges_are_accepted_at_reasonable_rates() {
+        let mut ladder = PtLadder::new(8, 1.0, 1.0, 16, geometric_ladder(0.5, 2.0, 4));
+        let mut rng = Xoshiro256StarStar::new(4);
+        ladder.run(&mut rng, 500, 5000, 2);
+        for k in 0..3 {
+            let rate = ladder.stats().rate(k);
+            assert!(
+                rate > 0.05 && rate < 1.0,
+                "pair {k}: acceptance {rate} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trips_occur() {
+        let mut ladder = PtLadder::new(4, 1.0, 1.0, 8, geometric_ladder(0.4, 1.2, 3));
+        let mut rng = Xoshiro256StarStar::new(5);
+        ladder.run(&mut rng, 500, 20_000, 1);
+        assert!(
+            ladder.stats().round_trips > 0,
+            "no walker completed a round trip"
+        );
+    }
+
+    #[test]
+    fn exchange_preserves_configuration_validity() {
+        let mut ladder = PtLadder::new(6, 1.0, 1.0, 8, geometric_ladder(0.5, 2.0, 4));
+        let mut rng = Xoshiro256StarStar::new(6);
+        for s in 0..200 {
+            ladder.sweep(&mut rng);
+            ladder.exchange(&mut rng, s % 2);
+            for k in 0..4 {
+                assert!(
+                    ladder.replica(k).log_weight().is_finite(),
+                    "slot {k} invalid after exchange {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pt_matches_ed() {
+        let betas = vec![0.5, 1.0, 1.5, 2.0];
+        let betas2 = betas.clone();
+        let results = qmc_comm::run_threads(4, move |comm| {
+            let mut rng = qmc_rng::StreamFactory::new(17).stream(comm.rank());
+            let cfg = PtConfig {
+                l: 8,
+                jx: 1.0,
+                jz: 1.0,
+                m: 16,
+                betas: betas2.clone(),
+                therm: 1000,
+                sweeps: 10_000,
+                exchange_every: 2,
+                seed: 99,
+            };
+            run_pt_parallel(comm, &cfg, &mut rng)
+        });
+        let lat = Chain::new(8);
+        let spec = full_spectrum(&lat, &XxzParams::heisenberg(1.0));
+        for (rank, beta) in betas.iter().enumerate() {
+            let exact = spec.energy(*beta) / 8.0;
+            let b = BinningAnalysis::new(&results[rank].0, 16);
+            let trotter = (beta / 16.0).powi(2) * 2.0;
+            assert!(
+                (b.mean - exact).abs() < 5.0 * b.error().max(3e-4) + trotter,
+                "rank {rank} β={beta}: {} ± {} vs {exact}",
+                b.mean,
+                b.error()
+            );
+        }
+        // acceptance rates identical on all ranks, nonzero somewhere
+        assert_eq!(results[0].1, results[1].1);
+        assert!(results[0].1.iter().any(|&r| r > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_ladder() {
+        PtLadder::new(4, 1.0, 1.0, 8, vec![1.0, 0.5]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Replica-level parallelism: independent simulation points over ranks.
+
+use qmc_comm::Communicator;
+
+/// Assignment of `n_points` independent simulation points to `n_ranks`
+/// ranks (block distribution, earlier ranks take the remainder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaPlan {
+    /// Total number of points.
+    pub n_points: usize,
+    /// Number of ranks.
+    pub n_ranks: usize,
+}
+
+impl ReplicaPlan {
+    /// Build a plan.
+    pub fn new(n_points: usize, n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1);
+        Self { n_points, n_ranks }
+    }
+
+    /// The half-open range of point indices owned by `rank`.
+    pub fn points_of(&self, rank: usize) -> std::ops::Range<usize> {
+        let base = self.n_points / self.n_ranks;
+        let extra = self.n_points % self.n_ranks;
+        let start = rank * base + rank.min(extra);
+        let len = base + usize::from(rank < extra);
+        start..start + len
+    }
+
+    /// The rank owning point `idx`.
+    pub fn owner_of(&self, idx: usize) -> usize {
+        assert!(idx < self.n_points);
+        for r in 0..self.n_ranks {
+            if self.points_of(r).contains(&idx) {
+                return r;
+            }
+        }
+        unreachable!("plan covers all points")
+    }
+}
+
+/// Run `n_points` independent simulations distributed over the
+/// communicator's ranks and gather every point's result (as `f64`
+/// vectors) on rank 0, in point order.
+///
+/// `f(point_index)` runs on the owning rank and returns that point's
+/// observable vector; all vectors must have equal length.
+pub fn run_replicas<C, F>(comm: &mut C, n_points: usize, mut f: F) -> Option<Vec<Vec<f64>>>
+where
+    C: Communicator,
+    F: FnMut(usize) -> Vec<f64>,
+{
+    let plan = ReplicaPlan::new(n_points, comm.size());
+    let mine: Vec<(usize, Vec<f64>)> = plan
+        .points_of(comm.rank())
+        .map(|idx| (idx, f(idx)))
+        .collect();
+
+    // Flatten my results as [idx, len, data…] triples for the gather.
+    let mut payload = Vec::new();
+    for (idx, data) in &mine {
+        payload.push(*idx as f64);
+        payload.push(data.len() as f64);
+        payload.extend_from_slice(data);
+    }
+    let gathered = comm.gather_f64s(0, &payload)?;
+
+    let mut out: Vec<Option<Vec<f64>>> = vec![None; n_points];
+    for rank_payload in gathered {
+        let mut cursor = 0usize;
+        while cursor < rank_payload.len() {
+            let idx = rank_payload[cursor] as usize;
+            let len = rank_payload[cursor + 1] as usize;
+            cursor += 2;
+            out[idx] = Some(rank_payload[cursor..cursor + len].to_vec());
+            cursor += len;
+        }
+    }
+    Some(
+        out.into_iter()
+            .enumerate()
+            .map(|(i, v)| v.unwrap_or_else(|| panic!("point {i} missing from gather")))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmc_comm::{run_threads, SerialComm};
+
+    #[test]
+    fn plan_covers_all_points_without_overlap() {
+        for (points, ranks) in [(10, 3), (7, 7), (5, 8), (0, 4), (16, 4)] {
+            let plan = ReplicaPlan::new(points, ranks);
+            let mut seen = vec![false; points];
+            for r in 0..ranks {
+                for idx in plan.points_of(r) {
+                    assert!(!seen[idx], "point {idx} assigned twice");
+                    seen[idx] = true;
+                    assert_eq!(plan.owner_of(idx), r);
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn plan_is_balanced() {
+        let plan = ReplicaPlan::new(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|r| plan.points_of(r).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn serial_run_collects_everything() {
+        let mut comm = SerialComm::new();
+        let results = run_replicas(&mut comm, 5, |i| vec![i as f64, 2.0 * i as f64]).unwrap();
+        assert_eq!(results.len(), 5);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r, &vec![i as f64, 2.0 * i as f64]);
+        }
+    }
+
+    #[test]
+    fn threaded_run_gathers_in_point_order() {
+        let all = run_threads(3, |comm| {
+            run_replicas(comm, 8, |i| vec![(i * i) as f64])
+        });
+        // rank 0 gets the full table, others None
+        let table = all[0].as_ref().expect("rank 0 has results");
+        assert_eq!(table.len(), 8);
+        for (i, row) in table.iter().enumerate() {
+            assert_eq!(row[0], (i * i) as f64);
+        }
+        assert!(all[1].is_none());
+        assert!(all[2].is_none());
+    }
+
+    #[test]
+    fn more_ranks_than_points() {
+        let all = run_threads(4, |comm| run_replicas(comm, 2, |i| vec![i as f64]));
+        let table = all[0].as_ref().unwrap();
+        assert_eq!(table.len(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain-text result tables (the `repro` harness prints these).
+
+/// A simple right-aligned text table with a title and column headers.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of preformatted cells (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width does not match header count"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: format a row of `f64`s with `prec` decimals.
+    pub fn row_f64(&mut self, cells: &[f64], prec: usize) {
+        let formatted: Vec<String> = cells.iter().map(|v| format!("{v:.prec$}")).collect();
+        self.row(&formatted);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let line: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!(" {c:>w$} "))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&line);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format `value ± error` compactly.
+pub fn pm(value: f64, error: f64, prec: usize) -> String {
+    format!("{value:.prec$}({error:.prec$})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["beta", "E"]);
+        t.row_f64(&[0.5, -0.25], 3);
+        t.row_f64(&[10.0, -0.456], 3);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("beta"));
+        assert!(s.contains("-0.456"));
+        // all lines after the separator have equal length
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".to_string()]);
+    }
+
+    #[test]
+    fn pm_formatting() {
+        assert_eq!(pm(1.2345, 0.0021, 3), "1.234(0.002)");
+    }
+}

@@ -1,0 +1,260 @@
+//! Jordan-Wigner free-fermion oracles for chains.
+//!
+//! The XY chain (`Jz = 0`) and the 1-D TFIM map to free fermions, giving
+//! closed-form results at *any* size — but the mapping has a subtlety that
+//! sloppy treatments drop: the fermion-parity boundary term. The even
+//! (odd) parity sector sees antiperiodic (periodic) momenta, and the
+//! canonical partition function is the projected combination
+//!
+//! `Z = ½ [ Π_AP(1+x) + Π_AP(1−x) + Π_P(1+x) − Π_P(1−x) ] · e^{−βC}`
+//!
+//! with `x_k = e^{−βε_k}`. We implement the projection exactly, validate
+//! against dense ED at small `L` (see tests), and then use these formulas
+//! as large-`L` oracles for the F3 experiment.
+
+use std::f64::consts::PI;
+
+/// Antiperiodic momentum grid `k = (2m+1)π/L`.
+fn ap_grid(l: usize) -> impl Iterator<Item = f64> {
+    (0..l).map(move |m| (2.0 * m as f64 + 1.0) * PI / l as f64)
+}
+
+/// Periodic momentum grid `k = 2mπ/L`.
+fn p_grid(l: usize) -> impl Iterator<Item = f64> {
+    (0..l).map(move |m| 2.0 * m as f64 * PI / l as f64)
+}
+
+/// Signed logarithm: `(sign, ln|v|)` pairs combined stably.
+fn signed_log_sum(terms: &[(f64, f64)]) -> (f64, f64) {
+    // terms: (sign, log magnitude); returns (sign, log magnitude) of sum.
+    let max = terms
+        .iter()
+        .map(|&(_, l)| l)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return (0.0, f64::NEG_INFINITY);
+    }
+    let s: f64 = terms.iter().map(|&(sg, l)| sg * (l - max).exp()).sum();
+    (s.signum(), max + s.abs().ln())
+}
+
+/// `(sign, ln|Π_k (1 ± e^{−βε_k})|)` over a momentum grid.
+fn log_product(eps: impl Iterator<Item = f64>, beta: f64, plus: bool) -> (f64, f64) {
+    let mut sign = 1.0;
+    let mut log = 0.0;
+    for e in eps {
+        let x = (-beta * e).exp();
+        let term = if plus { 1.0 + x } else { 1.0 - x };
+        if term == 0.0 {
+            return (0.0, f64::NEG_INFINITY);
+        }
+        sign *= term.signum();
+        log += term.abs().ln();
+    }
+    (sign, log)
+}
+
+/// `ln Z` of the XY chain `H = J Σ (SˣSˣ + SʸSʸ) − h Σ Sᶻ` of length `l`
+/// (periodic), with exact fermion-parity projection.
+///
+/// Single-particle dispersion after Jordan-Wigner: `ε_k = J cos k − h`,
+/// plus the constant `C = hL/2`.
+pub fn xy_chain_log_z(l: usize, j: f64, field: f64, beta: f64) -> f64 {
+    assert!(l >= 2 && l.is_multiple_of(2), "length must be even ≥ 2");
+    let eps = |k: f64| j * k.cos() - field;
+
+    let (s_ap_p, l_ap_p) = log_product(ap_grid(l).map(eps), beta, true);
+    let (s_ap_m, l_ap_m) = log_product(ap_grid(l).map(eps), beta, false);
+    let (s_p_p, l_p_p) = log_product(p_grid(l).map(eps), beta, true);
+    let (s_p_m, l_p_m) = log_product(p_grid(l).map(eps), beta, false);
+
+    let (sign, log) = signed_log_sum(&[
+        (s_ap_p, l_ap_p),
+        (s_ap_m, l_ap_m),
+        (s_p_p, l_p_p),
+        (-s_p_m, l_p_m),
+    ]);
+    assert!(sign > 0.0, "partition function must be positive");
+    // ½ prefactor and the constant C = hL/2 from −h Σ (n − ½).
+    log - std::f64::consts::LN_2 - beta * field * l as f64 / 2.0
+}
+
+/// Mean energy of the XY chain via `E = −∂ ln Z/∂β` (five-point stencil;
+/// accurate to ~1e-10 relative, far below any QMC error bar).
+pub fn xy_chain_energy(l: usize, j: f64, field: f64, beta: f64) -> f64 {
+    let db = 1e-4 * beta.max(0.1);
+    let f = |b: f64| xy_chain_log_z(l, j, field, b);
+    // five-point central first derivative
+    let d = (f(beta - 2.0 * db) - 8.0 * f(beta - db) + 8.0 * f(beta + db) - f(beta + 2.0 * db))
+        / (12.0 * db);
+    -d
+}
+
+/// Heat capacity via `C = β² ∂² ln Z/∂β²` (central stencil).
+pub fn xy_chain_heat_capacity(l: usize, j: f64, field: f64, beta: f64) -> f64 {
+    let db = 1e-3 * beta.max(0.1);
+    let f = |b: f64| xy_chain_log_z(l, j, field, b);
+    let d2 = (f(beta + db) - 2.0 * f(beta) + f(beta - db)) / (db * db);
+    beta * beta * d2
+}
+
+/// Uniform susceptibility `χ = (1/β)∂² ln Z/∂h²` at `field = 0` (total,
+/// divide by `l` for per-site).
+pub fn xy_chain_susceptibility(l: usize, j: f64, beta: f64) -> f64 {
+    let dh = 1e-4;
+    let f = |h: f64| xy_chain_log_z(l, j, h, beta);
+    let d2 = (f(dh) - 2.0 * f(0.0) + f(-dh)) / (dh * dh);
+    d2 / beta
+}
+
+/// Ground-state energy of the periodic 1-D TFIM
+/// `H = −J Σ σᶻσᶻ − h Σ σˣ`: the even-parity (antiperiodic) vacuum,
+/// `E₀ = −½ Σ_{k∈AP} Λ_k`, `Λ_k = 2√(J² + h² − 2Jh cos k)`.
+pub fn tfim_chain_ground_energy(l: usize, j: f64, h: f64) -> f64 {
+    assert!(l >= 2, "need at least two sites");
+    -0.5 * ap_grid(l)
+        .map(|k| 2.0 * (j * j + h * h - 2.0 * j * h * k.cos()).sqrt())
+        .sum::<f64>()
+}
+
+/// Thermodynamic-limit ground-state energy density of the 1-D TFIM
+/// (numerical momentum integral, 1e-10 accurate).
+pub fn tfim_chain_ground_energy_density_inf(j: f64, h: f64) -> f64 {
+    // −(1/2π)∫₀^{2π} Λ(k)/2 dk via Simpson on a fine grid.
+    let n = 20_000;
+    let dk = 2.0 * PI / n as f64;
+    let f = |k: f64| (j * j + h * h - 2.0 * j * h * k.cos()).sqrt();
+    let mut s = f(0.0) + f(2.0 * PI);
+    for i in 1..n {
+        let k = i as f64 * dk;
+        s += if i % 2 == 1 { 4.0 } else { 2.0 } * f(k);
+    }
+    -(s * dk / 3.0) / (2.0 * PI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermo::Spectrum;
+    use crate::xxz::{full_spectrum, XxzParams};
+    use crate::{freefermion, tfim};
+    use qmc_lattice::Chain;
+
+    #[test]
+    fn log_z_matches_ed_xy_chain() {
+        // The decisive test: the projected free-fermion ln Z must equal
+        // dense ED *absolutely* (same Hamiltonian, same constant).
+        for l in [4usize, 6, 8] {
+            let lat = Chain::new(l);
+            for &(h, beta) in &[(0.0, 0.5), (0.0, 2.0), (0.3, 1.0), (-0.2, 3.0)] {
+                let spec = full_spectrum(&lat, &XxzParams::xy(1.0).with_field(h));
+                let exact = spec.log_partition(beta);
+                let ff = xy_chain_log_z(l, 1.0, h, beta);
+                assert!(
+                    (exact - ff).abs() < 1e-9,
+                    "L={l} h={h} β={beta}: ED {exact} vs FF {ff}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_matches_ed() {
+        let lat = Chain::new(8);
+        let spec = full_spectrum(&lat, &XxzParams::xy(1.0));
+        for &beta in &[0.5f64, 1.0, 4.0] {
+            let e_ed = spec.energy(beta);
+            let e_ff = xy_chain_energy(8, 1.0, 0.0, beta);
+            assert!((e_ed - e_ff).abs() < 1e-6, "β={beta}: {e_ed} vs {e_ff}");
+        }
+    }
+
+    #[test]
+    fn susceptibility_matches_ed() {
+        let lat = Chain::new(6);
+        let spec = full_spectrum(&lat, &XxzParams::xy(1.0));
+        for &beta in &[0.5f64, 1.0, 2.0] {
+            let chi_ed = spec.susceptibility(beta);
+            let chi_ff = xy_chain_susceptibility(6, 1.0, beta);
+            assert!(
+                (chi_ed - chi_ff).abs() < 1e-5,
+                "β={beta}: {chi_ed} vs {chi_ff}"
+            );
+        }
+    }
+
+    #[test]
+    fn heat_capacity_matches_ed() {
+        let lat = Chain::new(6);
+        let spec = full_spectrum(&lat, &XxzParams::xy(1.0));
+        let beta = 1.0;
+        let c_ed = spec.heat_capacity(beta);
+        let c_ff = xy_chain_heat_capacity(6, 1.0, 0.0, beta);
+        assert!((c_ed - c_ff).abs() < 1e-4, "{c_ed} vs {c_ff}");
+    }
+
+    #[test]
+    fn tfim_ground_energy_matches_ed() {
+        for l in [4usize, 6, 8] {
+            let lat = Chain::new(l);
+            for &h in &[0.3f64, 1.0, 2.5] {
+                let ed = tfim::full_spectrum(&lat, &tfim::TfimParams { j: 1.0, h })
+                    .ground_energy();
+                let ff = tfim_chain_ground_energy(l, 1.0, h);
+                assert!(
+                    (ed - ff).abs() < 1e-8,
+                    "L={l} h={h}: ED {ed} vs FF {ff}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tfim_infinite_volume_known_limits() {
+        // h=0: E/N = −J; critical point h=J: E/N = −4/π.
+        assert!((tfim_chain_ground_energy_density_inf(1.0, 0.0) + 1.0).abs() < 1e-8);
+        let crit = tfim_chain_ground_energy_density_inf(1.0, 1.0);
+        assert!(
+            (crit + 4.0 / PI).abs() < 1e-6,
+            "critical E/N = {crit}, expect {}",
+            -4.0 / PI
+        );
+    }
+
+    #[test]
+    fn tfim_finite_size_converges_to_bulk() {
+        let bulk = tfim_chain_ground_energy_density_inf(1.0, 0.7);
+        let e64 = tfim_chain_ground_energy(64, 1.0, 0.7) / 64.0;
+        assert!((bulk - e64).abs() < 1e-4, "{bulk} vs {e64}");
+    }
+
+    #[test]
+    fn xy_large_l_energy_bounded_and_smooth() {
+        // No exact comparison at L=64, but the curve must be smooth,
+        // monotone in β (energy decreases), and within physical bounds.
+        let es: Vec<f64> = (1..=10)
+            .map(|i| xy_chain_energy(64, 1.0, 0.0, i as f64 * 0.4) / 64.0)
+            .collect();
+        for w in es.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "energy must decrease with β: {es:?}");
+        }
+        // Bulk XY GS energy density = −1/π.
+        assert!(es.last().unwrap() > &(-1.0 / PI - 0.05));
+    }
+
+    #[test]
+    fn signed_log_sum_basic() {
+        // 3 − 1 = 2 in log space.
+        let (s, l) = freefermion::signed_log_sum(&[(1.0, 3.0f64.ln()), (-1.0, 0.0)]);
+        assert!(s > 0.0);
+        assert!((l - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_temperature_entropy() {
+        // β→0: ln Z → N ln 2.
+        let lz = xy_chain_log_z(10, 1.0, 0.0, 1e-8);
+        assert!((lz - 10.0 * std::f64::consts::LN_2).abs() < 1e-6);
+        let _ = Spectrum::from_energies(vec![0.0]); // keep import used
+    }
+}

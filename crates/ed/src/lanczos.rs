@@ -1,0 +1,257 @@
+//! Lanczos iteration for extreme eigenvalues of large sparse operators.
+
+use crate::matrix::{tridiag_eigen, SymMatrix};
+use crate::xxz::{sector_basis, XxzParams};
+use qmc_lattice::Lattice;
+use qmc_rng::{Rng64, SplitMix64};
+use std::collections::HashMap;
+
+/// A symmetric linear operator given by its action on a vector.
+pub trait LinearOp {
+    /// Vector-space dimension.
+    fn dim(&self) -> usize;
+    /// `y ← A x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOp for SymMatrix {
+    fn dim(&self) -> usize {
+        SymMatrix::dim(self)
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec(x, y);
+    }
+}
+
+/// Ground-state (smallest) eigenvalue by Lanczos with full
+/// reorthogonalization.
+///
+/// Memory is `O(dim · iterations)` — fine for the ≤ 20 000-dimensional
+/// sectors the oracles need. Stops when the Ritz value changes by less
+/// than `tol` between iterations, or at `max_iter`.
+pub fn lanczos_ground_energy(op: &dyn LinearOp, seed: u64, max_iter: usize, tol: f64) -> f64 {
+    let n = op.dim();
+    assert!(n > 0);
+    if n == 1 {
+        let mut y = vec![0.0];
+        op.apply(&[1.0], &mut y);
+        return y[0];
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+    normalize(&mut v);
+
+    let mut vs: Vec<Vec<f64>> = vec![v.clone()]; // Lanczos basis
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+    let mut w = vec![0.0; n];
+    let mut prev_ritz = f64::INFINITY;
+
+    for iter in 0..max_iter.min(n) {
+        op.apply(&vs[iter], &mut w);
+        let alpha = dot(&vs[iter], &w);
+        alphas.push(alpha);
+        // w ← w − α v_j − β v_{j−1}
+        for i in 0..n {
+            w[i] -= alpha * vs[iter][i];
+        }
+        if iter > 0 {
+            let beta_prev = betas[iter - 1];
+            for i in 0..n {
+                w[i] -= beta_prev * vs[iter - 1][i];
+            }
+        }
+        // Full reorthogonalization (twice is enough).
+        for _ in 0..2 {
+            for basis_vec in &vs {
+                let c = dot(basis_vec, &w);
+                for i in 0..n {
+                    w[i] -= c * basis_vec[i];
+                }
+            }
+        }
+        let beta = norm(&w);
+
+        // Ritz value from the current tridiagonal matrix.
+        let k = alphas.len();
+        let mut t = SymMatrix::zeros(k);
+        for i in 0..k {
+            t.set(i, i, alphas[i]);
+            if i + 1 < k {
+                t.set(i, i + 1, betas[i]);
+            }
+        }
+        let ritz = tridiag_eigen(&t, false).values[0];
+        if (ritz - prev_ritz).abs() < tol || beta < 1e-13 {
+            return ritz;
+        }
+        prev_ritz = ritz;
+
+        betas.push(beta);
+        let next: Vec<f64> = w.iter().map(|x| x / beta).collect();
+        vs.push(next);
+    }
+    prev_ritz
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn normalize(a: &mut [f64]) {
+    let nrm = norm(a);
+    assert!(nrm > 0.0, "cannot normalize zero vector");
+    for x in a {
+        *x /= nrm;
+    }
+}
+
+/// Matrix-free XXZ Hamiltonian on one magnetization sector, for Lanczos
+/// at sizes beyond dense reach (e.g. the 4×4 Heisenberg lattice, sector
+/// dimension 12 870).
+pub struct XxzSectorOp<'a, L: Lattice> {
+    lattice: &'a L,
+    params: XxzParams,
+    basis: Vec<u64>,
+    index: HashMap<u64, u32>,
+}
+
+impl<'a, L: Lattice> XxzSectorOp<'a, L> {
+    /// Build the operator for the sector with `n_up` up spins.
+    pub fn new(lattice: &'a L, params: XxzParams, n_up: usize) -> Self {
+        let basis = sector_basis(lattice.num_sites(), n_up);
+        let index = basis
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        Self {
+            lattice,
+            params,
+            basis,
+            index,
+        }
+    }
+
+    /// Sector dimension.
+    pub fn sector_dim(&self) -> usize {
+        self.basis.len()
+    }
+}
+
+impl<L: Lattice> LinearOp for XxzSectorOp<'_, L> {
+    fn dim(&self) -> usize {
+        self.basis.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let p = &self.params;
+        let n = self.lattice.num_sites() as f64;
+        for (row, &state) in self.basis.iter().enumerate() {
+            // Diagonal part.
+            let mut diag = 0.0;
+            for b in self.lattice.bonds() {
+                let sa = if state >> b.a & 1 == 1 { 0.5 } else { -0.5 };
+                let sb = if state >> b.b & 1 == 1 { 0.5 } else { -0.5 };
+                diag += p.jz * sa * sb;
+            }
+            let m = state.count_ones() as f64 - n / 2.0;
+            diag -= p.field * m;
+            let mut acc = diag * x[row];
+            // Off-diagonal spin flips.
+            for b in self.lattice.bonds() {
+                if (state >> b.a & 1) != (state >> b.b & 1) {
+                    let flipped = state ^ (1 << b.a) ^ (1 << b.b);
+                    let col = self.index[&flipped] as usize;
+                    acc += p.jx / 2.0 * x[col];
+                }
+            }
+            y[row] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xxz::{full_spectrum, sector_hamiltonian};
+    use qmc_lattice::{Chain, Square};
+
+    #[test]
+    fn lanczos_matches_dense_on_random_matrix() {
+        use qmc_rng::Xoshiro256StarStar;
+        let n = 60;
+        let mut rng = Xoshiro256StarStar::new(5);
+        let mut m = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                m.set(i, j, rng.next_f64() - 0.5);
+            }
+        }
+        let dense = tridiag_eigen(&m, false).values[0];
+        let lz = lanczos_ground_energy(&m, 99, 200, 1e-12);
+        assert!((dense - lz).abs() < 1e-9, "{dense} vs {lz}");
+    }
+
+    #[test]
+    fn sector_op_matches_dense_hamiltonian() {
+        let lat = Chain::new(8);
+        let p = XxzParams::heisenberg(1.0);
+        let op = XxzSectorOp::new(&lat, p, 4);
+        let basis = sector_basis(8, 4);
+        let dense = sector_hamiltonian(&lat, &p, &basis);
+        // Apply both to a few unit vectors and compare columns.
+        for col in [0usize, 7, 33, 69] {
+            let mut x = vec![0.0; op.dim()];
+            x[col] = 1.0;
+            let mut y1 = vec![0.0; op.dim()];
+            let mut y2 = vec![0.0; op.dim()];
+            op.apply(&x, &mut y1);
+            dense.matvec(&x, &mut y2);
+            for (a, b) in y1.iter().zip(&y2) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lanczos_heisenberg_chain_ground_state() {
+        let lat = Chain::new(10);
+        let p = XxzParams::heisenberg(1.0);
+        let op = XxzSectorOp::new(&lat, p, 5); // GS lives in Sz=0 sector
+        let e_lanczos = lanczos_ground_energy(&op, 7, 300, 1e-11);
+        let e_dense = full_spectrum(&lat, &p).ground_energy();
+        assert!(
+            (e_lanczos - e_dense).abs() < 1e-8,
+            "{e_lanczos} vs {e_dense}"
+        );
+    }
+
+    #[test]
+    fn four_by_four_heisenberg_reference_energy() {
+        // 4×4 Heisenberg PBC ground state: E0/N = −0.7017802 (exact
+        // diagonalization literature). Sector dimension 12 870.
+        let lat = Square::new(4, 4);
+        let p = XxzParams::heisenberg(1.0);
+        let op = XxzSectorOp::new(&lat, p, 8);
+        assert_eq!(op.sector_dim(), 12870);
+        let e0 = lanczos_ground_energy(&op, 11, 250, 1e-10);
+        assert!(
+            (e0 / 16.0 + 0.7017802).abs() < 1e-5,
+            "E0/N = {}",
+            e0 / 16.0
+        );
+    }
+
+    #[test]
+    fn one_dimensional_operator() {
+        let mut m = SymMatrix::zeros(1);
+        m.set(0, 0, 4.2);
+        assert_eq!(lanczos_ground_energy(&m, 0, 10, 1e-12), 4.2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Transverse-field Ising model, exact diagonalization in the full basis.
+//!
+//! `H = −J Σ_{⟨ij⟩} σᶻσᶻ − h Σ_i σˣ`  (Pauli matrices, eigenvalues ±1).
+//!
+//! The transverse field breaks magnetization conservation, so the full
+//! `2^N` basis is diagonalized; practical up to N ≈ 10–12 sites. For the
+//! observables the F4 experiment needs (`⟨|m|⟩`, `⟨σˣ⟩`) the eigenvectors
+//! are used directly.
+
+use crate::lanczos::LinearOp;
+use crate::matrix::{tridiag_eigen, SymMatrix};
+use crate::thermo::Spectrum;
+use qmc_lattice::Lattice;
+use qmc_stats::logsumexp;
+
+/// TFIM couplings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TfimParams {
+    /// Ferromagnetic Ising coupling (J > 0 favors alignment).
+    pub j: f64,
+    /// Transverse field strength.
+    pub h: f64,
+}
+
+/// Diagonal (Ising) energy of a σᶻ basis state (bit set = σᶻ = +1).
+fn ising_energy<L: Lattice>(lat: &L, j: f64, state: u64) -> f64 {
+    let mut e = 0.0;
+    for b in lat.bonds() {
+        let sa = if state >> b.a & 1 == 1 { 1.0 } else { -1.0 };
+        let sb = if state >> b.b & 1 == 1 { 1.0 } else { -1.0 };
+        e -= j * sa * sb;
+    }
+    e
+}
+
+/// Dense TFIM Hamiltonian in the full basis (`dim = 2^N`, N ≤ 20 hard
+/// limit; dense solves are practical to N ≈ 12).
+pub fn hamiltonian<L: Lattice>(lat: &L, p: &TfimParams) -> SymMatrix {
+    let n = lat.num_sites();
+    assert!(n <= 20, "full TFIM basis limited to 20 sites, got {n}");
+    let dim = 1usize << n;
+    let mut hmat = SymMatrix::zeros(dim);
+    for state in 0..dim as u64 {
+        hmat.set(state as usize, state as usize, ising_energy(lat, p.j, state));
+        for site in 0..n {
+            let flipped = (state ^ (1 << site)) as usize;
+            if flipped > state as usize {
+                hmat.add(state as usize, flipped, -p.h);
+            }
+        }
+    }
+    hmat
+}
+
+/// Full TFIM spectrum (magnetization not resolved — it is not conserved).
+pub fn full_spectrum<L: Lattice>(lat: &L, p: &TfimParams) -> Spectrum {
+    let h = hamiltonian(lat, p);
+    Spectrum::from_energies(tridiag_eigen(&h, false).values)
+}
+
+/// Exact thermal observables from the eigen-decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TfimThermal {
+    /// Total energy `⟨H⟩`.
+    pub energy: f64,
+    /// `⟨|m|⟩` with `m = (1/N) Σ σᶻ` (order parameter of the FM phase).
+    pub abs_magnetization: f64,
+    /// `⟨σˣ⟩` averaged over sites.
+    pub sx: f64,
+}
+
+/// Compute [`TfimThermal`] at inverse temperature `beta`.
+pub fn thermal<L: Lattice>(lat: &L, p: &TfimParams, beta: f64) -> TfimThermal {
+    let n = lat.num_sites();
+    let dim = 1usize << n;
+    let hmat = hamiltonian(lat, p);
+    let eig = tridiag_eigen(&hmat, true);
+    let z = eig.vectors.as_ref().expect("vectors requested");
+
+    // Boltzmann weights, stably.
+    let logw: Vec<f64> = eig.values.iter().map(|&e| -beta * e).collect();
+    let lz = logsumexp(&logw);
+    let w: Vec<f64> = logw.iter().map(|&lw| (lw - lz).exp()).collect();
+
+    // |m| per basis state (diagonal in σᶻ).
+    let absm: Vec<f64> = (0..dim as u64)
+        .map(|s| {
+            let up = s.count_ones() as f64;
+            ((2.0 * up - n as f64) / n as f64).abs()
+        })
+        .collect();
+
+    let mut energy = 0.0;
+    let mut abs_mag = 0.0;
+    let mut sx = 0.0;
+    for k in 0..dim {
+        if w[k] < 1e-300 {
+            continue;
+        }
+        energy += w[k] * eig.values[k];
+        // ⟨k| |m| |k⟩ = Σ_s |m(s)| z[s][k]²
+        let mut mk = 0.0;
+        for s in 0..dim {
+            let amp = z[s * dim + k];
+            mk += absm[s] * amp * amp;
+        }
+        abs_mag += w[k] * mk;
+        // ⟨k| σˣ_i |k⟩ summed over sites: σˣ flips one bit.
+        let mut sxk = 0.0;
+        for s in 0..dim {
+            let amp = z[s * dim + k];
+            if amp == 0.0 {
+                continue;
+            }
+            for site in 0..n {
+                let flipped = s ^ (1 << site);
+                sxk += amp * z[flipped * dim + k];
+            }
+        }
+        sx += w[k] * sxk / n as f64;
+    }
+
+    TfimThermal {
+        energy,
+        abs_magnetization: abs_mag,
+        sx,
+    }
+}
+
+/// Matrix-free TFIM Hamiltonian for Lanczos at sizes beyond dense reach.
+pub struct TfimOp<'a, L: Lattice> {
+    lattice: &'a L,
+    params: TfimParams,
+    diag: Vec<f64>,
+}
+
+impl<'a, L: Lattice> TfimOp<'a, L> {
+    /// Build the operator (precomputes the diagonal; `2^N` f64s).
+    pub fn new(lattice: &'a L, params: TfimParams) -> Self {
+        let n = lattice.num_sites();
+        assert!(n <= 26, "TFIM Lanczos limited to 26 sites");
+        let diag = (0..1u64 << n)
+            .map(|s| ising_energy(lattice, params.j, s))
+            .collect();
+        Self {
+            lattice,
+            params,
+            diag,
+        }
+    }
+}
+
+impl<L: Lattice> LinearOp for TfimOp<'_, L> {
+    fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.lattice.num_sites();
+        for (s, out) in y.iter_mut().enumerate() {
+            let mut acc = self.diag[s] * x[s];
+            for site in 0..n {
+                acc -= self.params.h * x[s ^ (1 << site)];
+            }
+            *out = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanczos::lanczos_ground_energy;
+    use qmc_lattice::Chain;
+
+    #[test]
+    fn two_site_exact_spectrum() {
+        // Two sites, one bond: eigenvalues ±J, ±√(J²+4h²).
+        let lat = Chain::new(2);
+        let (j, h) = (1.0, 0.7);
+        let s = full_spectrum(&lat, &TfimParams { j, h });
+        let gap = (j * j + 4.0 * h * h).sqrt();
+        let mut expect = vec![-gap, -j, j, gap];
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in s.levels.iter().map(|l| l.energy).zip(expect) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_field_matches_classical_ising() {
+        let lat = Chain::new(4);
+        let s = full_spectrum(&lat, &TfimParams { j: 1.0, h: 0.0 });
+        // Classical 4-ring ferromagnet: E ∈ {−4, 0, +4} with known
+        // degeneracies 2, 12, 2.
+        let count = |e: f64| {
+            s.levels
+                .iter()
+                .filter(|l| (l.energy - e).abs() < 1e-9)
+                .count()
+        };
+        assert_eq!(count(-4.0), 2);
+        assert_eq!(count(0.0), 12);
+        assert_eq!(count(4.0), 2);
+    }
+
+    #[test]
+    fn zero_coupling_free_spins() {
+        // J=0: N independent spins in a transverse field; GS = −hN and
+        // ⟨σˣ⟩ = tanh(βh).
+        let lat = Chain::new(4);
+        let p = TfimParams { j: 0.0, h: 0.9 };
+        let s = full_spectrum(&lat, &p);
+        assert!((s.ground_energy() + 0.9 * 4.0).abs() < 1e-10);
+        let beta = 1.3;
+        let t = thermal(&lat, &p, beta);
+        assert!(
+            (t.sx - (beta * 0.9).tanh()).abs() < 1e-8,
+            "sx {} vs {}",
+            t.sx,
+            (beta * 0.9).tanh()
+        );
+    }
+
+    #[test]
+    fn low_temperature_ferromagnet_orders() {
+        let lat = Chain::new(6);
+        let t = thermal(&lat, &TfimParams { j: 1.0, h: 0.1 }, 20.0);
+        assert!(t.abs_magnetization > 0.9, "m = {}", t.abs_magnetization);
+    }
+
+    #[test]
+    fn strong_field_paramagnet_disorders() {
+        let lat = Chain::new(6);
+        let t = thermal(&lat, &TfimParams { j: 1.0, h: 4.0 }, 20.0);
+        // Paramagnet: ⟨|m|⟩ is O(1/√N) ≈ 0.41 at L = 6, far below the
+        // ordered value ≈ 1.
+        assert!(t.abs_magnetization < 0.45, "m = {}", t.abs_magnetization);
+        assert!(t.sx > 0.9, "sx = {}", t.sx);
+    }
+
+    #[test]
+    fn thermal_energy_matches_spectrum_average() {
+        let lat = Chain::new(4);
+        let p = TfimParams { j: 1.0, h: 0.8 };
+        let beta = 0.9;
+        let t = thermal(&lat, &p, beta);
+        let s = full_spectrum(&lat, &p);
+        assert!((t.energy - s.energy(beta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lanczos_op_matches_dense_ground_state() {
+        let lat = Chain::new(8);
+        let p = TfimParams { j: 1.0, h: 0.9 };
+        let dense = full_spectrum(&lat, &p).ground_energy();
+        let op = TfimOp::new(&lat, p);
+        let lz = lanczos_ground_energy(&op, 3, 300, 1e-11);
+        assert!((dense - lz).abs() < 1e-8, "{dense} vs {lz}");
+    }
+
+    #[test]
+    fn spectrum_symmetric_under_field_sign() {
+        // σˣ → −σˣ is a unitary (rotate about z): spectra must match.
+        let lat = Chain::new(4);
+        let sp = full_spectrum(&lat, &TfimParams { j: 1.0, h: 0.6 });
+        let sm = full_spectrum(&lat, &TfimParams { j: 1.0, h: -0.6 });
+        for (a, b) in sp.levels.iter().zip(&sm.levels) {
+            assert!((a.energy - b.energy).abs() < 1e-9);
+        }
+    }
+}

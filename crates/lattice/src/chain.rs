@@ -1,0 +1,155 @@
+//! Periodic spin chain.
+
+use crate::{Bond, Lattice};
+
+/// A one-dimensional periodic chain of `len` sites.
+///
+/// `len` must be even (≥ 2) so the even/odd bond coloring closes around
+/// the periodic boundary and the lattice stays bipartite.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    len: usize,
+    bonds: Vec<Bond>,
+    /// Offsets of each color in `bonds`: color c occupies
+    /// `bonds[offsets[c]..offsets[c+1]]`.
+    offsets: [usize; 3],
+}
+
+impl Chain {
+    /// Build a periodic chain of `len` sites (even, ≥ 2).
+    pub fn new(len: usize) -> Self {
+        assert!(len >= 2 && len.is_multiple_of(2), "chain length must be even ≥ 2, got {len}");
+        let mut bonds = Vec::with_capacity(len);
+        // color 0: bonds (0,1), (2,3), … ; color 1: (1,2), (3,4), …, (len-1,0)
+        for color in 0..2u8 {
+            for i in (color as usize..len).step_by(2) {
+                // L = 2 is a special case: only one distinct bond exists;
+                // keep both "directions" out of the bond list exactly once.
+                let j = (i + 1) % len;
+                if len == 2 && color == 1 {
+                    continue;
+                }
+                bonds.push(Bond {
+                    a: i as u32,
+                    b: j as u32,
+                    color,
+                });
+            }
+        }
+        let n0 = bonds.iter().filter(|b| b.color == 0).count();
+        let offsets = [0, n0, bonds.len()];
+        Self { len, bonds, offsets }
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for the (disallowed) zero-length chain; present for clippy
+    /// convention completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Right neighbour with periodic wrap.
+    pub fn right(&self, i: usize) -> usize {
+        (i + 1) % self.len
+    }
+
+    /// Left neighbour with periodic wrap.
+    pub fn left(&self, i: usize) -> usize {
+        (i + self.len - 1) % self.len
+    }
+}
+
+impl Lattice for Chain {
+    fn num_sites(&self) -> usize {
+        self.len
+    }
+
+    fn bonds(&self) -> &[Bond] {
+        &self.bonds
+    }
+
+    fn num_colors(&self) -> usize {
+        2
+    }
+
+    fn bonds_of_color(&self, color: u8) -> &[Bond] {
+        let c = color as usize;
+        &self.bonds[self.offsets[c]..self.offsets[c + 1]]
+    }
+
+    fn sublattice(&self, site: usize) -> u8 {
+        (site % 2) as u8
+    }
+
+    fn coordination(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bond_count_periodic() {
+        // periodic chain of L ≥ 4 has L bonds
+        assert_eq!(Chain::new(4).bonds().len(), 4);
+        assert_eq!(Chain::new(10).bonds().len(), 10);
+    }
+
+    #[test]
+    fn two_site_chain_single_bond() {
+        let c = Chain::new(2);
+        assert_eq!(c.bonds().len(), 1);
+        assert_eq!(c.bonds()[0], Bond { a: 0, b: 1, color: 0 });
+    }
+
+    #[test]
+    fn colors_alternate() {
+        let c = Chain::new(8);
+        for b in c.bonds_of_color(0) {
+            assert_eq!(b.a % 2, 0);
+        }
+        for b in c.bonds_of_color(1) {
+            assert_eq!(b.a % 2, 1);
+        }
+    }
+
+    #[test]
+    fn wraparound_bond_present() {
+        let c = Chain::new(6);
+        assert!(c
+            .bonds()
+            .iter()
+            .any(|b| (b.a, b.b) == (5, 0)), "missing periodic bond");
+    }
+
+    #[test]
+    fn neighbours_wrap() {
+        let c = Chain::new(6);
+        assert_eq!(c.right(5), 0);
+        assert_eq!(c.left(0), 5);
+        assert_eq!(c.right(2), 3);
+    }
+
+    #[test]
+    fn every_site_has_coordination_bonds() {
+        let c = Chain::new(8);
+        let mut deg = [0usize; 8];
+        for b in c.bonds() {
+            deg[b.a as usize] += 1;
+            deg[b.b as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d == c.coordination()));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_length() {
+        Chain::new(5);
+    }
+}

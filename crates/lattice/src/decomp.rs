@@ -1,0 +1,379 @@
+//! Block domain decomposition onto a periodic 2-D processor grid.
+//!
+//! This is the layout the SC'93-class mesh multicomputers used: the global
+//! `lx × ly` lattice is cut into `px × py` rectangular blocks, one per
+//! processor. Each processor stores its block plus a one-cell ghost (halo)
+//! frame; after each half-sweep, edge cells are exchanged with the four
+//! mesh neighbours.
+
+/// Cardinal directions on the processor mesh (periodic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// +x neighbour.
+    East,
+    /// −x neighbour.
+    West,
+    /// +y neighbour.
+    North,
+    /// −y neighbour.
+    South,
+}
+
+impl Dir {
+    /// All four directions.
+    pub const ALL: [Dir; 4] = [Dir::East, Dir::West, Dir::North, Dir::South];
+
+    /// The direction a message sent this way arrives *from*.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+        }
+    }
+}
+
+/// A periodic `px × py` processor grid with row-major rank numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcGrid {
+    px: usize,
+    py: usize,
+}
+
+impl ProcGrid {
+    /// Create a grid; both extents must be ≥ 1.
+    pub fn new(px: usize, py: usize) -> Self {
+        assert!(px >= 1 && py >= 1, "degenerate processor grid {px}×{py}");
+        Self { px, py }
+    }
+
+    /// Choose the most nearly square `px × py = p` factorization —
+    /// minimizes halo surface, the standard default for mesh machines.
+    pub fn nearly_square(p: usize) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        let mut best = (1, p);
+        let mut px = 1;
+        while px * px <= p {
+            if p.is_multiple_of(px) {
+                best = (px, p / px);
+            }
+            px += 1;
+        }
+        // Prefer wider-than-tall for row-major locality (purely a
+        // convention; transpose is equivalent).
+        Self::new(best.1, best.0)
+    }
+
+    /// Grid width.
+    pub fn px(&self) -> usize {
+        self.px
+    }
+
+    /// Grid height.
+    pub fn py(&self) -> usize {
+        self.py
+    }
+
+    /// Total processors.
+    pub fn size(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Grid coordinates of a rank.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.size(), "rank {rank} out of grid");
+        (rank % self.px, rank / self.px)
+    }
+
+    /// Rank at grid coordinates (periodic wrap applied).
+    pub fn rank_of(&self, cx: isize, cy: isize) -> usize {
+        let x = cx.rem_euclid(self.px as isize) as usize;
+        let y = cy.rem_euclid(self.py as isize) as usize;
+        y * self.px + x
+    }
+
+    /// The mesh neighbour of `rank` in direction `dir` (periodic).
+    pub fn neighbor(&self, rank: usize, dir: Dir) -> usize {
+        let (cx, cy) = self.coords_of(rank);
+        let (cx, cy) = (cx as isize, cy as isize);
+        match dir {
+            Dir::East => self.rank_of(cx + 1, cy),
+            Dir::West => self.rank_of(cx - 1, cy),
+            Dir::North => self.rank_of(cx, cy + 1),
+            Dir::South => self.rank_of(cx, cy - 1),
+        }
+    }
+
+    /// Manhattan hop distance between two ranks on the (periodic) mesh —
+    /// the quantity the network cost model charges per message.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords_of(a);
+        let (bx, by) = self.coords_of(b);
+        let dx = ax.abs_diff(bx).min(self.px - ax.abs_diff(bx));
+        let dy = ay.abs_diff(by).min(self.py - ay.abs_diff(by));
+        dx + dy
+    }
+}
+
+/// One processor's rectangular block of the global lattice.
+///
+/// Local storage convention: the owning engine allocates a
+/// `(w+2) × (h+2)` array; interior cell `(ix, iy)` (0-based, `ix < w`)
+/// lives at local index `(iy+1)·(w+2) + (ix+1)`, and the frame holds
+/// ghosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subdomain {
+    /// Global x of the block's first column.
+    pub x0: usize,
+    /// Global y of the block's first row.
+    pub y0: usize,
+    /// Block width.
+    pub w: usize,
+    /// Block height.
+    pub h: usize,
+}
+
+impl Subdomain {
+    /// Local array extent including the ghost frame.
+    pub fn padded_len(&self) -> usize {
+        (self.w + 2) * (self.h + 2)
+    }
+
+    /// Local index of interior cell `(ix, iy)`; ghost cells are reached
+    /// with `ix = -1 | w` or `iy = -1 | h`.
+    pub fn local(&self, ix: isize, iy: isize) -> usize {
+        debug_assert!(ix >= -1 && ix <= self.w as isize);
+        debug_assert!(iy >= -1 && iy <= self.h as isize);
+        ((iy + 1) as usize) * (self.w + 2) + (ix + 1) as usize
+    }
+
+    /// Global coordinates of interior cell `(ix, iy)` given global lattice
+    /// extents (periodic).
+    pub fn global(&self, ix: usize, iy: usize, lx: usize, ly: usize) -> (usize, usize) {
+        ((self.x0 + ix) % lx, (self.y0 + iy) % ly)
+    }
+
+    /// Local indices of the interior edge strip that must be *sent*
+    /// toward `dir`.
+    pub fn send_strip(&self, dir: Dir) -> Vec<usize> {
+        match dir {
+            Dir::East => (0..self.h).map(|iy| self.local(self.w as isize - 1, iy as isize)).collect(),
+            Dir::West => (0..self.h).map(|iy| self.local(0, iy as isize)).collect(),
+            Dir::North => (0..self.w).map(|ix| self.local(ix as isize, self.h as isize - 1)).collect(),
+            Dir::South => (0..self.w).map(|ix| self.local(ix as isize, 0)).collect(),
+        }
+    }
+
+    /// Local indices of the ghost strip that *receives* data arriving from
+    /// `dir`.
+    pub fn recv_strip(&self, dir: Dir) -> Vec<usize> {
+        match dir {
+            Dir::East => (0..self.h).map(|iy| self.local(self.w as isize, iy as isize)).collect(),
+            Dir::West => (0..self.h).map(|iy| self.local(-1, iy as isize)).collect(),
+            Dir::North => (0..self.w).map(|ix| self.local(ix as isize, self.h as isize)).collect(),
+            Dir::South => (0..self.w).map(|ix| self.local(ix as isize, -1)).collect(),
+        }
+    }
+}
+
+/// A full decomposition of an `lx × ly` lattice over a [`ProcGrid`].
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    lx: usize,
+    ly: usize,
+    grid: ProcGrid,
+    subs: Vec<Subdomain>,
+}
+
+/// Split `n` cells into `parts` contiguous chunks whose sizes differ by at
+/// most one (larger chunks first).
+fn split(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+impl Decomposition {
+    /// Decompose an `lx × ly` lattice over `grid`. Every processor must
+    /// receive at least one column and one row.
+    pub fn new(lx: usize, ly: usize, grid: ProcGrid) -> Self {
+        assert!(
+            grid.px() <= lx && grid.py() <= ly,
+            "grid {}×{} larger than lattice {lx}×{ly}",
+            grid.px(),
+            grid.py()
+        );
+        let xs = split(lx, grid.px());
+        let ys = split(ly, grid.py());
+        let mut subs = Vec::with_capacity(grid.size());
+        for &(y0, h) in &ys {
+            for &(x0, w) in &xs {
+                subs.push(Subdomain { x0, y0, w, h });
+            }
+        }
+        Self { lx, ly, grid, subs }
+    }
+
+    /// Global lattice width.
+    pub fn lx(&self) -> usize {
+        self.lx
+    }
+
+    /// Global lattice height.
+    pub fn ly(&self) -> usize {
+        self.ly
+    }
+
+    /// The processor grid.
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// The block owned by `rank`.
+    pub fn subdomain(&self, rank: usize) -> Subdomain {
+        self.subs[rank]
+    }
+
+    /// The rank owning global cell `(x, y)`.
+    pub fn owner_of(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.lx && y < self.ly, "cell ({x},{y}) outside lattice");
+        self.subs
+            .iter()
+            .position(|s| x >= s.x0 && x < s.x0 + s.w && y >= s.y0 && y < s.y0 + s.h)
+            .expect("decomposition must cover the lattice")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nearly_square_factorizations() {
+        assert_eq!(ProcGrid::nearly_square(1), ProcGrid::new(1, 1));
+        assert_eq!(ProcGrid::nearly_square(4), ProcGrid::new(2, 2));
+        assert_eq!(ProcGrid::nearly_square(12), ProcGrid::new(4, 3));
+        assert_eq!(ProcGrid::nearly_square(7), ProcGrid::new(7, 1));
+        assert_eq!(ProcGrid::nearly_square(1024), ProcGrid::new(32, 32));
+    }
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let g = ProcGrid::new(4, 3);
+        for r in 0..g.size() {
+            let (cx, cy) = g.coords_of(r);
+            assert_eq!(g.rank_of(cx as isize, cy as isize), r);
+        }
+    }
+
+    #[test]
+    fn neighbor_relations_are_inverse() {
+        let g = ProcGrid::new(4, 4);
+        for r in 0..g.size() {
+            for d in Dir::ALL {
+                assert_eq!(g.neighbor(g.neighbor(r, d), d.opposite()), r);
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_wrap_on_edges() {
+        let g = ProcGrid::new(3, 2);
+        assert_eq!(g.neighbor(2, Dir::East), 0); // row 0 wraps
+        assert_eq!(g.neighbor(0, Dir::West), 2);
+        assert_eq!(g.neighbor(0, Dir::South), 3); // column wraps
+    }
+
+    #[test]
+    fn hops_metric() {
+        let g = ProcGrid::new(4, 4);
+        assert_eq!(g.hops(0, 0), 0);
+        assert_eq!(g.hops(0, 1), 1);
+        assert_eq!(g.hops(0, 3), 1); // periodic shortcut
+        assert_eq!(g.hops(0, 5), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn decomposition_exactly_covers_lattice(
+            lx in 4usize..40,
+            ly in 4usize..40,
+            px in 1usize..5,
+            py in 1usize..5,
+        ) {
+            prop_assume!(px <= lx && py <= ly);
+            let d = Decomposition::new(lx, ly, ProcGrid::new(px, py));
+            let mut covered = vec![false; lx * ly];
+            for r in 0..px * py {
+                let s = d.subdomain(r);
+                for iy in 0..s.h {
+                    for ix in 0..s.w {
+                        let (gx, gy) = s.global(ix, iy, lx, ly);
+                        let idx = gy * lx + gx;
+                        prop_assert!(!covered[idx], "cell covered twice");
+                        covered[idx] = true;
+                        prop_assert_eq!(d.owner_of(gx, gy), r);
+                    }
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c), "cell uncovered");
+        }
+
+        #[test]
+        fn strips_have_correct_length(
+            w in 1usize..10,
+            h in 1usize..10,
+        ) {
+            let s = Subdomain { x0: 0, y0: 0, w, h };
+            prop_assert_eq!(s.send_strip(Dir::East).len(), h);
+            prop_assert_eq!(s.send_strip(Dir::West).len(), h);
+            prop_assert_eq!(s.send_strip(Dir::North).len(), w);
+            prop_assert_eq!(s.send_strip(Dir::South).len(), w);
+            prop_assert_eq!(s.recv_strip(Dir::East).len(), h);
+            prop_assert_eq!(s.recv_strip(Dir::North).len(), w);
+        }
+    }
+
+    #[test]
+    fn local_indexing_layout() {
+        let s = Subdomain { x0: 0, y0: 0, w: 3, h: 2 };
+        assert_eq!(s.padded_len(), 5 * 4);
+        assert_eq!(s.local(0, 0), 6); // row 1, col 1 of a 5-wide array
+        assert_eq!(s.local(-1, -1), 0); // corner ghost
+        assert_eq!(s.local(3, 2), 19); // far corner ghost
+    }
+
+    #[test]
+    fn send_and_recv_strips_disjoint() {
+        let s = Subdomain { x0: 0, y0: 0, w: 4, h: 4 };
+        for d in Dir::ALL {
+            let send = s.send_strip(d);
+            let recv = s.recv_strip(d);
+            assert!(send.iter().all(|i| !recv.contains(i)));
+        }
+    }
+
+    #[test]
+    fn uneven_split_sizes_differ_by_at_most_one() {
+        let d = Decomposition::new(10, 7, ProcGrid::new(3, 2));
+        let widths: Vec<usize> = (0..6).map(|r| d.subdomain(r).w).collect();
+        let heights: Vec<usize> = (0..6).map(|r| d.subdomain(r).h).collect();
+        assert!(widths.iter().max().unwrap() - widths.iter().min().unwrap() <= 1);
+        assert!(heights.iter().max().unwrap() - heights.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than lattice")]
+    fn rejects_grid_larger_than_lattice() {
+        Decomposition::new(2, 2, ProcGrid::new(3, 1));
+    }
+}

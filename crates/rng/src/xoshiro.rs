@@ -1,0 +1,131 @@
+//! xoshiro256** — Blackman & Vigna's general-purpose generator.
+
+use crate::{Rng64, SplitMix64};
+
+/// xoshiro256** generator (period 2^256 − 1) with a 2^128-step jump for
+/// stream separation.
+///
+/// This is the workspace's default high-quality generator: fast, passes
+/// BigCrush, and `jump()` partitions the period into 2^128 non-overlapping
+/// sub-sequences — one per parallel rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Create a generator, expanding the 64-bit seed through SplitMix64 as
+    /// recommended by the authors (the all-zero state is unreachable).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+
+    /// Jump forward by 2^128 steps (the published jump polynomial).
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180EC6D33CFD0ABA,
+            0xD5A61266F0C9392C,
+            0xA9582618E03FC9AA,
+            0x39ABDC4529B1661C,
+        ];
+        let mut t = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if (j & (1u64 << b)) != 0 {
+                    t[0] ^= self.s[0];
+                    t[1] ^= self.s[1];
+                    t[2] ^= self.s[2];
+                    t[3] ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = t;
+    }
+
+    /// Stream for `rank`: seed, then `rank` jumps of 2^128 steps each.
+    pub fn block_stream(seed: u64, rank: usize) -> Self {
+        let mut g = Self::new(seed);
+        for _ in 0..rank {
+            g.jump();
+        }
+        g
+    }
+}
+
+impl Rng64 for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_from_known_state() {
+        // With state {1,2,3,4}: hand-computed against the published
+        // algorithm (output_n = rotl(s1·5, 7)·9 evaluated *before* the
+        // state transition).
+        //   out1: s1=2 → rotl(10,7)=1280 → 11520
+        //   out2: after one transition s1=0 → 0
+        //   out3: s1=262149 → rotl(1310745,7)·9 = 1509978240
+        let mut g = Xoshiro256StarStar { s: [1, 2, 3, 4] };
+        assert_eq!(g.next_u64(), 11520);
+        assert_eq!(g.next_u64(), 0);
+        assert_eq!(g.next_u64(), 1509978240);
+    }
+
+    #[test]
+    fn jump_changes_state_and_decorrelates() {
+        let mut a = Xoshiro256StarStar::new(42);
+        let mut b = a;
+        b.jump();
+        assert_ne!(a, b);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert!(va.iter().zip(&vb).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn block_streams_distinct() {
+        let g0 = Xoshiro256StarStar::block_stream(7, 0);
+        let g1 = Xoshiro256StarStar::block_stream(7, 1);
+        let g2 = Xoshiro256StarStar::block_stream(7, 2);
+        assert_ne!(g0, g1);
+        assert_ne!(g1, g2);
+        assert_ne!(g0, g2);
+    }
+
+    #[test]
+    fn jump_is_deterministic() {
+        let mut a = Xoshiro256StarStar::new(1);
+        let mut b = Xoshiro256StarStar::new(1);
+        a.jump();
+        b.jump();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nonzero_state_from_any_seed() {
+        for seed in [0u64, 1, u64::MAX] {
+            let g = Xoshiro256StarStar::new(seed);
+            assert_ne!(g.s, [0, 0, 0, 0]);
+        }
+    }
+}

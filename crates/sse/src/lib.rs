@@ -1,0 +1,702 @@
+//! Stochastic series expansion (SSE) QMC for the spin-1/2 Heisenberg
+//! antiferromagnet with deterministic operator-loop updates.
+//!
+//! SSE samples the Taylor expansion of the partition function,
+//!
+//! `Z = Σ_α Σ_{S_M} β^n (M−n)!/M! ⟨α| Π_p H_{a_p, b_p} |α⟩`,
+//!
+//! over fixed-length operator strings — no Trotter discretization, so SSE
+//! is the *exact-β* cross-check for the world-line engine (experiment T5)
+//! and the workhorse for the 2-D Heisenberg physics (experiment F5).
+//!
+//! The bond Hamiltonian is split the standard way (Sandvik):
+//!
+//! * diagonal: `H_1,b = J(¼ − Sᶻᵢ Sᶻⱼ)` — weight `J/2` on anti-parallel
+//!   bonds, `0` on parallel ones,
+//! * off-diagonal: `H_2,b = (J/2)(S⁺ᵢS⁻ⱼ + S⁻ᵢS⁺ⱼ)` — weight `J/2`.
+//!
+//! Because every non-zero vertex has weight `J/2`, the operator-loop
+//! update is **deterministic and rejection-free**: a loop entering a
+//! vertex leg always exits at the same-side partner leg (the only
+//! Sᶻ-conserving, non-zero-weight choice), toggling
+//! diagonal ↔ off-diagonal as it passes. Each loop is flipped with
+//! probability ½. This is what makes SSE dramatically more ergodic than
+//! local world-line moves (it changes winding and magnetization sectors
+//! freely).
+//!
+//! Estimators: `⟨H⟩ = −⟨n⟩/β + N_b J/4`,
+//! `C = ⟨n²⟩ − ⟨n⟩² − ⟨n⟩`, uniform χ from the conserved magnetization,
+//! and the staggered structure factor from `|α⟩`.
+//!
+//! ```
+//! use qmc_lattice::Square;
+//! use qmc_rng::Xoshiro256StarStar;
+//!
+//! let lat = Square::new(4, 4);
+//! let mut rng = Xoshiro256StarStar::new(3);
+//! let mut sse = qmc_sse::Sse::new(&lat, 1.0, 2.0, &mut rng);
+//! let series = sse.run(&mut rng, 500, 2_000);
+//! let e: f64 = series.energy_samples().iter().sum::<f64>() / 2_000.0;
+//! assert!(e < -0.3 && e > -0.75, "2-D Heisenberg energy bounds: {e}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qmc_lattice::Lattice;
+use qmc_rng::Rng64;
+
+/// Encoded operator: `-1` = identity, else `2·bond + (0 diag | 1 offdiag)`.
+type Op = i64;
+
+const IDENTITY: Op = -1;
+
+/// SSE engine for the isotropic Heisenberg antiferromagnet (`J > 0`).
+#[derive(Debug, Clone)]
+pub struct Sse {
+    n_sites: usize,
+    bonds: Vec<(u32, u32)>,
+    sublattice: Vec<u8>,
+    j: f64,
+    beta: f64,
+    /// Current basis state |α⟩ (`true` = ↑).
+    state: Vec<bool>,
+    /// Operator string of length `cutoff`.
+    ops: Vec<Op>,
+    /// Non-identity operator count.
+    n_ops: usize,
+    // Scratch for link building / loop traversal.
+    links: Vec<i64>,
+    vfirst: Vec<i64>,
+    vlast: Vec<i64>,
+    flipped: Vec<bool>,
+    visited: Vec<bool>,
+}
+
+/// Per-sweep measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SseMeasurement {
+    /// Operator count `n` (energy estimator).
+    pub n_ops: f64,
+    /// Total magnetization `Σ Sᶻ`.
+    pub magnetization: f64,
+    /// Staggered magnetization `Σ (−1)^{sublattice} Sᶻ`.
+    pub staggered: f64,
+}
+
+/// Time series plus derived estimators.
+#[derive(Debug, Clone)]
+pub struct SseSeries {
+    /// β the run used.
+    pub beta: f64,
+    /// J.
+    pub j: f64,
+    /// Site count.
+    pub n_sites: usize,
+    /// Bond count.
+    pub n_bonds: usize,
+    /// Operator counts.
+    pub n_ops: Vec<f64>,
+    /// Magnetizations.
+    pub magnetization: Vec<f64>,
+    /// Staggered magnetizations.
+    pub staggered: Vec<f64>,
+    /// Accumulated chain correlation sums `⟨Sᶻ_0 Sᶻ_r⟩` (chains only;
+    /// empty for 2-D lattices), r ∈ 0..=N/2.
+    corr_sum: Vec<f64>,
+    corr_count: u64,
+}
+
+impl SseSeries {
+    /// Energy-per-site samples: `E/N = −n/(βN) + N_b J/(4N)`.
+    pub fn energy_samples(&self) -> Vec<f64> {
+        let shift = self.n_bonds as f64 * self.j / 4.0;
+        self.n_ops
+            .iter()
+            .map(|&n| (-n / self.beta + shift) / self.n_sites as f64)
+            .collect()
+    }
+
+    /// Specific heat per site via `C = (⟨n²⟩ − ⟨n⟩² − ⟨n⟩)/N` with a
+    /// jackknife error.
+    pub fn specific_heat(&self) -> (f64, f64) {
+        let n2: Vec<f64> = self.n_ops.iter().map(|n| n * n).collect();
+        let nn = self.n_sites as f64;
+        let est = qmc_stats::jackknife_pair(
+            &n2,
+            &self.n_ops,
+            32.min(self.n_ops.len() / 2).max(2),
+            |a, b| (a - b * b - b) / nn,
+        );
+        (est.value, est.error)
+    }
+
+    /// Uniform susceptibility per site `χ = β(⟨M²⟩ − ⟨M⟩²)/N` with a
+    /// jackknife error.
+    pub fn susceptibility(&self) -> (f64, f64) {
+        let m2: Vec<f64> = self.magnetization.iter().map(|m| m * m).collect();
+        let beta = self.beta;
+        let nn = self.n_sites as f64;
+        let est = qmc_stats::jackknife_pair(
+            &m2,
+            &self.magnetization,
+            32.min(self.magnetization.len() / 2).max(2),
+            |a, b| beta * (a - b * b) / nn,
+        );
+        (est.value, est.error)
+    }
+
+    /// Mean chain correlation function `C(r)` (empty unless recorded).
+    pub fn correlations(&self) -> Vec<f64> {
+        if self.corr_count == 0 {
+            return Vec::new();
+        }
+        self.corr_sum
+            .iter()
+            .map(|s| s / self.corr_count as f64)
+            .collect()
+    }
+
+    /// Staggered structure factor per site `S(π)/N = ⟨m_s²⟩/N`.
+    pub fn staggered_structure_factor(&self) -> f64 {
+        let s2: f64 = self.staggered.iter().map(|s| s * s).sum::<f64>()
+            / self.staggered.len().max(1) as f64;
+        s2 / self.n_sites as f64
+    }
+}
+
+impl Sse {
+    /// Create an engine for the Heisenberg AFM on `lattice` at inverse
+    /// temperature `beta` with coupling `j > 0`.
+    pub fn new<L: Lattice, R: Rng64>(lattice: &L, j: f64, beta: f64, rng: &mut R) -> Self {
+        assert!(j > 0.0, "SSE engine requires an antiferromagnetic J > 0");
+        assert!(beta > 0.0, "β must be positive");
+        let n_sites = lattice.num_sites();
+        let bonds: Vec<(u32, u32)> = lattice.bonds().iter().map(|b| (b.a, b.b)).collect();
+        let sublattice = (0..n_sites).map(|s| lattice.sublattice(s)).collect();
+        // Random initial state (any works; loops equilibrate it fast).
+        let state = (0..n_sites).map(|_| rng.bernoulli(0.5)).collect();
+        let cutoff = 20.max(n_sites);
+        Self {
+            n_sites,
+            bonds,
+            sublattice,
+            j,
+            beta,
+            state,
+            ops: vec![IDENTITY; cutoff],
+            n_ops: 0,
+            links: Vec::new(),
+            vfirst: Vec::new(),
+            vlast: Vec::new(),
+            flipped: Vec::new(),
+            visited: Vec::new(),
+        }
+    }
+
+    /// Current string cutoff `M`.
+    pub fn cutoff(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Current operator count `n`.
+    pub fn n_ops(&self) -> usize {
+        self.n_ops
+    }
+
+    /// Diagonal update: insert/remove diagonal operators at fixed state
+    /// propagation, flipping through off-diagonal vertices.
+    fn diagonal_update<R: Rng64>(&mut self, rng: &mut R) {
+        let m = self.ops.len();
+        let nb = self.bonds.len() as f64;
+        let half_j = self.j / 2.0;
+        for p in 0..m {
+            match self.ops[p] {
+                IDENTITY => {
+                    let b = rng.index(self.bonds.len());
+                    let (i, jj) = self.bonds[b];
+                    if self.state[i as usize] != self.state[jj as usize] {
+                        let prob = self.beta * nb * half_j / (m - self.n_ops) as f64;
+                        if rng.metropolis(prob) {
+                            self.ops[p] = 2 * b as Op;
+                            self.n_ops += 1;
+                        }
+                    }
+                }
+                op if op % 2 == 0 => {
+                    let prob = (m - self.n_ops + 1) as f64 / (self.beta * nb * half_j);
+                    if rng.metropolis(prob) {
+                        self.ops[p] = IDENTITY;
+                        self.n_ops -= 1;
+                    }
+                }
+                op => {
+                    // Off-diagonal: propagate the state.
+                    let b = (op / 2) as usize;
+                    let (i, jj) = self.bonds[b];
+                    self.state[i as usize] = !self.state[i as usize];
+                    self.state[jj as usize] = !self.state[jj as usize];
+                }
+            }
+        }
+    }
+
+    /// Build the doubly linked vertex-leg list.
+    fn build_links(&mut self) {
+        let m = self.ops.len();
+        self.links.clear();
+        self.links.resize(4 * m, -1);
+        self.vfirst.clear();
+        self.vfirst.resize(self.n_sites, -1);
+        self.vlast.clear();
+        self.vlast.resize(self.n_sites, -1);
+
+        for p in 0..m {
+            if self.ops[p] == IDENTITY {
+                continue;
+            }
+            let b = (self.ops[p] / 2) as usize;
+            let (i, jj) = self.bonds[b];
+            for (k, site) in [(0usize, i as usize), (1, jj as usize)] {
+                let in_leg = (4 * p + k) as i64;
+                let out_leg = (4 * p + k + 2) as i64;
+                if self.vlast[site] >= 0 {
+                    self.links[self.vlast[site] as usize] = in_leg;
+                    self.links[in_leg as usize] = self.vlast[site];
+                } else {
+                    self.vfirst[site] = in_leg;
+                }
+                self.vlast[site] = out_leg;
+            }
+        }
+        for site in 0..self.n_sites {
+            if self.vfirst[site] >= 0 {
+                self.links[self.vlast[site] as usize] = self.vfirst[site];
+                self.links[self.vfirst[site] as usize] = self.vlast[site];
+            }
+        }
+    }
+
+    /// Deterministic operator-loop update: construct every loop once,
+    /// flip each with probability ½, then update `|α⟩` (free spins flip
+    /// with probability ½).
+    fn loop_update<R: Rng64>(&mut self, rng: &mut R) {
+        let m = self.ops.len();
+        self.visited.clear();
+        self.visited.resize(4 * m, false);
+        self.flipped.clear();
+        self.flipped.resize(4 * m, false);
+
+        for v0 in 0..4 * m {
+            if self.links[v0] < 0 || self.visited[v0] {
+                continue;
+            }
+            let flip = rng.bernoulli(0.5);
+            let mut v = v0;
+            let mut guard = 0usize;
+            loop {
+                guard += 1;
+                assert!(
+                    guard <= 8 * m + 8,
+                    "operator loop failed to close (corrupt links)"
+                );
+                self.visited[v] = true;
+                self.flipped[v] = flip;
+                let p = v / 4;
+                if flip {
+                    self.ops[p] ^= 1; // diagonal ↔ off-diagonal
+                }
+                let exit = v ^ 1; // same-side partner leg
+                self.visited[exit] = true;
+                self.flipped[exit] = flip;
+                v = self.links[exit] as usize;
+                if v == v0 {
+                    break;
+                }
+            }
+        }
+
+        for site in 0..self.n_sites {
+            if self.vfirst[site] < 0 {
+                if rng.bernoulli(0.5) {
+                    self.state[site] = !self.state[site];
+                }
+            } else if self.flipped[self.vfirst[site] as usize] {
+                self.state[site] = !self.state[site];
+            }
+        }
+    }
+
+    /// Grow the cutoff when the string gets crowded (thermalization aid;
+    /// appending identities is exact because the weight is independent of
+    /// identity placement).
+    fn adjust_cutoff(&mut self) {
+        let n = self.n_ops;
+        let m = self.ops.len();
+        if n + n / 3 > m {
+            self.ops.resize(n + n / 3 + 10, IDENTITY);
+        }
+    }
+
+    /// One Monte Carlo sweep (diagonal update + loop update).
+    pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
+        self.diagonal_update(rng);
+        self.build_links();
+        self.loop_update(rng);
+    }
+
+    /// Measure the current configuration.
+    pub fn measure(&self) -> SseMeasurement {
+        let mut mag = 0.0;
+        let mut stag = 0.0;
+        for s in 0..self.n_sites {
+            let sz = if self.state[s] { 0.5 } else { -0.5 };
+            mag += sz;
+            stag += if self.sublattice[s] == 0 { sz } else { -sz };
+        }
+        SseMeasurement {
+            n_ops: self.n_ops as f64,
+            magnetization: mag,
+            staggered: stag,
+        }
+    }
+
+    /// Thermalize (`therm` sweeps with cutoff adaptation) then record
+    /// `sweeps` measurements.
+    pub fn run<R: Rng64>(&mut self, rng: &mut R, therm: usize, sweeps: usize) -> SseSeries {
+        for _ in 0..therm {
+            self.sweep(rng);
+            self.adjust_cutoff();
+        }
+        let mut series = SseSeries {
+            beta: self.beta,
+            j: self.j,
+            n_sites: self.n_sites,
+            n_bonds: self.bonds.len(),
+            n_ops: Vec::with_capacity(sweeps),
+            magnetization: Vec::with_capacity(sweeps),
+            staggered: Vec::with_capacity(sweeps),
+            corr_sum: vec![0.0; self.n_sites / 2 + 1],
+            corr_count: 0,
+        };
+        for _ in 0..sweeps {
+            self.sweep(rng);
+            let meas = self.measure();
+            series.n_ops.push(meas.n_ops);
+            series.magnetization.push(meas.magnetization);
+            series.staggered.push(meas.staggered);
+            // Chain correlations from |α⟩ (translation-averaged). Only
+            // meaningful when sites are indexed along a ring, i.e. the
+            // caller used a Chain; harmless extra numbers otherwise.
+            for (r, slot) in series.corr_sum.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for i in 0..self.n_sites {
+                    let a = if self.state[i] { 0.5 } else { -0.5 };
+                    let b = if self.state[(i + r) % self.n_sites] {
+                        0.5
+                    } else {
+                        -0.5
+                    };
+                    acc += a * b;
+                }
+                *slot += acc / self.n_sites as f64;
+            }
+            series.corr_count += 1;
+        }
+        series
+    }
+
+    /// Serialize the sampler state (basis state + operator string) into a
+    /// self-contained byte checkpoint. Restoring with
+    /// [`Sse::restore_checkpoint`] on an engine with the same lattice and
+    /// couplings resumes the exact Markov chain (given the same RNG
+    /// state).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.n_sites + 8 * self.ops.len());
+        out.extend_from_slice(&(self.n_sites as u64).to_le_bytes());
+        out.extend_from_slice(&(self.ops.len() as u64).to_le_bytes());
+        out.extend(self.state.iter().map(|&s| s as u8));
+        for &op in &self.ops {
+            out.extend_from_slice(&op.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restore a checkpoint produced by [`Sse::checkpoint`].
+    ///
+    /// Panics if the checkpoint does not match this engine's lattice or
+    /// fails the internal consistency check.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) {
+        assert!(bytes.len() >= 16, "checkpoint truncated");
+        let n_sites = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
+        let n_ops_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        assert_eq!(n_sites, self.n_sites, "checkpoint is for a different lattice");
+        let expect = 16 + n_sites + 8 * n_ops_len;
+        assert_eq!(bytes.len(), expect, "checkpoint length mismatch");
+        self.state.clear();
+        self.state
+            .extend(bytes[16..16 + n_sites].iter().map(|&b| b != 0));
+        self.ops.clear();
+        for chunk in bytes[16 + n_sites..].chunks_exact(8) {
+            self.ops
+                .push(Op::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        self.n_ops = self.ops.iter().filter(|&&o| o != IDENTITY).count();
+        self.check_consistency()
+            .unwrap_or_else(|e| panic!("corrupt checkpoint: {e}"));
+    }
+
+    /// Validate internal consistency: propagating `|α⟩` through the whole
+    /// string must return to `|α⟩`, and every operator must act on an
+    /// anti-parallel bond at its insertion point. Test support.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut state = self.state.clone();
+        for (p, &op) in self.ops.iter().enumerate() {
+            if op == IDENTITY {
+                continue;
+            }
+            let b = (op / 2) as usize;
+            let (i, jj) = self.bonds[b];
+            let (i, jj) = (i as usize, jj as usize);
+            if state[i] == state[jj] {
+                return Err(format!("operator {p} acts on a parallel bond"));
+            }
+            if op % 2 == 1 {
+                state[i] = !state[i];
+                state[jj] = !state[jj];
+            }
+        }
+        if state != self.state {
+            return Err("state does not close around the imaginary-time circle".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmc_ed::lanczos::{lanczos_ground_energy, XxzSectorOp};
+    use qmc_ed::xxz::{full_spectrum, XxzParams};
+    use qmc_lattice::{Chain, Square};
+    use qmc_rng::Xoshiro256StarStar;
+    use qmc_stats::BinningAnalysis;
+
+    fn run_sse<L: Lattice>(lat: &L, beta: f64, seed: u64, sweeps: usize) -> SseSeries {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut sse = Sse::new(lat, 1.0, beta, &mut rng);
+        sse.run(&mut rng, 3000, sweeps)
+    }
+
+    fn validate_chain(l: usize, beta: f64, seed: u64) {
+        let lat = Chain::new(l);
+        let series = run_sse(&lat, beta, seed, 30_000);
+        let spec = full_spectrum(&lat, &XxzParams::heisenberg(1.0));
+
+        let e_samples = series.energy_samples();
+        let be = BinningAnalysis::new(&e_samples, 16);
+        let e_exact = spec.energy(beta) / l as f64;
+        assert!(
+            (be.mean - e_exact).abs() < 5.0 * be.error().max(2e-4),
+            "L={l} β={beta}: E {} ± {} vs exact {e_exact}",
+            be.mean,
+            be.error()
+        );
+
+        let (chi, chi_err) = series.susceptibility();
+        let chi_exact = spec.susceptibility(beta) / l as f64;
+        assert!(
+            (chi - chi_exact).abs() < 5.0 * chi_err.max(2e-4),
+            "L={l} β={beta}: χ {chi} ± {chi_err} vs exact {chi_exact}"
+        );
+    }
+
+    #[test]
+    fn heisenberg_chain_l4_beta1() {
+        validate_chain(4, 1.0, 1);
+    }
+
+    #[test]
+    fn heisenberg_chain_l8_beta1() {
+        validate_chain(8, 1.0, 2);
+    }
+
+    #[test]
+    fn heisenberg_chain_l8_beta4_no_trotter_error() {
+        // SSE has no Δτ bias — works at lower T than the world-line tests.
+        validate_chain(8, 4.0, 3);
+    }
+
+    #[test]
+    fn specific_heat_matches_ed() {
+        let lat = Chain::new(8);
+        let beta = 1.0;
+        let series = run_sse(&lat, beta, 4, 60_000);
+        let spec = full_spectrum(&lat, &XxzParams::heisenberg(1.0));
+        let c_exact = spec.heat_capacity(beta) / 8.0;
+        let (c, c_err) = series.specific_heat();
+        assert!(
+            (c - c_exact).abs() < 6.0 * c_err.max(5e-4),
+            "C {c} ± {c_err} vs exact {c_exact}"
+        );
+    }
+
+    #[test]
+    fn two_dimensional_4x4_ground_state_energy() {
+        // β = 8 on 4×4: compare with the Lanczos ground state (thermal
+        // corrections at βJ=8 are ≲ 1e-3 for this gapped finite system).
+        let lat = Square::new(4, 4);
+        let series = run_sse(&lat, 8.0, 5, 20_000);
+        let e_samples = series.energy_samples();
+        let be = BinningAnalysis::new(&e_samples, 16);
+        let op = XxzSectorOp::new(&lat, XxzParams::heisenberg(1.0), 8);
+        let e0 = lanczos_ground_energy(&op, 9, 300, 1e-10) / 16.0;
+        assert!(
+            (be.mean - e0).abs() < 5.0 * be.error().max(5e-4) + 2e-3,
+            "E {} ± {} vs E0 {}",
+            be.mean,
+            be.error(),
+            e0
+        );
+    }
+
+    #[test]
+    fn consistency_invariants_hold_through_sweeps() {
+        let lat = Chain::new(8);
+        let mut rng = Xoshiro256StarStar::new(6);
+        let mut sse = Sse::new(&lat, 1.0, 2.0, &mut rng);
+        for sweep in 0..200 {
+            sse.sweep(&mut rng);
+            sse.adjust_cutoff();
+            sse.check_consistency()
+                .unwrap_or_else(|e| panic!("sweep {sweep}: {e}"));
+        }
+    }
+
+    #[test]
+    fn operator_count_matches_exact_energy_relation() {
+        // ⟨n⟩ = β(N_b J/4 − E_total) exactly (no Trotter error in SSE).
+        let lat = Chain::new(8);
+        let spec = full_spectrum(&lat, &XxzParams::heisenberg(1.0));
+        for (beta, seed) in [(1.0, 7u64), (2.0, 8)] {
+            let series = run_sse(&lat, beta, seed, 20_000);
+            let bn = BinningAnalysis::new(&series.n_ops, 16);
+            let expect = beta * (8.0 * 0.25 - spec.energy(beta));
+            assert!(
+                (bn.mean - expect).abs() < 5.0 * bn.error().max(1e-3),
+                "β={beta}: ⟨n⟩ {} ± {} vs exact {expect}",
+                bn.mean,
+                bn.error()
+            );
+        }
+    }
+
+    #[test]
+    fn magnetization_sectors_visited() {
+        let lat = Chain::new(8);
+        let mut rng = Xoshiro256StarStar::new(9);
+        let mut sse = Sse::new(&lat, 1.0, 0.5, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            sse.sweep(&mut rng);
+            seen.insert((2.0 * sse.measure().magnetization) as i64);
+        }
+        assert!(seen.len() >= 4, "sectors seen: {seen:?}");
+    }
+
+    #[test]
+    fn staggered_structure_factor_grows_at_low_t() {
+        let lat = Square::new(4, 4);
+        let hot = run_sse(&lat, 0.5, 10, 4000).staggered_structure_factor();
+        let cold = run_sse(&lat, 6.0, 11, 4000).staggered_structure_factor();
+        assert!(
+            cold > 2.0 * hot,
+            "AFM order should grow on cooling: hot {hot}, cold {cold}"
+        );
+    }
+
+    #[test]
+    fn cutoff_grows_then_stabilizes() {
+        let lat = Chain::new(8);
+        let mut rng = Xoshiro256StarStar::new(12);
+        let mut sse = Sse::new(&lat, 1.0, 4.0, &mut rng);
+        for _ in 0..500 {
+            sse.sweep(&mut rng);
+            sse.adjust_cutoff();
+        }
+        let m_after_therm = sse.cutoff();
+        for _ in 0..500 {
+            sse.sweep(&mut rng);
+            sse.adjust_cutoff();
+        }
+        assert!(sse.cutoff() <= m_after_therm + m_after_therm / 2);
+        assert!(sse.n_ops() > 0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_identically() {
+        let lat = Chain::new(8);
+        let mut rng = Xoshiro256StarStar::new(31);
+        let mut a = Sse::new(&lat, 1.0, 1.5, &mut rng);
+        for _ in 0..100 {
+            a.sweep(&mut rng);
+            a.adjust_cutoff();
+        }
+        let ckpt = a.checkpoint();
+        let rng_saved = rng;
+
+        // Continue A for 50 sweeps.
+        let mut trace_a = Vec::new();
+        for _ in 0..50 {
+            a.sweep(&mut rng);
+            trace_a.push(a.measure());
+        }
+
+        // Restore into a fresh engine and replay with the saved RNG.
+        let mut rng_b = rng_saved;
+        let mut dummy_rng = Xoshiro256StarStar::new(0);
+        let mut b = Sse::new(&lat, 1.0, 1.5, &mut dummy_rng);
+        b.restore_checkpoint(&ckpt);
+        let mut trace_b = Vec::new();
+        for _ in 0..50 {
+            b.sweep(&mut rng_b);
+            trace_b.push(b.measure());
+        }
+        assert_eq!(trace_a, trace_b, "restored chain must replay identically");
+    }
+
+    #[test]
+    #[should_panic(expected = "different lattice")]
+    fn checkpoint_rejects_wrong_lattice() {
+        let mut rng = Xoshiro256StarStar::new(32);
+        let a = Sse::new(&Chain::new(8), 1.0, 1.0, &mut rng);
+        let mut b = Sse::new(&Chain::new(4), 1.0, 1.0, &mut rng);
+        b.restore_checkpoint(&a.checkpoint());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn chain_correlations_match_ed() {
+        let lat = Chain::new(8);
+        let beta = 1.0;
+        let series = run_sse(&lat, beta, 13, 30_000);
+        let corr = series.correlations();
+        let p = XxzParams::heisenberg(1.0);
+        for r in 0..=4usize {
+            let exact = qmc_ed::xxz::szsz_correlation(&lat, &p, beta, 0, r);
+            assert!(
+                (corr[r] - exact).abs() < 0.008,
+                "C({r}) = {} vs exact {exact}",
+                corr[r]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "antiferromagnetic")]
+    fn rejects_ferromagnetic_coupling() {
+        let lat = Chain::new(4);
+        let mut rng = Xoshiro256StarStar::new(0);
+        Sse::new(&lat, -1.0, 1.0, &mut rng);
+    }
+}

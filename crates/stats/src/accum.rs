@@ -1,0 +1,300 @@
+//! Single-pass moment accumulators (Welford), mergeable across ranks.
+
+/// Streaming mean/variance accumulator using Welford's algorithm.
+///
+/// Numerically stable for arbitrarily long series, O(1) memory, and
+/// mergeable — the parallel driver reduces one `Accumulator` per rank with
+/// [`Accumulator::merge`], which is exact (same result as a single-stream
+/// accumulation of the concatenated data, up to floating-point rounding).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add every value in a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (requires ≥ 2 observations, else 0).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (divide by N).
+    pub fn variance_population(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation of the sample.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Naive standard error of the mean, `σ/√N` — valid only for
+    /// *uncorrelated* data; use [`crate::BinningAnalysis`] for Markov-chain
+    /// output.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation seen (+∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation seen (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (Chan et al. parallel
+    /// combination).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Weighted streaming mean accumulator (for reweighted estimators where
+/// each sample carries a weight, e.g. multicanonical → canonical).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedAccumulator {
+    weight_sum: f64,
+    weighted_sum: f64,
+    weighted_sq_sum: f64,
+    count: u64,
+}
+
+impl WeightedAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an observation with weight `w ≥ 0`.
+    #[inline]
+    pub fn push(&mut self, x: f64, w: f64) {
+        debug_assert!(w >= 0.0, "negative weight");
+        self.weight_sum += w;
+        self.weighted_sum += w * x;
+        self.weighted_sq_sum += w * x * x;
+        self.count += 1;
+    }
+
+    /// Weighted mean (0 if total weight is 0).
+    pub fn mean(&self) -> f64 {
+        if self.weight_sum == 0.0 {
+            0.0
+        } else {
+            self.weighted_sum / self.weight_sum
+        }
+    }
+
+    /// Weighted variance around the weighted mean.
+    pub fn variance(&self) -> f64 {
+        if self.weight_sum == 0.0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.weighted_sq_sum / self.weight_sum - m * m).max(0.0)
+    }
+
+    /// Total weight.
+    pub fn weight_sum(&self) -> f64 {
+        self.weight_sum
+    }
+
+    /// Number of observations pushed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Merge another weighted accumulator.
+    pub fn merge(&mut self, other: &WeightedAccumulator) {
+        self.weight_sum += other.weight_sum;
+        self.weighted_sum += other.weighted_sum;
+        self.weighted_sq_sum += other.weighted_sq_sum;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_accumulator_defaults() {
+        let a = Accumulator::new();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.std_error(), 0.0);
+    }
+
+    #[test]
+    fn known_small_series() {
+        let mut a = Accumulator::new();
+        a.extend(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((a.mean() - 2.5).abs() < 1e-15);
+        // var = Σ(x-2.5)² / 3 = (2.25+0.25+0.25+2.25)/3 = 5/3
+        assert!((a.variance() - 5.0 / 3.0).abs() < 1e-15);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 4.0);
+    }
+
+    #[test]
+    fn single_observation_variance_zero() {
+        let mut a = Accumulator::new();
+        a.push(3.7);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.mean(), 3.7);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_concatenation(
+            xs in proptest::collection::vec(-1e3f64..1e3, 0..200),
+            split in 0usize..200,
+        ) {
+            let split = split.min(xs.len());
+            let mut whole = Accumulator::new();
+            whole.extend(&xs);
+            let mut left = Accumulator::new();
+            left.extend(&xs[..split]);
+            let mut right = Accumulator::new();
+            right.extend(&xs[split..]);
+            left.merge(&right);
+            prop_assert_eq!(left.count(), whole.count());
+            if !xs.is_empty() {
+                prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+                prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..100)) {
+            let mut a = Accumulator::new();
+            a.extend(&xs);
+            prop_assert!(a.variance() >= 0.0);
+            prop_assert!(a.variance_population() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Accumulator::new();
+        a.extend(&[1.0, 2.0]);
+        let before = a;
+        a.merge(&Accumulator::new());
+        assert_eq!(a, before);
+
+        let mut b = Accumulator::new();
+        b.merge(&before);
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn weighted_equal_weights_match_unweighted() {
+        let xs = [1.0, 5.0, 3.0, 7.0];
+        let mut w = WeightedAccumulator::new();
+        let mut u = Accumulator::new();
+        for &x in &xs {
+            w.push(x, 2.0);
+            u.push(x);
+        }
+        assert!((w.mean() - u.mean()).abs() < 1e-14);
+        assert!((w.variance() - u.variance_population()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn weighted_zero_weight_ignored_in_mean() {
+        let mut w = WeightedAccumulator::new();
+        w.push(100.0, 0.0);
+        w.push(2.0, 1.0);
+        assert!((w.mean() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_merge_matches_combined() {
+        let mut a = WeightedAccumulator::new();
+        a.push(1.0, 1.0);
+        a.push(2.0, 3.0);
+        let mut b = WeightedAccumulator::new();
+        b.push(5.0, 2.0);
+        let mut c = WeightedAccumulator::new();
+        for (x, w) in [(1.0, 1.0), (2.0, 3.0), (5.0, 2.0)] {
+            c.push(x, w);
+        }
+        a.merge(&b);
+        assert!((a.mean() - c.mean()).abs() < 1e-14);
+        assert!((a.variance() - c.variance()).abs() < 1e-14);
+        assert_eq!(a.count(), c.count());
+    }
+}

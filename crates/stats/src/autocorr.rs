@@ -1,0 +1,126 @@
+//! Integrated autocorrelation time with automatic windowing.
+
+/// Normalized autocorrelation function `ρ(t)` up to lag `max_lag`.
+///
+/// `ρ(0) = 1` by construction; returns an empty vector for series shorter
+/// than 2 or with zero variance.
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return Vec::new();
+    }
+    let max_lag = max_lag.min(n - 1);
+    (0..=max_lag)
+        .map(|t| {
+            let c: f64 = series[..n - t]
+                .iter()
+                .zip(&series[t..])
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum::<f64>()
+                / (n - t) as f64;
+            c / var
+        })
+        .collect()
+}
+
+/// Integrated autocorrelation time `τ_int = ½ + Σ_{t≥1} ρ(t)` with Sokal's
+/// automatic window: truncate the sum at the smallest `W` with
+/// `W ≥ c · τ_int(W)` (c = 6 is the standard choice).
+///
+/// Returns 0.5 for uncorrelated or degenerate series (the minimum possible
+/// value, meaning "every sample is independent").
+pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
+    let rho = autocorrelation(series, series.len().saturating_sub(1).min(series.len() / 4));
+    if rho.is_empty() {
+        return 0.5;
+    }
+    const C: f64 = 6.0;
+    let mut tau = 0.5;
+    for (w, &r) in rho.iter().enumerate().skip(1) {
+        tau += r;
+        if (w as f64) >= C * tau {
+            return tau.max(0.5);
+        }
+    }
+    tau.max(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmc_rng::{Rng64, SplitMix64};
+
+    fn ar1(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut x = 0.0;
+        (0..n)
+            .map(|_| {
+                x = phi * x + rng.gaussian();
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rho_zero_is_one() {
+        let xs = ar1(0.5, 1000, 1);
+        let rho = autocorrelation(&xs, 10);
+        assert!((rho[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn ar1_autocorrelation_decays_geometrically() {
+        let phi = 0.7;
+        let xs = ar1(phi, 1 << 17, 2);
+        let rho = autocorrelation(&xs, 8);
+        for t in 1..=4 {
+            assert!(
+                (rho[t] - phi.powi(t as i32)).abs() < 0.05,
+                "rho[{t}] = {}, expect {}",
+                rho[t],
+                phi.powi(t as i32)
+            );
+        }
+    }
+
+    #[test]
+    fn tau_int_ar1_matches_theory() {
+        // τ_int(AR1) = ½ (1+φ)/(1−φ)
+        for &phi in &[0.0, 0.5, 0.8] {
+            let xs = ar1(phi, 1 << 17, 42);
+            let tau = integrated_autocorrelation_time(&xs);
+            let theory = 0.5 * (1.0 + phi) / (1.0 - phi);
+            assert!(
+                (tau - theory).abs() < 0.25 * theory.max(1.0),
+                "phi={phi}: tau={tau}, theory={theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_series_return_half() {
+        assert_eq!(integrated_autocorrelation_time(&[]), 0.5);
+        assert_eq!(integrated_autocorrelation_time(&[1.0]), 0.5);
+        assert_eq!(integrated_autocorrelation_time(&[2.0; 100]), 0.5);
+    }
+
+    #[test]
+    fn tau_never_below_half() {
+        // Anti-correlated series could push the raw sum below 0.5.
+        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(integrated_autocorrelation_time(&xs) >= 0.5);
+    }
+
+    #[test]
+    fn max_lag_clamped_to_series_length() {
+        let xs = [1.0, 2.0, 3.0];
+        let rho = autocorrelation(&xs, 100);
+        assert_eq!(rho.len(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Blocking ("binning") analysis for correlated time series.
+//!
+//! Markov-chain output is autocorrelated, so `σ/√M` underestimates the
+//! true error. Binning averages the series into blocks of growing size;
+//! once the block size exceeds the autocorrelation time the block means
+//! are effectively independent and the naive error formula applied to
+//! them converges to the true error (it grows monotonically and then
+//! plateaus).
+
+use crate::Accumulator;
+
+/// Result of a binning analysis at every power-of-two bin size.
+#[derive(Debug, Clone)]
+pub struct BinningAnalysis {
+    /// Error estimate at each binning level (level ℓ → bin size 2^ℓ).
+    pub errors: Vec<f64>,
+    /// Number of bins at each level.
+    pub bin_counts: Vec<usize>,
+    /// Sample mean of the full series.
+    pub mean: f64,
+    /// Naive (uncorrelated) error, i.e. level 0.
+    pub naive_error: f64,
+}
+
+impl BinningAnalysis {
+    /// Run the analysis. Levels stop when fewer than `min_bins` bins
+    /// remain (default caller value: 32 keeps the top-level error estimate
+    /// itself reliable).
+    pub fn new(series: &[f64], min_bins: usize) -> Self {
+        assert!(min_bins >= 2, "need at least 2 bins per level");
+        let mut errors = Vec::new();
+        let mut bin_counts = Vec::new();
+        let mut current: Vec<f64> = series.to_vec();
+
+        let mut full = Accumulator::new();
+        full.extend(series);
+        let mean = full.mean();
+
+        loop {
+            let mut acc = Accumulator::new();
+            acc.extend(&current);
+            errors.push(acc.std_error());
+            bin_counts.push(current.len());
+            if current.len() / 2 < min_bins {
+                break;
+            }
+            // Halve: average consecutive pairs (drop a trailing odd item).
+            let half: Vec<f64> = current
+                .chunks_exact(2)
+                .map(|p| 0.5 * (p[0] + p[1]))
+                .collect();
+            current = half;
+        }
+
+        let naive_error = errors.first().copied().unwrap_or(0.0);
+        Self {
+            errors,
+            bin_counts,
+            mean,
+            naive_error,
+        }
+    }
+
+    /// The converged ("plateau") error estimate: the maximum over levels.
+    ///
+    /// For a well-sampled series the estimates increase and saturate; the
+    /// max is the standard conservative choice.
+    pub fn error(&self) -> f64 {
+        self.errors.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Estimated integrated autocorrelation time from the error growth:
+    /// `τ_int = ½ (ε_plateau / ε_naive)²` (≥ 0.5 by construction; 0.5 means
+    /// uncorrelated).
+    pub fn tau_int(&self) -> f64 {
+        if self.naive_error == 0.0 {
+            return 0.5;
+        }
+        0.5 * (self.error() / self.naive_error).powi(2)
+    }
+
+    /// Effective number of independent samples, `M / (2 τ_int)`.
+    pub fn effective_samples(&self, total: usize) -> f64 {
+        total as f64 / (2.0 * self.tau_int())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmc_rng::{Rng64, SplitMix64};
+
+    #[test]
+    fn uncorrelated_series_error_flat() {
+        let mut rng = SplitMix64::new(8);
+        let xs: Vec<f64> = (0..1 << 14).map(|_| rng.next_f64()).collect();
+        let b = BinningAnalysis::new(&xs, 32);
+        // plateau error should be within ~40% of naive for iid data
+        assert!(b.error() / b.naive_error < 1.4, "ratio {}", b.error() / b.naive_error);
+        assert!(b.tau_int() < 1.0, "tau {}", b.tau_int());
+    }
+
+    #[test]
+    fn correlated_series_error_grows() {
+        // AR(1) with φ=0.9 → τ_int = (1+φ)/(2(1−φ)) = 9.5
+        let mut rng = SplitMix64::new(77);
+        let phi = 0.9;
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..1 << 16)
+            .map(|_| {
+                x = phi * x + rng.gaussian();
+                x
+            })
+            .collect();
+        let b = BinningAnalysis::new(&xs, 32);
+        let tau = b.tau_int();
+        assert!(tau > 4.0, "tau too small: {tau}");
+        assert!(tau < 25.0, "tau too large: {tau}");
+        assert!(b.error() > 2.0 * b.naive_error);
+    }
+
+    #[test]
+    fn mean_matches_plain_average() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BinningAnalysis::new(&xs, 2);
+        assert!((b.mean - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn short_series_single_level() {
+        let xs = [1.0, 2.0, 3.0];
+        let b = BinningAnalysis::new(&xs, 2);
+        assert_eq!(b.bin_counts[0], 3);
+        assert!(!b.errors.is_empty());
+    }
+
+    #[test]
+    fn constant_series_zero_error() {
+        let xs = vec![2.5; 1024];
+        let b = BinningAnalysis::new(&xs, 16);
+        assert_eq!(b.error(), 0.0);
+        assert_eq!(b.tau_int(), 0.5); // naive error 0 → defined fallback
+    }
+
+    #[test]
+    fn effective_samples_reduces_with_correlation() {
+        let mut rng = SplitMix64::new(3);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..1 << 14)
+            .map(|_| {
+                x = 0.8 * x + rng.gaussian();
+                x
+            })
+            .collect();
+        let b = BinningAnalysis::new(&xs, 32);
+        assert!(b.effective_samples(xs.len()) < xs.len() as f64 / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bins")]
+    fn rejects_min_bins_below_two() {
+        BinningAnalysis::new(&[1.0, 2.0], 1);
+    }
+}

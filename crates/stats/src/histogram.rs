@@ -1,0 +1,244 @@
+//! Fixed-bin histograms for energy time series.
+
+/// A one-dimensional histogram with uniform bins over `[lo, hi)`.
+///
+/// Out-of-range samples are counted separately (they signal a
+/// mis-configured window, which the reweighting machinery checks for).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` uniform bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "empty histogram range [{lo}, {hi})");
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// The bin index a value falls into, or `None` if out of range.
+    pub fn bin_of(&self, x: f64) -> Option<usize> {
+        if x < self.lo || x >= self.hi {
+            return None;
+        }
+        let idx = ((x - self.lo) / self.width()) as usize;
+        // Guard against floating rounding at the top edge.
+        Some(idx.min(self.counts.len() - 1))
+    }
+
+    /// The center value of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width()
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        match self.bin_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None if x < self.lo => self.underflow += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Raw count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples recorded (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// In-range sample count.
+    pub fn in_range(&self) -> u64 {
+        self.total - self.underflow - self.overflow
+    }
+
+    /// Normalized density at bin `i` (integrates to 1 over the range).
+    pub fn density(&self, i: usize) -> f64 {
+        if self.in_range() == 0 {
+            return 0.0;
+        }
+        self.counts[i] as f64 / (self.in_range() as f64 * self.width())
+    }
+
+    /// Merge a histogram with identical binning (panics on mismatch).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram lo mismatch");
+        assert_eq!(self.hi, other.hi, "histogram hi mismatch");
+        assert_eq!(self.bins(), other.bins(), "histogram bin-count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Flatness measure used by multicanonical-style drivers:
+    /// `min / mean` over *occupied-range* bins (1.0 = perfectly flat,
+    /// 0.0 = some bin in the spanned range is empty).
+    pub fn flatness(&self) -> f64 {
+        let occupied: Vec<u64> = {
+            // restrict to the contiguous range between first and last
+            // nonzero bins
+            let first = self.counts.iter().position(|&c| c > 0);
+            let last = self.counts.iter().rposition(|&c| c > 0);
+            match (first, last) {
+                (Some(f), Some(l)) => self.counts[f..=l].to_vec(),
+                _ => return 0.0,
+            }
+        };
+        let mean = occupied.iter().sum::<u64>() as f64 / occupied.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        occupied.iter().copied().min().unwrap_or(0) as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(5.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.in_range(), 3);
+    }
+
+    #[test]
+    fn out_of_range_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.in_range(), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn centers_and_width() {
+        let h = Histogram::new(-1.0, 1.0, 4);
+        assert!((h.width() - 0.5).abs() < 1e-15);
+        assert!((h.center(0) + 0.75).abs() < 1e-15);
+        assert!((h.center(3) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_normalizes() {
+        let mut h = Histogram::new(0.0, 1.0, 8);
+        for i in 0..800 {
+            h.record((i as f64 + 0.5) / 800.0);
+        }
+        let integral: f64 = (0..8).map(|i| h.density(i) * h.width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        a.record(0.25);
+        b.record(0.25);
+        b.record(0.75);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin-count mismatch")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 1.0, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn flatness_perfect_and_empty() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.flatness(), 0.0); // empty
+        for c in 0..4 {
+            for _ in 0..10 {
+                h.record(h.center(c));
+            }
+        }
+        assert!((h.flatness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flatness_ignores_unvisited_tails() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        // only bins 3..=5 visited, equally
+        for c in 3..=5 {
+            for _ in 0..7 {
+                h.record(h.center(c));
+            }
+        }
+        assert!((h.flatness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_edge_rounding_guard() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        // a value epsilon below hi must land in the last bin, not panic
+        h.record(1.0 - 1e-16);
+        assert_eq!(h.in_range(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram range")]
+    fn rejects_inverted_range() {
+        Histogram::new(1.0, 0.0, 4);
+    }
+}

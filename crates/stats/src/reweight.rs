@@ -1,0 +1,313 @@
+//! Histogram reweighting: single-series (Ferrenberg–Swendsen) and
+//! multiple-histogram (WHAM) in log space.
+
+use crate::{logsumexp, Histogram};
+
+/// Reweight a canonical time series measured at `beta0` to a nearby
+/// `beta`:
+///
+/// `⟨O⟩_β = Σ O_m e^{−(β−β0) E_m} / Σ e^{−(β−β0) E_m}`.
+///
+/// Computed with a max-shift so arbitrarily large energy ranges cannot
+/// overflow. The caller is responsible for `beta` staying within the
+/// overlap window of the measured histogram (errors blow up outside it).
+pub fn reweight_series(energies: &[f64], observables: &[f64], beta0: f64, beta: f64) -> f64 {
+    assert_eq!(
+        energies.len(),
+        observables.len(),
+        "energy and observable series must be paired"
+    );
+    assert!(!energies.is_empty(), "cannot reweight an empty series");
+    let db = beta - beta0;
+    // log-weights w_m = −ΔβE_m; shift by the max for stability.
+    let max_lw = energies
+        .iter()
+        .map(|&e| -db * e)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&e, &o) in energies.iter().zip(observables) {
+        let w = (-db * e - max_lw).exp();
+        num += o * w;
+        den += w;
+    }
+    num / den
+}
+
+/// Result of a multiple-histogram (WHAM) analysis: the log density of
+/// states over a common energy grid, from which canonical averages at any
+/// temperature follow.
+#[derive(Debug, Clone)]
+pub struct Wham {
+    /// Energy at each bin center.
+    pub energies: Vec<f64>,
+    /// `ln g(E)` up to a common additive constant.
+    pub log_g: Vec<f64>,
+    /// Converged `ln Z_i` for each input thread (gauge: first thread = 0).
+    pub log_z: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+impl Wham {
+    /// Solve the WHAM equations for histograms measured at inverse
+    /// temperatures `betas` (all histograms must share a binning).
+    ///
+    /// Iterates
+    /// `ĝ(E) = Σ_i h_i(E) / Σ_i M_i Z_i⁻¹ e^{−β_i E}` and
+    /// `Z_i = Σ_E ĝ(E) e^{−β_i E}` in log space until the largest change
+    /// in any `ln Z_i` drops below `tol` (or `max_iter` is hit).
+    pub fn solve(betas: &[f64], histograms: &[Histogram], tol: f64, max_iter: usize) -> Self {
+        assert_eq!(betas.len(), histograms.len(), "one β per histogram");
+        assert!(!betas.is_empty(), "need at least one histogram");
+        let bins = histograms[0].bins();
+        for h in histograms {
+            assert_eq!(h.bins(), bins, "histograms must share binning");
+        }
+
+        let energies: Vec<f64> = (0..bins).map(|i| histograms[0].center(i)).collect();
+        let log_m: Vec<f64> = histograms
+            .iter()
+            .map(|h| (h.in_range().max(1) as f64).ln())
+            .collect();
+        // log Σ_i h_i(E) per bin (−∞ for unvisited bins).
+        let log_h_sum: Vec<f64> = (0..bins)
+            .map(|b| {
+                let s: u64 = histograms.iter().map(|h| h.count(b)).sum();
+                if s == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (s as f64).ln()
+                }
+            })
+            .collect();
+
+        let nthreads = betas.len();
+        let mut log_z = vec![0.0; nthreads];
+        let mut log_g = vec![f64::NEG_INFINITY; bins];
+        let mut iterations = 0;
+
+        let mut scratch = vec![0.0; nthreads];
+        let mut zterms: Vec<f64> = Vec::with_capacity(bins);
+        for iter in 0..max_iter {
+            iterations = iter + 1;
+            // ln g(E) = ln Σh − logsumexp_i(ln M_i − ln Z_i − β_i E)
+            for b in 0..bins {
+                if log_h_sum[b] == f64::NEG_INFINITY {
+                    log_g[b] = f64::NEG_INFINITY;
+                    continue;
+                }
+                for i in 0..nthreads {
+                    scratch[i] = log_m[i] - log_z[i] - betas[i] * energies[b];
+                }
+                log_g[b] = log_h_sum[b] - logsumexp(&scratch);
+            }
+            // ln Z_i = logsumexp_E (ln g − β_i E), gauge-fixed to thread 0.
+            let mut max_delta: f64 = 0.0;
+            let mut new_z = vec![0.0; nthreads];
+            for i in 0..nthreads {
+                zterms.clear();
+                for b in 0..bins {
+                    if log_g[b] != f64::NEG_INFINITY {
+                        zterms.push(log_g[b] - betas[i] * energies[b]);
+                    }
+                }
+                new_z[i] = logsumexp(&zterms);
+            }
+            let gauge = new_z[0];
+            for i in 0..nthreads {
+                new_z[i] -= gauge;
+                max_delta = max_delta.max((new_z[i] - log_z[i]).abs());
+                log_z[i] = new_z[i];
+            }
+            if max_delta < tol {
+                break;
+            }
+        }
+
+        Self {
+            energies,
+            log_g,
+            log_z,
+            iterations,
+        }
+    }
+
+    /// `ln Z(β)` from the solved density of states (same gauge as
+    /// `log_g`).
+    pub fn log_partition(&self, beta: f64) -> f64 {
+        let terms: Vec<f64> = self
+            .energies
+            .iter()
+            .zip(&self.log_g)
+            .filter(|(_, &lg)| lg != f64::NEG_INFINITY)
+            .map(|(&e, &lg)| lg - beta * e)
+            .collect();
+        logsumexp(&terms)
+    }
+
+    /// Canonical mean energy at inverse temperature `beta`.
+    pub fn mean_energy(&self, beta: f64) -> f64 {
+        self.canonical_average(beta, |e| e)
+    }
+
+    /// Canonical mean of `f(E)` at inverse temperature `beta`.
+    pub fn canonical_average<F: Fn(f64) -> f64>(&self, beta: f64, f: F) -> f64 {
+        let lz = self.log_partition(beta);
+        self.energies
+            .iter()
+            .zip(&self.log_g)
+            .filter(|(_, &lg)| lg != f64::NEG_INFINITY)
+            .map(|(&e, &lg)| f(e) * (lg - beta * e - lz).exp())
+            .sum()
+    }
+
+    /// Heat capacity `C = β²(⟨E²⟩ − ⟨E⟩²)` at `beta`.
+    pub fn heat_capacity(&self, beta: f64) -> f64 {
+        let e = self.mean_energy(beta);
+        let e2 = self.canonical_average(beta, |x| x * x);
+        beta * beta * (e2 - e * e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmc_rng::{Rng64, SplitMix64};
+
+    #[test]
+    fn reweight_identity_at_same_beta() {
+        let e = [1.0, 2.0, 3.0];
+        let o = [10.0, 20.0, 30.0];
+        let v = reweight_series(&e, &o, 0.7, 0.7);
+        assert!((v - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reweight_gaussian_energy_shifts_mean() {
+        // If E ~ N(μ, σ²) at β0, then at β the reweighted ⟨E⟩ is
+        // μ − (β−β0)σ² (exact Gaussian identity).
+        let mut rng = SplitMix64::new(123);
+        let (mu, sigma) = (10.0, 2.0);
+        let energies: Vec<f64> = (0..200_000).map(|_| mu + sigma * rng.gaussian()).collect();
+        let obs = energies.clone();
+        let v = reweight_series(&energies, &obs, 1.0, 1.05);
+        let expect = mu - 0.05 * sigma * sigma;
+        assert!((v - expect).abs() < 0.02, "got {v}, expect {expect}");
+    }
+
+    #[test]
+    fn reweight_extreme_energies_stable() {
+        // Energies of magnitude 1e4 with Δβ = 1 would overflow exp
+        // without the max-shift.
+        let e = [10_000.0, 10_001.0];
+        let o = [1.0, 2.0];
+        let v = reweight_series(&e, &o, 0.0, 1.0);
+        assert!(v.is_finite());
+        // the lower-energy sample dominates: v ≈ 1
+        assert!((v - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn reweight_rejects_empty() {
+        reweight_series(&[], &[], 1.0, 1.1);
+    }
+
+    /// Build an exact-count "histogram" for a two-level system with
+    /// degeneracies g = [1, g1] at energies [0, 1].
+    fn two_level_hist(beta: f64, g1: f64, samples: u64) -> Histogram {
+        let z = 1.0 + g1 * (-beta).exp();
+        let p1 = g1 * (-beta).exp() / z;
+        let mut h = Histogram::new(-0.25, 1.25, 3); // centers: 0, 0.5, 1.0
+        let n1 = (samples as f64 * p1).round() as u64;
+        for _ in 0..(samples - n1) {
+            h.record(0.0);
+        }
+        for _ in 0..n1 {
+            h.record(1.0);
+        }
+        h
+    }
+
+    #[test]
+    fn wham_recovers_two_level_degeneracy() {
+        let g1 = 4.0;
+        let betas = [0.5, 1.0, 2.0];
+        let hists: Vec<Histogram> = betas
+            .iter()
+            .map(|&b| two_level_hist(b, g1, 1_000_000))
+            .collect();
+        let w = Wham::solve(&betas, &hists, 1e-12, 500);
+        // ln g(E=1) − ln g(E=0) should be ln g1.
+        let dg = w.log_g[2] - w.log_g[0];
+        assert!((dg - g1.ln()).abs() < 0.01, "Δln g = {dg}, expect {}", g1.ln());
+        // middle bin never visited
+        assert_eq!(w.log_g[1], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn wham_mean_energy_matches_exact_two_level() {
+        let g1 = 3.0;
+        let betas = [0.4, 0.8, 1.6];
+        let hists: Vec<Histogram> = betas
+            .iter()
+            .map(|&b| two_level_hist(b, g1, 1_000_000))
+            .collect();
+        let w = Wham::solve(&betas, &hists, 1e-12, 500);
+        for &beta in &[0.5f64, 1.0, 1.5] {
+            let exact = g1 * (-beta).exp() / (1.0 + g1 * (-beta).exp());
+            let got = w.mean_energy(beta);
+            assert!((got - exact).abs() < 0.01, "β={beta}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn wham_heat_capacity_positive_and_peaked() {
+        let g1 = 10.0;
+        let betas = [0.5, 1.5, 3.0];
+        let hists: Vec<Histogram> = betas
+            .iter()
+            .map(|&b| two_level_hist(b, g1, 1_000_000))
+            .collect();
+        let w = Wham::solve(&betas, &hists, 1e-12, 500);
+        // Schottky anomaly: C(β) > 0 with a single maximum.
+        let cs: Vec<f64> = (1..=80).map(|i| w.heat_capacity(i as f64 * 0.1)).collect();
+        assert!(cs.iter().all(|&c| c >= 0.0));
+        let max_idx = cs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(max_idx > 0 && max_idx < cs.len() - 1, "peak at edge: {max_idx}");
+    }
+
+    #[test]
+    fn wham_single_thread_reduces_to_reweighted_histogram() {
+        let g1 = 2.0;
+        let beta = 1.0;
+        let h = two_level_hist(beta, g1, 1_000_000);
+        let w = Wham::solve(&[beta], &[h], 1e-12, 100);
+        let dg = w.log_g[2] - w.log_g[0];
+        assert!((dg - g1.ln()).abs() < 0.01);
+    }
+
+    #[test]
+    fn wham_converges_quickly_on_consistent_data() {
+        let betas = [0.5, 1.0];
+        let hists: Vec<Histogram> = betas
+            .iter()
+            .map(|&b| two_level_hist(b, 5.0, 100_000))
+            .collect();
+        let w = Wham::solve(&betas, &hists, 1e-10, 1000);
+        assert!(w.iterations < 200, "took {} iterations", w.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "one β per histogram")]
+    fn wham_rejects_mismatched_inputs() {
+        let h = two_level_hist(1.0, 2.0, 100);
+        Wham::solve(&[1.0, 2.0], &[h], 1e-8, 10);
+    }
+}

@@ -1,0 +1,488 @@
+//! Single-memory TFIM path-integral engine (Metropolis + Wolff).
+
+use crate::{StCouplings, TfimModel};
+use qmc_rng::Rng64;
+
+/// Spacetime spin configuration of the mapped classical model plus update
+/// kernels. Spins are `±1`, indexed `(t·ly + y)·lx + x`.
+#[derive(Debug, Clone)]
+pub struct SerialTfim {
+    model: TfimModel,
+    c: StCouplings,
+    spins: Vec<i8>,
+    /// Metropolis acceptance counters.
+    pub accepted: u64,
+    /// Metropolis proposal counter.
+    pub proposed: u64,
+    // Wolff scratch
+    stack: Vec<usize>,
+    in_cluster: Vec<bool>,
+}
+
+/// One sweep's raw measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TfimMeasurement {
+    /// Quantum energy per site.
+    pub energy_per_site: f64,
+    /// Spacetime-averaged |magnetization| (the PIMC order parameter
+    /// `⟨|(1/β)∫ m(τ) dτ|⟩`).
+    pub abs_m: f64,
+    /// Spacetime-averaged m².
+    pub m2: f64,
+    /// `⟨σˣ⟩` estimator.
+    pub sigma_x: f64,
+}
+
+/// Time series of per-sweep measurements.
+#[derive(Debug, Clone, Default)]
+pub struct TfimSeries {
+    /// Energy per site.
+    pub energy: Vec<f64>,
+    /// |m| (spacetime average).
+    pub abs_m: Vec<f64>,
+    /// m².
+    pub m2: Vec<f64>,
+    /// σˣ per site.
+    pub sigma_x: Vec<f64>,
+}
+
+impl TfimSeries {
+    /// Record one measurement.
+    pub fn record(&mut self, m: &TfimMeasurement) {
+        self.energy.push(m.energy_per_site);
+        self.abs_m.push(m.abs_m);
+        self.m2.push(m.m2);
+        self.sigma_x.push(m.sigma_x);
+    }
+
+    /// Binder cumulant `U₄ = 1 − ⟨m⁴⟩/(3⟨m²⟩²)` of the spacetime-averaged
+    /// magnetization: → 2/3 deep in the ordered phase, → 0 in the
+    /// disordered phase; curves for different `L` cross near criticality.
+    pub fn binder_cumulant(&self) -> f64 {
+        let n = self.m2.len().max(1) as f64;
+        let m2 = self.m2.iter().sum::<f64>() / n;
+        let m4 = self.m2.iter().map(|v| v * v).sum::<f64>() / n;
+        if m2 == 0.0 {
+            return 0.0;
+        }
+        1.0 - m4 / (3.0 * m2 * m2)
+    }
+
+    /// Number of sweeps recorded.
+    pub fn len(&self) -> usize {
+        self.energy.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.energy.is_empty()
+    }
+}
+
+impl SerialTfim {
+    /// Fresh engine in the fully-aligned (all-up) configuration.
+    pub fn new(model: TfimModel) -> Self {
+        let model = model.validated();
+        let n = model.lx * model.ly * model.m;
+        Self {
+            c: model.couplings(),
+            spins: vec![1; n],
+            model,
+            accepted: 0,
+            proposed: 0,
+            stack: Vec::new(),
+            in_cluster: vec![false; n],
+        }
+    }
+
+    /// Model parameters.
+    pub fn model(&self) -> &TfimModel {
+        &self.model
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, t: usize) -> usize {
+        (t * self.model.ly + y) * self.model.lx + x
+    }
+
+    /// Spin value at `(x, y, t)`.
+    #[inline]
+    pub fn spin(&self, x: usize, y: usize, t: usize) -> i8 {
+        self.spins[self.idx(x, y, t)]
+    }
+
+    /// The six (or four, for chains) neighbour indices of a site, with
+    /// coupling kind: `(index, is_temporal)`.
+    fn neighbors(&self, x: usize, y: usize, t: usize) -> [(usize, bool); 6] {
+        let m = &self.model;
+        let xp = self.idx((x + 1) % m.lx, y, t);
+        let xm = self.idx((x + m.lx - 1) % m.lx, y, t);
+        let (yp, ym) = if m.ly > 1 {
+            (
+                self.idx(x, (y + 1) % m.ly, t),
+                self.idx(x, (y + m.ly - 1) % m.ly, t),
+            )
+        } else {
+            // Chains: point the y slots at the site itself with zero
+            // effect — they are filtered by `ly > 1` in the kernels.
+            (usize::MAX, usize::MAX)
+        };
+        let tp = self.idx(x, y, (t + 1) % m.m);
+        let tm = self.idx(x, y, (t + m.m - 1) % m.m);
+        [
+            (xp, false),
+            (xm, false),
+            (yp, false),
+            (ym, false),
+            (tp, true),
+            (tm, true),
+        ]
+    }
+
+    /// Classical action cost of flipping site `(x, y, t)`:
+    /// `ΔS = 2 s (K_s Σ_spatial s' + K_τ Σ_temporal s')`.
+    fn flip_cost(&self, x: usize, y: usize, t: usize) -> f64 {
+        let s = self.spin(x, y, t) as f64;
+        let mut spatial = 0.0;
+        let mut temporal = 0.0;
+        for (nb, is_t) in self.neighbors(x, y, t) {
+            if nb == usize::MAX {
+                continue;
+            }
+            if is_t {
+                temporal += self.spins[nb] as f64;
+            } else {
+                spatial += self.spins[nb] as f64;
+            }
+        }
+        2.0 * s * (self.c.k_space * spatial + self.c.k_time * temporal)
+    }
+
+    /// One full Metropolis sweep in checkerboard order (the exact update
+    /// schedule the parallel engine uses).
+    pub fn metropolis_sweep<R: Rng64>(&mut self, rng: &mut R) {
+        let m = self.model;
+        for color in 0..2usize {
+            for t in 0..m.m {
+                for y in 0..m.ly {
+                    for x in 0..m.lx {
+                        if (x + y + t) % 2 != color {
+                            continue;
+                        }
+                        self.proposed += 1;
+                        let cost = self.flip_cost(x, y, t);
+                        if rng.metropolis((-cost).exp()) {
+                            let i = self.idx(x, y, t);
+                            self.spins[i] = -self.spins[i];
+                            self.accepted += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One Wolff cluster update (grows a single cluster and always flips
+    /// it; bond-type-dependent add probabilities `1 − e^{−2K}`).
+    pub fn wolff_update<R: Rng64>(&mut self, rng: &mut R) -> usize {
+        let n = self.spins.len();
+        let seed = rng.index(n);
+        let p_s = 1.0 - (-2.0 * self.c.k_space).exp();
+        let p_t = 1.0 - (-2.0 * self.c.k_time).exp();
+
+        self.in_cluster.iter_mut().for_each(|b| *b = false);
+        self.stack.clear();
+        self.stack.push(seed);
+        self.in_cluster[seed] = true;
+        let mut size = 0usize;
+
+        while let Some(site) = self.stack.pop() {
+            size += 1;
+            let (x, y, t) = self.coords(site);
+            let s = self.spins[site];
+            for (nb, is_t) in self.neighbors(x, y, t) {
+                if nb == usize::MAX || self.in_cluster[nb] || self.spins[nb] != s {
+                    continue;
+                }
+                let p = if is_t { p_t } else { p_s };
+                if rng.bernoulli(p) {
+                    self.in_cluster[nb] = true;
+                    self.stack.push(nb);
+                }
+            }
+            self.spins[site] = -s;
+        }
+        size
+    }
+
+    fn coords(&self, i: usize) -> (usize, usize, usize) {
+        let m = &self.model;
+        let x = i % m.lx;
+        let y = (i / m.lx) % m.ly;
+        let t = i / (m.lx * m.ly);
+        (x, y, t)
+    }
+
+    /// Raw bond sums `(ΣSP, ΣT)` over the whole configuration.
+    pub fn bond_sums(&self) -> (f64, f64) {
+        let m = &self.model;
+        let mut sp = 0i64;
+        let mut tt = 0i64;
+        for t in 0..m.m {
+            for y in 0..m.ly {
+                for x in 0..m.lx {
+                    let s = self.spin(x, y, t) as i64;
+                    // Each site owns its +x (and +y) bond: every spatial
+                    // bond is counted exactly once.
+                    sp += s * self.spin((x + 1) % m.lx, y, t) as i64;
+                    if m.ly > 1 {
+                        sp += s * self.spin(x, (y + 1) % m.ly, t) as i64;
+                    }
+                    tt += s * self.spin(x, y, (t + 1) % m.m) as i64;
+                }
+            }
+        }
+        (sp as f64, tt as f64)
+    }
+
+    /// Measure the current configuration.
+    pub fn measure(&self) -> TfimMeasurement {
+        let m = &self.model;
+        let n = m.n_sites();
+        let (sp, tt) = self.bond_sums();
+        let total: i64 = self.spins.iter().map(|&s| s as i64).sum();
+        let mag = total as f64 / (n * m.m) as f64;
+        TfimMeasurement {
+            energy_per_site: self.c.energy(n, m.m, sp, tt) / n as f64,
+            abs_m: mag.abs(),
+            m2: mag * mag,
+            sigma_x: self.c.sigma_x(n, m.m, tt),
+        }
+    }
+
+    /// Thermalize then record `sweeps` measurements. Each "sweep" is one
+    /// Metropolis sweep plus `wolff_per_sweep` cluster updates.
+    pub fn run<R: Rng64>(
+        &mut self,
+        rng: &mut R,
+        therm: usize,
+        sweeps: usize,
+        wolff_per_sweep: usize,
+    ) -> TfimSeries {
+        for _ in 0..therm {
+            self.metropolis_sweep(rng);
+            for _ in 0..wolff_per_sweep {
+                self.wolff_update(rng);
+            }
+        }
+        let mut series = TfimSeries::default();
+        for _ in 0..sweeps {
+            self.metropolis_sweep(rng);
+            for _ in 0..wolff_per_sweep {
+                self.wolff_update(rng);
+            }
+            series.record(&self.measure());
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmc_ed::tfim::{full_spectrum, thermal, TfimParams};
+    use qmc_lattice::Chain;
+    use qmc_rng::Xoshiro256StarStar;
+    use qmc_stats::BinningAnalysis;
+
+    fn model(lx: usize, h: f64, beta: f64, m: usize) -> TfimModel {
+        TfimModel {
+            lx,
+            ly: 1,
+            j: 1.0,
+            h,
+            beta,
+            m,
+        }
+    }
+
+    fn run_chain(
+        lx: usize,
+        h: f64,
+        beta: f64,
+        m: usize,
+        seed: u64,
+        wolff: usize,
+    ) -> TfimSeries {
+        let mut eng = SerialTfim::new(model(lx, h, beta, m));
+        let mut rng = Xoshiro256StarStar::new(seed);
+        eng.run(&mut rng, 2000, 20_000, wolff)
+    }
+
+    /// 4σ + Trotter-bias validation of E and σx against dense ED.
+    fn validate(lx: usize, h: f64, beta: f64, m: usize, seed: u64) {
+        let series = run_chain(lx, h, beta, m, seed, 1);
+        let lat = Chain::new(lx);
+        let exact = thermal(&lat, &TfimParams { j: 1.0, h }, beta);
+        let e_exact = exact.energy / lx as f64;
+
+        let be = BinningAnalysis::new(&series.energy, 16);
+        let trotter = (beta / m as f64).powi(2) * h * 2.0;
+        assert!(
+            (be.mean - e_exact).abs() < 4.0 * be.error().max(2e-4) + trotter,
+            "L={lx} h={h} β={beta} m={m}: E {} ± {} vs {e_exact}",
+            be.mean,
+            be.error()
+        );
+
+        let bx = BinningAnalysis::new(&series.sigma_x, 16);
+        assert!(
+            (bx.mean - exact.sx).abs() < 4.0 * bx.error().max(2e-4) + trotter,
+            "σx {} ± {} vs {}",
+            bx.mean,
+            bx.error(),
+            exact.sx
+        );
+    }
+
+    #[test]
+    fn chain_l4_near_critical_matches_ed() {
+        validate(4, 1.0, 1.0, 16, 1);
+    }
+
+    #[test]
+    fn chain_l4_ordered_phase_matches_ed() {
+        validate(4, 0.4, 2.0, 32, 2);
+    }
+
+    #[test]
+    fn chain_l8_disordered_phase_matches_ed() {
+        validate(8, 2.0, 1.0, 32, 3);
+    }
+
+    #[test]
+    fn metropolis_only_also_matches_ed() {
+        // Without cluster updates (pure checkerboard Metropolis — the
+        // parallel schedule) the answers must agree too.
+        let series = run_chain(4, 1.0, 1.0, 16, 4, 0);
+        let lat = Chain::new(4);
+        let spec = full_spectrum(&lat, &TfimParams { j: 1.0, h: 1.0 });
+        let e_exact = spec.energy(1.0) / 4.0;
+        let be = BinningAnalysis::new(&series.energy, 16);
+        let trotter = (1.0 / 16.0f64).powi(2) * 2.0;
+        assert!(
+            (be.mean - e_exact).abs() < 5.0 * be.error().max(2e-4) + trotter,
+            "E {} ± {} vs {e_exact}",
+            be.mean,
+            be.error()
+        );
+    }
+
+    #[test]
+    fn wolff_and_metropolis_sample_same_distribution() {
+        let a = run_chain(6, 1.0, 1.5, 16, 5, 0);
+        let b = run_chain(6, 1.0, 1.5, 16, 6, 2);
+        let ba = BinningAnalysis::new(&a.energy, 16);
+        let bb = BinningAnalysis::new(&b.energy, 16);
+        let err = (ba.error().powi(2) + bb.error().powi(2)).sqrt().max(5e-4);
+        assert!(
+            (ba.mean - bb.mean).abs() < 5.0 * err,
+            "{} ± {} vs {} ± {}",
+            ba.mean,
+            ba.error(),
+            bb.mean,
+            bb.error()
+        );
+    }
+
+    #[test]
+    fn ordered_and_disordered_phases() {
+        // Deep FM phase: |m| near 1. Deep PM phase: |m| near 0, σx near 1.
+        let fm = run_chain(8, 0.2, 4.0, 32, 7, 2);
+        let pm = run_chain(8, 4.0, 4.0, 32, 8, 2);
+        let fm_m = fm.abs_m.iter().sum::<f64>() / fm.len() as f64;
+        let pm_m = pm.abs_m.iter().sum::<f64>() / pm.len() as f64;
+        let pm_sx = pm.sigma_x.iter().sum::<f64>() / pm.len() as f64;
+        assert!(fm_m > 0.8, "FM |m| = {fm_m}");
+        assert!(pm_m < 0.4, "PM |m| = {pm_m}");
+        assert!(pm_sx > 0.9, "PM σx = {pm_sx}");
+    }
+
+    #[test]
+    fn two_dimensional_small_lattice_runs_and_is_sane() {
+        let mut eng = SerialTfim::new(TfimModel {
+            lx: 4,
+            ly: 4,
+            j: 1.0,
+            h: 2.0,
+            beta: 1.0,
+            m: 8,
+        });
+        let mut rng = Xoshiro256StarStar::new(9);
+        let series = eng.run(&mut rng, 500, 2000, 1);
+        let e = series.energy.iter().sum::<f64>() / series.len() as f64;
+        // Energy must lie between the trivial bounds −(2J + h) and 0.
+        assert!(e < 0.0 && e > -4.0, "E = {e}");
+    }
+
+    #[test]
+    fn binder_cumulant_limits() {
+        // Ordered phase → ≈ 2/3; disordered → near 0.
+        let ordered = run_chain(8, 0.2, 4.0, 32, 21, 2);
+        let disordered = run_chain(8, 4.0, 4.0, 32, 22, 2);
+        let u_ord = ordered.binder_cumulant();
+        let u_dis = disordered.binder_cumulant();
+        assert!(u_ord > 0.6, "ordered U4 = {u_ord}");
+        assert!(u_dis < 0.45, "disordered U4 = {u_dis}");
+    }
+
+    #[test]
+    fn wolff_cluster_size_bounded_and_positive() {
+        let mut eng = SerialTfim::new(model(8, 1.0, 1.0, 8));
+        let mut rng = Xoshiro256StarStar::new(10);
+        for _ in 0..50 {
+            let size = eng.wolff_update(&mut rng);
+            assert!((1..=64).contains(&size));
+        }
+    }
+
+    #[test]
+    fn measurement_of_aligned_configuration() {
+        let eng = SerialTfim::new(model(4, 1.0, 1.0, 4));
+        let meas = eng.measure();
+        assert_eq!(meas.abs_m, 1.0);
+        assert_eq!(meas.m2, 1.0);
+        // ΣSP = 4 bonds × 4 slices, ΣT = 4 sites × 4 slices.
+        let (sp, tt) = eng.bond_sums();
+        assert_eq!(sp, 16.0);
+        assert_eq!(tt, 16.0);
+    }
+
+    #[test]
+    fn flip_cost_consistent_with_bond_sums() {
+        // ΔS must equal the actual change in −K·Σss′ under the flip.
+        let mut eng = SerialTfim::new(model(6, 0.9, 1.3, 6));
+        let mut rng = Xoshiro256StarStar::new(11);
+        for _ in 0..20 {
+            eng.metropolis_sweep(&mut rng);
+        }
+        let action = |e: &SerialTfim| {
+            let (sp, tt) = e.bond_sums();
+            -(e.c.k_space * sp + e.c.k_time * tt)
+        };
+        for (x, y, t) in [(0, 0, 0), (3, 0, 2), (5, 0, 5)] {
+            let before = action(&eng);
+            let cost = eng.flip_cost(x, y, t);
+            let i = eng.idx(x, y, t);
+            eng.spins[i] = -eng.spins[i];
+            let after = action(&eng);
+            eng.spins[i] = -eng.spins[i];
+            assert!(
+                ((after - before) - cost).abs() < 1e-10,
+                "ΔS {} vs cost {}",
+                after - before,
+                cost
+            );
+        }
+    }
+}

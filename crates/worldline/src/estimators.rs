@@ -1,0 +1,381 @@
+//! Observable estimators on world-line configurations.
+//!
+//! The energy estimator is the standard τ-derivative of the log weight:
+//! `E = ⟨ε⟩` with `ε = (1/m) Σ_cells e(class)`, and the specific heat
+//! needs the well-known correction term
+//! `C = β² [⟨ε²⟩ − ⟨ε⟩² − ⟨∂ε/∂β⟩]` because `ε` itself depends on β.
+
+use crate::engine::Worldline;
+use qmc_stats::jackknife_pair;
+
+/// One sweep's measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Energy per site, `ε/L`.
+    pub energy_per_site: f64,
+    /// `∂ε/∂β` per site (specific-heat correction).
+    pub denergy_per_site: f64,
+    /// Total magnetization `M = Σ Sᶻ` (row 0; conserved across rows).
+    pub magnetization: f64,
+    /// Staggered magnetization `Σ (−1)^i Sᶻ_i` of row 0.
+    pub staggered: f64,
+}
+
+/// Measure the current configuration.
+pub fn measure(w: &Worldline) -> Measurement {
+    let p = *w.params();
+    let m = p.m as f64;
+    let wt = *w.weights();
+    let mut eps = 0.0;
+    let mut deps = 0.0;
+    w.for_each_cell(|class| {
+        eps += wt.energy(class);
+        deps += wt.denergy(class);
+    });
+    // ε = (1/m) Σ e_cell ; ∂ε/∂β = (1/m²) Σ ∂e/∂Δτ (since Δτ = β/m).
+    let energy = eps / m / p.l as f64;
+    let denergy = deps / (m * m) / p.l as f64;
+
+    let mut mag = 0.0;
+    let mut stag = 0.0;
+    for i in 0..p.l {
+        let s = if w.spin(i, 0) { 0.5 } else { -0.5 };
+        mag += s;
+        stag += if i % 2 == 0 { s } else { -s };
+    }
+
+    Measurement {
+        energy_per_site: energy,
+        denergy_per_site: denergy,
+        magnetization: mag,
+        staggered: stag,
+    }
+}
+
+/// Time series of measurements plus accumulated spin correlations.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Chain length (for normalization).
+    pub l: usize,
+    /// Inverse temperature copied at recording time (set by the engine's
+    /// `run`; 0 until the first record).
+    beta: f64,
+    /// Energy per site, one entry per sweep.
+    pub energy: Vec<f64>,
+    /// `∂ε/∂β` per site.
+    pub denergy: Vec<f64>,
+    /// Total magnetization.
+    pub magnetization: Vec<f64>,
+    /// Staggered magnetization of row 0.
+    pub staggered: Vec<f64>,
+    /// Susceptibility samples `β M² / L` (use [`TimeSeries::susceptibility`]
+    /// for the mean-subtracted estimate).
+    pub chi: Vec<f64>,
+    /// Accumulated `⟨Sᶻ_i Sᶻ_{i+r}⟩` sums, index r ∈ 0..=L/2.
+    corr_sum: Vec<f64>,
+    /// Number of correlation samples accumulated.
+    corr_count: u64,
+}
+
+impl TimeSeries {
+    /// Empty series for a chain of length `l`.
+    pub fn new(l: usize) -> Self {
+        Self {
+            l,
+            beta: 0.0,
+            energy: Vec::new(),
+            denergy: Vec::new(),
+            magnetization: Vec::new(),
+            staggered: Vec::new(),
+            chi: Vec::new(),
+            corr_sum: vec![0.0; l / 2 + 1],
+            corr_count: 0,
+        }
+    }
+
+    /// Accumulate the equal-time spin correlation `⟨Sᶻ_i Sᶻ_{i+r}⟩`
+    /// averaged over all sites and imaginary-time rows of the current
+    /// configuration.
+    pub fn record_correlations(&mut self, w: &Worldline) {
+        let l = self.l;
+        let rows = w.rows();
+        for (r, slot) in self.corr_sum.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for t in 0..rows {
+                for i in 0..l {
+                    let a = if w.spin(i, t) { 0.5 } else { -0.5 };
+                    let b = if w.spin((i + r) % l, t) { 0.5 } else { -0.5 };
+                    acc += a * b;
+                }
+            }
+            *slot += acc / (l * rows) as f64;
+        }
+        self.corr_count += 1;
+    }
+
+    /// Mean equal-time correlation function `C(r)`, r ∈ 0..=L/2.
+    pub fn correlations(&self) -> Vec<f64> {
+        if self.corr_count == 0 {
+            return vec![0.0; self.corr_sum.len()];
+        }
+        self.corr_sum
+            .iter()
+            .map(|s| s / self.corr_count as f64)
+            .collect()
+    }
+
+    /// Record one measurement (β is needed for χ samples; stored from the
+    /// first caller context via [`TimeSeries::set_beta`]).
+    pub fn record(&mut self, m: &Measurement) {
+        self.energy.push(m.energy_per_site);
+        self.denergy.push(m.denergy_per_site);
+        self.magnetization.push(m.magnetization);
+        self.staggered.push(m.staggered);
+        self.chi
+            .push(self.beta * m.magnetization * m.magnetization / self.l as f64);
+    }
+
+    /// Set β for χ normalization (the engine calls this).
+    pub fn set_beta(&mut self, beta: f64) {
+        self.beta = beta;
+    }
+
+    /// Number of recorded sweeps.
+    pub fn len(&self) -> usize {
+        self.energy.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.energy.is_empty()
+    }
+
+    /// Mean energy per site.
+    pub fn mean_energy(&self) -> f64 {
+        mean(&self.energy)
+    }
+
+    /// Uniform susceptibility per site,
+    /// `χ = β(⟨M²⟩ − ⟨M⟩²)/L`, with a jackknife error.
+    pub fn susceptibility(&self) -> (f64, f64) {
+        let m2: Vec<f64> = self.magnetization.iter().map(|m| m * m).collect();
+        let beta = self.beta;
+        let l = self.l as f64;
+        let est = jackknife_pair(&m2, &self.magnetization, 32.min(self.len() / 2).max(2), |a, b| {
+            beta * (a - b * b) / l
+        });
+        (est.value, est.error)
+    }
+
+    /// Specific heat per site:
+    /// `C = β²[⟨ε²⟩ − ⟨ε⟩² − ⟨∂ε/∂β⟩]·L` … per site this is
+    /// `β² L (⟨e²⟩ − ⟨e⟩²) − β²⟨∂e/∂β⟩` with `e = ε/L`.
+    pub fn specific_heat(&self) -> (f64, f64) {
+        let beta = self.beta;
+        let l = self.l as f64;
+        let e2: Vec<f64> = self.energy.iter().map(|e| e * e).collect();
+        let fluct = jackknife_pair(
+            &e2,
+            &self.energy,
+            32.min(self.len() / 2).max(2),
+            |a, b| beta * beta * l * (a - b * b),
+        );
+        let de_mean = mean(&self.denergy);
+        (fluct.value - beta * beta * de_mean, fluct.error)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorldlineParams;
+    use crate::weights::{classify, PlaqWeights};
+    use qmc_rng::Xoshiro256StarStar;
+    use qmc_stats::BinningAnalysis;
+
+    /// Brute-force reference: enumerate every valid zero-seam-crossing
+    /// configuration of a small space-time lattice and compute the exact
+    /// *discrete-Trotter* expectation values the sampler should reproduce
+    /// (this isolates sampler correctness from Trotter error).
+    fn enumerate_reference(p: WorldlineParams) -> (f64, f64) {
+        let rows = 2 * p.m;
+        let l = p.l;
+        let wt = PlaqWeights::new(p.jx, p.jz, p.dtau());
+        let states = 1usize << l;
+        let mut z = 0.0;
+        let mut e_acc = 0.0;
+        let mut chi_acc = 0.0;
+
+        // Iterate over all row-state tuples via an odometer.
+        let mut cfg = vec![0usize; rows];
+        loop {
+            // weight & validity
+            let spin = |row: usize, i: usize| cfg[row] >> i & 1 == 1;
+            let mut w = 1.0;
+            let mut eps = 0.0;
+            let mut seam = 0i64;
+            'weight: {
+                for t in 0..rows {
+                    let tu = (t + 1) % rows;
+                    let start = t % 2;
+                    for i in (start..l).step_by(2) {
+                        let j = (i + 1) % l;
+                        let class = classify(
+                            (spin(t, i), spin(t, j)),
+                            (spin(tu, i), spin(tu, j)),
+                        );
+                        let cw = wt.weight(class);
+                        if cw <= 0.0 {
+                            w = 0.0;
+                            break 'weight;
+                        }
+                        w *= cw;
+                        eps += wt.energy(class);
+                        if i == l - 1 && class == crate::weights::PlaqClass::Flip {
+                            seam += if spin(t, i) { 1 } else { -1 };
+                        }
+                    }
+                }
+            }
+            if w > 0.0 && seam == 0 {
+                z += w;
+                e_acc += w * eps / p.m as f64 / l as f64;
+                let m: f64 = (0..l).map(|i| if spin(0, i) { 0.5 } else { -0.5 }).sum();
+                chi_acc += w * p.beta * m * m / l as f64;
+            }
+            // odometer increment
+            let mut r = 0;
+            loop {
+                cfg[r] += 1;
+                if cfg[r] < states {
+                    break;
+                }
+                cfg[r] = 0;
+                r += 1;
+                if r == rows {
+                    return (e_acc / z, chi_acc / z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_reproduces_exact_discrete_trotter_values() {
+        // L=4, m=2 (4 rows of 16 states → 65 536 configs): the QMC answer
+        // must match the brute-force enumeration of its *own* discrete
+        // distribution, winding sector included.
+        let p = WorldlineParams {
+            l: 4,
+            jx: 1.0,
+            jz: 1.0,
+            beta: 1.0,
+            m: 2,
+        };
+        let (e_exact, chi_exact) = enumerate_reference(p);
+        let mut w = crate::engine::Worldline::new(p);
+        let mut rng = Xoshiro256StarStar::new(314);
+        let series = w.run(&mut rng, 2_000, 60_000);
+        let be = BinningAnalysis::new(&series.energy, 16);
+        assert!(
+            (be.mean - e_exact).abs() < 5.0 * be.error().max(5e-4),
+            "E {} ± {} vs exact discrete {}",
+            be.mean,
+            be.error(),
+            e_exact
+        );
+        let bchi = BinningAnalysis::new(&series.chi, 16);
+        assert!(
+            (bchi.mean - chi_exact).abs() < 5.0 * bchi.error().max(5e-4),
+            "χ {} ± {} vs exact discrete {}",
+            bchi.mean,
+            bchi.error(),
+            chi_exact
+        );
+    }
+
+    #[test]
+    fn sampler_exactness_xy_model() {
+        let p = WorldlineParams {
+            l: 4,
+            jx: 1.0,
+            jz: 0.0,
+            beta: 0.8,
+            m: 2,
+        };
+        let (e_exact, _) = enumerate_reference(p);
+        let mut w = crate::engine::Worldline::new(p);
+        let mut rng = Xoshiro256StarStar::new(2718);
+        let series = w.run(&mut rng, 2_000, 60_000);
+        let be = BinningAnalysis::new(&series.energy, 16);
+        assert!(
+            (be.mean - e_exact).abs() < 5.0 * be.error().max(5e-4),
+            "E {} ± {} vs exact discrete {}",
+            be.mean,
+            be.error(),
+            e_exact
+        );
+    }
+
+    #[test]
+    fn ferromagnetic_ising_limit_ground_state_energy() {
+        // jx→0 (tiny), jz=−1 (FM), low T: world lines freeze into the
+        // aligned state; E/site → jz/4 = −0.25.
+        let p = WorldlineParams {
+            l: 6,
+            jx: 1e-6,
+            jz: -1.0,
+            beta: 8.0,
+            m: 16,
+        };
+        let mut w = crate::engine::Worldline::new(p);
+        let mut rng = Xoshiro256StarStar::new(10);
+        let series = w.run(&mut rng, 3000, 3000);
+        assert!(
+            (series.mean_energy() + 0.25).abs() < 0.02,
+            "E = {}",
+            series.mean_energy()
+        );
+    }
+
+    #[test]
+    fn timeseries_bookkeeping() {
+        let mut ts = TimeSeries::new(4);
+        assert!(ts.is_empty());
+        ts.set_beta(2.0);
+        ts.record(&Measurement {
+            energy_per_site: -0.3,
+            denergy_per_site: 0.0,
+            magnetization: 1.0,
+            staggered: 0.0,
+        });
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.energy[0], -0.3);
+        // χ sample = β M²/L = 2·1/4
+        assert!((ts.chi[0] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn susceptibility_subtracts_mean_magnetization() {
+        let mut ts = TimeSeries::new(2);
+        ts.set_beta(1.0);
+        // Alternate M = ±1: ⟨M⟩ = 0, ⟨M²⟩ = 1 → χ = 1/2.
+        for k in 0..64 {
+            ts.record(&Measurement {
+                energy_per_site: 0.0,
+                denergy_per_site: 0.0,
+                magnetization: if k % 2 == 0 { 1.0 } else { -1.0 },
+                staggered: 0.0,
+            });
+        }
+        let (chi, _) = ts.susceptibility();
+        assert!((chi - 0.5).abs() < 1e-12, "chi = {chi}");
+    }
+}

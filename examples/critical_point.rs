@@ -1,0 +1,55 @@
+//! Locate the quantum critical point of the 1-D transverse-field Ising
+//! model by sweeping `h/J` at low temperature and watching the order
+//! parameter collapse (exact answer: `h_c = J`).
+//!
+//! ```text
+//! cargo run --release --example critical_point
+//! ```
+
+use qmc_ed::freefermion::tfim_chain_ground_energy;
+use qmc_rng::Xoshiro256StarStar;
+use qmc_tfim::serial::SerialTfim;
+use qmc_tfim::TfimModel;
+
+fn main() {
+    let l = 32;
+    println!("1-D TFIM, L = {l}, β = 16: order parameter vs transverse field");
+    println!(
+        "{:>6} {:>9} {:>9} {:>11} {:>13}",
+        "h/J", "<|m|>", "<σx>", "E/N (QMC)", "E0/N (exact)"
+    );
+
+    let mut previous_m = 1.0;
+    let mut steepest = (0.0, 0.0);
+    for i in 1..=12 {
+        let h = 0.15 * i as f64;
+        let mut eng = SerialTfim::new(TfimModel {
+            lx: l,
+            ly: 1,
+            j: 1.0,
+            h,
+            beta: 16.0,
+            m: 128,
+        });
+        let mut rng = Xoshiro256StarStar::new(100 + i as u64);
+        let series = eng.run(&mut rng, 2_000, 8_000, 2);
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let m = avg(&series.abs_m);
+        let e0 = tfim_chain_ground_energy(l, 1.0, h) / l as f64;
+        println!(
+            "{h:>6.2} {m:>9.4} {:>9.4} {:>11.4} {:>13.4}",
+            avg(&series.sigma_x),
+            avg(&series.energy),
+            e0
+        );
+        let drop = previous_m - m;
+        if drop > steepest.1 {
+            steepest = (h - 0.075, drop);
+        }
+        previous_m = m;
+    }
+    println!(
+        "\nsteepest order-parameter drop near h/J ≈ {:.2}  (exact critical point: 1.00)",
+        steepest.0
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: compute the energy of a Heisenberg spin chain three ways —
+//! exact diagonalization, world-line QMC, and SSE QMC — and watch them
+//! agree.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qmc_ed::xxz::{full_spectrum, XxzParams};
+use qmc_lattice::Chain;
+use qmc_rng::Xoshiro256StarStar;
+use qmc_stats::BinningAnalysis;
+use qmc_worldline::{Worldline, WorldlineParams};
+
+fn main() {
+    let l = 8; // chain length
+    let beta = 1.0; // inverse temperature (J = 1 units)
+
+    // --- Exact diagonalization: the ground truth for small systems ---
+    let lattice = Chain::new(l);
+    let spectrum = full_spectrum(&lattice, &XxzParams::heisenberg(1.0));
+    let e_exact = spectrum.energy(beta) / l as f64;
+    println!("ED          : E/N = {e_exact:.5}");
+
+    // --- World-line QMC (discrete imaginary time, Δτ = β/m) ---
+    let mut wl = Worldline::new(WorldlineParams {
+        l,
+        jx: 1.0,
+        jz: 1.0,
+        beta,
+        m: 16,
+    });
+    let mut rng = Xoshiro256StarStar::new(42);
+    let series = wl.run(&mut rng, 5_000, 50_000);
+    let b = BinningAnalysis::new(&series.energy, 16);
+    println!(
+        "world-line  : E/N = {:.5} ± {:.5}  (Trotter Δτ = {})",
+        b.mean,
+        b.error(),
+        beta / 16.0
+    );
+
+    // --- SSE QMC (no Trotter error) ---
+    let mut rng2 = Xoshiro256StarStar::new(43);
+    let mut sse = qmc_sse::Sse::new(&lattice, 1.0, beta, &mut rng2);
+    let ss = sse.run(&mut rng2, 5_000, 50_000);
+    let bs = BinningAnalysis::new(&ss.energy_samples(), 16);
+    println!("SSE         : E/N = {:.5} ± {:.5}", bs.mean, bs.error());
+
+    let (chi, chi_err) = ss.susceptibility();
+    println!(
+        "SSE         : χ/N = {:.5} ± {:.5}  (ED: {:.5})",
+        chi,
+        chi_err,
+        spectrum.susceptibility(beta) / l as f64
+    );
+}

@@ -1,0 +1,63 @@
+//! Parallel tempering across a temperature ladder: one world-line replica
+//! per thread-backed rank, configurations swapping between neighbouring
+//! temperatures.
+//!
+//! ```text
+//! cargo run --release --example tempering
+//! ```
+
+use qmc_comm::{run_threads, Communicator};
+use qmc_core::pt::{geometric_ladder, run_pt_parallel};
+use qmc_ed::xxz::{full_spectrum, XxzParams};
+use qmc_lattice::Chain;
+use qmc_rng::StreamFactory;
+use qmc_stats::BinningAnalysis;
+
+fn main() {
+    // L = 8 keeps the exact-diagonalization comparison cheap (largest
+    // magnetization sector is only 70-dimensional).
+    let l = 8;
+    let n_replicas = 8;
+    let betas = geometric_ladder(0.25, 4.0, n_replicas);
+    println!(
+        "parallel tempering: Heisenberg chain L = {l}, {n_replicas} replicas, \
+         β ∈ [{:.2}, {:.2}]",
+        betas[0],
+        betas[n_replicas - 1]
+    );
+
+    let cfg = qmc_core::pt::PtConfig {
+        l,
+        jx: 1.0,
+        jz: 1.0,
+        m: 32,
+        betas: betas.clone(),
+        therm: 2_000,
+        sweeps: 20_000,
+        exchange_every: 2,
+        seed: 777,
+    };
+    let results = run_threads(n_replicas, move |comm| {
+        let mut rng = StreamFactory::new(2024).stream(comm.rank());
+        run_pt_parallel(comm, &cfg, &mut rng)
+    });
+
+    let spec = full_spectrum(&Chain::new(l), &XxzParams::heisenberg(1.0));
+
+    println!("{:>8} {:>20} {:>12} {:>12}", "β", "E/N (QMC)", "E/N (ED)", "acc. w/ next");
+    for (rank, beta) in betas.iter().enumerate() {
+        let (energies, rates) = &results[rank];
+        let b = BinningAnalysis::new(energies, 16);
+        let acc = if rank < rates.len() {
+            format!("{:.3}", rates[rank])
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{beta:>8.3} {:>12.5} ± {:.5} {:>12.5} {acc:>12}",
+            b.mean,
+            b.error(),
+            spec.energy(*beta) / l as f64
+        );
+    }
+}
