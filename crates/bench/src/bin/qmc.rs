@@ -12,7 +12,7 @@
 
 use qmc_comm::{job_seconds, run_model, run_threads, Communicator, MachineModel, SerialComm};
 use qmc_lattice::{Chain, Square};
-use qmc_rng::{StreamFactory, Xoshiro256StarStar};
+use qmc_rng::{Buffered, StreamFactory, Xoshiro256StarStar};
 use qmc_stats::BinningAnalysis;
 use qmc_tfim::parallel::DistTfim;
 use qmc_tfim::serial::SerialTfim;
@@ -80,7 +80,7 @@ fn run_worldline(flags: &HashMap<String, String>) {
     };
     let therm: usize = get(flags, "therm", sweeps / 5);
     let mut sim = Worldline::new(params);
-    let mut rng = Xoshiro256StarStar::new(get(flags, "seed", 1));
+    let mut rng = Buffered::new(Xoshiro256StarStar::new(get(flags, "seed", 1)));
     let series = sim.run(&mut rng, therm, sweeps);
 
     let be = BinningAnalysis::new(&series.energy, 16);
@@ -95,7 +95,12 @@ fn run_worldline(flags: &HashMap<String, String>) {
         params.m,
         params.dtau()
     );
-    println!("  E/N  = {:+.6} ± {:.6}   (τ_int ≈ {:.1})", be.mean, be.error(), be.tau_int());
+    println!(
+        "  E/N  = {:+.6} ± {:.6}   (τ_int ≈ {:.1})",
+        be.mean,
+        be.error(),
+        be.tau_int()
+    );
     println!("  C/N  = {:+.6} ± {:.6}", c, c_err);
     println!("  χ/N  = {:+.6} ± {:.6}", chi, chi_err);
     let corr = series.correlations();
@@ -121,7 +126,7 @@ fn run_sse(flags: &HashMap<String, String>) {
     let j: f64 = get(flags, "j", 1.0);
     let l: usize = get(flags, "l", 16);
     let lattice = flags.get("lattice").map(|s| s.as_str()).unwrap_or("chain");
-    let mut rng = Xoshiro256StarStar::new(get(flags, "seed", 1));
+    let mut rng = Buffered::new(Xoshiro256StarStar::new(get(flags, "seed", 1)));
 
     let series = match lattice {
         "chain" => {
@@ -191,7 +196,7 @@ fn run_tfim(flags: &HashMap<String, String>) {
     match (machine, ranks) {
         ("serial", 1) => {
             let mut eng = SerialTfim::new(model);
-            let mut rng = Xoshiro256StarStar::new(seed);
+            let mut rng = Buffered::new(Xoshiro256StarStar::new(seed));
             let series = eng.run(&mut rng, therm, sweeps, get(flags, "wolff", 1));
             report(&series);
         }
@@ -218,10 +223,10 @@ fn run_tfim(flags: &HashMap<String, String>) {
                 eng.run(comm, &mut rng, therm, sweeps)
             });
             report(&reports[0].result);
-            let comm_s: f64 = reports.iter().map(|r| r.stats.comm_seconds).sum::<f64>()
-                / reports.len() as f64;
-            let comp_s: f64 = reports.iter().map(|r| r.stats.compute_seconds).sum::<f64>()
-                / reports.len() as f64;
+            let comm_s: f64 =
+                reports.iter().map(|r| r.stats.comm_seconds).sum::<f64>() / reports.len() as f64;
+            let comp_s: f64 =
+                reports.iter().map(|r| r.stats.compute_seconds).sum::<f64>() / reports.len() as f64;
             println!(
                 "  simulated 1993 mesh, P={p}: job time {:.3} model-s \
                  (comm fraction {:.1}%)",

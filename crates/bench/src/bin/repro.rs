@@ -1,13 +1,18 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro <experiment|all> [--quick]
+//! repro <experiment|all|bench> [--quick]
 //!
 //! experiments: f1 f2 f3 f4 f5 t1 t2 t3 t4 t5 t6
 //! ```
 //!
 //! `--quick` shrinks sweep counts ~10× for smoke runs; the full settings
 //! are what EXPERIMENTS.md records.
+//!
+//! `repro bench` times the hot update kernels with fixed seeds and
+//! writes `BENCH_kernels.json` at the repository root (it is kept out of
+//! `all` so physics regeneration never overwrites the benchmark
+//! artifact).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,7 +20,7 @@ fn main() {
     let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     if wanted.is_empty() {
-        eprintln!("usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all> [--quick]");
+        eprintln!("usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench> [--quick]");
         std::process::exit(2);
     }
 
@@ -23,6 +28,11 @@ fn main() {
     for name in wanted {
         if name == "all" {
             print!("{}", qmc_bench::run_all(quick));
+            continue;
+        }
+        if name == "bench" {
+            println!("=== bench ===");
+            print!("{}", qmc_bench::kernels::bench_kernels(quick));
             continue;
         }
         match registry.iter().find(|(id, _)| id == name) {

@@ -185,7 +185,14 @@ pub fn f4_tfim_critical_sweep(quick: bool) -> String {
     for l in [16usize, 32] {
         let mut t = Table::new(
             &format!("F4: 1-D TFIM L={l}, β=16 (ground-state regime)"),
-            &["h/J", "<|m|>", "U4", "<σx>", "E/N (QMC)", "E0/N (free fermion)"],
+            &[
+                "h/J",
+                "<|m|>",
+                "U4",
+                "<σx>",
+                "E/N (QMC)",
+                "E0/N (free fermion)",
+            ],
         );
         for &h in &fields {
             let beta = 16.0;

@@ -1,0 +1,273 @@
+//! `repro bench` — fixed-seed micro-benchmarks of the hot update kernels
+//! with a machine-readable JSON artifact for regression tracking.
+//!
+//! Each kernel is timed over a fixed workload with a fixed RNG seed (the
+//! work is deterministic; only the wall-clock varies), best-of-three. The
+//! results are rendered as a table *and* written to `BENCH_kernels.json`
+//! at the repository root so successive PRs can diff ns/op numbers
+//! mechanically.
+//!
+//! The `tfim_serial_sweep_expref` entry re-implements the pre-table
+//! Metropolis kernel (f64 neighbour sums + one `exp` per proposal — what
+//! the seed revision shipped) on the same lattice, so the table-driven
+//! speedup is measured in the same run rather than against a stale
+//! number.
+
+use qmc_comm::{run_threads, Communicator};
+use qmc_lattice::Square;
+use qmc_rng::{Buffered, Rng64, StreamFactory, Xoshiro256StarStar};
+use qmc_sse::Sse;
+use qmc_tfim::parallel::DistTfim;
+use qmc_tfim::serial::SerialTfim;
+use qmc_tfim::{StCouplings, TfimModel};
+use qmc_worldline::{Worldline, WorldlineParams};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed kernel.
+struct Kernel {
+    name: &'static str,
+    /// Nanoseconds per elementary operation (site update or raw draw).
+    ns_per_op: f64,
+    /// Elementary operations per second.
+    ops_per_s: f64,
+    /// Total operations in the timed section.
+    ops: u64,
+}
+
+/// Best-of-three timing of `f`, which performs `ops` elementary
+/// operations per invocation.
+fn time_kernel<F: FnMut()>(name: &'static str, ops: u64, mut f: F) -> Kernel {
+    f(); // warmup (fills caches, faults pages, grows SSE cutoff, …)
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let ns_per_op = best * 1e9 / ops as f64;
+    Kernel {
+        name,
+        ns_per_op,
+        ops_per_s: ops as f64 / best,
+        ops,
+    }
+}
+
+/// The reference (pre-optimization) serial TFIM Metropolis sweep: same
+/// checkerboard schedule and RNG stream as
+/// [`SerialTfim::metropolis_sweep`], but with f64 neighbour sums and one
+/// `exp` per proposal evaluated in the loop.
+fn exp_ref_sweep<R: Rng64>(m: &TfimModel, c: &StCouplings, spins: &mut [i8], rng: &mut R) {
+    let idx = |x: usize, y: usize, t: usize| (t * m.ly + y) * m.lx + x;
+    for color in 0..2usize {
+        for t in 0..m.m {
+            for y in 0..m.ly {
+                for x in 0..m.lx {
+                    if (x + y + t) % 2 != color {
+                        continue;
+                    }
+                    let s = spins[idx(x, y, t)] as f64;
+                    let mut spatial = spins[idx((x + 1) % m.lx, y, t)] as f64
+                        + spins[idx((x + m.lx - 1) % m.lx, y, t)] as f64;
+                    if m.ly > 1 {
+                        spatial += spins[idx(x, (y + 1) % m.ly, t)] as f64
+                            + spins[idx(x, (y + m.ly - 1) % m.ly, t)] as f64;
+                    }
+                    let temporal = spins[idx(x, y, (t + 1) % m.m)] as f64
+                        + spins[idx(x, y, (t + m.m - 1) % m.m)] as f64;
+                    let cost = 2.0 * s * (c.k_space * spatial + c.k_time * temporal);
+                    if rng.metropolis((-cost).exp()) {
+                        let i = idx(x, y, t);
+                        spins[i] = -spins[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tfim_model() -> TfimModel {
+    TfimModel {
+        lx: 64,
+        ly: 64,
+        j: 1.0,
+        h: 2.0,
+        beta: 1.0,
+        m: 8,
+    }
+}
+
+/// Kernel timings + JSON artifact — `repro bench`.
+pub fn bench_kernels(quick: bool) -> String {
+    let scale = if quick { 10 } else { 1 };
+    let mut kernels = Vec::new();
+
+    // --- Serial TFIM Metropolis sweep, table-driven hot path. Draws come
+    // through `Buffered`, the configuration the drivers use.
+    {
+        let model = tfim_model();
+        let sweeps = 1500 / scale;
+        let updates = (model.lx * model.ly * model.m * sweeps) as u64;
+        let mut eng = SerialTfim::new(model);
+        let mut rng = Buffered::new(Xoshiro256StarStar::new(12));
+        kernels.push(time_kernel("tfim_serial_sweep", updates, || {
+            for _ in 0..sweeps {
+                eng.metropolis_sweep(&mut rng);
+            }
+        }));
+    }
+
+    // --- The same sweep with the pre-table kernel (exp per proposal).
+    {
+        let model = tfim_model();
+        let sweeps = 500 / scale;
+        let updates = (model.lx * model.ly * model.m * sweeps) as u64;
+        let c = model.couplings();
+        let mut spins = vec![1i8; model.lx * model.ly * model.m];
+        let mut rng = Xoshiro256StarStar::new(12);
+        kernels.push(time_kernel("tfim_serial_sweep_expref", updates, || {
+            for _ in 0..sweeps {
+                exp_ref_sweep(&model, &c, &mut spins, &mut rng);
+            }
+        }));
+    }
+
+    // --- Distributed TFIM sweep + halo exchange on a 2×2 thread world.
+    {
+        let model = tfim_model();
+        let sweeps = 300 / scale;
+        let updates = (model.lx * model.ly * model.m * sweeps) as u64;
+        kernels.push(time_kernel("tfim_parallel_sweep_halo", updates, || {
+            run_threads(4, move |comm| {
+                let mut eng = DistTfim::new(model, comm);
+                let mut rng = StreamFactory::new(13).stream(comm.rank());
+                eng.halo_exchange(comm);
+                for _ in 0..sweeps {
+                    eng.sweep(comm, &mut rng);
+                }
+            });
+        }));
+    }
+
+    // --- World-line local-move sweep (table-driven corner moves).
+    {
+        let params = WorldlineParams {
+            l: 64,
+            jx: 1.0,
+            jz: 1.0,
+            beta: 2.0,
+            m: 16,
+        };
+        let sweeps = 4000 / scale;
+        // l·m corner proposals per sweep (plus l straight lines, not
+        // counted: they are O(rows) each and amortized into the rate).
+        let updates = (params.l * params.m * sweeps) as u64;
+        let mut w = Worldline::new(params);
+        let mut rng = Xoshiro256StarStar::new(14);
+        kernels.push(time_kernel("worldline_sweep", updates, || {
+            for _ in 0..sweeps {
+                w.sweep(&mut rng);
+            }
+        }));
+    }
+
+    // --- SSE sweep (diagonal update with probability tables + loop).
+    {
+        let lat = Square::new(16, 16);
+        let mut rng = Xoshiro256StarStar::new(15);
+        let mut sse = Sse::new(&lat, 1.0, 2.0, &mut rng);
+        // Thermalize so the cutoff has grown to its equilibrium length
+        // before timing (run() adapts the cutoff during thermalization).
+        let _ = sse.run(&mut rng, 500, 0);
+        let sweeps = 1000 / scale;
+        let updates = (sse.cutoff() * sweeps) as u64;
+        kernels.push(time_kernel("sse_sweep", updates, || {
+            for _ in 0..sweeps {
+                sse.sweep(&mut rng);
+            }
+        }));
+    }
+
+    // --- RNG throughput: bulk refill vs per-call dispatch.
+    {
+        let reps = 20_000 / scale;
+        let mut buf = vec![0u64; 4096];
+        let mut rng = Xoshiro256StarStar::new(16);
+        let draws = (buf.len() * reps) as u64;
+        kernels.push(time_kernel("rng_xoshiro_fill_u64", draws, || {
+            for _ in 0..reps {
+                rng.fill_u64(&mut buf);
+            }
+        }));
+        let mut rng = Xoshiro256StarStar::new(16);
+        let mut acc = 0u64;
+        kernels.push(time_kernel("rng_xoshiro_next_u64", draws, || {
+            for _ in 0..reps * 4096 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+        }));
+        std::hint::black_box((acc, &buf));
+    }
+
+    // Render the table + JSON artifact.
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Kernel benchmarks (fixed seeds, best of 3{}):",
+        if quick { ", --quick" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>16} {:>14}",
+        "kernel", "ns/op", "site-updates/s", "ops timed"
+    );
+    for k in &kernels {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.2} {:>16.3e} {:>14}",
+            k.name, k.ns_per_op, k.ops_per_s, k.ops
+        );
+    }
+    let table = kernels
+        .iter()
+        .find(|k| k.name == "tfim_serial_sweep")
+        .expect("kernel present");
+    let expref = kernels
+        .iter()
+        .find(|k| k.name == "tfim_serial_sweep_expref")
+        .expect("kernel present");
+    let speedup = expref.ns_per_op / table.ns_per_op;
+    let _ = writeln!(
+        out,
+        "serial TFIM table-vs-exp speedup: {speedup:.2}x (target >= 1.5x)"
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"qmc-bench-kernels/v1\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"tfim_serial_table_speedup_vs_exp\": {speedup:.3},"
+    );
+    json.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.3}, \"site_updates_per_s\": {:.4e}, \"ops\": {}}}",
+            k.name, k.ns_per_op, k.ops_per_s, k.ops
+        );
+        json.push_str(if i + 1 == kernels.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote {path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write {path}: {e}");
+        }
+    }
+    out
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod kernels;
 pub mod scaling;
 pub mod validation;
 

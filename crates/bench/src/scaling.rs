@@ -80,7 +80,14 @@ pub fn t2_weak_scaling(quick: bool) -> String {
 
     let mut t = Table::new(
         &format!("T2: weak scaling, {block}×{block}×8 spacetime block per node"),
-        &["P", "lattice", "t (model s)", "upd/s/node (M)", "total Mupd/s", "weak eff."],
+        &[
+            "P",
+            "lattice",
+            "t (model s)",
+            "upd/s/node (M)",
+            "total Mupd/s",
+            "weak eff.",
+        ],
     );
     let mut rate1 = 0.0;
     for &p in ps {
@@ -132,15 +139,30 @@ pub fn t3_comm_fraction(quick: bool) -> String {
             "T3: communication fraction, 2-D TFIM {}×{}×{}",
             model.lx, model.ly, model.m
         ),
-        &["P", "compute s", "comm s", "comm %", "msgs/rank", "bytes/rank"],
+        &[
+            "P",
+            "compute s",
+            "comm s",
+            "comm %",
+            "msgs/rank",
+            "bytes/rank",
+        ],
     );
     for &p in ps {
         let reports = run_job(model, p, 4, 33);
         let n = reports.len() as f64;
         let compute: f64 = reports.iter().map(|r| r.stats.compute_seconds).sum::<f64>() / n;
         let comm: f64 = reports.iter().map(|r| r.stats.comm_seconds).sum::<f64>() / n;
-        let msgs: f64 = reports.iter().map(|r| r.stats.messages_sent as f64).sum::<f64>() / n;
-        let bytes: f64 = reports.iter().map(|r| r.stats.bytes_sent as f64).sum::<f64>() / n;
+        let msgs: f64 = reports
+            .iter()
+            .map(|r| r.stats.messages_sent as f64)
+            .sum::<f64>()
+            / n;
+        let bytes: f64 = reports
+            .iter()
+            .map(|r| r.stats.bytes_sent as f64)
+            .sum::<f64>()
+            / n;
         t.row(&[
             format!("{p}"),
             format!("{compute:.4}"),

@@ -181,6 +181,37 @@ pub trait Communicator {
         self.recv_bytes(src, recv_tag)
     }
 
+    /// Blocking receive into a caller-provided buffer.
+    ///
+    /// Contract: `buf` is cleared and then filled with exactly the payload
+    /// of the matched message; its *capacity* is reused, so a caller that
+    /// keeps the buffer alive across iterations performs no steady-state
+    /// heap allocation. The default delegates to [`Self::recv_bytes`];
+    /// the in-repo back-ends override it to copy straight out of the
+    /// mailbox message.
+    fn recv_bytes_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
+        let msg = self.recv_bytes(src, tag);
+        buf.clear();
+        buf.extend_from_slice(&msg);
+    }
+
+    /// Buffer-reuse variant of [`Self::sendrecv_bytes`]: the received
+    /// payload lands in `recv_buf` (cleared first, capacity reused). Same
+    /// buffered-send-then-blocking-receive semantics; the default impl
+    /// delegates to [`Self::send_bytes`] + [`Self::recv_bytes_into`].
+    fn sendrecv_bytes_into(
+        &mut self,
+        dest: usize,
+        send_tag: u32,
+        data: &[u8],
+        src: usize,
+        recv_tag: u32,
+        recv_buf: &mut Vec<u8>,
+    ) {
+        self.send_bytes(dest, send_tag, data);
+        self.recv_bytes_into(src, recv_tag, recv_buf);
+    }
+
     // ------------------------------------------------------------------
     // Collectives (binomial tree / recursive doubling on point-to-point).
     // ------------------------------------------------------------------
@@ -216,7 +247,7 @@ pub trait Communicator {
         let tag = COLLECTIVE_TAG_BASE + seq.wrapping_mul(64);
         let me = self.rank();
         let vrank = (me + p - root) % p; // root maps to virtual 0
-        // Receive once (unless root), then forward down the tree.
+                                         // Receive once (unless root), then forward down the tree.
         let mut buf = if vrank == 0 {
             data
         } else {
@@ -424,10 +455,7 @@ mod tests {
         let results = run_threads(4, |comm| comm.gather_bytes(2, &[comm.rank() as u8]));
         for (r, res) in results.into_iter().enumerate() {
             if r == 2 {
-                assert_eq!(
-                    res.unwrap(),
-                    vec![vec![0u8], vec![1], vec![2], vec![3]]
-                );
+                assert_eq!(res.unwrap(), vec![vec![0u8], vec![1], vec![2], vec![3]]);
             } else {
                 assert!(res.is_none());
             }
@@ -458,6 +486,56 @@ mod tests {
             got[0] as usize
         });
         assert_eq!(results, vec![5, 0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sendrecv_into_ring_reuses_buffer() {
+        // Repeated buffered exchanges must reuse the receive buffer's
+        // allocation: the pointer never moves once capacity suffices.
+        let results = run_threads(4, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let mut buf: Vec<u8> = Vec::with_capacity(16);
+            let ptr0 = buf.as_ptr() as usize;
+            for round in 0..10u8 {
+                comm.sendrecv_bytes_into(right, 2, &[comm.rank() as u8, round], left, 2, &mut buf);
+                assert_eq!(buf, [left as u8, round]);
+            }
+            assert_eq!(buf.as_ptr() as usize, ptr0, "recv buffer reallocated");
+            buf[0] as usize
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn serial_sendrecv_into_self_wrap() {
+        // P = 1 periodic wrap: the message comes straight back, reusing
+        // the buffer's allocation.
+        let mut comm = SerialComm::new();
+        let mut buf: Vec<u8> = Vec::with_capacity(8);
+        let ptr0 = buf.as_ptr() as usize;
+        comm.sendrecv_bytes_into(0, 3, &[1, 2, 3], 0, 3, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+        comm.sendrecv_bytes_into(0, 3, &[9], 0, 3, &mut buf);
+        assert_eq!(buf, [9]);
+        assert_eq!(buf.as_ptr() as usize, ptr0, "recv buffer reallocated");
+    }
+
+    #[test]
+    fn recv_bytes_into_matches_recv_bytes() {
+        let results = run_threads(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 5, &[1, 2, 3]);
+                comm.send_bytes(1, 5, &[4, 5]);
+                Vec::new()
+            } else {
+                let a = comm.recv_bytes(0, 5);
+                let mut b = Vec::new();
+                comm.recv_bytes_into(0, 5, &mut b);
+                vec![a, b]
+            }
+        });
+        assert_eq!(results[1], vec![vec![1, 2, 3], vec![4, 5]]);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Shared in-memory mailboxes: the "wires" of the simulated machine.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::time::Duration;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A message in flight. `depart` is the sender's virtual clock at the
 /// moment the message left (0.0 under the wall-clock back-end).
@@ -29,8 +29,9 @@ impl Mailbox {
 
     /// Deposit a message from `src` with `tag`.
     pub fn put(&self, src: usize, tag: u32, msg: Msg) {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().unwrap_or_else(|e| e.into_inner());
         q.entry((src, tag)).or_default().push_back(msg);
+        drop(q);
         self.cond.notify_all();
     }
 
@@ -40,19 +41,27 @@ impl Mailbox {
     /// always exists, so a timeout means deadlock (or a tag mismatch) and
     /// aborting with context beats hanging forever.
     pub fn take(&self, me: usize, src: usize, tag: u32, timeout: Duration) -> Msg {
-        let mut q = self.queues.lock();
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queues.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(queue) = q.get_mut(&(src, tag)) {
                 if let Some(msg) = queue.pop_front() {
                     return msg;
                 }
             }
-            if self.cond.wait_for(&mut q, timeout).timed_out() {
+            let now = Instant::now();
+            let remaining = deadline.saturating_duration_since(now);
+            if remaining.is_zero() {
                 panic!(
                     "rank {me}: recv(src={src}, tag={tag:#x}) timed out after {timeout:?} — \
                      deadlock or mismatched send/recv"
                 );
             }
+            let (guard, _res) = self
+                .cond
+                .wait_timeout(q, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
         }
     }
 }
@@ -65,7 +74,14 @@ mod tests {
     #[test]
     fn put_take_roundtrip() {
         let mb = Mailbox::new();
-        mb.put(3, 7, Msg { bytes: vec![1, 2], depart: 0.5 });
+        mb.put(
+            3,
+            7,
+            Msg {
+                bytes: vec![1, 2],
+                depart: 0.5,
+            },
+        );
         let m = mb.take(0, 3, 7, Duration::from_secs(1));
         assert_eq!(m.bytes, vec![1, 2]);
         assert_eq!(m.depart, 0.5);
@@ -75,7 +91,14 @@ mod tests {
     fn fifo_order_per_key() {
         let mb = Mailbox::new();
         for i in 0..5u8 {
-            mb.put(0, 1, Msg { bytes: vec![i], depart: 0.0 });
+            mb.put(
+                0,
+                1,
+                Msg {
+                    bytes: vec![i],
+                    depart: 0.0,
+                },
+            );
         }
         for i in 0..5u8 {
             assert_eq!(mb.take(0, 0, 1, Duration::from_secs(1)).bytes, vec![i]);
@@ -85,9 +108,30 @@ mod tests {
     #[test]
     fn keys_do_not_cross_talk() {
         let mb = Mailbox::new();
-        mb.put(0, 1, Msg { bytes: vec![10], depart: 0.0 });
-        mb.put(0, 2, Msg { bytes: vec![20], depart: 0.0 });
-        mb.put(1, 1, Msg { bytes: vec![30], depart: 0.0 });
+        mb.put(
+            0,
+            1,
+            Msg {
+                bytes: vec![10],
+                depart: 0.0,
+            },
+        );
+        mb.put(
+            0,
+            2,
+            Msg {
+                bytes: vec![20],
+                depart: 0.0,
+            },
+        );
+        mb.put(
+            1,
+            1,
+            Msg {
+                bytes: vec![30],
+                depart: 0.0,
+            },
+        );
         assert_eq!(mb.take(0, 1, 1, Duration::from_secs(1)).bytes, vec![30]);
         assert_eq!(mb.take(0, 0, 2, Duration::from_secs(1)).bytes, vec![20]);
         assert_eq!(mb.take(0, 0, 1, Duration::from_secs(1)).bytes, vec![10]);
@@ -97,11 +141,16 @@ mod tests {
     fn blocking_take_wakes_on_put() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = mb.clone();
-        let h = std::thread::spawn(move || {
-            mb2.take(0, 9, 9, Duration::from_secs(5)).bytes
-        });
+        let h = std::thread::spawn(move || mb2.take(0, 9, 9, Duration::from_secs(5)).bytes);
         std::thread::sleep(Duration::from_millis(20));
-        mb.put(9, 9, Msg { bytes: vec![42], depart: 0.0 });
+        mb.put(
+            9,
+            9,
+            Msg {
+                bytes: vec![42],
+                depart: 0.0,
+            },
+        );
         assert_eq!(h.join().unwrap(), vec![42]);
     }
 

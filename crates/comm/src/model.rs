@@ -116,6 +116,12 @@ impl ModelComm {
         self.stats.comm_seconds += wait + self.model.recv_overhead;
         msg.bytes
     }
+
+    fn raw_recv_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
+        let msg = self.raw_recv(src, tag);
+        buf.clear();
+        buf.extend_from_slice(&msg);
+    }
 }
 
 impl Communicator for ModelComm {
@@ -141,6 +147,14 @@ impl Communicator for ModelComm {
             "tag {tag:#x} is reserved for collectives"
         );
         self.raw_recv(src, tag)
+    }
+
+    fn recv_bytes_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag:#x} is reserved for collectives"
+        );
+        self.raw_recv_into(src, tag, buf);
     }
 
     fn compute(&mut self, units: f64) {
@@ -260,8 +274,7 @@ mod tests {
     #[test]
     fn message_time_matches_model() {
         let model = MachineModel::mesh_1993(2);
-        let expected =
-            model.send_overhead + model.wire_time(0, 1, 1000) + model.recv_overhead;
+        let expected = model.send_overhead + model.wire_time(0, 1, 1000) + model.recv_overhead;
         let reports = run_model(2, model, |c| {
             if c.rank() == 0 {
                 c.send_bytes(1, 1, &[0u8; 1000]);
@@ -373,9 +386,13 @@ mod tests {
         });
         for r in &reports {
             let total = r.stats.comm_seconds + r.stats.compute_seconds;
-            assert!((total - r.virtual_seconds).abs() < 1e-12,
+            assert!(
+                (total - r.virtual_seconds).abs() < 1e-12,
                 "clock {} != comm {} + compute {}",
-                r.virtual_seconds, r.stats.comm_seconds, r.stats.compute_seconds);
+                r.virtual_seconds,
+                r.stats.comm_seconds,
+                r.stats.compute_seconds
+            );
         }
     }
 

@@ -53,6 +53,15 @@ impl ThreadComm {
         self.stats.comm_seconds += t0.elapsed().as_secs_f64();
         msg.bytes
     }
+
+    fn raw_recv_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
+        assert!(src < self.size, "src rank {src} out of range");
+        let t0 = Instant::now();
+        let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
+        self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+        buf.clear();
+        buf.extend_from_slice(&msg.bytes);
+    }
 }
 
 impl Communicator for ThreadComm {
@@ -78,6 +87,14 @@ impl Communicator for ThreadComm {
             "tag {tag:#x} is reserved for collectives"
         );
         self.raw_recv(src, tag)
+    }
+
+    fn recv_bytes_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag:#x} is reserved for collectives"
+        );
+        self.raw_recv_into(src, tag, buf);
     }
 
     fn compute(&mut self, units: f64) {

@@ -48,21 +48,46 @@ pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn f64_roundtrip(xs in proptest::collection::vec(any::<f64>(), 0..64)) {
+    /// Deterministic 64-bit scrambler (SplitMix64 step) so the roundtrip
+    /// tests cover many bit patterns without an external property-test
+    /// dependency.
+    fn scramble(i: u64) -> u64 {
+        let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        // Random-ish patterns plus the special values (NaN, ±∞, ±0,
+        // subnormals) whose bit patterns must survive unchanged.
+        for len in [0usize, 1, 2, 7, 63] {
+            let mut xs: Vec<f64> = (0..len as u64)
+                .map(|i| f64::from_bits(scramble(i)))
+                .collect();
+            xs.extend([
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                0.0,
+                -0.0,
+                f64::MIN_POSITIVE / 2.0,
+            ]);
             let back = bytes_to_f64s(&f64s_to_bytes(&xs));
-            prop_assert_eq!(back.len(), xs.len());
+            assert_eq!(back.len(), xs.len());
             for (a, b) in back.iter().zip(&xs) {
-                prop_assert!(a.to_bits() == b.to_bits());
+                assert!(a.to_bits() == b.to_bits());
             }
         }
+    }
 
-        #[test]
-        fn u64_roundtrip(xs in proptest::collection::vec(any::<u64>(), 0..64)) {
-            prop_assert_eq!(bytes_to_u64s(&u64s_to_bytes(&xs)), xs);
+    #[test]
+    fn u64_roundtrip() {
+        for len in [0usize, 1, 3, 8, 64] {
+            let xs: Vec<u64> = (0..len as u64).map(scramble).collect();
+            assert_eq!(bytes_to_u64s(&u64s_to_bytes(&xs)), xs);
         }
     }
 

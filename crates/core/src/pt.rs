@@ -61,15 +61,7 @@ impl PtLadder {
         );
         let replicas = betas
             .iter()
-            .map(|&beta| {
-                Worldline::new(WorldlineParams {
-                    l,
-                    jx,
-                    jz,
-                    beta,
-                    m,
-                })
-            })
+            .map(|&beta| Worldline::new(WorldlineParams { l, jx, jz, beta, m }))
             .collect();
         let n = betas.len();
         Self {
@@ -113,9 +105,8 @@ impl PtLadder {
             let b = &mut hi[0];
             let wa = *a.weights();
             let wb = *b.weights();
-            let log_ratio = a.log_weight_with(&wb) + b.log_weight_with(&wa)
-                - a.log_weight()
-                - b.log_weight();
+            let log_ratio =
+                a.log_weight_with(&wb) + b.log_weight_with(&wa) - a.log_weight() - b.log_weight();
             if rng.metropolis(log_ratio.exp()) {
                 self.stats.accepted[k] += 1;
                 let sa = a.export_spins();
@@ -258,10 +249,10 @@ pub fn run_pt_parallel<C: Communicator, R: Rng64>(
     let mut step = 0u64;
 
     let do_phase = |replica: &mut Worldline,
-                        comm: &mut C,
-                        step: u64,
-                        accepted: &mut [f64],
-                        attempted: &mut [f64]| {
+                    comm: &mut C,
+                    step: u64,
+                    accepted: &mut [f64],
+                    attempted: &mut [f64]| {
         let phase = (step % 2) as usize;
         // The pair for me: partner above if my index parity == phase,
         // else partner below (if any).

@@ -126,9 +126,7 @@ mod tests {
 
     #[test]
     fn threaded_run_gathers_in_point_order() {
-        let all = run_threads(3, |comm| {
-            run_replicas(comm, 8, |i| vec![(i * i) as f64])
-        });
+        let all = run_threads(3, |comm| run_replicas(comm, 8, |i| vec![(i * i) as f64]));
         // rank 0 gets the full table, others None
         let table = all[0].as_ref().expect("rank 0 has results");
         assert_eq!(table.len(), 8);

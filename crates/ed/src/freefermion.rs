@@ -198,13 +198,9 @@ mod tests {
         for l in [4usize, 6, 8] {
             let lat = Chain::new(l);
             for &h in &[0.3f64, 1.0, 2.5] {
-                let ed = tfim::full_spectrum(&lat, &tfim::TfimParams { j: 1.0, h })
-                    .ground_energy();
+                let ed = tfim::full_spectrum(&lat, &tfim::TfimParams { j: 1.0, h }).ground_energy();
                 let ff = tfim_chain_ground_energy(l, 1.0, h);
-                assert!(
-                    (ed - ff).abs() < 1e-8,
-                    "L={l} h={h}: ED {ed} vs FF {ff}"
-                );
+                assert!((ed - ff).abs() < 1e-8, "L={l} h={h}: ED {ed} vs FF {ff}");
             }
         }
     }

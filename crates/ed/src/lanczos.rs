@@ -241,11 +241,7 @@ mod tests {
         let op = XxzSectorOp::new(&lat, p, 8);
         assert_eq!(op.sector_dim(), 12870);
         let e0 = lanczos_ground_energy(&op, 11, 250, 1e-10);
-        assert!(
-            (e0 / 16.0 + 0.7017802).abs() < 1e-5,
-            "E0/N = {}",
-            e0 / 16.0
-        );
+        assert!((e0 / 16.0 + 0.7017802).abs() < 1e-5, "E0/N = {}", e0 / 16.0);
     }
 
     #[test]

@@ -36,8 +36,8 @@
 pub mod freefermion;
 pub mod lanczos;
 pub mod matrix;
-pub mod thermo;
 pub mod tfim;
+pub mod thermo;
 pub mod xxz;
 
 pub use matrix::{jacobi_eigen, tridiag_eigen, EigenDecomposition, SymMatrix};

@@ -381,7 +381,10 @@ mod tests {
             for k2 in 0..=k1 {
                 let dot: f64 = (0..n).map(|i| z[i * n + k1] * z[i * n + k2]).sum();
                 let expect = if k1 == k2 { 1.0 } else { 0.0 };
-                assert!((dot - expect).abs() < tol, "orthonormality ({k1},{k2}): {dot}");
+                assert!(
+                    (dot - expect).abs() < tol,
+                    "orthonormality ({k1},{k2}): {dot}"
+                );
             }
         }
     }

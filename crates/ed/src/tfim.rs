@@ -41,7 +41,11 @@ pub fn hamiltonian<L: Lattice>(lat: &L, p: &TfimParams) -> SymMatrix {
     let dim = 1usize << n;
     let mut hmat = SymMatrix::zeros(dim);
     for state in 0..dim as u64 {
-        hmat.set(state as usize, state as usize, ising_energy(lat, p.j, state));
+        hmat.set(
+            state as usize,
+            state as usize,
+            ising_energy(lat, p.j, state),
+        );
         for site in 0..n {
             let flipped = (state ^ (1 << site)) as usize;
             if flipped > state as usize {

@@ -153,8 +153,14 @@ mod tests {
         // A single free spin-1/2: χ = β/4.
         let s = Spectrum {
             levels: vec![
-                Level { energy: 0.0, magnetization: 0.5 },
-                Level { energy: 0.0, magnetization: -0.5 },
+                Level {
+                    energy: 0.0,
+                    magnetization: 0.5,
+                },
+                Level {
+                    energy: 0.0,
+                    magnetization: -0.5,
+                },
             ],
         };
         let beta = 1.7;

@@ -179,13 +179,7 @@ where
 }
 
 /// Exact `⟨Sᶻ_i Sᶻ_j⟩` at inverse temperature `beta`.
-pub fn szsz_correlation<L: Lattice>(
-    lat: &L,
-    p: &XxzParams,
-    beta: f64,
-    i: usize,
-    j: usize,
-) -> f64 {
+pub fn szsz_correlation<L: Lattice>(lat: &L, p: &XxzParams, beta: f64, i: usize, j: usize) -> f64 {
     thermal_diagonal_average(lat, p, beta, |state| {
         let si = if state >> i & 1 == 1 { 0.5 } else { -0.5 };
         let sj = if state >> j & 1 == 1 { 0.5 } else { -0.5 };
@@ -382,7 +376,10 @@ mod tests {
         // value from free-fermion theory: E0 = −√2 for J=1.
         let lat = Chain::new(4);
         let s = full_spectrum(&lat, &XxzParams::xy(1.0));
-        assert!((s.ground_energy() + std::f64::consts::SQRT_2).abs() < 1e-10,
-            "E0 = {}", s.ground_energy());
+        assert!(
+            (s.ground_energy() + std::f64::consts::SQRT_2).abs() < 1e-10,
+            "E0 = {}",
+            s.ground_energy()
+        );
     }
 }

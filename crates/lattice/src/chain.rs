@@ -18,7 +18,10 @@ pub struct Chain {
 impl Chain {
     /// Build a periodic chain of `len` sites (even, ≥ 2).
     pub fn new(len: usize) -> Self {
-        assert!(len >= 2 && len.is_multiple_of(2), "chain length must be even ≥ 2, got {len}");
+        assert!(
+            len >= 2 && len.is_multiple_of(2),
+            "chain length must be even ≥ 2, got {len}"
+        );
         let mut bonds = Vec::with_capacity(len);
         // color 0: bonds (0,1), (2,3), … ; color 1: (1,2), (3,4), …, (len-1,0)
         for color in 0..2u8 {
@@ -38,7 +41,11 @@ impl Chain {
         }
         let n0 = bonds.iter().filter(|b| b.color == 0).count();
         let offsets = [0, n0, bonds.len()];
-        Self { len, bonds, offsets }
+        Self {
+            len,
+            bonds,
+            offsets,
+        }
     }
 
     /// Chain length.
@@ -105,7 +112,14 @@ mod tests {
     fn two_site_chain_single_bond() {
         let c = Chain::new(2);
         assert_eq!(c.bonds().len(), 1);
-        assert_eq!(c.bonds()[0], Bond { a: 0, b: 1, color: 0 });
+        assert_eq!(
+            c.bonds()[0],
+            Bond {
+                a: 0,
+                b: 1,
+                color: 0
+            }
+        );
     }
 
     #[test]
@@ -122,10 +136,10 @@ mod tests {
     #[test]
     fn wraparound_bond_present() {
         let c = Chain::new(6);
-        assert!(c
-            .bonds()
-            .iter()
-            .any(|b| (b.a, b.b) == (5, 0)), "missing periodic bond");
+        assert!(
+            c.bonds().iter().any(|b| (b.a, b.b) == (5, 0)),
+            "missing periodic bond"
+        );
     }
 
     #[test]

@@ -158,9 +158,13 @@ impl Subdomain {
     /// toward `dir`.
     pub fn send_strip(&self, dir: Dir) -> Vec<usize> {
         match dir {
-            Dir::East => (0..self.h).map(|iy| self.local(self.w as isize - 1, iy as isize)).collect(),
+            Dir::East => (0..self.h)
+                .map(|iy| self.local(self.w as isize - 1, iy as isize))
+                .collect(),
             Dir::West => (0..self.h).map(|iy| self.local(0, iy as isize)).collect(),
-            Dir::North => (0..self.w).map(|ix| self.local(ix as isize, self.h as isize - 1)).collect(),
+            Dir::North => (0..self.w)
+                .map(|ix| self.local(ix as isize, self.h as isize - 1))
+                .collect(),
             Dir::South => (0..self.w).map(|ix| self.local(ix as isize, 0)).collect(),
         }
     }
@@ -169,9 +173,13 @@ impl Subdomain {
     /// `dir`.
     pub fn recv_strip(&self, dir: Dir) -> Vec<usize> {
         match dir {
-            Dir::East => (0..self.h).map(|iy| self.local(self.w as isize, iy as isize)).collect(),
+            Dir::East => (0..self.h)
+                .map(|iy| self.local(self.w as isize, iy as isize))
+                .collect(),
             Dir::West => (0..self.h).map(|iy| self.local(-1, iy as isize)).collect(),
-            Dir::North => (0..self.w).map(|ix| self.local(ix as isize, self.h as isize)).collect(),
+            Dir::North => (0..self.w)
+                .map(|ix| self.local(ix as isize, self.h as isize))
+                .collect(),
             Dir::South => (0..self.w).map(|ix| self.local(ix as isize, -1)).collect(),
         }
     }
@@ -255,7 +263,6 @@ impl Decomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn nearly_square_factorizations() {
@@ -302,50 +309,60 @@ mod tests {
         assert_eq!(g.hops(0, 5), 2);
     }
 
-    proptest! {
-        #[test]
-        fn decomposition_exactly_covers_lattice(
-            lx in 4usize..40,
-            ly in 4usize..40,
-            px in 1usize..5,
-            py in 1usize..5,
-        ) {
-            prop_assume!(px <= lx && py <= ly);
-            let d = Decomposition::new(lx, ly, ProcGrid::new(px, py));
-            let mut covered = vec![false; lx * ly];
-            for r in 0..px * py {
-                let s = d.subdomain(r);
-                for iy in 0..s.h {
-                    for ix in 0..s.w {
-                        let (gx, gy) = s.global(ix, iy, lx, ly);
-                        let idx = gy * lx + gx;
-                        prop_assert!(!covered[idx], "cell covered twice");
-                        covered[idx] = true;
-                        prop_assert_eq!(d.owner_of(gx, gy), r);
+    #[test]
+    fn decomposition_exactly_covers_lattice() {
+        // Exhaustive over every grid shape up to 4×4 on a spread of
+        // lattice sizes (including ragged, non-divisible extents).
+        for &(lx, ly) in &[(4usize, 4usize), (5, 7), (11, 4), (17, 23), (39, 38)] {
+            for px in 1..5usize {
+                for py in 1..5usize {
+                    if px > lx || py > ly {
+                        continue;
                     }
+                    let d = Decomposition::new(lx, ly, ProcGrid::new(px, py));
+                    let mut covered = vec![false; lx * ly];
+                    for r in 0..px * py {
+                        let s = d.subdomain(r);
+                        for iy in 0..s.h {
+                            for ix in 0..s.w {
+                                let (gx, gy) = s.global(ix, iy, lx, ly);
+                                let idx = gy * lx + gx;
+                                assert!(!covered[idx], "cell covered twice");
+                                covered[idx] = true;
+                                assert_eq!(d.owner_of(gx, gy), r);
+                            }
+                        }
+                    }
+                    assert!(covered.iter().all(|&c| c), "cell uncovered");
                 }
             }
-            prop_assert!(covered.iter().all(|&c| c), "cell uncovered");
         }
+    }
 
-        #[test]
-        fn strips_have_correct_length(
-            w in 1usize..10,
-            h in 1usize..10,
-        ) {
-            let s = Subdomain { x0: 0, y0: 0, w, h };
-            prop_assert_eq!(s.send_strip(Dir::East).len(), h);
-            prop_assert_eq!(s.send_strip(Dir::West).len(), h);
-            prop_assert_eq!(s.send_strip(Dir::North).len(), w);
-            prop_assert_eq!(s.send_strip(Dir::South).len(), w);
-            prop_assert_eq!(s.recv_strip(Dir::East).len(), h);
-            prop_assert_eq!(s.recv_strip(Dir::North).len(), w);
+    #[test]
+    fn strips_have_correct_length() {
+        // Exhaustive over all block shapes up to 9×9.
+        for w in 1..10usize {
+            for h in 1..10usize {
+                let s = Subdomain { x0: 0, y0: 0, w, h };
+                assert_eq!(s.send_strip(Dir::East).len(), h);
+                assert_eq!(s.send_strip(Dir::West).len(), h);
+                assert_eq!(s.send_strip(Dir::North).len(), w);
+                assert_eq!(s.send_strip(Dir::South).len(), w);
+                assert_eq!(s.recv_strip(Dir::East).len(), h);
+                assert_eq!(s.recv_strip(Dir::North).len(), w);
+            }
         }
     }
 
     #[test]
     fn local_indexing_layout() {
-        let s = Subdomain { x0: 0, y0: 0, w: 3, h: 2 };
+        let s = Subdomain {
+            x0: 0,
+            y0: 0,
+            w: 3,
+            h: 2,
+        };
         assert_eq!(s.padded_len(), 5 * 4);
         assert_eq!(s.local(0, 0), 6); // row 1, col 1 of a 5-wide array
         assert_eq!(s.local(-1, -1), 0); // corner ghost
@@ -354,7 +371,12 @@ mod tests {
 
     #[test]
     fn send_and_recv_strips_disjoint() {
-        let s = Subdomain { x0: 0, y0: 0, w: 4, h: 4 };
+        let s = Subdomain {
+            x0: 0,
+            y0: 0,
+            w: 4,
+            h: 4,
+        };
         for d in Dir::ALL {
             let send = s.send_strip(d);
             let recv = s.recv_strip(d);

@@ -86,12 +86,25 @@ impl Rng64 for Lcg64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        // State in a local for the batch; identical sequence to repeated
+        // `next_u64`.
+        let mut s = self.state;
+        for slot in out.iter_mut() {
+            s = s.wrapping_mul(MULT).wrapping_add(INC);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        self.state = s;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn jump_zero_is_identity() {
@@ -120,25 +133,33 @@ mod tests {
         assert_eq!(a, b);
     }
 
-    proptest! {
-        #[test]
-        fn jump_matches_iterated_step(seed in any::<u64>(), n in 0u64..5000) {
-            let mut jumped = Lcg64::new(seed);
-            jumped.jump(n);
-            let mut stepped = Lcg64::new(seed);
-            for _ in 0..n {
-                stepped.step();
+    #[test]
+    fn jump_matches_iterated_step() {
+        // Scrambled seeds × a spread of jump distances (including the
+        // power-of-two boundaries the O(log n) jump decomposes into).
+        for s in 0..16u64 {
+            let seed = crate::SplitMix64::new(s).next_u64();
+            for n in [0u64, 1, 2, 3, 7, 63, 64, 65, 1000, 4999] {
+                let mut jumped = Lcg64::new(seed);
+                jumped.jump(n);
+                let mut stepped = Lcg64::new(seed);
+                for _ in 0..n {
+                    stepped.step();
+                }
+                assert_eq!(jumped, stepped, "seed {seed} n {n}");
             }
-            prop_assert_eq!(jumped, stepped);
         }
+    }
 
-        #[test]
-        fn block_streams_disjoint_prefixes(seed in any::<u64>()) {
-            // The first outputs of neighbouring rank streams must differ —
-            // a trivially necessary condition for block disjointness.
+    #[test]
+    fn block_streams_disjoint_prefixes() {
+        // The first outputs of neighbouring rank streams must differ —
+        // a trivially necessary condition for block disjointness.
+        for s in 0..64u64 {
+            let seed = crate::SplitMix64::new(s).next_u64();
             let mut r0 = Lcg64::block_stream(seed, 0);
             let mut r1 = Lcg64::block_stream(seed, 1);
-            prop_assert_ne!(r0.next_u64(), r1.next_u64());
+            assert_ne!(r0.next_u64(), r1.next_u64(), "seed {seed}");
         }
     }
 

@@ -33,7 +33,8 @@ impl LaggedFibonacci55 {
     /// SplitMix64 sequence keyed by `(seed, rank)`.
     pub fn param_stream(seed: u64, rank: usize) -> Self {
         Self::from_splitmix(SplitMix64::new(SplitMix64::derive_stream_seed(
-            seed, rank as u64,
+            seed,
+            rank as u64,
         )))
     }
 

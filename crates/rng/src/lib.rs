@@ -50,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffered;
 mod lcg;
 mod lfg;
 mod splitmix;
 mod stream;
 mod xoshiro;
 
+pub use buffered::Buffered;
 pub use lcg::Lcg64;
 pub use lfg::LaggedFibonacci55;
 pub use splitmix::SplitMix64;
@@ -71,6 +73,17 @@ pub use xoshiro::Xoshiro256StarStar;
 pub trait Rng64 {
     /// Produce the next raw 64-bit output.
     fn next_u64(&mut self) -> u64;
+
+    /// Fill `out` with consecutive raw outputs — exactly the sequence
+    /// repeated [`Self::next_u64`] calls would produce (so buffering draws
+    /// through [`Buffered`] never changes a trajectory). Generators
+    /// override this to keep their state in registers across the whole
+    /// batch, amortizing per-draw dispatch in the Metropolis kernels.
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        for slot in out.iter_mut() {
+            *slot = self.next_u64();
+        }
+    }
 
     /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
     #[inline]
@@ -158,6 +171,11 @@ impl<R: Rng64 + ?Sized> Rng64 for &mut R {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        (**self).fill_u64(out)
     }
 }
 

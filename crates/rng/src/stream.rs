@@ -75,11 +75,9 @@ impl StreamFactory {
                 g.jump();
                 StreamRng::Xoshiro(g)
             }
-            StreamKind::LaggedFibonacci => {
-                StreamRng::LaggedFibonacci(Box::new(LaggedFibonacci55::param_stream(
-                    self.seed, rank,
-                )))
-            }
+            StreamKind::LaggedFibonacci => StreamRng::LaggedFibonacci(Box::new(
+                LaggedFibonacci55::param_stream(self.seed, rank),
+            )),
         }
     }
 }

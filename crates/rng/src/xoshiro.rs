@@ -58,10 +58,7 @@ impl Xoshiro256StarStar {
 impl Rng64 for Xoshiro256StarStar {
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -70,6 +67,24 @@ impl Rng64 for Xoshiro256StarStar {
         self.s[2] ^= t;
         self.s[3] = self.s[3].rotate_left(45);
         result
+    }
+
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        // Same recurrence with the state held in locals for the whole
+        // batch (one load/store of the 4-word state per call, not per
+        // draw). Output sequence identical to repeated `next_u64`.
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        for slot in out.iter_mut() {
+            *slot = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+        }
+        self.s = [s0, s1, s2, s3];
     }
 }
 

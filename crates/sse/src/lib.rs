@@ -65,6 +65,12 @@ pub struct Sse {
     ops: Vec<Op>,
     /// Non-identity operator count.
     n_ops: usize,
+    /// `prob_insert[k] = β·N_b·(J/2)/k`, indexed by the free-slot count
+    /// `k = M − n` — the diagonal-insert acceptance probability with the
+    /// division taken out of the sweep loop.
+    prob_insert: Vec<f64>,
+    /// `prob_remove[k] = k/(β·N_b·(J/2))`, indexed by `k = M − n + 1`.
+    prob_remove: Vec<f64>,
     // Scratch for link building / loop traversal.
     links: Vec<i64>,
     vfirst: Vec<i64>,
@@ -159,8 +165,8 @@ impl SseSeries {
 
     /// Staggered structure factor per site `S(π)/N = ⟨m_s²⟩/N`.
     pub fn staggered_structure_factor(&self) -> f64 {
-        let s2: f64 = self.staggered.iter().map(|s| s * s).sum::<f64>()
-            / self.staggered.len().max(1) as f64;
+        let s2: f64 =
+            self.staggered.iter().map(|s| s * s).sum::<f64>() / self.staggered.len().max(1) as f64;
         s2 / self.n_sites as f64
     }
 }
@@ -177,7 +183,7 @@ impl Sse {
         // Random initial state (any works; loops equilibrate it fast).
         let state = (0..n_sites).map(|_| rng.bernoulli(0.5)).collect();
         let cutoff = 20.max(n_sites);
-        Self {
+        let mut sse = Self {
             n_sites,
             bonds,
             sublattice,
@@ -186,12 +192,33 @@ impl Sse {
             state,
             ops: vec![IDENTITY; cutoff],
             n_ops: 0,
+            prob_insert: Vec::new(),
+            prob_remove: Vec::new(),
             links: Vec::new(),
             vfirst: Vec::new(),
             vlast: Vec::new(),
             flipped: Vec::new(),
             visited: Vec::new(),
-        }
+        };
+        sse.rebuild_diag_tables();
+        sse
+    }
+
+    /// (Re)build the per-free-slot-count diagonal probability tables up to
+    /// the current cutoff. Each entry is computed with exactly the f64
+    /// expression the sweep loop previously evaluated in place, so
+    /// fixed-seed trajectories are bit-identical; called whenever the
+    /// cutoff `M` changes.
+    fn rebuild_diag_tables(&mut self) {
+        let m = self.ops.len();
+        let nb = self.bonds.len() as f64;
+        let half_j = self.j / 2.0;
+        self.prob_insert.clear();
+        self.prob_insert
+            .extend((0..=m).map(|k| self.beta * nb * half_j / k as f64));
+        self.prob_remove.clear();
+        self.prob_remove
+            .extend((0..=m).map(|k| k as f64 / (self.beta * nb * half_j)));
     }
 
     /// Current string cutoff `M`.
@@ -208,15 +235,14 @@ impl Sse {
     /// propagation, flipping through off-diagonal vertices.
     fn diagonal_update<R: Rng64>(&mut self, rng: &mut R) {
         let m = self.ops.len();
-        let nb = self.bonds.len() as f64;
-        let half_j = self.j / 2.0;
+        debug_assert!(self.prob_insert.len() == m + 1, "stale probability tables");
         for p in 0..m {
             match self.ops[p] {
                 IDENTITY => {
                     let b = rng.index(self.bonds.len());
                     let (i, jj) = self.bonds[b];
                     if self.state[i as usize] != self.state[jj as usize] {
-                        let prob = self.beta * nb * half_j / (m - self.n_ops) as f64;
+                        let prob = self.prob_insert[m - self.n_ops];
                         if rng.metropolis(prob) {
                             self.ops[p] = 2 * b as Op;
                             self.n_ops += 1;
@@ -224,7 +250,7 @@ impl Sse {
                     }
                 }
                 op if op % 2 == 0 => {
-                    let prob = (m - self.n_ops + 1) as f64 / (self.beta * nb * half_j);
+                    let prob = self.prob_remove[m - self.n_ops + 1];
                     if rng.metropolis(prob) {
                         self.ops[p] = IDENTITY;
                         self.n_ops -= 1;
@@ -335,6 +361,7 @@ impl Sse {
         let m = self.ops.len();
         if n + n / 3 > m {
             self.ops.resize(n + n / 3 + 10, IDENTITY);
+            self.rebuild_diag_tables();
         }
     }
 
@@ -430,7 +457,10 @@ impl Sse {
         assert!(bytes.len() >= 16, "checkpoint truncated");
         let n_sites = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
         let n_ops_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-        assert_eq!(n_sites, self.n_sites, "checkpoint is for a different lattice");
+        assert_eq!(
+            n_sites, self.n_sites,
+            "checkpoint is for a different lattice"
+        );
         let expect = 16 + n_sites + 8 * n_ops_len;
         assert_eq!(bytes.len(), expect, "checkpoint length mismatch");
         self.state.clear();
@@ -442,6 +472,7 @@ impl Sse {
                 .push(Op::from_le_bytes(chunk.try_into().expect("8 bytes")));
         }
         self.n_ops = self.ops.iter().filter(|&&o| o != IDENTITY).count();
+        self.rebuild_diag_tables();
         self.check_consistency()
             .unwrap_or_else(|e| panic!("corrupt checkpoint: {e}"));
     }
@@ -689,6 +720,29 @@ mod tests {
                 "C({r}) = {} vs exact {exact}",
                 corr[r]
             );
+        }
+    }
+
+    #[test]
+    fn diag_prob_tables_match_direct_formula() {
+        // Table entries must equal the previous in-loop expressions
+        // bit-for-bit, including after cutoff growth.
+        let lat = Chain::new(8);
+        let mut rng = Xoshiro256StarStar::new(21);
+        let mut sse = Sse::new(&lat, 1.3, 2.7, &mut rng);
+        for _ in 0..300 {
+            sse.sweep(&mut rng);
+            sse.adjust_cutoff();
+        }
+        let m = sse.cutoff();
+        let nb = sse.bonds.len() as f64;
+        let half_j = sse.j / 2.0;
+        assert_eq!(sse.prob_insert.len(), m + 1);
+        for k in 1..=m {
+            let insert = sse.beta * nb * half_j / k as f64;
+            let remove = k as f64 / (sse.beta * nb * half_j);
+            assert_eq!(sse.prob_insert[k].to_bits(), insert.to_bits(), "k={k}");
+            assert_eq!(sse.prob_remove[k].to_bits(), remove.to_bits(), "k={k}");
         }
     }
 

@@ -187,7 +187,21 @@ impl WeightedAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random series in (-scale, scale): SplitMix64
+    /// scrambler mapped to a float — many bit patterns, no external
+    /// property-test dependency.
+    fn series(len: usize, scale: f64, salt: u64) -> Vec<f64> {
+        (0..len as u64)
+            .map(|i| {
+                let mut z = (i ^ salt.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                ((z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * scale
+            })
+            .collect()
+    }
 
     #[test]
     fn empty_accumulator_defaults() {
@@ -217,33 +231,36 @@ mod tests {
         assert_eq!(a.mean(), 3.7);
     }
 
-    proptest! {
-        #[test]
-        fn merge_equals_concatenation(
-            xs in proptest::collection::vec(-1e3f64..1e3, 0..200),
-            split in 0usize..200,
-        ) {
-            let split = split.min(xs.len());
-            let mut whole = Accumulator::new();
-            whole.extend(&xs);
-            let mut left = Accumulator::new();
-            left.extend(&xs[..split]);
-            let mut right = Accumulator::new();
-            right.extend(&xs[split..]);
-            left.merge(&right);
-            prop_assert_eq!(left.count(), whole.count());
-            if !xs.is_empty() {
-                prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
-                prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    #[test]
+    fn merge_equals_concatenation() {
+        for (salt, len) in [(1u64, 0usize), (2, 1), (3, 2), (4, 17), (5, 199)] {
+            let xs = series(len, 1e3, salt);
+            for split in [0, 1, len / 3, len / 2, len.saturating_sub(1), len] {
+                let split = split.min(len);
+                let mut whole = Accumulator::new();
+                whole.extend(&xs);
+                let mut left = Accumulator::new();
+                left.extend(&xs[..split]);
+                let mut right = Accumulator::new();
+                right.extend(&xs[split..]);
+                left.merge(&right);
+                assert_eq!(left.count(), whole.count());
+                if !xs.is_empty() {
+                    assert!((left.mean() - whole.mean()).abs() < 1e-9);
+                    assert!((left.variance() - whole.variance()).abs() < 1e-6);
+                }
             }
         }
+    }
 
-        #[test]
-        fn variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..100)) {
+    #[test]
+    fn variance_nonnegative() {
+        for (salt, len) in [(7u64, 0usize), (8, 1), (9, 5), (10, 50), (11, 99)] {
+            let xs = series(len, 1e6, salt);
             let mut a = Accumulator::new();
             a.extend(&xs);
-            prop_assert!(a.variance() >= 0.0);
-            prop_assert!(a.variance_population() >= 0.0);
+            assert!(a.variance() >= 0.0);
+            assert!(a.variance_population() >= 0.0);
         }
     }
 

@@ -113,7 +113,9 @@ mod tests {
     #[test]
     fn tau_never_below_half() {
         // Anti-correlated series could push the raw sum below 0.5.
-        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(integrated_autocorrelation_time(&xs) >= 0.5);
     }
 

@@ -96,7 +96,11 @@ mod tests {
         let xs: Vec<f64> = (0..1 << 14).map(|_| rng.next_f64()).collect();
         let b = BinningAnalysis::new(&xs, 32);
         // plateau error should be within ~40% of naive for iid data
-        assert!(b.error() / b.naive_error < 1.4, "ratio {}", b.error() / b.naive_error);
+        assert!(
+            b.error() / b.naive_error < 1.4,
+            "ratio {}",
+            b.error() / b.naive_error
+        );
         assert!(b.tau_int() < 1.0, "tau {}", b.tau_int());
     }
 

@@ -99,7 +99,11 @@ mod tests {
         assert!((j.value - mean).abs() < 1e-10);
         // For iid data the jackknife error ≈ σ/√N ≈ 1/64
         let expected = 1.0 / (xs.len() as f64).sqrt();
-        assert!((j.error - expected).abs() < 0.5 * expected, "err {}", j.error);
+        assert!(
+            (j.error - expected).abs() < 0.5 * expected,
+            "err {}",
+            j.error
+        );
     }
 
     #[test]
@@ -109,7 +113,12 @@ mod tests {
         let xs: Vec<f64> = (0..1 << 15).map(|_| 2.0 * rng.gaussian()).collect();
         let sq: Vec<f64> = xs.iter().map(|x| x * x).collect();
         let j = jackknife_pair(&sq, &xs, 64, |m2, m1| m2 - m1 * m1);
-        assert!((j.value - 4.0).abs() < 5.0 * j.error, "value {} ± {}", j.value, j.error);
+        assert!(
+            (j.value - 4.0).abs() < 5.0 * j.error,
+            "value {} ± {}",
+            j.value,
+            j.error
+        );
         assert!(j.error > 0.0 && j.error < 0.2);
     }
 

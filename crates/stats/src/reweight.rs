@@ -241,7 +241,11 @@ mod tests {
         let w = Wham::solve(&betas, &hists, 1e-12, 500);
         // ln g(E=1) − ln g(E=0) should be ln g1.
         let dg = w.log_g[2] - w.log_g[0];
-        assert!((dg - g1.ln()).abs() < 0.01, "Δln g = {dg}, expect {}", g1.ln());
+        assert!(
+            (dg - g1.ln()).abs() < 0.01,
+            "Δln g = {dg}, expect {}",
+            g1.ln()
+        );
         // middle bin never visited
         assert_eq!(w.log_g[1], f64::NEG_INFINITY);
     }
@@ -280,7 +284,10 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!(max_idx > 0 && max_idx < cs.len() - 1, "peak at edge: {max_idx}");
+        assert!(
+            max_idx > 0 && max_idx < cs.len() - 1,
+            "peak at edge: {max_idx}"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl TfimModel {
         // ≥ 4 in each periodic direction so a neighbour never coincides
         // with the site's other neighbour (the L = 2 double-bond corner
         // case is excluded; the exact-diagonalization oracle covers it).
-        assert!(self.lx >= 4 && self.lx.is_multiple_of(2), "lx must be even ≥ 4");
+        assert!(
+            self.lx >= 4 && self.lx.is_multiple_of(2),
+            "lx must be even ≥ 4"
+        );
         assert!(
             self.ly == 1 || (self.ly >= 4 && self.ly.is_multiple_of(2)),
             "ly must be 1 (chain) or even ≥ 4"
@@ -69,7 +72,10 @@ impl TfimModel {
         assert!(self.j > 0.0, "J must be positive");
         assert!(self.h > 0.0, "h must be positive (ST mapping)");
         assert!(self.beta > 0.0, "β must be positive");
-        assert!(self.m >= 2 && self.m.is_multiple_of(2), "m must be even ≥ 2");
+        assert!(
+            self.m >= 2 && self.m.is_multiple_of(2),
+            "m must be even ≥ 2"
+        );
         self
     }
 
@@ -140,9 +146,85 @@ impl StCouplings {
     }
 }
 
+/// Precomputed Metropolis acceptance-ratio table for the mapped classical
+/// model, shared by the serial and distributed engines.
+///
+/// The flip cost of a site with spin `s` is
+/// `ΔS = 2 s (K_s·sp + K_τ·tp)` where `sp ∈ [−4, 4]` is the sum of the
+/// (≤ 4) spatial neighbour spins and `tp ∈ {−2, 0, 2}` the sum of the two
+/// temporal neighbours. That is a domain of 2·9·3 = 54 points, so the
+/// acceptance ratio `e^{−ΔS}` is tabulated once per `(J, h, β, m)` and the
+/// sweep kernels never call a transcendental function.
+///
+/// Layout: `t[(s+1)/2][sp + 4][(tp + 2)/2]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptTable {
+    t: [[[f64; 3]; 9]; 2],
+}
+
+impl AcceptTable {
+    /// Tabulate `e^{−ΔS}` over the full `(s, sp, tp)` domain. The entries
+    /// are bit-identical to evaluating `(-cost).exp()` inline because the
+    /// cost expression is written in the exact same operation order the
+    /// kernels previously used.
+    pub fn new(c: &StCouplings) -> Self {
+        let mut t = [[[0.0; 3]; 9]; 2];
+        for (si, s) in [-1.0f64, 1.0].iter().enumerate() {
+            for sp in -4i32..=4 {
+                for (ti, tp) in [-2.0f64, 0.0, 2.0].iter().enumerate() {
+                    let cost = 2.0 * s * (c.k_space * sp as f64 + c.k_time * tp);
+                    t[si][(sp + 4) as usize][ti] = (-cost).exp();
+                }
+            }
+        }
+        Self { t }
+    }
+
+    /// Acceptance ratio `min(1, e^{−ΔS})`-style raw ratio `e^{−ΔS}` for a
+    /// site with spin `s`, spatial neighbour sum `sp` and temporal
+    /// neighbour sum `tp`.
+    #[inline(always)]
+    pub fn ratio(&self, s: i8, sp: i32, tp: i32) -> f64 {
+        debug_assert!(s == 1 || s == -1);
+        debug_assert!((-4..=4).contains(&sp));
+        debug_assert!(tp == -2 || tp == 0 || tp == 2);
+        self.t[((s + 1) / 2) as usize][(sp + 4) as usize][((tp + 2) / 2) as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn accept_table_matches_direct_exp_over_full_domain() {
+        // Property test over the complete (s, sp, tp) domain for several
+        // coupling sets: the table must equal the direct evaluation
+        // bit-for-bit (same operation order), so swapping the kernels to
+        // table lookups cannot perturb any random-number trajectory.
+        for (j, h, beta, m) in [
+            (1.0, 1.0, 1.0, 16usize),
+            (1.0, 0.4, 2.0, 32),
+            (0.7, 2.5, 0.5, 8),
+            (2.0, 0.05, 4.0, 64),
+        ] {
+            let c = StCouplings::new(j, h, beta / m as f64);
+            let table = AcceptTable::new(&c);
+            for s in [-1i8, 1] {
+                for sp in -4i32..=4 {
+                    for tp in [-2i32, 0, 2] {
+                        let cost = 2.0 * s as f64 * (c.k_space * sp as f64 + c.k_time * tp as f64);
+                        let direct = (-cost).exp();
+                        assert_eq!(
+                            table.ratio(s, sp, tp).to_bits(),
+                            direct.to_bits(),
+                            "J={j} h={h} β={beta} m={m} s={s} sp={sp} tp={tp}"
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn couplings_known_limits() {

@@ -21,7 +21,7 @@
 //! tables are produced.
 
 use crate::serial::{TfimMeasurement, TfimSeries};
-use crate::{StCouplings, TfimModel};
+use crate::{AcceptTable, StCouplings, TfimModel};
 use qmc_comm::{Communicator, ReduceOp};
 use qmc_lattice::{Decomposition, Dir, ProcGrid, Subdomain};
 use qmc_rng::Rng64;
@@ -51,9 +51,34 @@ pub struct DistTfim {
     /// Spins with ghosts: `m` slices of `(w+2)·(h+2)`, value ±1.
     spins: Vec<i8>,
     slice_stride: usize,
-    /// Metropolis acceptance ratio table indexed by
-    /// `[(s+1)/2][spatial_sum + 4][(temporal_sum + 2)/2]`.
-    accept: [[[f64; 3]; 9]; 2],
+    /// Shared precomputed Metropolis acceptance-ratio table.
+    accept: AcceptTable,
+    /// Metropolis proposals accepted on this rank.
+    pub accepted: u64,
+    /// Metropolis proposals made on this rank.
+    pub proposed: u64,
+    /// Persistent halo send buffer (reused every exchange: steady-state
+    /// sweeps perform zero heap allocations in this engine).
+    send_buf: Vec<u8>,
+    /// Persistent halo receive buffer.
+    recv_buf: Vec<u8>,
+    /// Per-direction halo plan (neighbours, tags, gather/scatter strips),
+    /// precomputed once so the exchange loop allocates nothing.
+    halo: Vec<HaloDir>,
+}
+
+/// Precomputed halo-exchange plan for one mesh direction.
+struct HaloDir {
+    /// Rank my edge strip is sent to.
+    neighbor: usize,
+    /// Rank whose strip lands in my ghosts.
+    from: usize,
+    /// Message tag (distinct per direction).
+    tag: u32,
+    /// Interior local indices gathered into the send buffer.
+    send_idx: Vec<usize>,
+    /// Ghost local indices the received strip scatters into.
+    recv_idx: Vec<usize>,
 }
 
 impl DistTfim {
@@ -71,29 +96,52 @@ impl DistTfim {
         let slice_stride = sub.padded_len();
         let spins = vec![1i8; slice_stride * model.m];
         let c = model.couplings();
-
-        // Precompute acceptance ratios: flip cost is
-        // 2 s (K_s·sp + K_τ·tp) with sp ∈ [−4, 4], tp ∈ {−2, 0, 2}.
-        let mut accept = [[[0.0; 3]; 9]; 2];
-        for (si, s) in [-1.0f64, 1.0].iter().enumerate() {
-            for sp in -4i32..=4 {
-                for (ti, tp) in [-2.0f64, 0.0, 2.0].iter().enumerate() {
-                    let cost = 2.0 * s * (c.k_space * sp as f64 + c.k_time * tp);
-                    accept[si][(sp + 4) as usize][ti] = (-cost).exp();
-                }
-            }
-        }
+        // Largest halo strip: one row or column of the block, all slices.
+        let strip = sub.w.max(sub.h) * model.m;
+        let rank = comm.rank();
+        let dirs: &[Dir] = if model.ly == 1 {
+            &[Dir::East, Dir::West]
+        } else {
+            &Dir::ALL
+        };
+        let halo = dirs
+            .iter()
+            .map(|&dir| HaloDir {
+                neighbor: grid.neighbor(rank, dir),
+                // What I send toward `dir` lands in the neighbour's ghost
+                // strip facing `dir.opposite()`; symmetrically I receive
+                // from my `dir.opposite()` neighbour into my
+                // `dir.opposite()`-facing ghosts.
+                from: grid.neighbor(rank, dir.opposite()),
+                tag: 100 + dir_id(dir),
+                send_idx: sub.send_strip(dir),
+                recv_idx: sub.recv_strip(dir.opposite()),
+            })
+            .collect();
 
         Self {
             model,
             c,
             sub,
             grid,
-            rank: comm.rank(),
+            rank,
             spins,
             slice_stride,
-            accept,
+            accept: AcceptTable::new(&c),
+            accepted: 0,
+            proposed: 0,
+            send_buf: Vec::with_capacity(strip),
+            recv_buf: Vec::with_capacity(strip),
+            halo,
         }
+    }
+
+    /// Fraction of Metropolis proposals accepted on this rank so far
+    /// (parity with [`crate::serial::SerialTfim`]; aggregate across ranks
+    /// with an allreduce over `[accepted, proposed]` if a global rate is
+    /// wanted).
+    pub fn acceptance_rate(&self) -> f64 {
+        self.accepted as f64 / self.proposed.max(1) as f64
     }
 
     /// The block this rank owns.
@@ -110,52 +158,49 @@ impl DistTfim {
     /// message per direction covering all time slices). Neighbours that
     /// are this rank itself (periodic wrap of a 1-wide grid dimension) are
     /// served by local copies — no self-messages.
+    ///
+    /// Allocation-free in steady state: the per-direction plan (strips,
+    /// neighbours, tags) is precomputed at construction and the send/recv
+    /// byte buffers are persistent fields reused across exchanges (via
+    /// [`Communicator::sendrecv_bytes_into`]).
     pub fn halo_exchange<C: Communicator>(&mut self, comm: &mut C) {
-        let dirs: &[Dir] = if self.model.ly == 1 {
-            &[Dir::East, Dir::West]
-        } else {
-            &Dir::ALL
-        };
-        for &dir in dirs {
-            let neighbor = self.grid.neighbor(self.rank, dir);
-            let send_idx = self.sub.send_strip(dir);
-            let recv_idx = self.sub.recv_strip(dir.opposite());
-            // What I send toward `dir` lands in the neighbour's ghost
-            // strip facing `dir.opposite()`; symmetrically I receive into
-            // my `dir.opposite()`-facing strip... no: I receive the data
-            // arriving *from* `dir.opposite()`'s neighbour. With all
-            // ranks sending toward `dir`, I receive from my
-            // `dir.opposite()` neighbour into my `dir.opposite()` ghosts.
-            let from = self.grid.neighbor(self.rank, dir.opposite());
-            let tag = 100 + dir_id(dir);
-
-            let mut buf = Vec::with_capacity(send_idx.len() * self.model.m);
+        // Detach the plan and buffers from `self` so the gather/scatter
+        // loops can index `self.spins` without borrow conflicts.
+        let halo = std::mem::take(&mut self.halo);
+        let mut send = std::mem::take(&mut self.send_buf);
+        let mut recv = std::mem::take(&mut self.recv_buf);
+        for hd in &halo {
+            send.clear();
             for t in 0..self.model.m {
                 let base = t * self.slice_stride;
-                for &i in &send_idx {
-                    buf.push(self.spins[base + i] as u8);
+                for &i in &hd.send_idx {
+                    send.push(self.spins[base + i] as u8);
                 }
             }
 
-            let incoming = if neighbor == self.rank && from == self.rank {
-                buf // periodic self-wrap: my own edge is my ghost
+            let incoming: &[u8] = if hd.neighbor == self.rank && hd.from == self.rank {
+                &send // periodic self-wrap: my own edge is my ghost
             } else {
-                comm.sendrecv_bytes(neighbor, tag, &buf, from, tag)
+                comm.sendrecv_bytes_into(hd.neighbor, hd.tag, &send, hd.from, hd.tag, &mut recv);
+                &recv
             };
 
             assert_eq!(
                 incoming.len(),
-                recv_idx.len() * self.model.m,
+                hd.recv_idx.len() * self.model.m,
                 "halo payload size mismatch"
             );
-            let mut it = incoming.into_iter();
+            let mut it = incoming.iter();
             for t in 0..self.model.m {
                 let base = t * self.slice_stride;
-                for &i in &recv_idx {
-                    self.spins[base + i] = it.next().expect("sized above") as i8;
+                for &i in &hd.recv_idx {
+                    self.spins[base + i] = *it.next().expect("sized above") as i8;
                 }
             }
         }
+        self.halo = halo;
+        self.send_buf = send;
+        self.recv_buf = recv;
     }
 
     /// Update every interior site of global parity `color`; returns the
@@ -165,6 +210,7 @@ impl DistTfim {
         let sub = self.sub;
         let w2 = sub.w + 2;
         let mut proposals = 0u64;
+        let mut accepted = 0u64;
         for t in 0..m.m {
             let base = t * self.slice_stride;
             let up = ((t + 1) % m.m) * self.slice_stride;
@@ -178,22 +224,22 @@ impl DistTfim {
                     }
                     let li = sub.local(ix as isize, iy as isize);
                     let s = self.spins[base + li];
-                    let mut sp = self.spins[base + li - 1] as i32
-                        + self.spins[base + li + 1] as i32;
+                    let mut sp =
+                        self.spins[base + li - 1] as i32 + self.spins[base + li + 1] as i32;
                     if m.ly > 1 {
-                        sp += self.spins[base + li - w2] as i32
-                            + self.spins[base + li + w2] as i32;
+                        sp += self.spins[base + li - w2] as i32 + self.spins[base + li + w2] as i32;
                     }
                     let tp = self.spins[up + li] as i32 + self.spins[down + li] as i32;
-                    let ratio = self.accept[((s + 1) / 2) as usize][(sp + 4) as usize]
-                        [((tp + 2) / 2) as usize];
                     proposals += 1;
-                    if rng.metropolis(ratio) {
+                    if rng.metropolis(self.accept.ratio(s, sp, tp)) {
                         self.spins[base + li] = -s;
+                        accepted += 1;
                     }
                 }
             }
         }
+        self.proposed += proposals;
+        self.accepted += accepted;
         proposals
     }
 
@@ -459,6 +505,74 @@ mod tests {
     }
 
     #[test]
+    fn buffered_halo_matches_allocating_reference() {
+        // The buffer-reuse halo exchange must land exactly the bytes the
+        // straightforward allocating sendrecv_bytes implementation does:
+        // corrupt a copy's ghosts, refill them through the reference
+        // path, and compare byte-for-byte against the buffered engine.
+        let model = TfimModel {
+            lx: 8,
+            ly: 8,
+            j: 1.0,
+            h: 1.5,
+            beta: 1.0,
+            m: 4,
+        };
+        run_threads(4, move |comm| {
+            let mut a = DistTfim::new(model, comm);
+            let mut rng = StreamFactory::new(55).stream(comm.rank());
+            a.halo_exchange(comm);
+            for _ in 0..5 {
+                a.sweep(comm, &mut rng);
+            }
+
+            let mut b = DistTfim::new(model, comm);
+            b.spins.copy_from_slice(&a.spins);
+            type Plan = (usize, usize, u32, Vec<usize>, Vec<usize>);
+            let plan: Vec<Plan> = b
+                .halo
+                .iter()
+                .map(|hd| {
+                    (
+                        hd.neighbor,
+                        hd.from,
+                        hd.tag,
+                        hd.send_idx.clone(),
+                        hd.recv_idx.clone(),
+                    )
+                })
+                .collect();
+            for (_, _, _, _, recv_idx) in &plan {
+                for t in 0..model.m {
+                    for &i in recv_idx {
+                        b.spins[t * b.slice_stride + i] = 0;
+                    }
+                }
+            }
+            for (neighbor, from, tag, send_idx, recv_idx) in &plan {
+                let mut send = Vec::new();
+                for t in 0..model.m {
+                    for &i in send_idx {
+                        send.push(b.spins[t * b.slice_stride + i] as u8);
+                    }
+                }
+                let incoming = if *neighbor == comm.rank() && *from == comm.rank() {
+                    send.clone()
+                } else {
+                    comm.sendrecv_bytes(*neighbor, *tag, &send, *from, *tag)
+                };
+                let mut it = incoming.iter();
+                for t in 0..model.m {
+                    for &i in recv_idx {
+                        b.spins[t * b.slice_stride + i] = *it.next().unwrap() as i8;
+                    }
+                }
+            }
+            assert_eq!(a.spins, b.spins, "rank {}", comm.rank());
+        });
+    }
+
+    #[test]
     fn deterministic_across_runs() {
         let model = chain_model(8, 1.0, 1.0, 8);
         let run = || {
@@ -506,15 +620,16 @@ mod tests {
             m: 8,
         };
         let time_for = |p: usize| {
-            let reports = qmc_comm::run_model(p, qmc_comm::MachineModel::mesh_1993(p), move |comm| {
-                let mut eng = DistTfim::new(model, comm);
-                let mut rng = StreamFactory::new(1).stream(comm.rank());
-                eng.halo_exchange(comm);
-                for _ in 0..5 {
-                    eng.sweep(comm, &mut rng);
-                }
-                eng.measure(comm);
-            });
+            let reports =
+                qmc_comm::run_model(p, qmc_comm::MachineModel::mesh_1993(p), move |comm| {
+                    let mut eng = DistTfim::new(model, comm);
+                    let mut rng = StreamFactory::new(1).stream(comm.rank());
+                    eng.halo_exchange(comm);
+                    for _ in 0..5 {
+                        eng.sweep(comm, &mut rng);
+                    }
+                    eng.measure(comm);
+                });
             qmc_comm::model::job_seconds(&reports)
         };
         let t1 = time_for(1);

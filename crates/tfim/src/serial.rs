@@ -1,6 +1,6 @@
 //! Single-memory TFIM path-integral engine (Metropolis + Wolff).
 
-use crate::{StCouplings, TfimModel};
+use crate::{AcceptTable, StCouplings, TfimModel};
 use qmc_rng::Rng64;
 
 /// Spacetime spin configuration of the mapped classical model plus update
@@ -14,6 +14,11 @@ pub struct SerialTfim {
     pub accepted: u64,
     /// Metropolis proposal counter.
     pub proposed: u64,
+    /// Precomputed acceptance ratios (no `exp` in the sweep loop).
+    accept: AcceptTable,
+    /// Wolff add probabilities `1 − e^{−2K}`, precomputed per bond type.
+    wolff_p_space: f64,
+    wolff_p_time: f64,
     // Wolff scratch
     stack: Vec<usize>,
     in_cluster: Vec<bool>,
@@ -84,12 +89,16 @@ impl SerialTfim {
     pub fn new(model: TfimModel) -> Self {
         let model = model.validated();
         let n = model.lx * model.ly * model.m;
+        let c = model.couplings();
         Self {
-            c: model.couplings(),
+            c,
             spins: vec![1; n],
             model,
             accepted: 0,
             proposed: 0,
+            accept: AcceptTable::new(&c),
+            wolff_p_space: 1.0 - (-2.0 * c.k_space).exp(),
+            wolff_p_time: 1.0 - (-2.0 * c.k_time).exp(),
             stack: Vec::new(),
             in_cluster: vec![false; n],
         }
@@ -98,6 +107,11 @@ impl SerialTfim {
     /// Model parameters.
     pub fn model(&self) -> &TfimModel {
         &self.model
+    }
+
+    /// Fraction of Metropolis proposals accepted so far.
+    pub fn acceptance_rate(&self) -> f64 {
+        self.accepted as f64 / self.proposed.max(1) as f64
     }
 
     #[inline]
@@ -141,6 +155,10 @@ impl SerialTfim {
 
     /// Classical action cost of flipping site `(x, y, t)`:
     /// `ΔS = 2 s (K_s Σ_spatial s' + K_τ Σ_temporal s')`.
+    ///
+    /// Reference implementation kept for the consistency tests; the sweep
+    /// kernel uses the precomputed [`AcceptTable`] instead.
+    #[cfg(test)]
     fn flip_cost(&self, x: usize, y: usize, t: usize) -> f64 {
         let s = self.spin(x, y, t) as f64;
         let mut spatial = 0.0;
@@ -160,20 +178,48 @@ impl SerialTfim {
 
     /// One full Metropolis sweep in checkerboard order (the exact update
     /// schedule the parallel engine uses).
+    ///
+    /// Table-driven hot loop: the neighbour sums are gathered as integers
+    /// and the acceptance ratio comes from [`AcceptTable`], so no
+    /// transcendental function runs per proposal. Proposal order and the
+    /// random-number stream are identical to the previous `exp`-per-site
+    /// implementation.
     pub fn metropolis_sweep<R: Rng64>(&mut self, rng: &mut R) {
         let m = self.model;
+        let (lx, ly, mm) = (m.lx, m.ly, m.m);
+        let slice = lx * ly;
         for color in 0..2usize {
-            for t in 0..m.m {
-                for y in 0..m.ly {
-                    for x in 0..m.lx {
-                        if (x + y + t) % 2 != color {
-                            continue;
+            for t in 0..mm {
+                let up = ((t + 1) % mm) * slice;
+                let down = ((t + mm - 1) % mm) * slice;
+                let tslice = t * slice;
+                for y in 0..ly {
+                    let row = tslice + y * lx;
+                    let (north, south) = if ly > 1 {
+                        (
+                            tslice + ((y + 1) % ly) * lx,
+                            tslice + ((y + ly - 1) % ly) * lx,
+                        )
+                    } else {
+                        (0, 0)
+                    };
+                    // Sites of parity `color` in this row start at x0 and
+                    // step by 2 — same visit order as the old parity test.
+                    let x0 = (color + y + t) % 2;
+                    for x in (x0..lx).step_by(2) {
+                        let xp = if x + 1 == lx { 0 } else { x + 1 };
+                        let xm = if x == 0 { lx - 1 } else { x - 1 };
+                        let i = row + x;
+                        let s = self.spins[i];
+                        let mut sp = self.spins[row + xp] as i32 + self.spins[row + xm] as i32;
+                        if ly > 1 {
+                            sp += self.spins[north + x] as i32 + self.spins[south + x] as i32;
                         }
+                        let tp = self.spins[up + y * lx + x] as i32
+                            + self.spins[down + y * lx + x] as i32;
                         self.proposed += 1;
-                        let cost = self.flip_cost(x, y, t);
-                        if rng.metropolis((-cost).exp()) {
-                            let i = self.idx(x, y, t);
-                            self.spins[i] = -self.spins[i];
+                        if rng.metropolis(self.accept.ratio(s, sp, tp)) {
+                            self.spins[i] = -s;
                             self.accepted += 1;
                         }
                     }
@@ -187,8 +233,7 @@ impl SerialTfim {
     pub fn wolff_update<R: Rng64>(&mut self, rng: &mut R) -> usize {
         let n = self.spins.len();
         let seed = rng.index(n);
-        let p_s = 1.0 - (-2.0 * self.c.k_space).exp();
-        let p_t = 1.0 - (-2.0 * self.c.k_time).exp();
+        let (p_s, p_t) = (self.wolff_p_space, self.wolff_p_time);
 
         self.in_cluster.iter_mut().for_each(|b| *b = false);
         self.stack.clear();
@@ -306,14 +351,7 @@ mod tests {
         }
     }
 
-    fn run_chain(
-        lx: usize,
-        h: f64,
-        beta: f64,
-        m: usize,
-        seed: u64,
-        wolff: usize,
-    ) -> TfimSeries {
+    fn run_chain(lx: usize, h: f64, beta: f64, m: usize, seed: u64, wolff: usize) -> TfimSeries {
         let mut eng = SerialTfim::new(model(lx, h, beta, m));
         let mut rng = Xoshiro256StarStar::new(seed);
         eng.run(&mut rng, 2000, 20_000, wolff)
@@ -456,6 +494,53 @@ mod tests {
         let (sp, tt) = eng.bond_sums();
         assert_eq!(sp, 16.0);
         assert_eq!(tt, 16.0);
+    }
+
+    #[test]
+    fn table_sweep_reproduces_exp_reference_trajectory() {
+        // The table-driven kernel must replay the exp-per-proposal
+        // reference bit-for-bit: identical spins after identical seeds,
+        // which proves the optimization perturbs no random-number draw.
+        let reference_sweep = |eng: &mut SerialTfim, rng: &mut Xoshiro256StarStar| {
+            let m = eng.model;
+            for color in 0..2usize {
+                for t in 0..m.m {
+                    for y in 0..m.ly {
+                        for x in 0..m.lx {
+                            if (x + y + t) % 2 != color {
+                                continue;
+                            }
+                            let cost = eng.flip_cost(x, y, t);
+                            if rng.metropolis((-cost).exp()) {
+                                let i = eng.idx(x, y, t);
+                                eng.spins[i] = -eng.spins[i];
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        for m in [
+            model(8, 1.3, 1.7, 8),
+            TfimModel {
+                lx: 4,
+                ly: 4,
+                j: 1.0,
+                h: 2.0,
+                beta: 1.0,
+                m: 8,
+            },
+        ] {
+            let mut fast = SerialTfim::new(m);
+            let mut slow = SerialTfim::new(m);
+            let mut rng_fast = Xoshiro256StarStar::new(31);
+            let mut rng_slow = Xoshiro256StarStar::new(31);
+            for _ in 0..25 {
+                fast.metropolis_sweep(&mut rng_fast);
+                reference_sweep(&mut slow, &mut rng_slow);
+                assert_eq!(fast.spins, slow.spins);
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub struct Worldline {
     /// Row-major spins: `spins[t * l + i]`, `true` = ↑.
     spins: Vec<bool>,
     weights: PlaqWeights,
+    /// Precomputed corner-move acceptance ratios over all 2⁹ neighbourhood
+    /// spin patterns (see [`local_move_key`]): the hot kernel is a single
+    /// table load, no classify/divide per proposal.
+    local_ratio: Box<[f64; 512]>,
+    /// Scratch for [`Self::ratio_for_flips`] (reused; no per-move allocation).
+    cells_scratch: Vec<(usize, usize)>,
+    /// Scratch for straight-line flip lists (reused; no per-move allocation).
+    flips_scratch: Vec<(usize, usize)>,
     /// Local-move acceptance counters (accepted, proposed-with-precondition).
     pub local_accepted: u64,
     /// Local proposals satisfying the flippable precondition.
@@ -47,6 +55,78 @@ pub struct Worldline {
     pub straight_accepted: u64,
     /// Proposed straight-line moves.
     pub straight_proposed: u64,
+}
+
+/// Pack the nine spins a corner move's ratio depends on into a table key.
+///
+/// Under the move precondition (`s(i,t) = s(i,t+1) = a0`,
+/// `s(j,·) = ¬a0`) the four affected shaded cells are determined by `a0`
+/// plus the eight surrounding spins: the bottom row of the cell below
+/// (`itd`, `jtd`), the top row of the cell above (`ituu`, `jtuu`), and the
+/// left/right neighbour columns over the two move rows (`imt`, `imtu`,
+/// `jpt`, `jptu`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn local_move_key(
+    a0: bool,
+    itd: bool,
+    jtd: bool,
+    ituu: bool,
+    jtuu: bool,
+    imt: bool,
+    imtu: bool,
+    jpt: bool,
+    jptu: bool,
+) -> usize {
+    (a0 as usize)
+        | (itd as usize) << 1
+        | (jtd as usize) << 2
+        | (ituu as usize) << 3
+        | (jtuu as usize) << 4
+        | (imt as usize) << 5
+        | (imtu as usize) << 6
+        | (jpt as usize) << 7
+        | (jptu as usize) << 8
+}
+
+/// Tabulate the corner-move ratio for every neighbourhood pattern by
+/// evaluating the exact expression [`Worldline::ratio_local_fast`] uses
+/// (same classify calls, same multiplication order — entries are
+/// bit-identical to the on-the-fly computation). Patterns whose *current*
+/// cells are forbidden can never be queried from a valid configuration;
+/// they get ratio 0.
+fn build_local_ratio_table(w: &PlaqWeights) -> Box<[f64; 512]> {
+    let mut table = Box::new([0.0f64; 512]);
+    for key in 0..512usize {
+        let bit = |b: usize| (key >> b) & 1 == 1;
+        let (a0, itd, jtd, ituu, jtuu, imt, imtu, jpt, jptu) = (
+            bit(0),
+            bit(1),
+            bit(2),
+            bit(3),
+            bit(4),
+            bit(5),
+            bit(6),
+            bit(7),
+            bit(8),
+        );
+        let b0 = !a0;
+        let c1_old = classify((itd, jtd), (a0, b0));
+        let c1_new = classify((itd, jtd), (!a0, !b0));
+        let c2_old = classify((a0, b0), (ituu, jtuu));
+        let c2_new = classify((!a0, !b0), (ituu, jtuu));
+        let c3_old = classify((imt, a0), (imtu, a0));
+        let c3_new = classify((imt, !a0), (imtu, !a0));
+        let c4_old = classify((b0, jpt), (b0, jptu));
+        let c4_new = classify((!b0, jpt), (!b0, jptu));
+        let denom = w.weight(c1_old) * w.weight(c2_old) * w.weight(c3_old) * w.weight(c4_old);
+        table[key] = if denom > 0.0 {
+            (w.weight(c1_new) * w.weight(c2_new) * w.weight(c3_new) * w.weight(c4_new)) / denom
+        } else {
+            0.0
+        };
+    }
+    table
 }
 
 impl Worldline {
@@ -71,11 +151,15 @@ impl Worldline {
             }
         }
         let weights = PlaqWeights::new(params.jx, params.jz, params.dtau());
+        let local_ratio = build_local_ratio_table(&weights);
         Self {
             params,
             rows,
             spins,
             weights,
+            local_ratio,
+            cells_scratch: Vec::with_capacity(4 * rows),
+            flips_scratch: Vec::with_capacity(rows),
             local_accepted: 0,
             local_proposed: 0,
             straight_accepted: 0,
@@ -191,8 +275,10 @@ impl Worldline {
     /// Weight ratio (new/old) for flipping the given `(site, row)` spins,
     /// computed generically over the affected shaded cells.
     fn ratio_for_flips(&mut self, flips: &[(usize, usize)]) -> f64 {
-        // Collect affected shaded cells (interval t and t−1 per spin).
-        let mut cells: Vec<(usize, usize)> = Vec::with_capacity(flips.len() * 2);
+        // Collect affected shaded cells (interval t and t−1 per spin) into
+        // the reusable scratch buffer — no steady-state allocation.
+        let mut cells = std::mem::take(&mut self.cells_scratch);
+        cells.clear();
         for &(i, t) in flips {
             let t_down = if t == 0 { self.rows - 1 } else { t - 1 };
             cells.push((self.cell_of_site(i, t), t));
@@ -217,14 +303,40 @@ impl Worldline {
         for &(i, t) in flips {
             self.flip(i, t);
         }
+        self.cells_scratch = cells;
         new / old
     }
 
-    /// Specialized weight ratio for the local corner move on unshaded
-    /// cell `(i, t)` — hand-enumerates the four affected shaded cells
-    /// instead of the generic collect/sort/recompute path. Equivalence
-    /// with [`Self::ratio_for_flips`] is property-tested; this is the hot
-    /// kernel (no allocation, ~2× faster sweeps).
+    /// Table key for the corner move on unshaded cell `(i, t)`: pack the
+    /// nine spins the ratio depends on (see [`local_move_key`]). Valid
+    /// only when the move precondition holds.
+    #[inline]
+    fn local_key(&self, i: usize, t: usize) -> usize {
+        let l = self.params.l;
+        let j = (i + 1) % l;
+        let tu = self.row_up(t);
+        let td = if t == 0 { self.rows - 1 } else { t - 1 };
+        let tuu = self.row_up(tu);
+        let im = (i + l - 1) % l;
+        let jp = (j + 1) % l;
+        local_move_key(
+            self.spin(i, t),
+            self.spin(i, td),
+            self.spin(j, td),
+            self.spin(i, tuu),
+            self.spin(j, tuu),
+            self.spin(im, t),
+            self.spin(im, tu),
+            self.spin(jp, t),
+            self.spin(jp, tu),
+        )
+    }
+
+    /// Reference weight ratio for the local corner move on unshaded cell
+    /// `(i, t)` — hand-enumerates the four affected shaded cells. The hot
+    /// path now reads [`Self::local_ratio`] instead (built from exactly
+    /// this expression); this stays as the test oracle for the table.
+    #[cfg(test)]
     fn ratio_local_fast(&self, i: usize, t: usize) -> f64 {
         let l = self.params.l;
         let j = (i + 1) % l;
@@ -284,7 +396,7 @@ impl Worldline {
             return;
         }
         self.local_proposed += 1;
-        let ratio = self.ratio_local_fast(i, t);
+        let ratio = self.local_ratio[self.local_key(i, t)];
         if rng.metropolis(ratio) {
             for (s, r) in [(i, t), (i, tu), (j, t), (j, tu)] {
                 self.flip(s, r);
@@ -297,14 +409,17 @@ impl Worldline {
     /// (changes total magnetization by ±1 world line).
     fn try_straight_line<R: Rng64>(&mut self, i: usize, rng: &mut R) {
         self.straight_proposed += 1;
-        let flips: Vec<(usize, usize)> = (0..self.rows).map(|t| (i, t)).collect();
+        let mut flips = std::mem::take(&mut self.flips_scratch);
+        flips.clear();
+        flips.extend((0..self.rows).map(|t| (i, t)));
         let ratio = self.ratio_for_flips(&flips);
         if ratio > 0.0 && rng.metropolis(ratio) {
-            for (s, r) in flips {
+            for &(s, r) in &flips {
                 self.flip(s, r);
             }
             self.straight_accepted += 1;
         }
+        self.flips_scratch = flips;
     }
 
     /// Total magnetization `Σ (s − ½)` of row `t` (conserved across rows
@@ -470,10 +585,7 @@ mod tests {
                         w.flip(s, r);
                     }
                     let bwd = w.ratio_for_flips(&flips);
-                    assert!(
-                        (fwd * bwd - 1.0).abs() < 1e-12,
-                        "fwd {fwd} · bwd {bwd} ≠ 1"
-                    );
+                    assert!((fwd * bwd - 1.0).abs() < 1e-12, "fwd {fwd} · bwd {bwd} ≠ 1");
                     break 'outer;
                 }
             }
@@ -552,8 +664,13 @@ mod tests {
                             && w.spin(i, t) != w.spin(j, t)
                         {
                             let fast = w.ratio_local_fast(i, t);
-                            let generic =
-                                w.ratio_for_flips(&[(i, t), (i, tu), (j, t), (j, tu)]);
+                            let table = w.local_ratio[w.local_key(i, t)];
+                            assert_eq!(
+                                table.to_bits(),
+                                fast.to_bits(),
+                                "l={l} m={m} cell ({i},{t}): table {table} vs fast {fast}"
+                            );
+                            let generic = w.ratio_for_flips(&[(i, t), (i, tu), (j, t), (j, tu)]);
                             assert!(
                                 (fast - generic).abs() < 1e-12 * generic.max(1.0),
                                 "l={l} m={m} cell ({i},{t}): fast {fast} vs generic {generic}"
@@ -579,9 +696,12 @@ mod tests {
         };
         let coarse = rate(2, 4.0, 7); // Δτ = 2
         let fine = rate(32, 4.0, 8); // Δτ = 0.125
-        // (in equilibrium many proposals shuffle existing kinks with O(1)
-        // acceptance, so the dependence is softer than the bare sinh²)
+                                     // (in equilibrium many proposals shuffle existing kinks with O(1)
+                                     // acceptance, so the dependence is softer than the bare sinh²)
         assert!(coarse > 1.5 * fine, "coarse {coarse} vs fine {fine}");
-        assert!(coarse > 0.05, "coarse-Δτ acceptance unexpectedly low: {coarse}");
+        assert!(
+            coarse > 0.05,
+            "coarse-Δτ acceptance unexpectedly low: {coarse}"
+        );
     }
 }

@@ -161,9 +161,12 @@ impl TimeSeries {
         let m2: Vec<f64> = self.magnetization.iter().map(|m| m * m).collect();
         let beta = self.beta;
         let l = self.l as f64;
-        let est = jackknife_pair(&m2, &self.magnetization, 32.min(self.len() / 2).max(2), |a, b| {
-            beta * (a - b * b) / l
-        });
+        let est = jackknife_pair(
+            &m2,
+            &self.magnetization,
+            32.min(self.len() / 2).max(2),
+            |a, b| beta * (a - b * b) / l,
+        );
         (est.value, est.error)
     }
 
@@ -174,12 +177,9 @@ impl TimeSeries {
         let beta = self.beta;
         let l = self.l as f64;
         let e2: Vec<f64> = self.energy.iter().map(|e| e * e).collect();
-        let fluct = jackknife_pair(
-            &e2,
-            &self.energy,
-            32.min(self.len() / 2).max(2),
-            |a, b| beta * beta * l * (a - b * b),
-        );
+        let fluct = jackknife_pair(&e2, &self.energy, 32.min(self.len() / 2).max(2), |a, b| {
+            beta * beta * l * (a - b * b)
+        });
         let de_mean = mean(&self.denergy);
         (fluct.value - beta * beta * de_mean, fluct.error)
     }
@@ -228,10 +228,7 @@ mod tests {
                     let start = t % 2;
                     for i in (start..l).step_by(2) {
                         let j = (i + 1) % l;
-                        let class = classify(
-                            (spin(t, i), spin(t, j)),
-                            (spin(tu, i), spin(tu, j)),
-                        );
+                        let class = classify((spin(t, i), spin(t, j)), (spin(tu, i), spin(tu, j)));
                         let cw = wt.weight(class);
                         if cw <= 0.0 {
                             w = 0.0;

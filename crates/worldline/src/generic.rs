@@ -71,6 +71,15 @@ pub struct GenericWorldline<L: Lattice> {
     /// Distinct ring-window lists `(first_row, length)`, one per
     /// plaquette color pair.
     window_sets: Vec<Vec<(usize, usize)>>,
+    /// Cell weight by 4-bit corner-spin pattern (`a0 | b0<<1 | a1<<2 |
+    /// b1<<3`): folds classify + class match into one table load. Entries
+    /// are exactly `weights.weight(classify(..))` for each pattern.
+    cell_w: [f64; 16],
+    /// Scratch for [`Self::ratio_for_flips`] (reused; no per-move
+    /// allocation).
+    cells_scratch: Vec<(u32, usize)>,
+    /// Scratch for move flip lists (reused; no per-move allocation).
+    flips_scratch: Vec<(usize, usize)>,
     /// Accepted bond-window moves.
     pub window_accepted: u64,
     /// Proposed bond-window moves passing the flippable precondition.
@@ -181,6 +190,12 @@ impl<L: Lattice> GenericWorldline<L> {
             plaquettes.push((plaq, set_id as u8));
         }
 
+        let mut cell_w = [0.0f64; 16];
+        for (idx, w) in cell_w.iter_mut().enumerate() {
+            let bit = |b: usize| (idx >> b) & 1 == 1;
+            *w = weights.weight(classify((bit(0), bit(1)), (bit(2), bit(3))));
+        }
+
         Self {
             lattice,
             params,
@@ -191,6 +206,9 @@ impl<L: Lattice> GenericWorldline<L> {
             spins,
             plaquettes,
             window_sets,
+            cell_w,
+            cells_scratch: Vec::new(),
+            flips_scratch: Vec::new(),
             window_accepted: 0,
             window_proposed: 0,
             ring_accepted: 0,
@@ -247,15 +265,16 @@ impl<L: Lattice> GenericWorldline<L> {
         t % self.active_colors.len()
     }
 
-    /// Weight of the cell of bond `b` at interval `t`.
+    /// Weight of the cell of bond `b` at interval `t` — a single load
+    /// from the precomputed 16-entry pattern table.
     #[inline]
     fn cell_weight(&self, b: &Bond, t: usize) -> f64 {
         let tu = self.row_up(t);
-        let class = classify(
-            (self.spin(b.a as usize, t), self.spin(b.b as usize, t)),
-            (self.spin(b.a as usize, tu), self.spin(b.b as usize, tu)),
-        );
-        self.weights.weight(class)
+        let idx = (self.spin(b.a as usize, t) as usize)
+            | (self.spin(b.b as usize, t) as usize) << 1
+            | (self.spin(b.a as usize, tu) as usize) << 2
+            | (self.spin(b.b as usize, tu) as usize) << 3;
+        self.cell_w[idx]
     }
 
     /// Log-weight of the whole configuration (−∞ if invalid).
@@ -277,7 +296,8 @@ impl<L: Lattice> GenericWorldline<L> {
 
     /// Generic weight ratio for flipping the given `(site, row)` spins.
     fn ratio_for_flips(&mut self, flips: &[(usize, usize)]) -> f64 {
-        let mut cells: Vec<(u32, usize)> = Vec::with_capacity(flips.len() * 2);
+        let mut cells = std::mem::take(&mut self.cells_scratch);
+        cells.clear();
         for &(site, row) in flips {
             let below = if row == 0 { self.rows - 1 } else { row - 1 };
             for t in [row, below] {
@@ -306,6 +326,7 @@ impl<L: Lattice> GenericWorldline<L> {
         for &(s, r) in flips {
             self.flip(s, r);
         }
+        self.cells_scratch = cells;
         new / old
     }
 
@@ -336,7 +357,8 @@ impl<L: Lattice> GenericWorldline<L> {
             }
         }
         self.window_proposed += 1;
-        let mut flips = Vec::with_capacity(2 * p);
+        let mut flips = std::mem::take(&mut self.flips_scratch);
+        flips.clear();
         let mut row = first;
         for _ in 0..p {
             flips.push((i, row));
@@ -345,11 +367,12 @@ impl<L: Lattice> GenericWorldline<L> {
         }
         let ratio = self.ratio_for_flips(&flips);
         if rng.metropolis(ratio) {
-            for (s, r) in flips {
+            for &(s, r) in &flips {
                 self.flip(s, r);
             }
             self.window_accepted += 1;
         }
+        self.flips_scratch = flips;
     }
 
     /// Attempt the ring move on spatial plaquette `(i, j, k, l)`: flip
@@ -369,7 +392,8 @@ impl<L: Lattice> GenericWorldline<L> {
     /// energy by ≈ 10%, reproducibly).
     fn try_ring<R: Rng64>(&mut self, plaq: [u32; 4], r1: usize, len: usize, rng: &mut R) {
         self.ring_proposed += 1;
-        let mut flips = Vec::with_capacity(4 * len);
+        let mut flips = std::mem::take(&mut self.flips_scratch);
+        flips.clear();
         let mut row = r1;
         for _ in 0..len {
             for &s in &plaq {
@@ -379,24 +403,28 @@ impl<L: Lattice> GenericWorldline<L> {
         }
         let ratio = self.ratio_for_flips(&flips);
         if ratio > 0.0 && rng.metropolis(ratio) {
-            for (s, r) in flips {
+            for &(s, r) in &flips {
                 self.flip(s, r);
             }
             self.ring_accepted += 1;
         }
+        self.flips_scratch = flips;
     }
 
     /// Attempt the straight-line move on `site` (flips its whole column).
     fn try_straight_line<R: Rng64>(&mut self, site: usize, rng: &mut R) {
         self.straight_proposed += 1;
-        let flips: Vec<(usize, usize)> = (0..self.rows).map(|r| (site, r)).collect();
+        let mut flips = std::mem::take(&mut self.flips_scratch);
+        flips.clear();
+        flips.extend((0..self.rows).map(|r| (site, r)));
         let ratio = self.ratio_for_flips(&flips);
         if ratio > 0.0 && rng.metropolis(ratio) {
-            for (s, r) in flips {
+            for &(s, r) in &flips {
                 self.flip(s, r);
             }
             self.straight_accepted += 1;
         }
+        self.flips_scratch = flips;
     }
 
     /// One sweep: every (bond, activation) window move, every
@@ -414,9 +442,10 @@ impl<L: Lattice> GenericWorldline<L> {
                 }
             }
         }
-        // Ring moves between consecutive plaquette-color activations.
+        // Ring moves between consecutive plaquette-color activations
+        // (window list temporarily moved out — no per-sweep clone).
         for wsi in 0..self.window_sets.len() {
-            let windows = self.window_sets[wsi].clone();
+            let windows = std::mem::take(&mut self.window_sets[wsi]);
             for pi in 0..self.plaquettes.len() {
                 let (plaq, set_id) = self.plaquettes[pi];
                 if set_id as usize != wsi {
@@ -426,6 +455,7 @@ impl<L: Lattice> GenericWorldline<L> {
                     self.try_ring(plaq, r1, len, rng);
                 }
             }
+            self.window_sets[wsi] = windows;
         }
         // Magnetization-sector moves.
         for _ in 0..self.lattice.num_sites() {
@@ -465,7 +495,11 @@ impl<L: Lattice> GenericWorldline<L> {
         for s in 0..n {
             let sz = if self.spin(s, 0) { 0.5 } else { -0.5 };
             mag += sz;
-            stag += if self.lattice.sublattice(s) == 0 { sz } else { -sz };
+            stag += if self.lattice.sublattice(s) == 0 {
+                sz
+            } else {
+                -sz
+            };
         }
         crate::estimators::Measurement {
             energy_per_site: eps / m / n as f64,
@@ -748,5 +782,24 @@ mod tests {
     #[should_panic(expected = "two Trotter steps")]
     fn rejects_single_step() {
         GenericWorldline::new(Chain::new(4), heis(1.0, 1));
+    }
+
+    #[test]
+    fn cell_weight_table_matches_classify_exhaustively() {
+        // The 16-entry pattern table must agree bit-for-bit with the
+        // classify + weight-match path over every corner-spin pattern.
+        let w = GenericWorldline::new(Square::new(4, 4), heis(1.3, 3));
+        for idx in 0..16usize {
+            let bit = |b: usize| (idx >> b) & 1 == 1;
+            let direct = w
+                .weights
+                .weight(classify((bit(0), bit(1)), (bit(2), bit(3))));
+            assert_eq!(
+                w.cell_w[idx].to_bits(),
+                direct.to_bits(),
+                "pattern {idx:04b}: table {} vs direct {direct}",
+                w.cell_w[idx]
+            );
+        }
     }
 }

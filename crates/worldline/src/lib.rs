@@ -68,13 +68,7 @@ mod integration_tests {
 
     /// Run a worldline simulation and compare E/site and χ/site with ED.
     fn validate_against_ed(l: usize, jx: f64, jz: f64, beta: f64, m: usize, seed: u64) {
-        let params = WorldlineParams {
-            l,
-            jx,
-            jz,
-            beta,
-            m,
-        };
+        let params = WorldlineParams { l, jx, jz, beta, m };
         let mut sim = Worldline::new(params);
         let mut rng = Xoshiro256StarStar::new(seed);
         let series = sim.run(&mut rng, 2000, 20_000);

@@ -228,10 +228,7 @@ mod tests {
         let wm = PlaqWeights::new(jx, jz, dtau - d);
         let w0 = PlaqWeights::new(jx, jz, dtau);
         let checks = [
-            (
-                (wp.e_anti - wm.e_anti) / (2.0 * d),
-                w0.de_anti,
-            ),
+            ((wp.e_anti - wm.e_anti) / (2.0 * d), w0.de_anti),
             ((wp.e_flip - wm.e_flip) / (2.0 * d), w0.de_flip),
         ];
         for (num, ana) in checks {

@@ -30,7 +30,10 @@ fn main() {
         "strong scaling: 2-D TFIM {side}×{side}×{} spacetime sites, {} sweeps",
         model.m, sweeps
     );
-    println!("{:>6} {:>12} {:>9} {:>11}", "P", "model time/s", "speedup", "efficiency");
+    println!(
+        "{:>6} {:>12} {:>9} {:>11}",
+        "P", "model time/s", "speedup", "efficiency"
+    );
 
     let mut t1 = 0.0;
     for p in [1usize, 4, 16, 64, 256] {

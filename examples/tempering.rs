@@ -44,7 +44,10 @@ fn main() {
 
     let spec = full_spectrum(&Chain::new(l), &XxzParams::heisenberg(1.0));
 
-    println!("{:>8} {:>20} {:>12} {:>12}", "β", "E/N (QMC)", "E/N (ED)", "acc. w/ next");
+    println!(
+        "{:>8} {:>20} {:>12} {:>12}",
+        "β", "E/N (QMC)", "E/N (ED)", "acc. w/ next"
+    );
     for (rank, beta) in betas.iter().enumerate() {
         let (energies, rates) = &results[rank];
         let b = BinningAnalysis::new(energies, 16);

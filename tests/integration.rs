@@ -143,10 +143,7 @@ fn wham_interpolates_worldline_histograms() {
     let interp = wham.mean_energy(1.0) / l as f64;
     let exact = spec.energy(1.0) / l as f64;
     // WHAM inherits the worldline's Trotter bias plus interpolation error.
-    assert!(
-        (interp - exact).abs() < 0.02,
-        "WHAM {interp} vs ED {exact}"
-    );
+    assert!((interp - exact).abs() < 0.02, "WHAM {interp} vs ED {exact}");
 }
 
 /// Parallel tempering beats plain Metropolis at relaxing from a cold
