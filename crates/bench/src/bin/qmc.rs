@@ -9,6 +9,12 @@
 //! ```
 //!
 //! Common flags: `--seed N` (default 1), `--therm N` (default sweeps/5).
+//!
+//! Observability: `--metrics` writes `METRICS_run.json` and `--trace`
+//! writes a Chrome trace-event `trace.json` (both at the repository
+//! root; load the trace in Perfetto). With `--machine threads` every
+//! rank records its own track and the records are gathered over the
+//! communicator; serial commands record the driver thread.
 
 use qmc_comm::{job_seconds, run_model, run_threads, Communicator, MachineModel, SerialComm};
 use qmc_lattice::{Chain, Square};
@@ -42,6 +48,9 @@ fn usage_and_exit() -> ! {
     std::process::exit(2);
 }
 
+/// Flags that take no value (presence means `true`).
+const BOOL_FLAGS: &[&str] = &["metrics", "trace"];
+
 fn parse_flags(items: Vec<String>) -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut it = items.into_iter();
@@ -50,6 +59,10 @@ fn parse_flags(items: Vec<String>) -> HashMap<String, String> {
             eprintln!("expected --flag, got '{key}'");
             std::process::exit(2);
         };
+        if BOOL_FLAGS.contains(&name) {
+            out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             eprintln!("flag --{name} needs a value");
             std::process::exit(2);
@@ -57,6 +70,17 @@ fn parse_flags(items: Vec<String>) -> HashMap<String, String> {
         out.insert(name.to_string(), value);
     }
     out
+}
+
+/// `(metrics, trace)` from parsed flags.
+fn obs_flags(flags: &HashMap<String, String>) -> (bool, bool) {
+    (flags.contains_key("metrics"), flags.contains_key("trace"))
+}
+
+/// Build the recorder config for the requested artifacts, or `None` when
+/// observability was not asked for.
+fn obs_config(metrics: bool, trace: bool) -> Option<qmc_obs::ObsConfig> {
+    (metrics || trace).then(|| qmc_obs::ObsConfig::new().with_metrics(metrics))
 }
 
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
@@ -70,6 +94,10 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, defaul
 }
 
 fn run_worldline(flags: &HashMap<String, String>) {
+    let (metrics, trace) = obs_flags(flags);
+    if let Some(cfg) = obs_config(metrics, trace) {
+        qmc_obs::init(0, &cfg);
+    }
     let sweeps: usize = get(flags, "sweeps", 20_000);
     let params = WorldlineParams {
         l: get(flags, "l", 16),
@@ -117,9 +145,17 @@ fn run_worldline(flags: &HashMap<String, String>) {
         sim.local_accepted as f64 / sim.local_proposed.max(1) as f64,
         sim.straight_accepted as f64 / sim.straight_proposed.max(1) as f64
     );
+    print!(
+        "{}",
+        qmc_bench::obs::export_current_thread("qmc-worldline", metrics, trace)
+    );
 }
 
 fn run_sse(flags: &HashMap<String, String>) {
+    let (metrics, trace) = obs_flags(flags);
+    if let Some(cfg) = obs_config(metrics, trace) {
+        qmc_obs::init(0, &cfg);
+    }
     let sweeps: usize = get(flags, "sweeps", 20_000);
     let therm: usize = get(flags, "therm", sweeps / 5);
     let beta: f64 = get(flags, "beta", 1.0);
@@ -157,9 +193,15 @@ fn run_sse(flags: &HashMap<String, String>) {
     println!("  C/N     = {:+.6} ± {:.6}", c, c_err);
     println!("  χ/N     = {:+.6} ± {:.6}", chi, chi_err);
     println!("  S(π)/N  = {:+.6}", series.staggered_structure_factor());
+    print!(
+        "{}",
+        qmc_bench::obs::export_current_thread("qmc-sse", metrics, trace)
+    );
 }
 
 fn run_tfim(flags: &HashMap<String, String>) {
+    let (metrics, trace) = obs_flags(flags);
+    let obs_cfg = obs_config(metrics, trace);
     let sweeps: usize = get(flags, "sweeps", 10_000);
     let therm: usize = get(flags, "therm", sweeps / 5);
     let model = TfimModel {
@@ -195,26 +237,66 @@ fn run_tfim(flags: &HashMap<String, String>) {
 
     match (machine, ranks) {
         ("serial", 1) => {
+            if let Some(cfg) = &obs_cfg {
+                qmc_obs::init(0, cfg);
+            }
             let mut eng = SerialTfim::new(model);
             let mut rng = Buffered::new(Xoshiro256StarStar::new(seed));
             let series = eng.run(&mut rng, therm, sweeps, get(flags, "wolff", 1));
             report(&series);
+            if let Some(mut mine) = qmc_obs::finish() {
+                mine.absorb_registry(eng.metrics());
+                let meta = qmc_obs::RunMeta::new("qmc-tfim", "serial-tfim", "serial", 1);
+                print!(
+                    "{}",
+                    qmc_bench::obs::write_artifacts(&meta, &[mine], metrics, trace)
+                );
+            }
         }
         ("serial", _) => {
+            if let Some(cfg) = &obs_cfg {
+                qmc_obs::init(0, cfg);
+            }
             let mut comm = SerialComm::new();
             let mut eng = DistTfim::new(model, &comm);
             let mut rng = StreamFactory::new(seed).stream(0);
             let series = eng.run(&mut comm, &mut rng, therm, sweeps);
             report(&series);
+            if let Some(mut mine) = qmc_obs::finish() {
+                mine.absorb_registry(eng.metrics());
+                mine.set_comm(comm.stats());
+                let meta = qmc_obs::RunMeta::new("qmc-tfim", "dist-tfim", "serial", 1);
+                print!(
+                    "{}",
+                    qmc_bench::obs::write_artifacts(&meta, &[mine], metrics, trace)
+                );
+            }
         }
         ("threads", p) => {
-            let results = run_threads(p, move |comm| {
+            let cfg = obs_cfg.clone();
+            let mut results = run_threads(p, move |comm| {
+                if let Some(cfg) = &cfg {
+                    qmc_obs::init(comm.rank(), cfg);
+                }
                 let mut eng = DistTfim::new(model, comm);
                 let mut rng = StreamFactory::new(seed).stream(comm.rank());
-                eng.run(comm, &mut rng, therm, sweeps)
+                let series = eng.run(comm, &mut rng, therm, sweeps);
+                let gathered = qmc_obs::finish().map(|mut mine| {
+                    mine.absorb_registry(eng.metrics());
+                    mine.set_comm(comm.stats());
+                    qmc_obs::gather_ranks(comm, &mine)
+                });
+                (series, gathered)
             });
-            report(&results[0]);
+            report(&results[0].0);
             println!("  ({p} thread-backed ranks)");
+            if let Some(Some(gathered)) = results.swap_remove(0).1 {
+                let meta = qmc_obs::RunMeta::new("qmc-tfim", "dist-tfim", "threads", p);
+                print!(
+                    "{}",
+                    qmc_bench::obs::write_artifacts(&meta, &gathered, metrics, trace)
+                );
+            }
         }
         ("mesh1993", p) => {
             let reports = run_model(p, MachineModel::mesh_1993(p), move |comm| {
@@ -223,15 +305,18 @@ fn run_tfim(flags: &HashMap<String, String>) {
                 eng.run(comm, &mut rng, therm, sweeps)
             });
             report(&reports[0].result);
-            let comm_s: f64 =
-                reports.iter().map(|r| r.stats.comm_seconds).sum::<f64>() / reports.len() as f64;
-            let comp_s: f64 =
-                reports.iter().map(|r| r.stats.compute_seconds).sum::<f64>() / reports.len() as f64;
+            let merged = reports
+                .iter()
+                .fold(qmc_comm::CommStats::default(), |acc, r| {
+                    acc.merged(&r.stats)
+                });
             println!(
                 "  simulated 1993 mesh, P={p}: job time {:.3} model-s \
-                 (comm fraction {:.1}%)",
+                 (comm fraction {:.1}%, recv wait {:.3} model-s, max message {} B)",
                 job_seconds(&reports),
-                100.0 * comm_s / (comm_s + comp_s)
+                100.0 * merged.comm_fraction(),
+                merged.recv_wait_seconds,
+                merged.max_message_bytes
             );
         }
         (other, _) => {

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro <experiment|all|bench> [--quick]
+//! repro <experiment|all|bench> [--quick] [--metrics] [--trace]
 //!
 //! experiments: f1 f2 f3 f4 f5 t1 t2 t3 t4 t5 t6
 //! ```
@@ -13,29 +13,56 @@
 //! writes `BENCH_kernels.json` at the repository root (it is kept out of
 //! `all` so physics regeneration never overwrites the benchmark
 //! artifact).
+//!
+//! `--metrics` / `--trace` turn on the observability layer (`qmc-obs`):
+//! with no experiment named they run the 4-rank thread-backed TFIM demo
+//! and write `METRICS_run.json` / `trace.json` at the repository root;
+//! with experiments named they record the driver thread's spans and
+//! counters across the run and export the same artifacts.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let trace = args.iter().any(|a| a == "--trace");
+    let obs_on = metrics || trace;
     let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     if wanted.is_empty() {
-        eprintln!("usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench> [--quick]");
+        if obs_on {
+            // The flagship path: a 4-rank ThreadWorld TFIM run with
+            // per-rank recorders gathered over the communicator.
+            println!("=== obs ===");
+            print!("{}", qmc_bench::obs::obs_demo(metrics, trace, quick));
+            return;
+        }
+        eprintln!(
+            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench> \
+             [--quick] [--metrics] [--trace]"
+        );
         std::process::exit(2);
     }
 
+    if obs_on {
+        let config = qmc_obs::ObsConfig::new().with_metrics(metrics);
+        qmc_obs::init(0, &config);
+    }
+
     let registry = qmc_bench::registry();
-    for name in wanted {
-        if name == "all" {
+    let mut label = String::from("repro");
+    for name in &wanted {
+        label.push('-');
+        label.push_str(name);
+        if *name == "all" {
             print!("{}", qmc_bench::run_all(quick));
             continue;
         }
-        if name == "bench" {
+        if *name == "bench" {
             println!("=== bench ===");
             print!("{}", qmc_bench::kernels::bench_kernels(quick));
             continue;
         }
-        match registry.iter().find(|(id, _)| id == name) {
+        match registry.iter().find(|(id, _)| id == *name) {
             Some((id, f)) => {
                 println!("=== {id} ===");
                 print!("{}", f(quick));
@@ -45,5 +72,12 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if obs_on {
+        print!(
+            "{}",
+            qmc_bench::obs::export_current_thread(&label, metrics, trace)
+        );
     }
 }

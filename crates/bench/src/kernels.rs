@@ -118,6 +118,24 @@ pub fn bench_kernels(quick: bool) -> String {
         }));
     }
 
+    // --- The same table-driven sweep with observability fully on (spans
+    // recorded into the ring + metrics flushed per sweep). The ratio to
+    // `tfim_serial_sweep` is the instrumentation overhead guard (≤2%).
+    {
+        let model = tfim_model();
+        let sweeps = 1500 / scale;
+        let updates = (model.lx * model.ly * model.m * sweeps) as u64;
+        let mut eng = SerialTfim::new(model);
+        let mut rng = Buffered::new(Xoshiro256StarStar::new(12));
+        qmc_obs::init(0, &qmc_obs::ObsConfig::new());
+        kernels.push(time_kernel("tfim_serial_sweep_obs", updates, || {
+            for _ in 0..sweeps {
+                eng.metropolis_sweep(&mut rng);
+            }
+        }));
+        let _ = qmc_obs::finish();
+    }
+
     // --- The same sweep with the pre-table kernel (exp per proposal).
     {
         let model = tfim_model();
@@ -242,6 +260,16 @@ pub fn bench_kernels(quick: bool) -> String {
         out,
         "serial TFIM table-vs-exp speedup: {speedup:.2}x (target >= 1.5x)"
     );
+    let obs = kernels
+        .iter()
+        .find(|k| k.name == "tfim_serial_sweep_obs")
+        .expect("kernel present");
+    let obs_overhead = obs.ns_per_op / table.ns_per_op;
+    let _ = writeln!(
+        out,
+        "obs overhead (spans+metrics on vs off): {obs_overhead:.3}x (target <= 1.02x) [{}]",
+        if obs_overhead <= 1.02 { "PASS" } else { "WARN" }
+    );
 
     let mut json = String::from("{\n  \"schema\": \"qmc-bench-kernels/v1\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
@@ -249,6 +277,7 @@ pub fn bench_kernels(quick: bool) -> String {
         json,
         "  \"tfim_serial_table_speedup_vs_exp\": {speedup:.3},"
     );
+    let _ = writeln!(json, "  \"obs_overhead\": {obs_overhead:.4},");
     json.push_str("  \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
         let _ = write!(

@@ -10,6 +10,7 @@
 
 pub mod figures;
 pub mod kernels;
+pub mod obs;
 pub mod scaling;
 pub mod validation;
 

@@ -1,6 +1,6 @@
 //! Machine-scaling tables T1–T3 on the simulated 1993 mesh multicomputer.
 
-use qmc_comm::{job_seconds, run_model, Communicator, MachineModel, ModelReport};
+use qmc_comm::{job_seconds, run_model, CommStats, Communicator, MachineModel, ModelReport};
 use qmc_core::table::Table;
 use qmc_rng::StreamFactory;
 use qmc_tfim::parallel::DistTfim;
@@ -144,32 +144,29 @@ pub fn t3_comm_fraction(quick: bool) -> String {
             "compute s",
             "comm s",
             "comm %",
+            "wait s",
             "msgs/rank",
             "bytes/rank",
+            "max msg B",
         ],
     );
     for &p in ps {
         let reports = run_job(model, p, 4, 33);
         let n = reports.len() as f64;
-        let compute: f64 = reports.iter().map(|r| r.stats.compute_seconds).sum::<f64>() / n;
-        let comm: f64 = reports.iter().map(|r| r.stats.comm_seconds).sum::<f64>() / n;
-        let msgs: f64 = reports
+        // Merge per-rank stats; comm_fraction() of the merged stats is the
+        // job-wide communication share (sums, not averages of ratios).
+        let merged = reports
             .iter()
-            .map(|r| r.stats.messages_sent as f64)
-            .sum::<f64>()
-            / n;
-        let bytes: f64 = reports
-            .iter()
-            .map(|r| r.stats.bytes_sent as f64)
-            .sum::<f64>()
-            / n;
+            .fold(CommStats::default(), |acc, r| acc.merged(&r.stats));
         t.row(&[
             format!("{p}"),
-            format!("{compute:.4}"),
-            format!("{comm:.4}"),
-            format!("{:.1}", 100.0 * comm / (comm + compute)),
-            format!("{msgs:.0}"),
-            format!("{bytes:.0}"),
+            format!("{:.4}", merged.compute_seconds / n),
+            format!("{:.4}", merged.comm_seconds / n),
+            format!("{:.1}", 100.0 * merged.comm_fraction()),
+            format!("{:.4}", merged.recv_wait_seconds / n),
+            format!("{:.0}", merged.messages_sent as f64 / n),
+            format!("{:.0}", merged.bytes_sent as f64 / n),
+            format!("{}", merged.max_message_bytes),
         ]);
     }
     t.render()
@@ -206,7 +203,7 @@ mod tests {
             .skip(3)
             .filter_map(|l| {
                 let cells: Vec<&str> = l.split('|').collect();
-                (cells.len() == 6).then(|| cells[3].trim().parse::<f64>().ok())?
+                (cells.len() == 8).then(|| cells[3].trim().parse::<f64>().ok())?
             })
             .collect();
         assert_eq!(fractions.len(), 3);

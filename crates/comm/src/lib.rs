@@ -100,11 +100,62 @@ pub struct CommStats {
     pub messages_sent: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Point-to-point messages received (collective-internal included).
+    pub messages_recv: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Largest single payload moved in either direction, in bytes.
+    pub max_message_bytes: u64,
     /// Time attributed to communication (send overhead + receive waits).
     pub comm_seconds: f64,
     /// Time attributed to computation (explicit [`Communicator::compute`]
     /// charges under the model; unused by the thread back-end).
     pub compute_seconds: f64,
+    /// Time spent blocked in receives waiting for a message to become
+    /// available (a subset of `comm_seconds`: excludes send and receive
+    /// overheads). Zero for [`SerialComm`], whose receives never block.
+    pub recv_wait_seconds: f64,
+}
+
+impl CommStats {
+    /// Fraction of accounted time spent communicating:
+    /// `comm / (comm + compute)`, or 0 when nothing was accounted.
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.comm_seconds + self.compute_seconds;
+        if total > 0.0 {
+            self.comm_seconds / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Elementwise sum of two stat records (used when aggregating ranks).
+    pub fn merged(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            messages_sent: self.messages_sent + other.messages_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            messages_recv: self.messages_recv + other.messages_recv,
+            bytes_recv: self.bytes_recv + other.bytes_recv,
+            max_message_bytes: self.max_message_bytes.max(other.max_message_bytes),
+            comm_seconds: self.comm_seconds + other.comm_seconds,
+            compute_seconds: self.compute_seconds + other.compute_seconds,
+            recv_wait_seconds: self.recv_wait_seconds + other.recv_wait_seconds,
+        }
+    }
+
+    #[inline]
+    fn note_sent(&mut self, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        self.max_message_bytes = self.max_message_bytes.max(bytes as u64);
+    }
+
+    #[inline]
+    fn note_received(&mut self, bytes: usize) {
+        self.messages_recv += 1;
+        self.bytes_recv += bytes as u64;
+        self.max_message_bytes = self.max_message_bytes.max(bytes as u64);
+    }
 }
 
 /// The SPMD communication interface all engines are written against.
@@ -130,7 +181,17 @@ pub trait Communicator {
     /// [`ThreadComm`] ignores the charge (real time passes instead).
     fn compute(&mut self, units: f64);
 
-    /// Elapsed time on this rank's clock (virtual or wall) in seconds.
+    /// Elapsed time on this rank's clock, in seconds.
+    ///
+    /// Two clock semantics coexist behind this one method (pinned by the
+    /// `clock semantics` unit tests in each back-end):
+    ///
+    /// * **Wall** ([`SerialComm`], [`ThreadComm`]): monotonically advances
+    ///   with host time; [`Self::compute`] charges are accounting only and
+    ///   never move it.
+    /// * **Virtual** ([`ModelComm`]): advances *only* through
+    ///   [`Self::compute`] charges and modeled message latency; host wall
+    ///   time (sleeps, slow hardware) never moves it.
     fn now(&self) -> f64;
 
     /// Communication statistics so far.
@@ -568,7 +629,37 @@ mod tests {
         });
         assert_eq!(results[0].messages_sent, 1);
         assert_eq!(results[0].bytes_sent, 100);
+        assert_eq!(results[0].messages_recv, 0);
+        assert_eq!(results[0].max_message_bytes, 100);
         assert_eq!(results[1].messages_sent, 0);
+        assert_eq!(results[1].messages_recv, 1);
+        assert_eq!(results[1].bytes_recv, 100);
+        assert_eq!(results[1].max_message_bytes, 100);
+        assert!(results[1].recv_wait_seconds >= 0.0);
+        assert!(results[1].recv_wait_seconds <= results[1].comm_seconds);
+    }
+
+    #[test]
+    fn comm_fraction_and_merge() {
+        let a = CommStats {
+            comm_seconds: 1.0,
+            compute_seconds: 3.0,
+            max_message_bytes: 10,
+            ..Default::default()
+        };
+        let b = CommStats {
+            comm_seconds: 1.0,
+            compute_seconds: 0.0,
+            max_message_bytes: 64,
+            ..Default::default()
+        };
+        assert_eq!(a.comm_fraction(), 0.25);
+        assert_eq!(CommStats::default().comm_fraction(), 0.0);
+        let m = a.merged(&b);
+        assert_eq!(m.comm_seconds, 2.0);
+        assert_eq!(m.compute_seconds, 3.0);
+        assert_eq!(m.max_message_bytes, 64);
+        assert_eq!(m.comm_fraction(), 0.4);
     }
 
     #[test]

@@ -95,8 +95,7 @@ impl ModelComm {
         assert!(dest < self.size, "dest rank {dest} out of range");
         self.clock += self.model.send_overhead;
         self.stats.comm_seconds += self.model.send_overhead;
-        self.stats.messages_sent += 1;
-        self.stats.bytes_sent += data.len() as u64;
+        self.stats.note_sent(data.len());
         self.boxes[dest].put(
             self.rank,
             tag,
@@ -114,6 +113,10 @@ impl ModelComm {
         let wait = (arrival - self.clock).max(0.0);
         self.clock = self.clock.max(arrival) + self.model.recv_overhead;
         self.stats.comm_seconds += wait + self.model.recv_overhead;
+        // Wait is *virtual* idle time: how long this rank's clock sat
+        // behind the modeled arrival, not host blocking time.
+        self.stats.recv_wait_seconds += wait;
+        self.stats.note_received(msg.bytes.len());
         msg.bytes
     }
 
@@ -394,6 +397,46 @@ mod tests {
                 r.stats.compute_seconds
             );
         }
+    }
+
+    // Clock semantics: ModelComm's now() is the *virtual* clock — it
+    // advances only through compute charges and modeled message latency,
+    // never with host wall time (the wall-clock counterpart is pinned in
+    // thread_world.rs).
+    #[test]
+    fn virtual_clock_ignores_wall_time() {
+        let reports = run_model(1, MachineModel::mesh_1993(1), |c| {
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(c.now(), 0.0, "virtual clock moved with host wall time");
+            c.compute(1000.0);
+            c.now()
+        });
+        // Exactly units × flop_seconds — no host-time contamination.
+        assert_eq!(reports[0].result, 1000.0 * 40e-9);
+    }
+
+    #[test]
+    fn recv_wait_is_virtual_idle_time() {
+        let model = MachineModel::mesh_1993(2);
+        let expect_wait = model.send_overhead + model.wire_time(0, 1, 64);
+        let reports = run_model(2, model, |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 1, &[0; 64]);
+            } else {
+                c.recv_bytes(0, 1);
+            }
+            c.stats()
+        });
+        let s = &reports[1].result;
+        assert!(
+            (s.recv_wait_seconds - expect_wait).abs() < 1e-12,
+            "wait {} != modeled idle {expect_wait}",
+            s.recv_wait_seconds
+        );
+        assert!(s.recv_wait_seconds <= s.comm_seconds);
+        assert_eq!(s.messages_recv, 1);
+        assert_eq!(s.bytes_recv, 64);
+        assert_eq!(s.max_message_bytes, 64);
     }
 
     #[test]

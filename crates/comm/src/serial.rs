@@ -46,17 +46,20 @@ impl Communicator for SerialComm {
             "tag {tag:#x} is reserved for collectives"
         );
         assert_eq!(dest, 0, "dest rank {dest} out of range for size-1 world");
-        self.stats.messages_sent += 1;
-        self.stats.bytes_sent += data.len() as u64;
+        self.stats.note_sent(data.len());
         self.queues.entry(tag).or_default().push_back(data.to_vec());
     }
 
     fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
         assert_eq!(src, 0, "src rank {src} out of range for size-1 world");
-        self.queues
+        let msg = self
+            .queues
             .get_mut(&tag)
             .and_then(|q| q.pop_front())
-            .unwrap_or_else(|| panic!("recv(tag={tag}) with no matching self-send — deadlock"))
+            .unwrap_or_else(|| panic!("recv(tag={tag}) with no matching self-send — deadlock"));
+        // Self-receives never block, so no recv_wait_seconds here.
+        self.stats.note_received(msg.len());
+        msg
     }
 
     fn recv_bytes_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
@@ -87,9 +90,9 @@ impl Communicator for SerialComm {
             .get(&send_tag)
             .map(|q| q.is_empty())
             .unwrap_or(true);
-        self.stats.messages_sent += 1;
-        self.stats.bytes_sent += data.len() as u64;
+        self.stats.note_sent(data.len());
         if send_tag == recv_tag && empty {
+            self.stats.note_received(data.len());
             recv_buf.clear();
             recv_buf.extend_from_slice(data);
         } else {
@@ -161,5 +164,16 @@ mod tests {
         let mut c = SerialComm::new();
         c.send_bytes(0, 1, &[0; 8]);
         assert_eq!(c.stats().bytes_sent, 8);
+        assert_eq!(c.stats().max_message_bytes, 8);
+        assert_eq!(c.stats().bytes_recv, 0);
+        c.recv_bytes(0, 1);
+        assert_eq!(c.stats().messages_recv, 1);
+        assert_eq!(c.stats().bytes_recv, 8);
+        assert_eq!(c.stats().recv_wait_seconds, 0.0);
+        // The self-wrap fast path counts both directions too.
+        let mut buf = Vec::new();
+        c.sendrecv_bytes_into(0, 2, &[1, 2, 3], 0, 2, &mut buf);
+        assert_eq!(c.stats().messages_recv, 2);
+        assert_eq!(c.stats().bytes_recv, 11);
     }
 }

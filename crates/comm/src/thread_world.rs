@@ -34,8 +34,7 @@ impl ThreadComm {
 
     fn raw_send(&mut self, dest: usize, tag: u32, data: &[u8]) {
         assert!(dest < self.size, "dest rank {dest} out of range");
-        self.stats.messages_sent += 1;
-        self.stats.bytes_sent += data.len() as u64;
+        self.stats.note_sent(data.len());
         self.boxes[dest].put(
             self.rank,
             tag,
@@ -50,7 +49,11 @@ impl ThreadComm {
         assert!(src < self.size, "src rank {src} out of range");
         let t0 = Instant::now();
         let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
-        self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+        // The whole mailbox take is time blocked waiting on the sender.
+        let wait = t0.elapsed().as_secs_f64();
+        self.stats.comm_seconds += wait;
+        self.stats.recv_wait_seconds += wait;
+        self.stats.note_received(msg.bytes.len());
         msg.bytes
     }
 
@@ -58,7 +61,10 @@ impl ThreadComm {
         assert!(src < self.size, "src rank {src} out of range");
         let t0 = Instant::now();
         let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
-        self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+        let wait = t0.elapsed().as_secs_f64();
+        self.stats.comm_seconds += wait;
+        self.stats.recv_wait_seconds += wait;
+        self.stats.note_received(msg.bytes.len());
         buf.clear();
         buf.extend_from_slice(&msg.bytes);
     }
@@ -220,5 +226,44 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
             assert!(c.now() > a);
         });
+    }
+
+    // Clock semantics: ThreadComm's now() is the *wall* clock — compute()
+    // charges are accounting only and never move it (the virtual-clock
+    // counterpart is pinned in model.rs).
+    #[test]
+    fn wall_clock_ignores_compute_charges() {
+        run_threads(1, |c| {
+            let before = c.now();
+            c.compute(1e9); // a gigaflop-equivalent of *accounting*
+            let after = c.now();
+            assert!(
+                after - before < 1.0,
+                "compute charge advanced the wall clock by {}s",
+                after - before
+            );
+            assert_eq!(c.stats().compute_seconds, 1e9);
+        });
+    }
+
+    #[test]
+    fn recv_wait_measures_blocked_time() {
+        let results = run_threads(2, |c| {
+            if c.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+                c.send_bytes(1, 1, &[7]);
+            } else {
+                c.recv_bytes(0, 1);
+            }
+            c.stats()
+        });
+        // Rank 1 blocked for roughly the sender's sleep.
+        assert!(
+            results[1].recv_wait_seconds >= 0.01,
+            "wait {} too short",
+            results[1].recv_wait_seconds
+        );
+        assert!(results[1].recv_wait_seconds <= results[1].comm_seconds);
+        assert_eq!(results[0].recv_wait_seconds, 0.0);
     }
 }

@@ -89,6 +89,7 @@ impl PtLadder {
 
     /// One update sweep on every replica.
     pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
+        let _span = qmc_obs::span("pt.sweep");
         for r in &mut self.replicas {
             r.sweep(rng);
         }
@@ -96,6 +97,9 @@ impl PtLadder {
 
     /// One exchange phase: pairs `(k, k+1)` with `k ≡ phase (mod 2)`.
     pub fn exchange<R: Rng64>(&mut self, rng: &mut R, phase: usize) {
+        let _span = qmc_obs::span("pt.exchange");
+        let before: u64 = self.stats.accepted.iter().sum();
+        let before_att: u64 = self.stats.attempted.iter().sum();
         let n = self.replicas.len();
         let mut k = phase % 2;
         while k + 1 < n {
@@ -118,6 +122,12 @@ impl PtLadder {
             k += 2;
         }
         self.update_round_trips();
+        if qmc_obs::metrics_enabled() {
+            let acc: u64 = self.stats.accepted.iter().sum();
+            let att: u64 = self.stats.attempted.iter().sum();
+            qmc_obs::counter_add("pt.swaps_accepted", acc - before);
+            qmc_obs::counter_add("pt.swaps_attempted", att - before_att);
+        }
     }
 
     fn update_round_trips(&mut self) {
@@ -253,6 +263,7 @@ pub fn run_pt_parallel<C: Communicator, R: Rng64>(
                     step: u64,
                     accepted: &mut [f64],
                     attempted: &mut [f64]| {
+        let _span = qmc_obs::span("pt.exchange");
         let phase = (step % 2) as usize;
         // The pair for me: partner above if my index parity == phase,
         // else partner below (if any).
@@ -279,10 +290,12 @@ pub fn run_pt_parallel<C: Communicator, R: Rng64>(
         .next_f64_of();
         if me == pair_k {
             attempted[pair_k] += 1.0;
+            qmc_obs::counter_add("pt.swaps_attempted", 1);
         }
         if coin < log_ratio.exp() {
             if me == pair_k {
                 accepted[pair_k] += 1.0;
+                qmc_obs::counter_add("pt.swaps_accepted", 1);
             }
             let mine = replica.export_spins();
             let theirs = comm.sendrecv_bytes(partner, 8, &mine, partner, 8);

@@ -1,0 +1,388 @@
+//! Machine-readable exporters: the versioned `qmc-metrics/v1` artifact and
+//! Chrome trace-event JSON.
+//!
+//! Both emitters are hand-rolled string builders (the workspace is
+//! deliberately dependency-free); the in-repo [`crate::json`] parser reads
+//! the artifacts back in the schema round-trip tests.
+
+use crate::record::{CommSummary, RankObs};
+
+/// Schema identifier written into every metrics artifact.
+pub const METRICS_SCHEMA: &str = "qmc-metrics/v1";
+
+/// Identity of a run, embedded in the metrics artifact header.
+#[derive(Debug, Clone, Default)]
+pub struct RunMeta {
+    /// Run name (e.g. the CLI experiment or subcommand).
+    pub name: String,
+    /// Engine that produced the numbers (`tfim`, `worldline`, `sse`, …).
+    pub engine: String,
+    /// Communicator back-end (`serial`, `threads`, `mesh1993`, …).
+    pub backend: String,
+    /// Number of ranks in the run.
+    pub ranks: u64,
+    /// Free-form `(key, value)` run parameters (sizes, β, sweep counts).
+    pub params: Vec<(String, String)>,
+}
+
+impl RunMeta {
+    /// Describe a run.
+    pub fn new(name: &str, engine: &str, backend: &str, ranks: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            engine: engine.to_string(),
+            backend: backend.to_string(),
+            ranks: ranks as u64,
+            params: Vec::new(),
+        }
+    }
+
+    /// Attach one run parameter (builder style).
+    pub fn param(mut self, key: &str, value: impl ToString) -> Self {
+        self.params.push((key.to_string(), value.to_string()));
+        self
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn comm_json(c: &CommSummary, indent: &str) -> String {
+    format!(
+        "{{\n{i}  \"messages_sent\": {},\n{i}  \"bytes_sent\": {},\n\
+         {i}  \"messages_recv\": {},\n{i}  \"bytes_recv\": {},\n\
+         {i}  \"max_message_bytes\": {},\n{i}  \"comm_seconds\": {},\n\
+         {i}  \"compute_seconds\": {},\n{i}  \"recv_wait_seconds\": {}\n{i}}}",
+        c.messages_sent,
+        c.bytes_sent,
+        c.messages_recv,
+        c.bytes_recv,
+        c.max_message_bytes,
+        c.comm_seconds,
+        c.compute_seconds,
+        c.recv_wait_seconds,
+        i = indent,
+    )
+}
+
+/// Render the `qmc-metrics/v1` artifact for a set of per-rank records
+/// (typically the output of [`crate::gather_ranks`] on rank 0).
+pub fn metrics_json(meta: &RunMeta, ranks: &[RankObs]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{METRICS_SCHEMA}\",\n"));
+
+    // Run header.
+    out.push_str("  \"run\": {\n");
+    out.push_str(&format!("    \"name\": \"{}\",\n", esc(&meta.name)));
+    out.push_str(&format!("    \"engine\": \"{}\",\n", esc(&meta.engine)));
+    out.push_str(&format!("    \"backend\": \"{}\",\n", esc(&meta.backend)));
+    out.push_str(&format!("    \"ranks\": {},\n", meta.ranks));
+    out.push_str("    \"params\": {");
+    for (i, (k, v)) in meta.params.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n      \"{}\": \"{}\"", esc(k), esc(v)));
+    }
+    if !meta.params.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("}\n  },\n");
+
+    // Cross-rank totals: summed counters, merged comm stats.
+    let mut totals: Vec<(String, u64)> = Vec::new();
+    for r in ranks {
+        for (name, v) in &r.counters {
+            match totals.iter_mut().find(|(n, _)| n == name) {
+                Some((_, cur)) => *cur += v,
+                None => totals.push((name.clone(), *v)),
+            }
+        }
+    }
+    let comm_total = ranks
+        .iter()
+        .filter_map(|r| r.comm)
+        .fold(None::<CommSummary>, |acc, c| match acc {
+            None => Some(c),
+            Some(a) => Some(CommSummary {
+                messages_sent: a.messages_sent + c.messages_sent,
+                bytes_sent: a.bytes_sent + c.bytes_sent,
+                messages_recv: a.messages_recv + c.messages_recv,
+                bytes_recv: a.bytes_recv + c.bytes_recv,
+                max_message_bytes: a.max_message_bytes.max(c.max_message_bytes),
+                comm_seconds: a.comm_seconds + c.comm_seconds,
+                compute_seconds: a.compute_seconds + c.compute_seconds,
+                recv_wait_seconds: a.recv_wait_seconds + c.recv_wait_seconds,
+            }),
+        });
+    out.push_str("  \"totals\": {\n    \"counters\": {");
+    for (i, (k, v)) in totals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n      \"{}\": {v}", esc(k)));
+    }
+    if !totals.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("},\n    \"comm\": ");
+    match &comm_total {
+        Some(c) => out.push_str(&comm_json(c, "    ")),
+        None => out.push_str("null"),
+    }
+    out.push_str("\n  },\n");
+
+    // Per-rank detail.
+    out.push_str("  \"ranks\": [");
+    for (ri, r) in ranks.iter().enumerate() {
+        if ri > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"rank\": {},\n", r.rank));
+        out.push_str(&format!("      \"spans\": {},\n", r.spans.len()));
+        out.push_str(&format!("      \"dropped_spans\": {},\n", r.dropped_spans));
+        out.push_str("      \"counters\": {");
+        for (i, (k, v)) in r.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n        \"{}\": {v}", esc(k)));
+        }
+        if !r.counters.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("},\n      \"histograms\": {");
+        for (i, h) in r.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                esc(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            ));
+            for (j, (lo, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{lo}, {c}]"));
+            }
+            out.push_str("]}");
+        }
+        if !r.hists.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("},\n      \"comm\": ");
+        match &r.comm {
+            Some(c) => out.push_str(&comm_json(c, "      ")),
+            None => out.push_str("null"),
+        }
+        out.push_str("\n    }");
+    }
+    if !ranks.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Render per-rank spans as Chrome trace-event JSON (the "JSON Array
+/// Format" with a `traceEvents` wrapper): one track (`tid`) per rank under
+/// a single `pid`, `ts` in microseconds from the run's shared epoch. Load
+/// the file in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+///
+/// Within each rank the B/E events are emitted in valid stack order
+/// (non-decreasing `ts`, every `E` matching the most recent open `B`),
+/// reconstructed from the completed-span list.
+pub fn chrome_trace_json(ranks: &[RankObs]) -> String {
+    fn push_ev(out: &mut String, first: &mut bool, ev: &str) {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n    ");
+        out.push_str(ev);
+    }
+    fn close_ev(out: &mut String, first: &mut bool, tid: u64, s: &crate::record::OwnedSpan) {
+        push_ev(
+            out,
+            first,
+            &format!(
+                "{{\"name\": \"{}\", \"ph\": \"E\", \"pid\": 0, \"tid\": {tid}, \"ts\": {:.3}}}",
+                esc(&s.name),
+                s.t1_us
+            ),
+        );
+    }
+
+    let mut out = String::from("{\n  \"traceEvents\": [");
+    let mut first = true;
+    for r in ranks {
+        let tid = r.rank;
+        push_ev(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"rank {tid}\"}}}}"
+            ),
+        );
+
+        // Completed spans → a properly nested event stream: visit spans by
+        // start time (outermost first on ties), closing every open span
+        // that ends before the next one starts.
+        let mut idx: Vec<usize> = (0..r.spans.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let (sa, sb) = (&r.spans[a], &r.spans[b]);
+            sa.t0_us
+                .partial_cmp(&sb.t0_us)
+                .unwrap()
+                .then(sb.t1_us.partial_cmp(&sa.t1_us).unwrap())
+                .then(sa.depth.cmp(&sb.depth))
+        });
+        let mut stack: Vec<usize> = Vec::new();
+        for &i in &idx {
+            let s = &r.spans[i];
+            while let Some(&top) = stack.last() {
+                if r.spans[top].t1_us <= s.t0_us {
+                    close_ev(&mut out, &mut first, tid, &r.spans[top]);
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            push_ev(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\": \"{}\", \"ph\": \"B\", \"pid\": 0, \"tid\": {tid}, \
+                     \"ts\": {:.3}}}",
+                    esc(&s.name),
+                    s.t0_us
+                ),
+            );
+            stack.push(i);
+        }
+        while let Some(top) = stack.pop() {
+            close_ev(&mut out, &mut first, tid, &r.spans[top]);
+        }
+    }
+
+    out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::record::OwnedSpan;
+
+    fn two_ranks() -> Vec<RankObs> {
+        let mk = |rank: u64, off: f64| RankObs {
+            rank,
+            dropped_spans: 0,
+            spans: vec![
+                OwnedSpan {
+                    name: "inner".into(),
+                    t0_us: off + 2.0,
+                    t1_us: off + 5.0,
+                    depth: 1,
+                },
+                OwnedSpan {
+                    name: "outer".into(),
+                    t0_us: off,
+                    t1_us: off + 10.0,
+                    depth: 0,
+                },
+            ],
+            counters: vec![("proposed".to_string(), 100 * (rank + 1))],
+            hists: Vec::new(),
+            comm: None,
+        };
+        vec![mk(0, 0.0), mk(1, 1.0)]
+    }
+
+    #[test]
+    fn metrics_json_parses_and_totals_sum() {
+        let meta = RunMeta::new("demo", "tfim", "threads", 2).param("l", 16);
+        let doc = Json::parse(&metrics_json(&meta, &two_ranks())).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str().unwrap(), METRICS_SCHEMA);
+        let run = doc.get("run").unwrap();
+        assert_eq!(run.get("engine").unwrap().as_str().unwrap(), "tfim");
+        assert_eq!(
+            run.get("params").unwrap().get("l").unwrap().as_str(),
+            Some("16")
+        );
+        let totals = doc.get("totals").unwrap().get("counters").unwrap();
+        assert_eq!(totals.get("proposed").unwrap().as_f64(), Some(300.0));
+        let ranks = doc.get("ranks").unwrap().as_arr().unwrap();
+        assert_eq!(ranks.len(), 2);
+        assert_eq!(ranks[1].get("rank").unwrap().as_f64(), Some(1.0));
+        assert!(ranks[0].get("comm").unwrap().is_null());
+    }
+
+    #[test]
+    fn trace_events_keep_stack_discipline() {
+        let doc = Json::parse(&chrome_trace_json(&two_ranks())).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 metadata + 2×(2 B + 2 E)
+        assert_eq!(events.len(), 10);
+        for tid in 0..2 {
+            let mut stack = Vec::new();
+            let mut last_ts = f64::NEG_INFINITY;
+            for e in events {
+                if e.get("tid").unwrap().as_f64() != Some(tid as f64) {
+                    continue;
+                }
+                match e.get("ph").unwrap().as_str().unwrap() {
+                    "M" => {}
+                    "B" => {
+                        let ts = e.get("ts").unwrap().as_f64().unwrap();
+                        assert!(ts >= last_ts, "unsorted ts in tid {tid}");
+                        last_ts = ts;
+                        stack.push(e.get("name").unwrap().as_str().unwrap().to_string());
+                    }
+                    "E" => {
+                        let ts = e.get("ts").unwrap().as_f64().unwrap();
+                        assert!(ts >= last_ts);
+                        last_ts = ts;
+                        let open = stack.pop().expect("E without open B");
+                        assert_eq!(open, e.get("name").unwrap().as_str().unwrap());
+                    }
+                    ph => panic!("unexpected phase {ph}"),
+                }
+            }
+            assert!(stack.is_empty(), "unclosed spans in tid {tid}");
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let meta = RunMeta::new("a\"b\\c\nd", "e", "f", 1);
+        let doc = Json::parse(&metrics_json(&meta, &[])).unwrap();
+        assert_eq!(
+            doc.get("run").unwrap().get("name").unwrap().as_str(),
+            Some("a\"b\\c\nd")
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Named monotonic counters and log₂-bucketed histograms.
+//!
+//! A [`Registry`] is a small, flat store: registration (name → id) is a
+//! linear scan done once per counter at construction time; updates through
+//! a [`CounterId`]/[`HistId`] are a single indexed add. Engines own one
+//! registry each so their counters exist (and keep reporting the same
+//! values) whether or not the observability layer is enabled; the per-rank
+//! recorder owns another for harness-level metrics.
+
+/// Handle to a registered counter (index into the registry's flat store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(pub(crate) usize);
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `b ≥ 1`
+/// holds values with bit length `b`, i.e. `[2^(b−1), 2^b)`.
+pub const N_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (durations in nanoseconds,
+/// message sizes in bytes, …). Fixed-size, allocation-free recording.
+#[derive(Debug, Clone)]
+pub struct Hist {
+    /// Per-bucket sample counts (see [`N_BUCKETS`] for the bucket rule).
+    pub buckets: [u64; N_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping add; practical totals never wrap).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, else the bit length.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `b`.
+    #[inline]
+    pub fn bucket_lo(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Smallest sample, or 0 when the histogram is empty (the serialized
+    /// form; `min` itself is `u64::MAX` until the first sample).
+    pub fn min_or_zero(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive lower bound, count)` pairs.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (Self::bucket_lo(b), c))
+    }
+}
+
+/// A flat registry of named counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<(&'static str, u64)>,
+    hists: Vec<(&'static str, Hist)>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a counter by name.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| *n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register (or look up) a histogram by name.
+    pub fn hist(&mut self, name: &'static str) -> HistId {
+        if let Some(i) = self.hists.iter().position(|(n, _)| *n == name) {
+            return HistId(i);
+        }
+        self.hists.push((name, Hist::new()));
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Add `n` to a registered counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Add `n` to a counter by name (registers it on first use).
+    pub fn add_named(&mut self, name: &'static str, n: u64) {
+        let id = self.counter(name);
+        self.add(id, n);
+    }
+
+    /// Record a sample into a registered histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].1.record(v);
+    }
+
+    /// Record a sample by histogram name (registers it on first use).
+    pub fn record_named(&mut self, name: &'static str, v: u64) {
+        let id = self.hist(name);
+        self.record(id, v);
+    }
+
+    /// Current value of a counter (0 when unregistered).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Current value of a counter by id.
+    #[inline]
+    pub fn value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Histogram by name, if registered.
+    pub fn hist_get(&self, name: &str) -> Option<&Hist> {
+        self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// All counters in registration order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// All histograms in registration order.
+    pub fn hists(&self) -> &[(&'static str, Hist)] {
+        &self.hists
+    }
+
+    /// True when no counter or histogram was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_register_is_idempotent() {
+        let mut r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.add(a, 3);
+        r.add_named("x", 4);
+        assert_eq!(r.get("x"), 7);
+        assert_eq!(r.get("missing"), 0);
+    }
+
+    #[test]
+    fn hist_bucket_rule() {
+        assert_eq!(Hist::bucket_index(0), 0);
+        assert_eq!(Hist::bucket_index(1), 1);
+        assert_eq!(Hist::bucket_index(2), 2);
+        assert_eq!(Hist::bucket_index(3), 2);
+        assert_eq!(Hist::bucket_index(4), 3);
+        assert_eq!(Hist::bucket_index(u64::MAX), 64);
+        assert_eq!(Hist::bucket_lo(0), 0);
+        assert_eq!(Hist::bucket_lo(1), 1);
+        assert_eq!(Hist::bucket_lo(5), 16);
+        // every value lands in the bucket whose range contains it
+        for v in [0u64, 1, 2, 5, 100, 1 << 40, u64::MAX] {
+            let b = Hist::bucket_index(v);
+            assert!(v >= Hist::bucket_lo(b));
+            if b < 64 {
+                assert!(v < Hist::bucket_lo(b + 1) || b == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hist_stats_track_samples() {
+        let mut h = Hist::new();
+        assert_eq!(h.min_or_zero(), 0);
+        for v in [5u64, 9, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1014);
+        assert_eq!(h.min, 5);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 338.0).abs() < 1.0);
+        let nz: Vec<_> = h.nonzero().collect();
+        assert_eq!(nz, vec![(4, 1), (8, 1), (512, 1)]);
+    }
+}

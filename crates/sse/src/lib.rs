@@ -367,9 +367,22 @@ impl Sse {
 
     /// One Monte Carlo sweep (diagonal update + loop update).
     pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
-        self.diagonal_update(rng);
-        self.build_links();
-        self.loop_update(rng);
+        let _span = qmc_obs::span("sse.sweep");
+        {
+            let _s = qmc_obs::span("sse.diagonal");
+            self.diagonal_update(rng);
+        }
+        {
+            let _s = qmc_obs::span("sse.links");
+            self.build_links();
+        }
+        {
+            let _s = qmc_obs::span("sse.loop");
+            self.loop_update(rng);
+        }
+        // Expansion-order trajectory (the SSE energy estimator is −⟨n⟩/β
+        // up to a constant, so this histogram is the run's energy story).
+        qmc_obs::hist_record("sse.n_ops", self.n_ops as u64);
     }
 
     /// Measure the current configuration.

@@ -24,6 +24,7 @@ use crate::serial::{TfimMeasurement, TfimSeries};
 use crate::{AcceptTable, StCouplings, TfimModel};
 use qmc_comm::{Communicator, ReduceOp};
 use qmc_lattice::{Decomposition, Dir, ProcGrid, Subdomain};
+use qmc_obs::{CounterId, Registry};
 use qmc_rng::Rng64;
 
 /// Modeled cost of one Metropolis site update, in flop-equivalents
@@ -53,10 +54,12 @@ pub struct DistTfim {
     slice_stride: usize,
     /// Shared precomputed Metropolis acceptance-ratio table.
     accept: AcceptTable,
-    /// Metropolis proposals accepted on this rank.
-    pub accepted: u64,
-    /// Metropolis proposals made on this rank.
-    pub proposed: u64,
+    /// Engine-owned metrics: acceptance counters plus per-direction halo
+    /// byte counts. Always live, so reported acceptance rates are the
+    /// same whether or not the observability layer is enabled.
+    metrics: Registry,
+    id_accepted: CounterId,
+    id_proposed: CounterId,
     /// Persistent halo send buffer (reused every exchange: steady-state
     /// sweeps perform zero heap allocations in this engine).
     send_buf: Vec<u8>,
@@ -79,6 +82,9 @@ struct HaloDir {
     send_idx: Vec<usize>,
     /// Ghost local indices the received strip scatters into.
     recv_idx: Vec<usize>,
+    /// Per-direction halo byte counter (`tfim.halo_bytes.<dir>`) in the
+    /// engine registry; counts actually-sent messages, not self-wraps.
+    bytes_ctr: CounterId,
 }
 
 impl DistTfim {
@@ -104,6 +110,9 @@ impl DistTfim {
         } else {
             &Dir::ALL
         };
+        let mut metrics = Registry::new();
+        let id_accepted = metrics.counter("tfim.accepted");
+        let id_proposed = metrics.counter("tfim.proposed");
         let halo = dirs
             .iter()
             .map(|&dir| HaloDir {
@@ -116,6 +125,7 @@ impl DistTfim {
                 tag: 100 + dir_id(dir),
                 send_idx: sub.send_strip(dir),
                 recv_idx: sub.recv_strip(dir.opposite()),
+                bytes_ctr: metrics.counter(dir_bytes_counter(dir)),
             })
             .collect();
 
@@ -128,8 +138,9 @@ impl DistTfim {
             spins,
             slice_stride,
             accept: AcceptTable::new(&c),
-            accepted: 0,
-            proposed: 0,
+            metrics,
+            id_accepted,
+            id_proposed,
             send_buf: Vec::with_capacity(strip),
             recv_buf: Vec::with_capacity(strip),
             halo,
@@ -141,7 +152,25 @@ impl DistTfim {
     /// with an allreduce over `[accepted, proposed]` if a global rate is
     /// wanted).
     pub fn acceptance_rate(&self) -> f64 {
-        self.accepted as f64 / self.proposed.max(1) as f64
+        self.accepted() as f64 / self.proposed().max(1) as f64
+    }
+
+    /// Metropolis proposals accepted on this rank (`tfim.accepted`).
+    pub fn accepted(&self) -> u64 {
+        self.metrics.value(self.id_accepted)
+    }
+
+    /// Metropolis proposals made on this rank (`tfim.proposed`).
+    pub fn proposed(&self) -> u64 {
+        self.metrics.value(self.id_proposed)
+    }
+
+    /// This rank's engine metrics: acceptance counters plus
+    /// `tfim.halo_bytes.<east|west|north|south>` byte counts (fold into a
+    /// [`qmc_obs::RankObs`] with
+    /// [`absorb_registry`](qmc_obs::RankObs::absorb_registry)).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// The block this rank owns.
@@ -164,6 +193,7 @@ impl DistTfim {
     /// byte buffers are persistent fields reused across exchanges (via
     /// [`Communicator::sendrecv_bytes_into`]).
     pub fn halo_exchange<C: Communicator>(&mut self, comm: &mut C) {
+        let _span = qmc_obs::span("tfim.halo_exchange");
         // Detach the plan and buffers from `self` so the gather/scatter
         // loops can index `self.spins` without borrow conflicts.
         let halo = std::mem::take(&mut self.halo);
@@ -181,6 +211,7 @@ impl DistTfim {
             let incoming: &[u8] = if hd.neighbor == self.rank && hd.from == self.rank {
                 &send // periodic self-wrap: my own edge is my ghost
             } else {
+                self.metrics.add(hd.bytes_ctr, send.len() as u64);
                 comm.sendrecv_bytes_into(hd.neighbor, hd.tag, &send, hd.from, hd.tag, &mut recv);
                 &recv
             };
@@ -238,16 +269,20 @@ impl DistTfim {
                 }
             }
         }
-        self.proposed += proposals;
-        self.accepted += accepted;
+        self.metrics.add(self.id_proposed, proposals);
+        self.metrics.add(self.id_accepted, accepted);
         proposals
     }
 
     /// One full sweep: two parity halves, each followed by a halo
     /// exchange; compute time is charged to the communicator's clock.
     pub fn sweep<C: Communicator, R: Rng64>(&mut self, comm: &mut C, rng: &mut R) {
+        let _span = qmc_obs::span("tfim.sweep");
         for color in 0..2 {
-            let proposals = self.half_sweep(color, rng);
+            let proposals = {
+                let _half = qmc_obs::span("tfim.half_sweep");
+                self.half_sweep(color, rng)
+            };
             comm.compute(proposals as f64 * FLOPS_PER_UPDATE);
             self.halo_exchange(comm);
         }
@@ -282,6 +317,7 @@ impl DistTfim {
     /// Global measurement (collective allreduce; every rank returns the
     /// same values). Ghosts must be current (call after [`Self::sweep`]).
     pub fn measure<C: Communicator>(&self, comm: &mut C) -> TfimMeasurement {
+        let _span = qmc_obs::span("tfim.measure");
         let (sp, tt, tot) = self.local_sums();
         let global = comm.allreduce_f64(&[sp, tt, tot], ReduceOp::Sum);
         let n = self.model.n_sites();
@@ -361,6 +397,15 @@ fn dir_id(d: Dir) -> u32 {
         Dir::West => 1,
         Dir::North => 2,
         Dir::South => 3,
+    }
+}
+
+fn dir_bytes_counter(d: Dir) -> &'static str {
+    match d {
+        Dir::East => "tfim.halo_bytes.east",
+        Dir::West => "tfim.halo_bytes.west",
+        Dir::North => "tfim.halo_bytes.north",
+        Dir::South => "tfim.halo_bytes.south",
     }
 }
 
@@ -569,6 +614,36 @@ mod tests {
                 }
             }
             assert_eq!(a.spins, b.spins, "rank {}", comm.rank());
+        });
+    }
+
+    #[test]
+    fn halo_byte_counters_match_comm_stats() {
+        // Every user-level byte this engine sends is a halo strip, so the
+        // per-direction registry counters must sum to the communicator's
+        // bytes_sent (no collectives run before the check).
+        let model = TfimModel {
+            lx: 8,
+            ly: 8,
+            j: 1.0,
+            h: 1.0,
+            beta: 1.0,
+            m: 4,
+        };
+        run_threads(4, move |comm| {
+            let mut eng = DistTfim::new(model, comm);
+            let mut rng = StreamFactory::new(3).stream(comm.rank());
+            eng.halo_exchange(comm);
+            for _ in 0..3 {
+                eng.sweep(comm, &mut rng);
+            }
+            let dirs = ["east", "west", "north", "south"];
+            let halo_bytes: u64 = dirs
+                .iter()
+                .map(|d| eng.metrics().get(&format!("tfim.halo_bytes.{d}")))
+                .sum();
+            assert!(halo_bytes > 0);
+            assert_eq!(halo_bytes, comm.stats().bytes_sent, "rank {}", comm.rank());
         });
     }
 

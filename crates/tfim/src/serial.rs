@@ -1,6 +1,7 @@
 //! Single-memory TFIM path-integral engine (Metropolis + Wolff).
 
 use crate::{AcceptTable, StCouplings, TfimModel};
+use qmc_obs::{CounterId, Registry};
 use qmc_rng::Rng64;
 
 /// Spacetime spin configuration of the mapped classical model plus update
@@ -10,10 +11,12 @@ pub struct SerialTfim {
     model: TfimModel,
     c: StCouplings,
     spins: Vec<i8>,
-    /// Metropolis acceptance counters.
-    pub accepted: u64,
-    /// Metropolis proposal counter.
-    pub proposed: u64,
+    /// Engine-owned metrics (acceptance counters, Wolff cluster sizes).
+    /// Always live — the reported acceptance rate does not depend on the
+    /// observability layer being enabled.
+    metrics: Registry,
+    id_accepted: CounterId,
+    id_proposed: CounterId,
     /// Precomputed acceptance ratios (no `exp` in the sweep loop).
     accept: AcceptTable,
     /// Wolff add probabilities `1 − e^{−2K}`, precomputed per bond type.
@@ -90,12 +93,16 @@ impl SerialTfim {
         let model = model.validated();
         let n = model.lx * model.ly * model.m;
         let c = model.couplings();
+        let mut metrics = Registry::new();
+        let id_accepted = metrics.counter("tfim.accepted");
+        let id_proposed = metrics.counter("tfim.proposed");
         Self {
             c,
             spins: vec![1; n],
             model,
-            accepted: 0,
-            proposed: 0,
+            metrics,
+            id_accepted,
+            id_proposed,
             accept: AcceptTable::new(&c),
             wolff_p_space: 1.0 - (-2.0 * c.k_space).exp(),
             wolff_p_time: 1.0 - (-2.0 * c.k_time).exp(),
@@ -111,7 +118,24 @@ impl SerialTfim {
 
     /// Fraction of Metropolis proposals accepted so far.
     pub fn acceptance_rate(&self) -> f64 {
-        self.accepted as f64 / self.proposed.max(1) as f64
+        self.accepted() as f64 / self.proposed().max(1) as f64
+    }
+
+    /// Metropolis proposals accepted so far (`tfim.accepted`).
+    pub fn accepted(&self) -> u64 {
+        self.metrics.value(self.id_accepted)
+    }
+
+    /// Metropolis proposals made so far (`tfim.proposed`).
+    pub fn proposed(&self) -> u64 {
+        self.metrics.value(self.id_proposed)
+    }
+
+    /// The engine's metrics registry (fold into a
+    /// [`qmc_obs::RankObs`] with
+    /// [`absorb_registry`](qmc_obs::RankObs::absorb_registry) at run end).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     #[inline]
@@ -185,9 +209,14 @@ impl SerialTfim {
     /// random-number stream are identical to the previous `exp`-per-site
     /// implementation.
     pub fn metropolis_sweep<R: Rng64>(&mut self, rng: &mut R) {
+        let _span = qmc_obs::span("tfim.metropolis_sweep");
         let m = self.model;
         let (lx, ly, mm) = (m.lx, m.ly, m.m);
         let slice = lx * ly;
+        // Counters accumulate in locals and flush once per sweep: the hot
+        // loop stays free of registry indexing (2% overhead budget).
+        let mut accepted = 0u64;
+        let mut proposed = 0u64;
         for color in 0..2usize {
             for t in 0..mm {
                 let up = ((t + 1) % mm) * slice;
@@ -217,20 +246,23 @@ impl SerialTfim {
                         }
                         let tp = self.spins[up + y * lx + x] as i32
                             + self.spins[down + y * lx + x] as i32;
-                        self.proposed += 1;
+                        proposed += 1;
                         if rng.metropolis(self.accept.ratio(s, sp, tp)) {
                             self.spins[i] = -s;
-                            self.accepted += 1;
+                            accepted += 1;
                         }
                     }
                 }
             }
         }
+        self.metrics.add(self.id_proposed, proposed);
+        self.metrics.add(self.id_accepted, accepted);
     }
 
     /// One Wolff cluster update (grows a single cluster and always flips
     /// it; bond-type-dependent add probabilities `1 − e^{−2K}`).
     pub fn wolff_update<R: Rng64>(&mut self, rng: &mut R) -> usize {
+        let _span = qmc_obs::span("tfim.wolff");
         let n = self.spins.len();
         let seed = rng.index(n);
         let (p_s, p_t) = (self.wolff_p_space, self.wolff_p_time);
@@ -257,6 +289,7 @@ impl SerialTfim {
             }
             self.spins[site] = -s;
         }
+        self.metrics.record_named("tfim.wolff_cluster", size as u64);
         size
     }
 
@@ -292,6 +325,7 @@ impl SerialTfim {
 
     /// Measure the current configuration.
     pub fn measure(&self) -> TfimMeasurement {
+        let _span = qmc_obs::span("tfim.measure");
         let m = &self.model;
         let n = m.n_sites();
         let (sp, tt) = self.bond_sums();

@@ -370,6 +370,13 @@ impl Worldline {
     /// One full sweep: every unshaded cell is offered a corner move, then
     /// `L` random straight-line attempts.
     pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
+        let _span = qmc_obs::span("worldline.sweep");
+        let before = (
+            self.local_accepted,
+            self.local_proposed,
+            self.straight_accepted,
+            self.straight_proposed,
+        );
         let l = self.params.l;
         for t in 0..self.rows {
             // Unshaded cells in interval t: i + t odd.
@@ -381,6 +388,20 @@ impl Worldline {
         for _ in 0..l {
             let i = rng.index(l);
             self.try_straight_line(i, rng);
+        }
+        // Mirror this sweep's counter deltas into the rank recorder (the
+        // public fields stay authoritative; no-ops when metrics are off).
+        if qmc_obs::metrics_enabled() {
+            qmc_obs::counter_add("worldline.local_accepted", self.local_accepted - before.0);
+            qmc_obs::counter_add("worldline.local_proposed", self.local_proposed - before.1);
+            qmc_obs::counter_add(
+                "worldline.straight_accepted",
+                self.straight_accepted - before.2,
+            );
+            qmc_obs::counter_add(
+                "worldline.straight_proposed",
+                self.straight_proposed - before.3,
+            );
         }
     }
 

@@ -431,6 +431,8 @@ impl<L: Lattice> GenericWorldline<L> {
     /// (plaquette, boundary pair) ring move, plus `n_sites` random
     /// straight-line attempts.
     pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
+        let _span = qmc_obs::span("generic_worldline.sweep");
+        let before = (self.straight_accepted, self.straight_proposed);
         // Bond-window moves.
         for t in 0..self.rows {
             let ci = self.color_index_of_interval(t);
@@ -461,6 +463,18 @@ impl<L: Lattice> GenericWorldline<L> {
         for _ in 0..self.lattice.num_sites() {
             let site = rng.index(self.lattice.num_sites());
             self.try_straight_line(site, rng);
+        }
+        // Mirror this sweep's counter deltas into the rank recorder (the
+        // public fields stay authoritative; no-ops when metrics are off).
+        if qmc_obs::metrics_enabled() {
+            qmc_obs::counter_add(
+                "generic_worldline.straight_accepted",
+                self.straight_accepted - before.0,
+            );
+            qmc_obs::counter_add(
+                "generic_worldline.straight_proposed",
+                self.straight_proposed - before.1,
+            );
         }
     }
 

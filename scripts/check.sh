@@ -16,4 +16,7 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== observability: determinism + artifact schema =="
+cargo test -q -p qmc-bench --test observability
+
 echo "All checks passed."

@@ -1,0 +1,276 @@
+//! Observability integration tests.
+//!
+//! The contract of `qmc-obs` is that instrumentation never perturbs
+//! physics: with a fixed seed, every engine must produce bit-identical
+//! observable series and draw exactly as many random numbers with
+//! observability fully on as with it off. The exported artifacts must
+//! also obey their contracts: `METRICS_run.json` round-trips through the
+//! bundled JSON parser with summed totals, and the Chrome trace keeps
+//! per-rank timestamps sorted and `B`/`E` events balanced.
+
+use qmc_comm::{run_threads, Communicator};
+use qmc_lattice::{Chain, Square};
+use qmc_obs::json::Json;
+use qmc_obs::{chrome_trace_json, gather_ranks, metrics_json, ObsConfig, RunMeta};
+use qmc_rng::{Rng64, StreamFactory, Xoshiro256StarStar};
+use qmc_sse::Sse;
+use qmc_tfim::parallel::DistTfim;
+use qmc_tfim::serial::SerialTfim;
+use qmc_tfim::TfimModel;
+use qmc_worldline::{GenericParams, GenericWorldline, Worldline, WorldlineParams};
+
+/// Counts raw draws while forwarding to the wrapped generator. Both the
+/// scalar and the bulk path count, so buffered streams are covered too.
+struct CountingRng<R> {
+    inner: R,
+    draws: u64,
+}
+
+impl<R> CountingRng<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, draws: 0 }
+    }
+}
+
+impl<R: Rng64> Rng64 for CountingRng<R> {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        self.draws += out.len() as u64;
+        self.inner.fill_u64(out);
+    }
+}
+
+/// Exact bit patterns of a float series (equality must be bitwise, not
+/// approximate — instrumentation may not change even the last ulp).
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Run `f` with a fully-enabled recorder installed on this thread, then
+/// tear the recorder down again.
+fn with_obs<T>(f: impl FnOnce() -> T) -> T {
+    qmc_obs::init(0, &ObsConfig::new());
+    let out = f();
+    let _ = qmc_obs::finish();
+    out
+}
+
+#[test]
+fn serial_tfim_bit_identical_with_obs_on() {
+    let run = || {
+        let model = TfimModel {
+            lx: 8,
+            ly: 8,
+            j: 1.0,
+            h: 2.0,
+            beta: 1.0,
+            m: 4,
+        };
+        let mut eng = SerialTfim::new(model);
+        let mut rng = CountingRng::new(Xoshiro256StarStar::new(7));
+        let series = eng.run(&mut rng, 50, 200, 1);
+        let mut b = bits(&series.energy);
+        b.extend(bits(&series.abs_m));
+        b.extend(bits(&series.sigma_x));
+        (b, rng.draws, eng.accepted(), eng.proposed())
+    };
+    let off = run();
+    let on = with_obs(run);
+    assert_eq!(off.0, on.0, "observable series changed");
+    assert_eq!(off.1, on.1, "RNG draw count changed");
+    assert_eq!((off.2, off.3), (on.2, on.3), "acceptance counters changed");
+    assert!(off.3 > 0, "sanity: proposals were made");
+}
+
+#[test]
+fn worldline_bit_identical_with_obs_on() {
+    let run = || {
+        let mut wl = Worldline::new(WorldlineParams {
+            l: 8,
+            jx: 1.0,
+            jz: 1.0,
+            beta: 1.0,
+            m: 8,
+        });
+        let mut rng = CountingRng::new(Xoshiro256StarStar::new(11));
+        let series = wl.run(&mut rng, 100, 400);
+        let mut b = bits(&series.energy);
+        b.extend(bits(&series.magnetization));
+        (b, rng.draws, wl.local_accepted, wl.straight_accepted)
+    };
+    let off = run();
+    let on = with_obs(run);
+    assert_eq!(off, on);
+}
+
+#[test]
+fn generic_worldline_bit_identical_with_obs_on() {
+    let run = || {
+        let params = GenericParams {
+            jx: 1.0,
+            jz: 1.0,
+            beta: 1.0,
+            m: 8,
+        };
+        let mut wl = GenericWorldline::new(Square::new(4, 4), params);
+        let mut rng = CountingRng::new(Xoshiro256StarStar::new(13));
+        let series = wl.run(&mut rng, 100, 300);
+        let mut b = bits(&series.energy);
+        b.extend(bits(&series.magnetization));
+        (b, rng.draws)
+    };
+    let off = run();
+    let on = with_obs(run);
+    assert_eq!(off, on);
+}
+
+#[test]
+fn sse_bit_identical_with_obs_on() {
+    let run = || {
+        let lat = Chain::new(8);
+        let mut rng = CountingRng::new(Xoshiro256StarStar::new(17));
+        let mut sse = Sse::new(&lat, 1.0, 2.0, &mut rng);
+        let series = sse.run(&mut rng, 200, 500);
+        let mut b = bits(&series.n_ops);
+        b.extend(bits(&series.magnetization));
+        (b, rng.draws)
+    };
+    let off = run();
+    let on = with_obs(run);
+    assert_eq!(off, on);
+}
+
+#[test]
+fn dist_tfim_bit_identical_with_obs_on_every_rank() {
+    let run = |obs: bool| {
+        let model = TfimModel {
+            lx: 16,
+            ly: 16,
+            j: 1.0,
+            h: 2.0,
+            beta: 1.0,
+            m: 4,
+        };
+        run_threads(4, move |comm| {
+            if obs {
+                qmc_obs::init(comm.rank(), &ObsConfig::new());
+            }
+            let mut eng = DistTfim::new(model, comm);
+            let mut rng = CountingRng::new(StreamFactory::new(5).stream(comm.rank()));
+            let series = eng.run(comm, &mut rng, 20, 60);
+            if obs {
+                let _ = qmc_obs::finish();
+            }
+            let mut b = bits(&series.energy);
+            b.extend(bits(&series.abs_m));
+            (b, rng.draws, eng.accepted(), eng.proposed())
+        })
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off, on, "some rank's trajectory changed under obs");
+}
+
+#[test]
+fn metrics_json_round_trips_through_parser() {
+    qmc_obs::init(0, &ObsConfig::new());
+    {
+        let _s = qmc_obs::span("work");
+        qmc_obs::counter_add("things", 3);
+        qmc_obs::hist_record("sizes", 17);
+    }
+    let rank = qmc_obs::finish().expect("recorder installed");
+    let meta = RunMeta::new("round-trip", "none", "serial", 1).param("l", 8);
+    let text = metrics_json(&meta, std::slice::from_ref(&rank));
+
+    let doc = Json::parse(&text).expect("exporter must emit valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("qmc-metrics/v1")
+    );
+    let run = doc.get("run").expect("run block");
+    assert_eq!(run.get("name").and_then(Json::as_str), Some("round-trip"));
+    assert_eq!(run.get("ranks").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(
+        doc.get("totals")
+            .and_then(|t| t.get("counters"))
+            .and_then(|c| c.get("things"))
+            .and_then(Json::as_f64),
+        Some(3.0)
+    );
+    let ranks = doc
+        .get("ranks")
+        .and_then(Json::as_arr)
+        .expect("ranks array");
+    assert_eq!(ranks.len(), 1);
+    let r0 = &ranks[0];
+    assert_eq!(
+        r0.get("counters")
+            .and_then(|c| c.get("things"))
+            .and_then(Json::as_f64),
+        Some(3.0)
+    );
+    let sizes = r0
+        .get("histograms")
+        .and_then(|h| h.get("sizes"))
+        .expect("sizes histogram");
+    assert_eq!(sizes.get("count").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(sizes.get("min").and_then(Json::as_f64), Some(17.0));
+    assert_eq!(sizes.get("max").and_then(Json::as_f64), Some(17.0));
+}
+
+#[test]
+fn chrome_trace_is_sorted_and_balanced_per_rank() {
+    let cfg = ObsConfig::new();
+    let mut results = run_threads(3, move |comm| {
+        qmc_obs::init(comm.rank(), &cfg);
+        for _ in 0..5 {
+            let _outer = qmc_obs::span("outer");
+            let _inner = qmc_obs::span("inner");
+        }
+        let mine = qmc_obs::finish().expect("recorder installed");
+        gather_ranks(comm, &mine)
+    });
+    let ranks = results.swap_remove(0).expect("rank 0 gathers");
+    assert_eq!(ranks.len(), 3);
+    let trace = chrome_trace_json(&ranks);
+
+    let doc = Json::parse(&trace).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    // Group B/E events per tid; timestamps must be non-decreasing and
+    // begin/end must pair up like a stack.
+    let mut seen_tids = Vec::new();
+    for tid in 0..3u64 {
+        let evs: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                e.get("tid").and_then(Json::as_f64) == Some(tid as f64)
+                    && matches!(e.get("ph").and_then(Json::as_str), Some("B") | Some("E"))
+            })
+            .collect();
+        assert_eq!(evs.len(), 20, "rank {tid}: 10 spans -> 20 events");
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut depth: i64 = 0;
+        for e in &evs {
+            let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+            assert!(ts >= last_ts, "rank {tid}: timestamps out of order");
+            last_ts = ts;
+            match e.get("ph").and_then(Json::as_str) {
+                Some("B") => depth += 1,
+                Some("E") => depth -= 1,
+                _ => unreachable!(),
+            }
+            assert!(depth >= 0, "rank {tid}: E before matching B");
+        }
+        assert_eq!(depth, 0, "rank {tid}: unbalanced B/E");
+        seen_tids.push(tid);
+    }
+    assert_eq!(seen_tids, vec![0, 1, 2]);
+}
