@@ -10,6 +10,12 @@
 //!
 //! Common flags: `--seed N` (default 1), `--therm N` (default sweeps/5).
 //!
+//! Checkpoint/restart (serial engines): `--checkpoint-every N` writes an
+//! atomic generation every N sweeps into `--checkpoint-dir D` (default
+//! `ckpt/qmc-<engine>` at the repository root, gitignored); `--resume`
+//! restores the newest valid generation and continues the identical
+//! fixed-seed trajectory bit for bit.
+//!
 //! Observability: `--metrics` writes `METRICS_run.json` and `--trace`
 //! writes a Chrome trace-event `trace.json` (both at the repository
 //! root; load the trace in Perfetto). With `--machine threads` every
@@ -49,7 +55,7 @@ fn usage_and_exit() -> ! {
 }
 
 /// Flags that take no value (presence means `true`).
-const BOOL_FLAGS: &[&str] = &["metrics", "trace"];
+const BOOL_FLAGS: &[&str] = &["metrics", "trace", "resume"];
 
 fn parse_flags(items: Vec<String>) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -93,6 +99,39 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, defaul
     }
 }
 
+/// Checkpointing requested via `--checkpoint-every N` /
+/// `--checkpoint-dir D` / `--resume`.
+struct CkptRequest {
+    store: qmc_ckpt::CkptStore,
+    every: usize,
+    resume: bool,
+}
+
+/// Parse the checkpoint flags; `None` when checkpointing was not asked
+/// for. `--resume` without `--checkpoint-every` keeps checkpointing at a
+/// default cadence of 100 sweeps. The default directory is
+/// `ckpt/qmc-<engine>` at the repository root (gitignored).
+fn ckpt_request(flags: &HashMap<String, String>, engine: &str) -> Option<CkptRequest> {
+    let every: usize = get(flags, "checkpoint-every", 0);
+    let resume = flags.contains_key("resume");
+    if every == 0 && !resume {
+        return None;
+    }
+    let dir = flags
+        .get("checkpoint-dir")
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../ckpt/qmc-{engine}", env!("CARGO_MANIFEST_DIR")));
+    let store = qmc_ckpt::CkptStore::new(&dir, 3).unwrap_or_else(|e| {
+        eprintln!("cannot open checkpoint dir '{dir}': {e}");
+        std::process::exit(2);
+    });
+    Some(CkptRequest {
+        store,
+        every: if every == 0 { 100 } else { every },
+        resume,
+    })
+}
+
 fn run_worldline(flags: &HashMap<String, String>) {
     let (metrics, trace) = obs_flags(flags);
     if let Some(cfg) = obs_config(metrics, trace) {
@@ -107,9 +146,30 @@ fn run_worldline(flags: &HashMap<String, String>) {
         m: get(flags, "m", 16),
     };
     let therm: usize = get(flags, "therm", sweeps / 5);
-    let mut sim = Worldline::new(params);
     let mut rng = Buffered::new(Xoshiro256StarStar::new(get(flags, "seed", 1)));
-    let series = sim.run(&mut rng, therm, sweeps);
+    let (sim, series) = match ckpt_request(flags, "worldline") {
+        None => {
+            let mut sim = Worldline::new(params);
+            let series = sim.run(&mut rng, therm, sweeps);
+            (sim, series)
+        }
+        Some(req) => {
+            let ck = qmc_bench::ckpt_driver::CkptCfg {
+                store: &req.store,
+                every: req.every,
+                resume: req.resume,
+            };
+            qmc_bench::ckpt_driver::run_worldline_ckpt(
+                params,
+                &mut rng,
+                therm,
+                sweeps,
+                Some(&ck),
+                None,
+            )
+            .expect("no simulated crash requested")
+        }
+    };
 
     let be = BinningAnalysis::new(&series.energy, 16);
     let (chi, chi_err) = series.susceptibility();
@@ -164,17 +224,59 @@ fn run_sse(flags: &HashMap<String, String>) {
     let lattice = flags.get("lattice").map(|s| s.as_str()).unwrap_or("chain");
     let mut rng = Buffered::new(Xoshiro256StarStar::new(get(flags, "seed", 1)));
 
+    let req = ckpt_request(flags, "sse");
+    let ck = req.as_ref().map(|req| qmc_bench::ckpt_driver::CkptCfg {
+        store: &req.store,
+        every: req.every,
+        resume: req.resume,
+    });
     let series = match lattice {
         "chain" => {
             let lat = Chain::new(l);
-            let mut sse = qmc_sse::Sse::new(&lat, j, beta, &mut rng);
-            sse.run(&mut rng, therm, sweeps)
+            match &ck {
+                None => {
+                    let mut sse = qmc_sse::Sse::new(&lat, j, beta, &mut rng);
+                    sse.run(&mut rng, therm, sweeps)
+                }
+                Some(ck) => {
+                    qmc_bench::ckpt_driver::run_sse_ckpt(
+                        &lat,
+                        j,
+                        beta,
+                        &mut rng,
+                        therm,
+                        sweeps,
+                        Some(ck),
+                        None,
+                    )
+                    .expect("no simulated crash requested")
+                    .1
+                }
+            }
         }
         "square" => {
             let ly = get(flags, "ly", l);
             let lat = Square::new(l, ly);
-            let mut sse = qmc_sse::Sse::new(&lat, j, beta, &mut rng);
-            sse.run(&mut rng, therm, sweeps)
+            match &ck {
+                None => {
+                    let mut sse = qmc_sse::Sse::new(&lat, j, beta, &mut rng);
+                    sse.run(&mut rng, therm, sweeps)
+                }
+                Some(ck) => {
+                    qmc_bench::ckpt_driver::run_sse_ckpt(
+                        &lat,
+                        j,
+                        beta,
+                        &mut rng,
+                        therm,
+                        sweeps,
+                        Some(ck),
+                        None,
+                    )
+                    .expect("no simulated crash requested")
+                    .1
+                }
+            }
         }
         other => {
             eprintln!("unknown --lattice '{other}' (chain|square)");
@@ -215,6 +317,14 @@ fn run_tfim(flags: &HashMap<String, String>) {
     let ranks: usize = get(flags, "ranks", 1);
     let seed: u64 = get(flags, "seed", 1);
     let machine = flags.get("machine").map(|s| s.as_str()).unwrap_or("serial");
+    if (flags.contains_key("checkpoint-every") || flags.contains_key("resume"))
+        && !(machine == "serial" && ranks == 1)
+    {
+        eprintln!(
+            "note: --checkpoint-every/--checkpoint-dir/--resume drive the serial \
+             TFIM engine only (distributed checkpointing lives in `repro faults`); ignoring"
+        );
+    }
 
     let report = |series: &qmc_tfim::serial::TfimSeries| {
         let be = BinningAnalysis::new(&series.energy, 16);
@@ -240,9 +350,32 @@ fn run_tfim(flags: &HashMap<String, String>) {
             if let Some(cfg) = &obs_cfg {
                 qmc_obs::init(0, cfg);
             }
-            let mut eng = SerialTfim::new(model);
             let mut rng = Buffered::new(Xoshiro256StarStar::new(seed));
-            let series = eng.run(&mut rng, therm, sweeps, get(flags, "wolff", 1));
+            let wolff = get(flags, "wolff", 1);
+            let (eng, series) = match ckpt_request(flags, "tfim") {
+                None => {
+                    let mut eng = SerialTfim::new(model);
+                    let series = eng.run(&mut rng, therm, sweeps, wolff);
+                    (eng, series)
+                }
+                Some(req) => {
+                    let ck = qmc_bench::ckpt_driver::CkptCfg {
+                        store: &req.store,
+                        every: req.every,
+                        resume: req.resume,
+                    };
+                    qmc_bench::ckpt_driver::run_serial_tfim_ckpt(
+                        model,
+                        &mut rng,
+                        therm,
+                        sweeps,
+                        wolff,
+                        Some(&ck),
+                        None,
+                    )
+                    .expect("no simulated crash requested")
+                }
+            };
             report(&series);
             if let Some(mut mine) = qmc_obs::finish() {
                 mine.absorb_registry(eng.metrics());

@@ -14,6 +14,13 @@
 //! `all` so physics regeneration never overwrites the benchmark
 //! artifact).
 //!
+//! `repro faults` runs the fault-tolerance demo: a 4-rank thread-backed
+//! parallel-tempering run behind `FaultyComm` (seeded drops, duplicates,
+//! delays, transient send failures), then a scheduled rank kill and a
+//! checkpoint-based recovery that lands on the bit-identical trajectory.
+//! `--checkpoint-every N` / `--checkpoint-dir D` override the cadence
+//! and store location; `--resume` skips straight to the recovery act.
+//!
 //! `--metrics` / `--trace` turn on the observability layer (`qmc-obs`):
 //! with no experiment named they run the 4-rank thread-backed TFIM demo
 //! and write `METRICS_run.json` / `trace.json` at the repository root;
@@ -21,10 +28,34 @@
 //! counters across the run and export the same artifacts.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Pull out the two value-taking checkpoint flags first; everything
+    // else stays positional/boolean as before.
+    let mut args = Vec::new();
+    let mut ck_every = 0usize;
+    let mut ck_dir = String::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--checkpoint-every" => {
+                ck_every = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--checkpoint-every needs a sweep count");
+                    std::process::exit(2);
+                });
+            }
+            "--checkpoint-dir" => {
+                ck_dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--checkpoint-dir needs a path");
+                    std::process::exit(2);
+                });
+            }
+            _ => args.push(a),
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let metrics = args.iter().any(|a| a == "--metrics");
     let trace = args.iter().any(|a| a == "--trace");
+    let resume = args.iter().any(|a| a == "--resume");
     let obs_on = metrics || trace;
     let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
@@ -37,8 +68,9 @@ fn main() {
             return;
         }
         eprintln!(
-            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench> \
-             [--quick] [--metrics] [--trace]"
+            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults> \
+             [--quick] [--metrics] [--trace] \
+             [--checkpoint-every N] [--checkpoint-dir D] [--resume]"
         );
         std::process::exit(2);
     }
@@ -60,6 +92,14 @@ fn main() {
         if *name == "bench" {
             println!("=== bench ===");
             print!("{}", qmc_bench::kernels::bench_kernels(quick));
+            continue;
+        }
+        if *name == "faults" {
+            println!("=== faults ===");
+            print!(
+                "{}",
+                qmc_bench::faults::faults_demo(quick, ck_every, &ck_dir, resume)
+            );
             continue;
         }
         match registry.iter().find(|(id, _)| id == *name) {

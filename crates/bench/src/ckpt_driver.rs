@@ -1,0 +1,225 @@
+//! Stepwise checkpointed drivers for the serial engines.
+//!
+//! Each driver replays the exact sweep/measure sequence of its engine's
+//! `run()` method (one combined `for s in 0..therm + sweeps` loop with
+//! the thermalization/measurement split on `s >= therm`), but writes an
+//! atomic checkpoint generation every `CkptCfg::every` sweeps — *before*
+//! the sweep whose index it carries — and can resume from the newest
+//! valid generation. Because the checkpoint captures engine, RNG, and
+//! accumulated series together, a resumed run continues the identical
+//! fixed-seed trajectory bit for bit; the crash-at-every-boundary tests
+//! in `tests/checkpoint.rs` pin this for every engine and every sweep
+//! index.
+//!
+//! `kill_at: Some(k)` simulates a crash: the driver returns `None` just
+//! before sweep `k` runs (after any checkpoint due at `k` was written),
+//! leaving the store exactly as a real mid-run failure would.
+
+use qmc_ckpt::{Checkpoint, CkptFile, CkptStore, Decoder, Encoder};
+use qmc_lattice::Lattice;
+use qmc_rng::Rng64;
+use qmc_sse::{Sse, SseSeries};
+use qmc_tfim::serial::{SerialTfim, TfimSeries};
+use qmc_tfim::TfimModel;
+use qmc_worldline::estimators::TimeSeries;
+use qmc_worldline::{GenericParams, GenericWorldline, Worldline, WorldlineParams};
+
+/// Checkpoint policy shared by the serial drivers.
+pub struct CkptCfg<'a> {
+    /// Generation store (atomic write + retain-K pruning).
+    pub store: &'a CkptStore,
+    /// Write a generation every `every` sweeps.
+    pub every: usize,
+    /// Resume from the newest valid generation before sweeping.
+    pub resume: bool,
+}
+
+/// Shared loop: restore (optionally), then for each sweep write the due
+/// checkpoint, honour `kill_at`, and run `step`. Returns `false` when
+/// the simulated crash fired.
+fn drive<E, R, S>(
+    eng: &mut E,
+    rng: &mut R,
+    series: &mut S,
+    total: usize,
+    ck: Option<&CkptCfg<'_>>,
+    kill_at: Option<usize>,
+    mut step: impl FnMut(&mut E, &mut R, &mut S, usize),
+) -> bool
+where
+    E: Checkpoint,
+    R: Checkpoint,
+    S: Checkpoint,
+{
+    let mut start = 0usize;
+    if let Some(ck) = ck {
+        if ck.resume {
+            if let Some((generation, file)) = ck.store.latest() {
+                let meta = file.require("meta").expect("checkpoint meta section");
+                let mut dec = Decoder::new(meta);
+                let s0 = dec.u64().expect("checkpoint sweep index") as usize;
+                assert_eq!(generation, s0 as u64, "generation = sweep index");
+                file.restore("engine", eng).expect("restore engine");
+                file.restore("rng", rng).expect("restore rng");
+                file.restore("series", series).expect("restore series");
+                start = s0;
+            }
+        }
+    }
+    for s in start..total {
+        if let Some(ck) = ck {
+            if s % ck.every == 0 {
+                let mut file = CkptFile::new();
+                let mut meta = Encoder::new();
+                meta.u64(s as u64);
+                file.add("meta", meta.into_bytes());
+                file.add_state("engine", eng);
+                file.add_state("rng", rng);
+                file.add_state("series", series);
+                if let Err(e) = ck.store.write(s as u64, &file) {
+                    eprintln!("warning: checkpoint generation {s} not written: {e}; continuing");
+                }
+            }
+        }
+        if kill_at == Some(s) {
+            return false;
+        }
+        step(eng, rng, series, s);
+    }
+    true
+}
+
+/// Checkpointed serial TFIM run; draw-for-draw identical to
+/// [`SerialTfim::run`]. Returns the final engine alongside the series;
+/// `None` = simulated crash at `kill_at`.
+pub fn run_serial_tfim_ckpt<R: Rng64 + Checkpoint>(
+    model: TfimModel,
+    rng: &mut R,
+    therm: usize,
+    sweeps: usize,
+    wolff_per_sweep: usize,
+    ck: Option<&CkptCfg<'_>>,
+    kill_at: Option<usize>,
+) -> Option<(SerialTfim, TfimSeries)> {
+    let mut eng = SerialTfim::new(model);
+    let mut series = TfimSeries::default();
+    let done = drive(
+        &mut eng,
+        rng,
+        &mut series,
+        therm + sweeps,
+        ck,
+        kill_at,
+        |eng, rng, series, s| {
+            eng.metropolis_sweep(rng);
+            for _ in 0..wolff_per_sweep {
+                eng.wolff_update(rng);
+            }
+            if s >= therm {
+                series.record(&eng.measure());
+            }
+        },
+    );
+    done.then_some((eng, series))
+}
+
+/// Checkpointed world-line chain run; draw-for-draw identical to
+/// [`Worldline::run`].
+pub fn run_worldline_ckpt<R: Rng64 + Checkpoint>(
+    params: WorldlineParams,
+    rng: &mut R,
+    therm: usize,
+    sweeps: usize,
+    ck: Option<&CkptCfg<'_>>,
+    kill_at: Option<usize>,
+) -> Option<(Worldline, TimeSeries)> {
+    let mut eng = Worldline::new(params);
+    let mut series = TimeSeries::new(params.l);
+    series.set_beta(params.beta);
+    let done = drive(
+        &mut eng,
+        rng,
+        &mut series,
+        therm + sweeps,
+        ck,
+        kill_at,
+        |eng, rng, series, s| {
+            eng.sweep(rng);
+            if s >= therm {
+                series.record(&qmc_worldline::estimators::measure(eng));
+                series.record_correlations(eng);
+            }
+        },
+    );
+    done.then_some((eng, series))
+}
+
+/// Checkpointed generic world-line run; draw-for-draw identical to
+/// [`GenericWorldline::run`].
+pub fn run_generic_worldline_ckpt<L: Lattice, R: Rng64 + Checkpoint>(
+    lattice: L,
+    params: GenericParams,
+    rng: &mut R,
+    therm: usize,
+    sweeps: usize,
+    ck: Option<&CkptCfg<'_>>,
+    kill_at: Option<usize>,
+) -> Option<(GenericWorldline<L>, TimeSeries)> {
+    let n_sites = lattice.num_sites();
+    let mut eng = GenericWorldline::new(lattice, params);
+    let mut series = TimeSeries::new(n_sites);
+    series.set_beta(params.beta);
+    let done = drive(
+        &mut eng,
+        rng,
+        &mut series,
+        therm + sweeps,
+        ck,
+        kill_at,
+        |eng, rng, series, s| {
+            eng.sweep(rng);
+            if s >= therm {
+                series.record(&eng.measure());
+            }
+        },
+    );
+    done.then_some((eng, series))
+}
+
+/// Checkpointed SSE run; draw-for-draw identical to [`Sse::run`]
+/// (thermalization sweeps adapt the cutoff, measured sweeps do not).
+///
+/// `Sse::new` itself consumes RNG draws for the random initial state, so
+/// the caller must pass a freshly seeded RNG on resume too — the restore
+/// then rewinds both engine and RNG to the checkpointed state.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sse_ckpt<L: Lattice, R: Rng64 + Checkpoint>(
+    lattice: &L,
+    j: f64,
+    beta: f64,
+    rng: &mut R,
+    therm: usize,
+    sweeps: usize,
+    ck: Option<&CkptCfg<'_>>,
+    kill_at: Option<usize>,
+) -> Option<(Sse, SseSeries)> {
+    let mut eng = Sse::new(lattice, j, beta, rng);
+    let mut series = eng.begin_series(sweeps);
+    let done = drive(
+        &mut eng,
+        rng,
+        &mut series,
+        therm + sweeps,
+        ck,
+        kill_at,
+        |eng, rng, series, s| {
+            eng.sweep(rng);
+            if s < therm {
+                eng.adjust_cutoff();
+            } else {
+                eng.record_measurement(series);
+            }
+        },
+    );
+    done.then_some((eng, series))
+}

@@ -136,6 +136,60 @@ pub fn bench_kernels(quick: bool) -> String {
         let _ = qmc_obs::finish();
     }
 
+    // --- The same table-driven sweep checkpointing every 100 sweeps
+    // (engine + RNG into an atomic generation store). The write branch
+    // is timed inside the run, so the overhead ratio
+    // `total / (total - writes)` comes from a single timing window —
+    // scheduler and thermal drift cancel instead of swamping the
+    // percent-level signal. This paired ratio is the checkpoint
+    // overhead guard (≤3%).
+    let ckpt_overhead;
+    {
+        let model = tfim_model();
+        let sweeps = 1500 / scale;
+        let updates = (model.lx * model.ly * model.m * sweeps) as u64;
+        let mut eng = SerialTfim::new(model);
+        let mut rng = Buffered::new(Xoshiro256StarStar::new(12));
+        let dir = std::env::temp_dir().join(format!("qmc-bench-ckpt-{}", std::process::id()));
+        let store = qmc_ckpt::CkptStore::new(&dir, 2).expect("scratch checkpoint dir");
+        let mut total = 0.0;
+        let mut writes = 0.0;
+        let mut best = f64::INFINITY;
+        for round in 0..4 {
+            let t_run = Instant::now();
+            let mut w = 0.0;
+            for s in 0..sweeps {
+                if s % 100 == 0 {
+                    let t_w = Instant::now();
+                    let mut file = qmc_ckpt::CkptFile::new();
+                    let mut meta = qmc_ckpt::Encoder::new();
+                    meta.u64(s as u64);
+                    file.add("meta", meta.into_bytes());
+                    file.add_state("engine", &eng);
+                    file.add_state("rng", &rng);
+                    let _ = store.write(s as u64, &file);
+                    w += t_w.elapsed().as_secs_f64();
+                }
+                eng.metropolis_sweep(&mut rng);
+            }
+            let elapsed = t_run.elapsed().as_secs_f64();
+            if round > 0 {
+                // Round 0 is warmup (cold caches, first page faults).
+                total += elapsed;
+                writes += w;
+                best = best.min(elapsed);
+            }
+        }
+        ckpt_overhead = total / (total - writes);
+        kernels.push(Kernel {
+            name: "tfim_serial_sweep_ckpt",
+            ns_per_op: best * 1e9 / updates as f64,
+            ops_per_s: updates as f64 / best,
+            ops: updates,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // --- The same sweep with the pre-table kernel (exp per proposal).
     {
         let model = tfim_model();
@@ -270,6 +324,15 @@ pub fn bench_kernels(quick: bool) -> String {
         "obs overhead (spans+metrics on vs off): {obs_overhead:.3}x (target <= 1.02x) [{}]",
         if obs_overhead <= 1.02 { "PASS" } else { "WARN" }
     );
+    let _ = writeln!(
+        out,
+        "ckpt overhead (every 100 sweeps vs off): {ckpt_overhead:.3}x (target <= 1.03x) [{}]",
+        if ckpt_overhead <= 1.03 {
+            "PASS"
+        } else {
+            "WARN"
+        }
+    );
 
     let mut json = String::from("{\n  \"schema\": \"qmc-bench-kernels/v1\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
@@ -278,6 +341,7 @@ pub fn bench_kernels(quick: bool) -> String {
         "  \"tfim_serial_table_speedup_vs_exp\": {speedup:.3},"
     );
     let _ = writeln!(json, "  \"obs_overhead\": {obs_overhead:.4},");
+    let _ = writeln!(json, "  \"ckpt_overhead\": {ckpt_overhead:.4},");
     json.push_str("  \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
         let _ = write!(

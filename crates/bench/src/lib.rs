@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ckpt_driver;
+pub mod faults;
 pub mod figures;
 pub mod kernels;
 pub mod obs;

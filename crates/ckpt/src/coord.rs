@@ -1,0 +1,157 @@
+//! Rank-0-coordinated checkpointing over any [`Communicator`].
+//!
+//! Each rank serializes its local [`CkptFile`]; rank 0 gathers all of
+//! them and writes a single atomic file whose sections are named
+//! `rank0`, `rank1`, …. On restore, rank 0 loads the newest valid
+//! generation and broadcasts the whole file; every rank then extracts
+//! its own section. Because the gather/broadcast ride the existing
+//! deterministic collectives, a checkpoint round never perturbs the
+//! fixed-seed trajectory — it draws no random numbers and exchanges no
+//! user-tag messages.
+
+use crate::{CkptFile, CkptStore};
+use qmc_comm::Communicator;
+use std::path::PathBuf;
+
+/// Section name for a rank's payload inside the coordinated file.
+fn rank_section(rank: usize) -> String {
+    format!("rank{rank}")
+}
+
+/// Gather every rank's `local` file at rank 0 and write generation
+/// `generation` atomically. Returns the written path on rank 0 (`None`
+/// elsewhere, and `None` on rank 0 if the write failed — a checkpoint
+/// write failure must not kill a healthy run, so it is reported, not
+/// propagated).
+pub fn write_coordinated<C: Communicator>(
+    comm: &mut C,
+    store: &CkptStore,
+    generation: u64,
+    local: &CkptFile,
+) -> Option<PathBuf> {
+    let bytes = local.to_bytes();
+    let gathered = comm.gather_bytes(0, &bytes)?;
+    let mut outer = CkptFile::new();
+    for (rank, payload) in gathered.into_iter().enumerate() {
+        outer.add(&rank_section(rank), payload);
+    }
+    match store.write(generation, &outer) {
+        Ok(path) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "warning: checkpoint generation {generation} not written ({e}); run continues"
+            );
+            None
+        }
+    }
+}
+
+/// Restore the newest valid generation: rank 0 loads and broadcasts the
+/// coordinated file; every rank gets back `(generation, its own local
+/// CkptFile)`. `None` (on all ranks, consistently) when no valid
+/// checkpoint exists or the file lacks this world's rank sections.
+pub fn restore_coordinated<C: Communicator>(
+    comm: &mut C,
+    store: &CkptStore,
+) -> Option<(u64, CkptFile)> {
+    let me = comm.rank();
+    // Rank 0 encodes [present u8][generation u64][file bytes] so absence
+    // broadcasts consistently instead of deadlocking non-root ranks.
+    let msg = if me == 0 {
+        match store.latest() {
+            Some((generation, file)) => {
+                let mut m = vec![1u8];
+                m.extend_from_slice(&generation.to_le_bytes());
+                m.extend_from_slice(&file.to_bytes());
+                m
+            }
+            None => vec![0u8],
+        }
+    } else {
+        Vec::new()
+    };
+    let msg = comm.broadcast_bytes(0, msg);
+    if msg.first() != Some(&1) {
+        return None;
+    }
+    let generation = u64::from_le_bytes(msg[1..9].try_into().unwrap());
+    let outer = match CkptFile::from_bytes(&msg[9..]) {
+        Ok(f) => f,
+        Err(e) => {
+            // Rank 0 already validated; a broadcast that corrupts bytes
+            // would be a comm bug, but degrade to "no checkpoint".
+            eprintln!("warning: rank {me}: broadcast checkpoint unreadable ({e})");
+            return None;
+        }
+    };
+    let mine = outer.get(&rank_section(me))?;
+    let file = CkptFile::from_bytes(mine).ok()?;
+    if me != 0 {
+        // Rank 0's restore was counted inside `CkptStore::latest`.
+        qmc_obs::counter_add("ckpt.restores", 1);
+    }
+    Some((generation, file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmc_comm::run_threads;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(label: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("qmc-ckpt-coord-{}-{label}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn roundtrip_world(dir: &Path, ranks: usize) -> Vec<(u64, Vec<u8>)> {
+        let dir = dir.to_path_buf();
+        run_threads(ranks, move |comm| {
+            let store = CkptStore::new(&dir, 2).unwrap();
+            let mut local = CkptFile::new();
+            local.add("payload", vec![comm.rank() as u8; 4 + comm.rank()]);
+            write_coordinated(comm, &store, 3, &local);
+            comm.barrier();
+            let (g, restored) = restore_coordinated(comm, &store).expect("checkpoint exists");
+            (g, restored.get("payload").unwrap().to_vec())
+        })
+    }
+
+    #[test]
+    fn four_ranks_round_trip_their_own_sections() {
+        let dir = scratch("world");
+        let got = roundtrip_world(&dir, 4);
+        for (rank, (g, payload)) in got.into_iter().enumerate() {
+            assert_eq!(g, 3);
+            assert_eq!(payload, vec![rank as u8; 4 + rank]);
+        }
+    }
+
+    #[test]
+    fn serial_world_round_trips() {
+        let dir = scratch("serial");
+        let mut comm = qmc_comm::SerialComm::new();
+        let store = CkptStore::new(&dir, 2).unwrap();
+        let mut local = CkptFile::new();
+        local.add("payload", vec![7; 3]);
+        write_coordinated(&mut comm, &store, 1, &local).expect("rank 0 writes");
+        let (g, restored) = restore_coordinated(&mut comm, &store).unwrap();
+        assert_eq!(g, 1);
+        assert_eq!(restored.get("payload"), Some(&[7u8; 3][..]));
+    }
+
+    #[test]
+    fn missing_store_broadcasts_none_everywhere() {
+        let dir = scratch("none");
+        let got = run_threads(3, move |comm| {
+            let store = CkptStore::new(&dir, 2).unwrap();
+            restore_coordinated(comm, &store).is_none()
+        });
+        assert!(got.into_iter().all(|absent| absent));
+    }
+}

@@ -1,0 +1,217 @@
+//! The on-disk container: named, CRC32-guarded sections under a schema
+//! header, closed by a trailer that proves the file was written to the
+//! end. A torn write (crash mid-`write`) fails either the trailer check
+//! or a section CRC and is rejected as a whole — readers then fall back
+//! to the previous generation (see [`crate::CkptStore`]).
+
+use crate::crc32::crc32;
+use crate::wire::{CkptError, Decoder, Encoder};
+use crate::Checkpoint;
+
+/// Schema identifier written into every checkpoint file header.
+pub const SCHEMA: &str = "qmc-ckpt/v1";
+
+/// 8-byte file magic.
+const MAGIC: &[u8; 8] = b"QMCCKPT\0";
+/// 4-byte trailer magic; its presence (plus the file CRC) distinguishes
+/// a complete file from a torn one.
+const TRAILER: &[u8; 4] = b"QEND";
+
+/// An in-memory checkpoint file: an ordered list of named sections.
+#[derive(Default, Clone)]
+pub struct CkptFile {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl CkptFile {
+    /// Fresh file with no sections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a raw section (replaces an existing section of that name).
+    pub fn add(&mut self, name: &str, payload: Vec<u8>) {
+        if let Some(s) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            s.1 = payload;
+        } else {
+            self.sections.push((name.to_string(), payload));
+        }
+    }
+
+    /// Append a [`Checkpoint`] state as a section.
+    pub fn add_state(&mut self, name: &str, state: &impl Checkpoint) {
+        self.add(name, crate::save_state(state));
+    }
+
+    /// Payload of section `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// Payload of section `name`, or [`CkptError::MissingSection`].
+    pub fn require(&self, name: &str) -> Result<&[u8], CkptError> {
+        self.get(name).ok_or_else(|| CkptError::MissingSection {
+            name: name.to_string(),
+        })
+    }
+
+    /// Restore a [`Checkpoint`] state from section `name`.
+    pub fn restore(&self, name: &str, state: &mut impl Checkpoint) -> Result<(), CkptError> {
+        crate::load_state(self.require(name)?, state)
+    }
+
+    /// Section names in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when the file holds no sections.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Serialize: magic, schema, section count, per-section
+    /// `(name, payload, crc32(payload))`, then trailer magic + CRC32 of
+    /// everything before the trailer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        let mut out = Vec::from(MAGIC.as_slice());
+        enc.str(SCHEMA);
+        enc.u64(self.sections.len() as u64);
+        for (name, payload) in &self.sections {
+            enc.str(name);
+            enc.bytes(payload);
+            enc.u32(crc32(payload));
+        }
+        out.extend_from_slice(&enc.into_bytes());
+        let file_crc = crc32(&out);
+        out.extend_from_slice(TRAILER);
+        out.extend_from_slice(&file_crc.to_le_bytes());
+        out
+    }
+
+    /// Parse and fully validate a serialized file: magic, schema,
+    /// trailer presence, whole-file CRC, and every section CRC.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        if bytes.len() < MAGIC.len() + TRAILER.len() + 4 {
+            return Err(CkptError::Truncated { what: "file" });
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let body_end = bytes.len() - TRAILER.len() - 4;
+        if &bytes[body_end..body_end + TRAILER.len()] != TRAILER {
+            return Err(CkptError::Truncated { what: "trailer" });
+        }
+        let stored_crc = u32::from_le_bytes(bytes[body_end + TRAILER.len()..].try_into().unwrap());
+        if crc32(&bytes[..body_end]) != stored_crc {
+            return Err(CkptError::BadCrc {
+                section: "<file>".to_string(),
+            });
+        }
+        let mut dec = Decoder::new(&bytes[MAGIC.len()..body_end]);
+        let schema = dec.str()?;
+        if schema != SCHEMA {
+            return Err(CkptError::BadSchema { found: schema });
+        }
+        let n = dec.u64()?;
+        let mut sections = Vec::new();
+        for _ in 0..n {
+            let name = dec.str()?;
+            let payload = dec.bytes()?.to_vec();
+            let crc = dec.u32()?;
+            if crc32(&payload) != crc {
+                return Err(CkptError::BadCrc { section: name });
+            }
+            sections.push((name, payload));
+        }
+        dec.expect_empty()?;
+        Ok(Self { sections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CkptFile {
+        let mut f = CkptFile::new();
+        f.add("alpha", vec![1, 2, 3]);
+        f.add("beta", vec![]);
+        f.add("gamma", (0u8..200).collect());
+        f
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let f = sample();
+        let bytes = f.to_bytes();
+        let back = CkptFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get("alpha"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(back.get("beta"), Some(&[][..]));
+        assert_eq!(back.get("missing"), None);
+        assert!(matches!(
+            back.require("missing"),
+            Err(CkptError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn add_replaces_existing_section() {
+        let mut f = sample();
+        f.add("alpha", vec![9]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.get("alpha"), Some(&[9u8][..]));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                CkptFile::from_bytes(&bytes[..cut]).is_err(),
+                "torn file (cut at {cut}/{}) must not parse",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let bytes = sample().to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                CkptFile::from_bytes(&bad).is_err(),
+                "bit flip at byte {i} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        // Hand-build a file with a future schema string.
+        let mut out = Vec::from(&b"QMCCKPT\0"[..]);
+        let mut enc = Encoder::new();
+        enc.str("qmc-ckpt/v999");
+        enc.u64(0);
+        out.extend_from_slice(&enc.into_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(b"QEND");
+        out.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            CkptFile::from_bytes(&out),
+            Err(CkptError::BadSchema { .. })
+        ));
+    }
+}

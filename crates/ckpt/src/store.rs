@@ -1,0 +1,185 @@
+//! Atomic, generation-numbered checkpoint storage.
+//!
+//! Writes go to a hidden temp file in the same directory followed by a
+//! `rename`, so a crash never leaves a half-written file under the final
+//! name. Old generations are pruned down to the newest K after every
+//! successful write. Readers walk generations newest-first and skip any
+//! file that fails to parse (torn, CRC-bad, wrong schema) — the run then
+//! resumes from the most recent generation that survived intact.
+
+use crate::file::CkptFile;
+use crate::wire::CkptError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const EXT: &str = "qckpt";
+
+/// A directory of `ckpt-<generation>.qckpt` files, retaining the last K.
+pub struct CkptStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl CkptStore {
+    /// Open (creating if needed) a store in `dir`, keeping at most
+    /// `retain` generations (minimum 1).
+    pub fn new(dir: impl Into<PathBuf>, retain: usize) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            retain: retain.max(1),
+        })
+    }
+
+    /// Directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{generation:010}.{EXT}"))
+    }
+
+    /// Atomically write `file` as generation `generation`, then prune
+    /// old generations beyond the retain limit. Records the serialized
+    /// size under the `ckpt.write_bytes` observability counter.
+    pub fn write(&self, generation: u64, file: &CkptFile) -> std::io::Result<PathBuf> {
+        let bytes = file.to_bytes();
+        let final_path = self.path_for(generation);
+        let tmp_path = self.dir.join(format!(".ckpt-{generation:010}.{EXT}.tmp"));
+        fs::write(&tmp_path, &bytes)?;
+        fs::rename(&tmp_path, &final_path)?;
+        qmc_obs::counter_add("ckpt.write_bytes", bytes.len() as u64);
+        self.prune();
+        Ok(final_path)
+    }
+
+    /// Delete the oldest generations until at most `retain` remain.
+    /// Best-effort: unlink errors are ignored (a stale extra file is
+    /// harmless; readers pick the newest valid one regardless).
+    fn prune(&self) {
+        let gens = self.generations();
+        if gens.len() > self.retain {
+            for &g in &gens[..gens.len() - self.retain] {
+                let _ = fs::remove_file(self.path_for(g));
+            }
+        }
+    }
+
+    /// All on-disk generation numbers, sorted ascending. Files that do
+    /// not match the `ckpt-<gen>.qckpt` pattern are ignored.
+    pub fn generations(&self) -> Vec<u64> {
+        let mut gens = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(g) = name
+                    .strip_prefix("ckpt-")
+                    .and_then(|r| r.strip_suffix(&format!(".{EXT}")))
+                    .and_then(|g| g.parse::<u64>().ok())
+                {
+                    gens.push(g);
+                }
+            }
+        }
+        gens.sort_unstable();
+        gens
+    }
+
+    /// Load and fully validate a specific generation.
+    pub fn load(&self, generation: u64) -> Result<CkptFile, CkptError> {
+        let bytes = fs::read(self.path_for(generation)).map_err(|e| CkptError::Io {
+            detail: format!("{}: {e}", self.path_for(generation).display()),
+        })?;
+        CkptFile::from_bytes(&bytes)
+    }
+
+    /// Newest generation that parses and passes every CRC, walking
+    /// backwards past torn or corrupt files. Bumps the `ckpt.restores`
+    /// observability counter on success. `None` when no valid
+    /// checkpoint exists.
+    pub fn latest(&self) -> Option<(u64, CkptFile)> {
+        for &g in self.generations().iter().rev() {
+            if let Ok(file) = self.load(g) {
+                qmc_obs::counter_add("ckpt.restores", 1);
+                return Some((g, file));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique scratch dir per test (no external tempdir crate).
+    fn scratch(label: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("qmc-ckpt-test-{}-{label}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn file_with(tag: u8) -> CkptFile {
+        let mut f = CkptFile::new();
+        f.add("data", vec![tag; 16]);
+        f
+    }
+
+    #[test]
+    fn write_load_round_trips() {
+        let store = CkptStore::new(scratch("rt"), 3).unwrap();
+        store.write(7, &file_with(7)).unwrap();
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 7);
+        assert_eq!(f.get("data"), Some(&[7u8; 16][..]));
+    }
+
+    #[test]
+    fn retains_only_last_k() {
+        let store = CkptStore::new(scratch("prune"), 2).unwrap();
+        for g in 1..=5 {
+            store.write(g, &file_with(g as u8)).unwrap();
+        }
+        assert_eq!(store.generations(), vec![4, 5]);
+    }
+
+    #[test]
+    fn torn_newest_falls_back_to_previous_generation() {
+        let store = CkptStore::new(scratch("torn"), 4).unwrap();
+        store.write(1, &file_with(1)).unwrap();
+        let p2 = store.write(2, &file_with(2)).unwrap();
+        // Tear the newest file: keep only the first half of its bytes.
+        let bytes = fs::read(&p2).unwrap();
+        fs::write(&p2, &bytes[..bytes.len() / 2]).unwrap();
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 1, "must skip the torn generation");
+        assert_eq!(f.get("data"), Some(&[1u8; 16][..]));
+    }
+
+    #[test]
+    fn crc_bad_newest_falls_back() {
+        let store = CkptStore::new(scratch("crc"), 4).unwrap();
+        store.write(1, &file_with(1)).unwrap();
+        let p2 = store.write(2, &file_with(2)).unwrap();
+        let mut bytes = fs::read(&p2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&p2, &bytes).unwrap();
+        let (g, _) = store.latest().unwrap();
+        assert_eq!(g, 1);
+    }
+
+    #[test]
+    fn empty_store_has_no_latest() {
+        let store = CkptStore::new(scratch("empty"), 2).unwrap();
+        assert!(store.latest().is_none());
+        assert!(store.generations().is_empty());
+    }
+}

@@ -1,0 +1,493 @@
+//! Deterministic communication-fault injection.
+//!
+//! [`FaultyComm`] wraps any [`Communicator`] and perturbs the *delivery
+//! mechanics* of user-tag point-to-point traffic — drops (forcing a
+//! retransmit), duplications, delays, transient send failures, and a
+//! scheduled rank kill — without ever changing the *contents or order*
+//! of what the application observes. The schedule is a pure hash of
+//! `(plan seed, rank, event index)`, so a given seed produces the same
+//! fault sequence on every run: fault-injection tests are as
+//! reproducible as fixed-seed physics.
+//!
+//! On the receive side every user receive goes through
+//! [`Communicator::recv_bytes_timeout`] with bounded exponential
+//! backoff, so a peer that died mid-run turns into a clean panic after
+//! `max_retries` attempts instead of a hang. Retry/timeout totals are
+//! kept in [`FaultStats`]; `qmc_obs::publish_fault_stats` mirrors them
+//! into the thread-local metrics registry as `comm.retries` /
+//! `comm.timeouts` (the helper lives in `qmc-obs` because that crate
+//! sits above this one in the dependency graph).
+//!
+//! Wire protocol: each user-tag payload is prefixed with an 8-byte
+//! little-endian sequence number, per `(peer, tag)` channel. The
+//! receiver discards any envelope whose sequence is below the next
+//! expected one — that is what makes duplication *absorbable* rather
+//! than corrupting. Collective (reserved-tag) traffic is forwarded
+//! verbatim: the collectives are the recovery substrate (checkpoint
+//! gathers/broadcasts), so faults are injected below them, not in them.
+
+use crate::{CommStats, Communicator};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// What the schedule decided for one send event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendFault {
+    None,
+    /// First transmission lost; the wrapper retransmits immediately.
+    Drop,
+    /// Payload delivered twice.
+    Duplicate,
+    /// Delivery held back until this rank's next communication call.
+    Delay,
+    /// Transient send failure (send "errors out" once, then succeeds on
+    /// retry) — same observable outcome as a drop but counted apart.
+    TransientFail,
+}
+
+/// Seeded, deterministic fault schedule for one world.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Master seed of the schedule hash.
+    pub seed: u64,
+    /// Per-mille probability a send's first transmission is dropped.
+    pub drop_per_mille: u32,
+    /// Per-mille probability a send is delivered twice.
+    pub dup_per_mille: u32,
+    /// Per-mille probability a delivery is delayed to the next call.
+    pub delay_per_mille: u32,
+    /// Per-mille probability of a transient send failure.
+    pub fail_per_mille: u32,
+    /// Kill `(rank, sweep)`: that rank panics when the driver announces
+    /// the given sweep via [`FaultyComm::tick_sweep`].
+    pub kill_at_sweep: Option<(usize, usize)>,
+    /// Receive retry budget before giving up (panicking).
+    pub max_retries: u32,
+    /// First receive timeout; doubled on each retry (capped at 2^6×).
+    pub base_timeout: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with no faults enabled — wrap-through behaviour, useful as
+    /// a baseline and as a builder starting point.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            delay_per_mille: 0,
+            fail_per_mille: 0,
+            kill_at_sweep: None,
+            max_retries: 8,
+            base_timeout: Duration::from_millis(200),
+        }
+    }
+
+    /// Enable message drops with probability `per_mille`/1000 per send.
+    pub fn drops(mut self, per_mille: u32) -> Self {
+        self.drop_per_mille = per_mille;
+        self
+    }
+
+    /// Enable message duplication.
+    pub fn duplicates(mut self, per_mille: u32) -> Self {
+        self.dup_per_mille = per_mille;
+        self
+    }
+
+    /// Enable message delays.
+    pub fn delays(mut self, per_mille: u32) -> Self {
+        self.delay_per_mille = per_mille;
+        self
+    }
+
+    /// Enable transient send failures.
+    pub fn transient_fails(mut self, per_mille: u32) -> Self {
+        self.fail_per_mille = per_mille;
+        self
+    }
+
+    /// Kill `rank` when the driver reaches `sweep`.
+    pub fn kill(mut self, rank: usize, sweep: usize) -> Self {
+        self.kill_at_sweep = Some((rank, sweep));
+        self
+    }
+
+    /// Set the receive retry budget and base timeout.
+    pub fn retry(mut self, max_retries: u32, base_timeout: Duration) -> Self {
+        self.max_retries = max_retries;
+        self.base_timeout = base_timeout;
+        self
+    }
+}
+
+/// Fault and recovery counters for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Retransmissions (dropped first transmissions + transient send
+    /// failures) plus receive re-attempts after a timeout.
+    pub retries: u64,
+    /// Receive timeouts observed (each is followed by a retry or, once
+    /// the budget is exhausted, a panic).
+    pub timeouts: u64,
+    /// Sends whose first transmission was dropped.
+    pub dropped: u64,
+    /// Sends delivered twice.
+    pub duplicated: u64,
+    /// Deliveries held back to a later communication call.
+    pub delayed: u64,
+    /// Transient send failures.
+    pub send_failures: u64,
+    /// Stale duplicate envelopes discarded on receive.
+    pub stale_discarded: u64,
+}
+
+/// SplitMix64 finalizer — inlined here because `qmc-comm` sits below
+/// `qmc-rng` in the dependency graph. Only drives the fault schedule;
+/// never the physics.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fault-injecting wrapper around any communicator. See the module
+/// docs for the wire protocol and determinism guarantees.
+pub struct FaultyComm<'a, C: Communicator> {
+    inner: &'a mut C,
+    plan: FaultPlan,
+    /// Next sequence number per outgoing `(dest, tag)` channel.
+    send_seq: HashMap<(usize, u32), u64>,
+    /// Next expected sequence per incoming `(src, tag)` channel.
+    recv_seq: HashMap<(usize, u32), u64>,
+    /// Delayed envelopes, flushed (in order) before any later comm call.
+    pending: VecDeque<(usize, u32, Vec<u8>)>,
+    /// Monotone send-event index feeding the schedule hash.
+    events: u64,
+    fstats: FaultStats,
+}
+
+impl<'a, C: Communicator> FaultyComm<'a, C> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: &'a mut C, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            send_seq: HashMap::new(),
+            recv_seq: HashMap::new(),
+            pending: VecDeque::new(),
+            events: 0,
+            fstats: FaultStats::default(),
+        }
+    }
+
+    /// Fault counters accumulated so far on this rank.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fstats
+    }
+
+    /// Driver hook: announce that sweep `sweep` is about to run. If the
+    /// plan schedules this rank's death here, it dies — by design the
+    /// same way a real node loss presents: mid-run, without farewell.
+    pub fn tick_sweep(&mut self, sweep: usize) {
+        if self.plan.kill_at_sweep == Some((self.inner.rank(), sweep)) {
+            panic!(
+                "rank {}: injected rank kill at sweep {sweep}",
+                self.inner.rank()
+            );
+        }
+    }
+
+    /// Deterministic decision for send event `n`.
+    fn decide(&self, n: u64) -> SendFault {
+        let h = mix(self.plan.seed ^ (self.inner.rank() as u64).rotate_left(32) ^ n);
+        let r = (h % 1000) as u32;
+        let p = &self.plan;
+        if r < p.drop_per_mille {
+            SendFault::Drop
+        } else if r < p.drop_per_mille + p.dup_per_mille {
+            SendFault::Duplicate
+        } else if r < p.drop_per_mille + p.dup_per_mille + p.delay_per_mille {
+            SendFault::Delay
+        } else if r < p.drop_per_mille + p.dup_per_mille + p.delay_per_mille + p.fail_per_mille {
+            SendFault::TransientFail
+        } else {
+            SendFault::None
+        }
+    }
+
+    /// Deliver every delayed envelope, preserving per-channel order.
+    /// Called at the top of every communication operation, so a delay
+    /// can never reorder a channel — only late-arrive within it.
+    fn flush_pending(&mut self) {
+        while let Some((dest, tag, env)) = self.pending.pop_front() {
+            self.inner.send_bytes(dest, tag, &env);
+        }
+    }
+
+    fn timeout_for(&self, attempt: u32) -> Duration {
+        // Bounded exponential backoff: base × 2^min(attempt, 6).
+        self.plan.base_timeout * (1u32 << attempt.min(6))
+    }
+}
+
+impl<C: Communicator> Communicator for FaultyComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send_bytes(&mut self, dest: usize, tag: u32, data: &[u8]) {
+        self.flush_pending();
+        let seq_entry = self.send_seq.entry((dest, tag)).or_insert(0);
+        let seq = *seq_entry;
+        *seq_entry += 1;
+        let mut env = Vec::with_capacity(8 + data.len());
+        env.extend_from_slice(&seq.to_le_bytes());
+        env.extend_from_slice(data);
+        let n = self.events;
+        self.events += 1;
+        match self.decide(n) {
+            SendFault::None => self.inner.send_bytes(dest, tag, &env),
+            SendFault::Drop => {
+                // First transmission lost in the "network"; the wrapper
+                // plays link layer and retransmits.
+                self.fstats.dropped += 1;
+                self.fstats.retries += 1;
+                self.inner.send_bytes(dest, tag, &env);
+            }
+            SendFault::TransientFail => {
+                self.fstats.send_failures += 1;
+                self.fstats.retries += 1;
+                self.inner.send_bytes(dest, tag, &env);
+            }
+            SendFault::Duplicate => {
+                self.fstats.duplicated += 1;
+                self.inner.send_bytes(dest, tag, &env);
+                self.inner.send_bytes(dest, tag, &env);
+            }
+            SendFault::Delay => {
+                self.fstats.delayed += 1;
+                self.pending.push_back((dest, tag, env));
+            }
+        }
+    }
+
+    fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        let expected = *self.recv_seq.get(&(src, tag)).unwrap_or(&0);
+        let mut attempt: u32 = 0;
+        loop {
+            // Our own delayed sends must not starve the peer while we
+            // sit in a receive loop.
+            self.flush_pending();
+            let timeout = self.timeout_for(attempt);
+            match self.inner.recv_bytes_timeout(src, tag, timeout) {
+                Some(env) => {
+                    assert!(
+                        env.len() >= 8,
+                        "rank {}: recv(src={src}, tag={tag:#x}): envelope shorter than its \
+                         sequence header",
+                        self.inner.rank()
+                    );
+                    let seq = u64::from_le_bytes(env[..8].try_into().unwrap());
+                    if seq < expected {
+                        // Stale duplicate of an envelope already
+                        // consumed; discard and keep waiting.
+                        self.fstats.stale_discarded += 1;
+                        continue;
+                    }
+                    assert_eq!(
+                        seq,
+                        expected,
+                        "rank {}: recv(src={src}, tag={tag:#x}): sequence gap (ordered \
+                         channel violated)",
+                        self.inner.rank()
+                    );
+                    self.recv_seq.insert((src, tag), expected + 1);
+                    return env[8..].to_vec();
+                }
+                None => {
+                    self.fstats.timeouts += 1;
+                    attempt += 1;
+                    if attempt > self.plan.max_retries {
+                        panic!(
+                            "rank {}: recv(src={src}, tag={tag:#x}) gave up after {attempt} \
+                             attempts ({} timeouts) — peer presumed dead",
+                            self.inner.rank(),
+                            self.fstats.timeouts
+                        );
+                    }
+                    self.fstats.retries += 1;
+                }
+            }
+        }
+    }
+
+    fn compute(&mut self, units: f64) {
+        self.inner.compute(units);
+    }
+
+    fn now(&self) -> f64 {
+        self.inner.now()
+    }
+
+    fn stats(&self) -> CommStats {
+        self.inner.stats()
+    }
+
+    fn next_collective_seq(&mut self) -> u32 {
+        self.inner.next_collective_seq()
+    }
+
+    fn send_internal(&mut self, dest: usize, tag: u32, data: &[u8]) {
+        // Collectives ride below the fault layer, but delayed user
+        // deliveries still have to go out first so a collective can
+        // never overtake (and effectively cancel) a user send.
+        self.flush_pending();
+        self.inner.send_internal(dest, tag, data);
+    }
+
+    fn recv_internal(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        self.flush_pending();
+        self.inner.recv_internal(src, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_threads, run_threads_with_timeout, ReduceOp};
+
+    /// Ping-pong a long message sequence in both directions under heavy
+    /// absorbable faults; contents and order must be untouched.
+    fn exchange_under(plan: FaultPlan) -> Vec<Vec<u8>> {
+        run_threads(2, move |comm| {
+            let mut fc = FaultyComm::new(comm, plan);
+            let me = fc.rank();
+            let other = 1 - me;
+            let mut got = Vec::new();
+            for i in 0..200u8 {
+                if me == 0 {
+                    fc.send_bytes(other, 5, &[i, me as u8]);
+                    got.push(fc.recv_bytes(other, 6));
+                } else {
+                    got.push(fc.recv_bytes(other, 5));
+                    fc.send_bytes(other, 6, &[i, me as u8]);
+                }
+            }
+            got.concat()
+        })
+    }
+
+    #[test]
+    fn absorbable_faults_leave_payloads_intact() {
+        let clean = exchange_under(FaultPlan::new(3));
+        let noisy = exchange_under(
+            FaultPlan::new(3)
+                .drops(100)
+                .duplicates(100)
+                .delays(100)
+                .transient_fails(50),
+        );
+        assert_eq!(clean, noisy, "fault layer corrupted a payload");
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let plan = FaultPlan::new(11).drops(80).duplicates(80).delays(80);
+        let stats_of = |plan: FaultPlan| {
+            run_threads(2, move |comm| {
+                let mut fc = FaultyComm::new(comm, plan);
+                let other = 1 - fc.rank();
+                for i in 0..100u8 {
+                    fc.send_bytes(other, 1, &[i]);
+                    let _ = fc.recv_bytes(other, 1);
+                }
+                fc.fault_stats()
+            })
+        };
+        let a = stats_of(plan);
+        let b = stats_of(plan);
+        assert_eq!(a, b, "same seed must give the same fault sequence");
+        assert!(
+            a.iter().any(|s| s.dropped + s.duplicated + s.delayed > 0),
+            "sanity: faults actually fired: {a:?}"
+        );
+        let c = stats_of(FaultPlan::new(12).drops(80).duplicates(80).delays(80));
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn collectives_unaffected_by_fault_layer() {
+        let sums = run_threads(4, |comm| {
+            let plan = FaultPlan::new(5).drops(200).duplicates(200).delays(200);
+            let mut fc = FaultyComm::new(comm, plan);
+            fc.allreduce_f64(&[fc.rank() as f64], ReduceOp::Sum)[0]
+        });
+        assert_eq!(sums, vec![6.0; 4]);
+    }
+
+    #[test]
+    fn dead_peer_turns_into_bounded_panic_with_retries() {
+        // Rank 1 never sends; rank 0's receive must time out, retry with
+        // backoff, and then panic (propagated by run_threads' join).
+        let result = std::panic::catch_unwind(|| {
+            run_threads_with_timeout(2, Duration::from_secs(5), |comm| {
+                let plan = FaultPlan::new(1).retry(2, Duration::from_millis(10));
+                let mut fc = FaultyComm::new(comm, plan);
+                if fc.rank() == 0 {
+                    let _ = fc.recv_bytes(1, 3);
+                }
+            })
+        });
+        assert!(result.is_err(), "dead peer must fail the run, not hang");
+    }
+
+    #[test]
+    fn timeouts_and_retries_are_counted() {
+        run_threads(2, |comm| {
+            let plan = FaultPlan::new(1).retry(8, Duration::from_millis(5));
+            let mut fc = FaultyComm::new(comm, plan);
+            if fc.rank() == 0 {
+                // Peer sends only after a pause: at least one timeout+retry.
+                let got = fc.recv_bytes(1, 2);
+                assert_eq!(got, vec![42]);
+                let s = fc.fault_stats();
+                assert!(s.timeouts >= 1, "expected a timeout, got {s:?}");
+                assert!(s.retries >= 1);
+            } else {
+                std::thread::sleep(Duration::from_millis(40));
+                fc.send_bytes(0, 2, &[42]);
+            }
+        });
+    }
+
+    #[test]
+    fn scheduled_kill_fires_only_on_its_rank_and_sweep() {
+        let plan = FaultPlan::new(9).kill(1, 3);
+        let result = std::panic::catch_unwind(|| {
+            run_threads(2, |comm| {
+                let mut fc = FaultyComm::new(comm, plan);
+                for sweep in 0..5 {
+                    fc.tick_sweep(sweep);
+                }
+                fc.rank()
+            })
+        });
+        assert!(result.is_err(), "rank 1 must die at sweep 3");
+        // The same plan on a 1-rank world (only rank 0) never fires.
+        let ok = run_threads(1, move |comm| {
+            let mut fc = FaultyComm::new(comm, plan);
+            for sweep in 0..5 {
+                fc.tick_sweep(sweep);
+            }
+            true
+        });
+        assert_eq!(ok, vec![true]);
+    }
+}

@@ -58,17 +58,37 @@ mod mailbox;
 mod serial;
 mod thread_world;
 
+pub mod faulty;
 pub mod model;
 
 pub mod util;
 
+pub use faulty::{FaultPlan, FaultStats, FaultyComm};
 pub use model::{job_seconds, run_model, MachineModel, ModelComm, ModelReport};
 pub use serial::SerialComm;
-pub use thread_world::{run_threads, ThreadComm};
+pub use thread_world::{run_threads, run_threads_with_timeout, ThreadComm};
+
+use std::time::Duration;
 
 /// Tags at or above this value are reserved for the collective
 /// implementations; user code must stay below.
 pub const COLLECTIVE_TAG_BASE: u32 = 0x8000_0000;
+
+/// Shared misuse check for user-level receives: every back-end panics
+/// with the same rank/src/tag context on an out-of-range source or a
+/// reserved-range tag, so a bad receive is diagnosable regardless of
+/// which communicator the engine happens to be running on.
+#[inline]
+pub(crate) fn check_recv_args(me: usize, size: usize, src: usize, tag: u32) {
+    assert!(
+        src < size,
+        "rank {me}: recv(src={src}, tag={tag:#x}): src out of range for size-{size} world"
+    );
+    assert!(
+        tag < COLLECTIVE_TAG_BASE,
+        "rank {me}: recv(src={src}, tag={tag:#x}): tag is reserved for collectives"
+    );
+}
 
 /// Reduction operators for [`Communicator::allreduce_f64`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,7 +193,25 @@ pub trait Communicator {
     fn send_bytes(&mut self, dest: usize, tag: u32, data: &[u8]);
 
     /// Blocking receive of the next message from `src` with `tag`.
+    ///
+    /// Panics with rank/src/tag context if `src` is out of range or `tag`
+    /// is in the reserved collective range (same contract as
+    /// [`Self::send_bytes`], uniform across back-ends).
     fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8>;
+
+    /// Receive like [`Self::recv_bytes`], but give up after `timeout` and
+    /// return `None` instead of blocking forever.
+    ///
+    /// This is the primitive fault-tolerant retry loops are built on
+    /// (see `FaultyComm`): a lost message shows up as a timeout, the
+    /// caller retries with backoff, and a peer that is truly gone turns
+    /// into a bounded failure instead of a hang. Misuse (bad `src`,
+    /// reserved `tag`) still panics — only the *absence of a message* is
+    /// reported via `None`.
+    fn recv_bytes_timeout(&mut self, src: usize, tag: u32, timeout: Duration) -> Option<Vec<u8>> {
+        let _ = timeout;
+        Some(self.recv_bytes(src, tag))
+    }
 
     /// Charge `units` of abstract compute work to this rank's clock.
     ///

@@ -64,6 +64,30 @@ impl Mailbox {
             q = guard;
         }
     }
+
+    /// Like [`Mailbox::take`] but returns `None` on timeout instead of
+    /// panicking — the primitive behind `recv_bytes_timeout`, where the
+    /// caller (fault-tolerant retry loops) owns the give-up policy.
+    pub fn try_take(&self, src: usize, tag: u32, timeout: Duration) -> Option<Msg> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queues.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(queue) = q.get_mut(&(src, tag)) {
+                if let Some(msg) = queue.pop_front() {
+                    return Some(msg);
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _res) = self
+                .cond
+                .wait_timeout(q, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +183,21 @@ mod tests {
     fn timeout_panics_with_context() {
         let mb = Mailbox::new();
         mb.take(5, 0, 0, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn try_take_returns_none_on_timeout_and_some_on_message() {
+        let mb = Mailbox::new();
+        assert!(mb.try_take(0, 0, Duration::from_millis(5)).is_none());
+        mb.put(
+            0,
+            0,
+            Msg {
+                bytes: vec![9],
+                depart: 0.0,
+            },
+        );
+        let m = mb.try_take(0, 0, Duration::from_millis(5)).unwrap();
+        assert_eq!(m.bytes, vec![9]);
     }
 }

@@ -107,7 +107,12 @@ impl ModelComm {
     }
 
     fn raw_recv(&mut self, src: usize, tag: u32) -> Vec<u8> {
-        assert!(src < self.size, "src rank {src} out of range");
+        assert!(
+            src < self.size,
+            "rank {me}: recv(src={src}, tag={tag:#x}): src out of range for size-{size} world",
+            me = self.rank,
+            size = self.size
+        );
         let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
         let arrival = msg.depart + self.model.wire_time(src, self.rank, msg.bytes.len());
         let wait = (arrival - self.clock).max(0.0);
@@ -145,18 +150,27 @@ impl Communicator for ModelComm {
     }
 
     fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
-        assert!(
-            tag < COLLECTIVE_TAG_BASE,
-            "tag {tag:#x} is reserved for collectives"
-        );
+        crate::check_recv_args(self.rank, self.size, src, tag);
         self.raw_recv(src, tag)
     }
 
+    fn recv_bytes_timeout(&mut self, src: usize, tag: u32, timeout: Duration) -> Option<Vec<u8>> {
+        crate::check_recv_args(self.rank, self.size, src, tag);
+        // Host-time bounded wait; on success the virtual clock advances
+        // exactly as in `raw_recv`, so a successfully retried receive
+        // costs the same modeled time as an untimed one.
+        let msg = self.boxes[self.rank].try_take(src, tag, timeout)?;
+        let arrival = msg.depart + self.model.wire_time(src, self.rank, msg.bytes.len());
+        let wait = (arrival - self.clock).max(0.0);
+        self.clock = self.clock.max(arrival) + self.model.recv_overhead;
+        self.stats.comm_seconds += wait + self.model.recv_overhead;
+        self.stats.recv_wait_seconds += wait;
+        self.stats.note_received(msg.bytes.len());
+        Some(msg.bytes)
+    }
+
     fn recv_bytes_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
-        assert!(
-            tag < COLLECTIVE_TAG_BASE,
-            "tag {tag:#x} is reserved for collectives"
-        );
+        crate::check_recv_args(self.rank, self.size, src, tag);
         self.raw_recv_into(src, tag, buf);
     }
 

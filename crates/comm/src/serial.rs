@@ -51,7 +51,7 @@ impl Communicator for SerialComm {
     }
 
     fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
-        assert_eq!(src, 0, "src rank {src} out of range for size-1 world");
+        crate::check_recv_args(0, 1, src, tag);
         let msg = self
             .queues
             .get_mut(&tag)
@@ -60,6 +60,19 @@ impl Communicator for SerialComm {
         // Self-receives never block, so no recv_wait_seconds here.
         self.stats.note_received(msg.len());
         msg
+    }
+
+    fn recv_bytes_timeout(
+        &mut self,
+        src: usize,
+        tag: u32,
+        _timeout: std::time::Duration,
+    ) -> Option<Vec<u8>> {
+        crate::check_recv_args(0, 1, src, tag);
+        // A self-send either already happened or never will: no waiting.
+        let msg = self.queues.get_mut(&tag).and_then(|q| q.pop_front())?;
+        self.stats.note_received(msg.len());
+        Some(msg)
     }
 
     fn recv_bytes_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
@@ -82,7 +95,7 @@ impl Communicator for SerialComm {
             "tag {send_tag:#x} is reserved for collectives"
         );
         assert_eq!(dest, 0, "dest rank {dest} out of range for size-1 world");
-        assert_eq!(src, 0, "src rank {src} out of range for size-1 world");
+        crate::check_recv_args(0, 1, src, recv_tag);
         // A self-sendrecv on an empty queue matches its own message, so
         // skip the queue round-trip entirely: no allocation at all.
         let empty = self

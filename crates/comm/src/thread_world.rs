@@ -46,7 +46,12 @@ impl ThreadComm {
     }
 
     fn raw_recv(&mut self, src: usize, tag: u32) -> Vec<u8> {
-        assert!(src < self.size, "src rank {src} out of range");
+        assert!(
+            src < self.size,
+            "rank {me}: recv(src={src}, tag={tag:#x}): src out of range for size-{size} world",
+            me = self.rank,
+            size = self.size
+        );
         let t0 = Instant::now();
         let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
         // The whole mailbox take is time blocked waiting on the sender.
@@ -58,7 +63,12 @@ impl ThreadComm {
     }
 
     fn raw_recv_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
-        assert!(src < self.size, "src rank {src} out of range");
+        assert!(
+            src < self.size,
+            "rank {me}: recv(src={src}, tag={tag:#x}): src out of range for size-{size} world",
+            me = self.rank,
+            size = self.size
+        );
         let t0 = Instant::now();
         let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
         let wait = t0.elapsed().as_secs_f64();
@@ -88,18 +98,24 @@ impl Communicator for ThreadComm {
     }
 
     fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
-        assert!(
-            tag < COLLECTIVE_TAG_BASE,
-            "tag {tag:#x} is reserved for collectives"
-        );
+        crate::check_recv_args(self.rank, self.size, src, tag);
         self.raw_recv(src, tag)
     }
 
+    fn recv_bytes_timeout(&mut self, src: usize, tag: u32, timeout: Duration) -> Option<Vec<u8>> {
+        crate::check_recv_args(self.rank, self.size, src, tag);
+        let t0 = Instant::now();
+        let msg = self.boxes[self.rank].try_take(src, tag, timeout);
+        let wait = t0.elapsed().as_secs_f64();
+        self.stats.comm_seconds += wait;
+        self.stats.recv_wait_seconds += wait;
+        let msg = msg?;
+        self.stats.note_received(msg.bytes.len());
+        Some(msg.bytes)
+    }
+
     fn recv_bytes_into(&mut self, src: usize, tag: u32, buf: &mut Vec<u8>) {
-        assert!(
-            tag < COLLECTIVE_TAG_BASE,
-            "tag {tag:#x} is reserved for collectives"
-        );
+        crate::check_recv_args(self.rank, self.size, src, tag);
         self.raw_recv_into(src, tag, buf);
     }
 

@@ -1,0 +1,140 @@
+//! Backend conformance: misused receives must die loudly and uniformly.
+//!
+//! `Communicator::recv_bytes` with an out-of-range `src` or a reserved
+//! (collective) tag is always a harness bug, never valid traffic. Each
+//! backend must panic — not hang, not return garbage — and the panic
+//! message must carry enough context to debug a multi-rank run: the
+//! receiving rank, the requested source, and the tag. This suite pins
+//! that contract for every backend so a new one can't regress it.
+
+use qmc_comm::{run_threads, Communicator, MachineModel, SerialComm, COLLECTIVE_TAG_BASE};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run `f`, which must panic, and return its panic message.
+fn panic_message<F: FnOnce()>(f: F) -> String {
+    let err = catch_unwind(AssertUnwindSafe(f)).expect_err("call was expected to panic");
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        panic!("panic payload was not a string");
+    }
+}
+
+fn assert_src_message(msg: &str, me: usize, src: usize) {
+    assert!(
+        msg.contains(&format!("rank {me}")),
+        "missing receiving rank in: {msg}"
+    );
+    assert!(
+        msg.contains(&format!("src={src}")),
+        "missing requested src in: {msg}"
+    );
+    assert!(
+        msg.contains("src out of range"),
+        "wrong diagnosis in: {msg}"
+    );
+}
+
+fn assert_tag_message(msg: &str, me: usize) {
+    assert!(
+        msg.contains(&format!("rank {me}")),
+        "missing receiving rank in: {msg}"
+    );
+    assert!(
+        msg.contains("reserved for collectives"),
+        "wrong diagnosis in: {msg}"
+    );
+}
+
+#[test]
+fn serial_recv_src_out_of_range_panics_with_context() {
+    let msg = panic_message(|| {
+        let mut c = SerialComm::new();
+        let _ = c.recv_bytes(3, 1);
+    });
+    assert_src_message(&msg, 0, 3);
+}
+
+#[test]
+fn serial_recv_reserved_tag_panics_with_context() {
+    let msg = panic_message(|| {
+        let mut c = SerialComm::new();
+        let _ = c.recv_bytes(0, COLLECTIVE_TAG_BASE + 7);
+    });
+    assert_tag_message(&msg, 0);
+}
+
+#[test]
+fn serial_recv_timeout_checks_args_too() {
+    let msg = panic_message(|| {
+        let mut c = SerialComm::new();
+        let _ = c.recv_bytes_timeout(9, 1, std::time::Duration::from_millis(1));
+    });
+    assert_src_message(&msg, 0, 9);
+}
+
+#[test]
+fn thread_recv_src_out_of_range_panics_with_context() {
+    // Catch inside the rank closure so the original message survives the
+    // thread join (which would otherwise rewrap it).
+    let msgs = run_threads(2, |c| {
+        panic_message(AssertUnwindSafe(|| {
+            let _ = c.recv_bytes(5, 1);
+        }))
+    });
+    for (me, msg) in msgs.iter().enumerate() {
+        assert_src_message(msg, me, 5);
+    }
+}
+
+#[test]
+fn thread_recv_reserved_tag_panics_with_context() {
+    let msgs = run_threads(2, |c| {
+        panic_message(AssertUnwindSafe(|| {
+            let _ = c.recv_bytes(0, COLLECTIVE_TAG_BASE);
+        }))
+    });
+    for (me, msg) in msgs.iter().enumerate() {
+        assert_tag_message(msg, me);
+    }
+}
+
+#[test]
+fn thread_recv_timeout_checks_args_too() {
+    let msgs = run_threads(2, |c| {
+        panic_message(AssertUnwindSafe(|| {
+            let _ = c.recv_bytes_timeout(7, 1, std::time::Duration::from_millis(1));
+        }))
+    });
+    for (me, msg) in msgs.iter().enumerate() {
+        assert_src_message(msg, me, 7);
+    }
+}
+
+#[test]
+fn model_recv_src_out_of_range_panics_with_context() {
+    let reports = qmc_comm::run_model(2, MachineModel::ideal(2), |c| {
+        let me = c.rank();
+        let msg = panic_message(AssertUnwindSafe(|| {
+            let _ = c.recv_bytes(4, 1);
+        }));
+        assert_src_message(&msg, me, 4);
+        true
+    });
+    assert!(reports.iter().all(|r| r.result));
+}
+
+#[test]
+fn model_recv_reserved_tag_panics_with_context() {
+    let reports = qmc_comm::run_model(2, MachineModel::ideal(2), |c| {
+        let me = c.rank();
+        let msg = panic_message(AssertUnwindSafe(|| {
+            let _ = c.recv_bytes(0, COLLECTIVE_TAG_BASE + 1);
+        }));
+        assert_tag_message(&msg, me);
+        true
+    });
+    assert!(reports.iter().all(|r| r.result));
+}

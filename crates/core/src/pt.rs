@@ -324,6 +324,255 @@ pub fn run_pt_parallel<C: Communicator, R: Rng64>(
     (energies, rates)
 }
 
+impl qmc_ckpt::Checkpoint for PtLadder {
+    fn kind(&self) -> &'static str {
+        "pt.ladder"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64(self.replicas.len() as u64);
+        for r in &self.replicas {
+            enc.state(r);
+        }
+        enc.u64s(&self.stats.accepted);
+        enc.u64s(&self.stats.attempted);
+        enc.u64(self.stats.round_trips);
+        let walkers: Vec<u64> = self.walker_at.iter().map(|&w| w as u64).collect();
+        enc.u64s(&walkers);
+        enc.bytes(&self.walker_phase);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let n = dec.u64()? as usize;
+        if n != self.replicas.len() {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "pt ladder has {} replicas, checkpoint has {n}",
+                self.replicas.len()
+            )));
+        }
+        for r in &mut self.replicas {
+            dec.load_state(r)?;
+        }
+        let accepted = dec.u64s()?;
+        let attempted = dec.u64s()?;
+        if accepted.len() != n - 1 || attempted.len() != n - 1 {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "pt ladder pair statistics have the wrong length",
+            ));
+        }
+        self.stats.accepted = accepted;
+        self.stats.attempted = attempted;
+        self.stats.round_trips = dec.u64()?;
+        let walkers = dec.u64s()?;
+        let phases = dec.bytes()?;
+        if walkers.len() != n || phases.len() != n {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "pt ladder walker bookkeeping has the wrong length",
+            ));
+        }
+        if walkers.iter().any(|&w| w as usize >= n) || phases.iter().any(|&p| p > 2) {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "pt ladder walker bookkeeping out of range",
+            ));
+        }
+        self.walker_at = walkers.iter().map(|&w| w as usize).collect();
+        self.walker_phase = phases.to_vec();
+        Ok(())
+    }
+}
+
+/// Checkpoint policy for [`run_pt_parallel_ckpt`].
+pub struct PtCheckpointing<'a> {
+    /// Generation store; every rank must name the same directory (the
+    /// writes themselves are coordinated through rank 0).
+    pub store: &'a qmc_ckpt::CkptStore,
+    /// Write a coordinated checkpoint every `every` sweeps (before the
+    /// sweep runs, so generation `g` is the state entering sweep `g`).
+    pub every: usize,
+    /// Resume from the newest valid generation before sweeping.
+    pub resume: bool,
+}
+
+/// [`run_pt_parallel`] with coordinated checkpoint/restore and a
+/// per-sweep hook.
+///
+/// The sweep/exchange/measure sequence — and therefore every random draw
+/// on every rank — is identical to [`run_pt_parallel`]; a run with
+/// `ck = None` returns bit-identical results (pinned by the checkpoint
+/// integration tests). Checkpoints are written *before* the sweep whose
+/// index they carry, so resuming generation `g` replays sweeps `g..` and
+/// lands on the same trajectory. `on_sweep` runs after the checkpoint
+/// write at the top of every iteration: it is the injection point for
+/// [`qmc_comm::FaultyComm::tick_sweep`]-style rank kills.
+pub fn run_pt_parallel_ckpt<C, R, F>(
+    comm: &mut C,
+    cfg: &PtConfig,
+    rng: &mut R,
+    ck: Option<&PtCheckpointing<'_>>,
+    mut on_sweep: F,
+) -> (Vec<f64>, Vec<f64>)
+where
+    C: Communicator,
+    R: Rng64 + qmc_ckpt::Checkpoint,
+    F: FnMut(&mut C, usize),
+{
+    let PtConfig {
+        l,
+        jx,
+        jz,
+        m,
+        ref betas,
+        therm,
+        sweeps,
+        exchange_every,
+        seed,
+    } = *cfg;
+    assert_eq!(
+        comm.size(),
+        betas.len(),
+        "one rank per temperature required"
+    );
+    assert!(betas.windows(2).all(|w| w[0] < w[1]));
+    let me = comm.rank();
+    let mut replica = Worldline::new(WorldlineParams {
+        l,
+        jx,
+        jz,
+        beta: betas[me],
+        m,
+    });
+    let neighbor_weights: Vec<PlaqWeights> = betas
+        .iter()
+        .map(|&b| PlaqWeights::new(jx, jz, b / m as f64))
+        .collect();
+
+    let mut accepted = vec![0.0f64; betas.len() - 1];
+    let mut attempted = vec![0.0f64; betas.len() - 1];
+    let mut energies = Vec::with_capacity(sweeps);
+    let mut step = 0u64;
+    let mut start = 0usize;
+
+    if let Some(ck) = ck {
+        if ck.resume {
+            if let Some((generation, file)) = qmc_ckpt::coord::restore_coordinated(comm, ck.store) {
+                let meta = file
+                    .require("meta")
+                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                let mut dec = qmc_ckpt::Decoder::new(meta);
+                let s0 = dec
+                    .u64()
+                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"))
+                    as usize;
+                let step0 = dec
+                    .u64()
+                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                file.restore("replica", &mut replica)
+                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                file.restore("rng", rng)
+                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                let stats = file
+                    .require("stats")
+                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                let mut dec = qmc_ckpt::Decoder::new(stats);
+                accepted = dec
+                    .f64s()
+                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                attempted = dec
+                    .f64s()
+                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                energies = dec
+                    .f64s()
+                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                assert_eq!(
+                    generation, s0 as u64,
+                    "checkpoint generation must equal its sweep index"
+                );
+                step = step0;
+                start = s0;
+            }
+        }
+    }
+
+    let do_phase = |replica: &mut Worldline,
+                    comm: &mut C,
+                    step: u64,
+                    accepted: &mut [f64],
+                    attempted: &mut [f64]| {
+        let _span = qmc_obs::span("pt.exchange");
+        let phase = (step % 2) as usize;
+        let pair_k = if me % 2 == phase {
+            me // pair (me, me+1)
+        } else {
+            me.wrapping_sub(1) // pair (me−1, me)
+        };
+        if pair_k == usize::MAX || pair_k + 1 >= betas.len() {
+            return;
+        }
+        let partner = if pair_k == me { me + 1 } else { me - 1 };
+        let lw_own = replica.log_weight();
+        let lw_cross = replica.log_weight_with(&neighbor_weights[partner]);
+        let payload = util::f64s_to_bytes(&[lw_own, lw_cross]);
+        let other = util::bytes_to_f64s(&comm.sendrecv_bytes(partner, 7, &payload, partner, 7));
+        let (lw_partner_own, lw_partner_cross) = (other[0], other[1]);
+        let log_ratio = lw_cross + lw_partner_cross - lw_own - lw_partner_own;
+        let coin = SplitMix64::new(
+            seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (pair_k as u64) << 32,
+        )
+        .next_f64_of();
+        if me == pair_k {
+            attempted[pair_k] += 1.0;
+            qmc_obs::counter_add("pt.swaps_attempted", 1);
+        }
+        if coin < log_ratio.exp() {
+            if me == pair_k {
+                accepted[pair_k] += 1.0;
+                qmc_obs::counter_add("pt.swaps_accepted", 1);
+            }
+            let mine = replica.export_spins();
+            let theirs = comm.sendrecv_bytes(partner, 8, &mine, partner, 8);
+            replica.import_spins(&theirs);
+        }
+    };
+
+    for s in start..therm + sweeps {
+        if let Some(ck) = ck {
+            if s % ck.every == 0 {
+                let mut file = qmc_ckpt::CkptFile::new();
+                let mut meta = qmc_ckpt::Encoder::new();
+                meta.u64(s as u64);
+                meta.u64(step);
+                file.add("meta", meta.into_bytes());
+                file.add_state("replica", &replica);
+                file.add_state("rng", rng);
+                let mut st = qmc_ckpt::Encoder::new();
+                st.f64s(&accepted);
+                st.f64s(&attempted);
+                st.f64s(&energies);
+                file.add("stats", st.into_bytes());
+                qmc_ckpt::coord::write_coordinated(comm, ck.store, s as u64, &file);
+            }
+        }
+        on_sweep(comm, s);
+        replica.sweep(rng);
+        if s % exchange_every == 0 {
+            do_phase(&mut replica, comm, step, &mut accepted, &mut attempted);
+            step += 1;
+        }
+        if s >= therm {
+            energies.push(qmc_worldline::estimators::measure(&replica).energy_per_site);
+        }
+    }
+
+    let acc = comm.allreduce_f64(&accepted, ReduceOp::Sum);
+    let att = comm.allreduce_f64(&attempted, ReduceOp::Sum);
+    let rates = acc
+        .iter()
+        .zip(&att)
+        .map(|(a, t)| if *t > 0.0 { a / t } else { 0.0 })
+        .collect();
+    (energies, rates)
+}
+
 /// Helper trait bridging SplitMix to a one-shot uniform draw.
 trait OneShot {
     fn next_f64_of(self) -> f64;

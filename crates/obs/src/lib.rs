@@ -61,9 +61,20 @@ mod record;
 mod span;
 
 pub use export::{chrome_trace_json, metrics_json, RunMeta};
-pub use metrics::{CounterId, Hist, HistId, Registry};
+pub use metrics::{CounterId, Hist, HistId, Registry, N_BUCKETS};
 pub use record::{gather_ranks, CommSummary, HistSnapshot, OwnedSpan, RankObs};
 pub use span::{
     counter_add, enabled, finish, hist_record, init, metrics_enabled, span, spans_enabled,
     ObsConfig, Span,
 };
+
+/// Mirror a rank's [`qmc_comm::FaultStats`] into the thread-local metrics
+/// registry as `comm.retries` / `comm.timeouts`.
+///
+/// Lives here rather than on `FaultyComm` itself because `qmc-comm` sits
+/// below this crate in the dependency graph. No-op when metrics are
+/// disabled, like every [`counter_add`].
+pub fn publish_fault_stats(stats: &qmc_comm::FaultStats) {
+    counter_add("comm.retries", stats.retries);
+    counter_add("comm.timeouts", stats.timeouts);
+}

@@ -187,6 +187,18 @@ impl Registry {
         self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
     }
 
+    /// Overwrite counter `index` (registration order). Only checkpoint
+    /// restore may rewind a counter; everything else must go through
+    /// the monotonic `add` path.
+    pub fn set_counter(&mut self, index: usize, value: u64) {
+        self.counters[index].1 = value;
+    }
+
+    /// Mutable histogram by registration index, for checkpoint restore.
+    pub fn hist_mut(&mut self, index: usize) -> &mut Hist {
+        &mut self.hists[index].1
+    }
+
     /// All counters in registration order.
     pub fn counters(&self) -> &[(&'static str, u64)] {
         &self.counters

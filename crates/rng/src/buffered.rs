@@ -73,6 +73,35 @@ impl<R: Rng64> Rng64 for Buffered<R> {
     }
 }
 
+impl<R: Rng64 + qmc_ckpt::Checkpoint> qmc_ckpt::Checkpoint for Buffered<R> {
+    fn kind(&self) -> &'static str {
+        "rng.buffered"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        // The undrained tail of the buffer is part of the stream: the
+        // inner generator has already advanced past it, so dropping it
+        // would skip `BATCH - pos` draws on resume.
+        enc.u64(self.pos as u64);
+        enc.u64s(&self.buf);
+        enc.state(&self.inner);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let pos = dec.u64()? as usize;
+        let buf = dec.u64s()?;
+        if pos > BATCH || buf.len() != BATCH {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "buffered rng pos {pos} buf len {}",
+                buf.len()
+            )));
+        }
+        self.pos = pos;
+        self.buf.copy_from_slice(&buf);
+        dec.load_state(&mut self.inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

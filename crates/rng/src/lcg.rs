@@ -102,6 +102,21 @@ impl Rng64 for Lcg64 {
     }
 }
 
+impl qmc_ckpt::Checkpoint for Lcg64 {
+    fn kind(&self) -> &'static str {
+        "rng.lcg64"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64(self.state);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        self.state = dec.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -79,6 +79,31 @@ impl Rng64 for LaggedFibonacci55 {
     }
 }
 
+impl qmc_ckpt::Checkpoint for LaggedFibonacci55 {
+    fn kind(&self) -> &'static str {
+        "rng.lfg55"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64s(&self.table);
+        enc.u64(self.idx as u64);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let table = dec.u64s()?;
+        let idx = dec.u64()? as usize;
+        if table.len() != LAG_LONG || idx >= LAG_LONG {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "lfg55 table len {} idx {idx}",
+                table.len()
+            )));
+        }
+        self.table.copy_from_slice(&table);
+        self.idx = idx;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,21 @@ impl Rng64 for SplitMix64 {
     }
 }
 
+impl qmc_ckpt::Checkpoint for SplitMix64 {
+    fn kind(&self) -> &'static str {
+        "rng.splitmix64"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64(self.state);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        self.state = dec.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

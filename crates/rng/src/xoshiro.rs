@@ -88,6 +88,30 @@ impl Rng64 for Xoshiro256StarStar {
     }
 }
 
+impl qmc_ckpt::Checkpoint for Xoshiro256StarStar {
+    fn kind(&self) -> &'static str {
+        "rng.xoshiro256**"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        for &w in &self.s {
+            enc.u64(w);
+        }
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        for w in &mut self.s {
+            *w = dec.u64()?;
+        }
+        if self.s == [0, 0, 0, 0] {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "xoshiro256** state is all-zero",
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

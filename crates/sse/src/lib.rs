@@ -355,8 +355,9 @@ impl Sse {
 
     /// Grow the cutoff when the string gets crowded (thermalization aid;
     /// appending identities is exact because the weight is independent of
-    /// identity placement).
-    fn adjust_cutoff(&mut self) {
+    /// identity placement). Public so stepwise checkpointed drivers can
+    /// reproduce [`Sse::run`]'s thermalization schedule exactly.
+    pub fn adjust_cutoff(&mut self) {
         let n = self.n_ops;
         let m = self.ops.len();
         if n + n / 3 > m {
@@ -401,6 +402,48 @@ impl Sse {
         }
     }
 
+    /// Empty series matching this engine (the stepwise counterpart of
+    /// [`Sse::run`]; checkpointed drivers build one, record into it sweep
+    /// by sweep, and carry it across restarts).
+    pub fn begin_series(&self, capacity: usize) -> SseSeries {
+        SseSeries {
+            beta: self.beta,
+            j: self.j,
+            n_sites: self.n_sites,
+            n_bonds: self.bonds.len(),
+            n_ops: Vec::with_capacity(capacity),
+            magnetization: Vec::with_capacity(capacity),
+            staggered: Vec::with_capacity(capacity),
+            corr_sum: vec![0.0; self.n_sites / 2 + 1],
+            corr_count: 0,
+        }
+    }
+
+    /// Measure the current configuration and record it into `series`
+    /// (including the translation-averaged chain correlations — only
+    /// meaningful when sites are indexed along a ring, i.e. the caller
+    /// used a Chain; harmless extra numbers otherwise).
+    pub fn record_measurement(&self, series: &mut SseSeries) {
+        let meas = self.measure();
+        series.n_ops.push(meas.n_ops);
+        series.magnetization.push(meas.magnetization);
+        series.staggered.push(meas.staggered);
+        for (r, slot) in series.corr_sum.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in 0..self.n_sites {
+                let a = if self.state[i] { 0.5 } else { -0.5 };
+                let b = if self.state[(i + r) % self.n_sites] {
+                    0.5
+                } else {
+                    -0.5
+                };
+                acc += a * b;
+            }
+            *slot += acc / self.n_sites as f64;
+        }
+        series.corr_count += 1;
+    }
+
     /// Thermalize (`therm` sweeps with cutoff adaptation) then record
     /// `sweeps` measurements.
     pub fn run<R: Rng64>(&mut self, rng: &mut R, therm: usize, sweeps: usize) -> SseSeries {
@@ -408,40 +451,10 @@ impl Sse {
             self.sweep(rng);
             self.adjust_cutoff();
         }
-        let mut series = SseSeries {
-            beta: self.beta,
-            j: self.j,
-            n_sites: self.n_sites,
-            n_bonds: self.bonds.len(),
-            n_ops: Vec::with_capacity(sweeps),
-            magnetization: Vec::with_capacity(sweeps),
-            staggered: Vec::with_capacity(sweeps),
-            corr_sum: vec![0.0; self.n_sites / 2 + 1],
-            corr_count: 0,
-        };
+        let mut series = self.begin_series(sweeps);
         for _ in 0..sweeps {
             self.sweep(rng);
-            let meas = self.measure();
-            series.n_ops.push(meas.n_ops);
-            series.magnetization.push(meas.magnetization);
-            series.staggered.push(meas.staggered);
-            // Chain correlations from |α⟩ (translation-averaged). Only
-            // meaningful when sites are indexed along a ring, i.e. the
-            // caller used a Chain; harmless extra numbers otherwise.
-            for (r, slot) in series.corr_sum.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for i in 0..self.n_sites {
-                    let a = if self.state[i] { 0.5 } else { -0.5 };
-                    let b = if self.state[(i + r) % self.n_sites] {
-                        0.5
-                    } else {
-                        -0.5
-                    };
-                    acc += a * b;
-                }
-                *slot += acc / self.n_sites as f64;
-            }
-            series.corr_count += 1;
+            self.record_measurement(&mut series);
         }
         series
     }
@@ -512,6 +525,99 @@ impl Sse {
         }
         if state != self.state {
             return Err("state does not close around the imaginary-time circle".into());
+        }
+        Ok(())
+    }
+}
+
+impl qmc_ckpt::Checkpoint for Sse {
+    fn kind(&self) -> &'static str {
+        "engine.sse"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64(self.n_sites as u64);
+        enc.bools(&self.state);
+        enc.i64s(&self.ops);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let n_sites = dec.u64()? as usize;
+        if n_sites != self.n_sites {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "sse checkpoint is for {n_sites} sites, engine has {}",
+                self.n_sites
+            )));
+        }
+        let state = dec.bools()?;
+        if state.len() != self.n_sites {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "sse basis state has the wrong length",
+            ));
+        }
+        let ops = dec.i64s()?;
+        for &op in &ops {
+            if op != IDENTITY && (op < 0 || (op / 2) as usize >= self.bonds.len()) {
+                return Err(qmc_ckpt::CkptError::corrupt(format!(
+                    "sse operator code {op} out of range"
+                )));
+            }
+        }
+        self.state = state;
+        self.ops = ops;
+        self.n_ops = self.ops.iter().filter(|&&o| o != IDENTITY).count();
+        self.rebuild_diag_tables();
+        self.check_consistency()
+            .map_err(qmc_ckpt::CkptError::corrupt)
+    }
+}
+
+impl qmc_ckpt::Checkpoint for SseSeries {
+    fn kind(&self) -> &'static str {
+        "series.sse"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.f64(self.beta);
+        enc.f64(self.j);
+        enc.u64(self.n_sites as u64);
+        enc.u64(self.n_bonds as u64);
+        enc.f64s(&self.n_ops);
+        enc.f64s(&self.magnetization);
+        enc.f64s(&self.staggered);
+        enc.f64s(&self.corr_sum);
+        enc.u64(self.corr_count);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let beta = dec.f64()?;
+        let j = dec.f64()?;
+        let n_sites = dec.u64()? as usize;
+        let n_bonds = dec.u64()? as usize;
+        if n_sites != self.n_sites || n_bonds != self.n_bonds {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "sse series is for {n_sites} sites / {n_bonds} bonds, engine has {} / {}",
+                self.n_sites, self.n_bonds
+            )));
+        }
+        self.beta = beta;
+        self.j = j;
+        self.n_ops = dec.f64s()?;
+        self.magnetization = dec.f64s()?;
+        self.staggered = dec.f64s()?;
+        let corr_sum = dec.f64s()?;
+        if corr_sum.len() != self.corr_sum.len() {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "sse series correlation table has the wrong length",
+            ));
+        }
+        self.corr_sum = corr_sum;
+        self.corr_count = dec.u64()?;
+        let n = self.n_ops.len();
+        if self.magnetization.len() != n || self.staggered.len() != n {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "sse series columns have unequal lengths",
+            ));
         }
         Ok(())
     }

@@ -391,6 +391,43 @@ impl DistTfim {
     }
 }
 
+impl qmc_ckpt::Checkpoint for DistTfim {
+    fn kind(&self) -> &'static str {
+        "engine.tfim.dist"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        // The full ghost-padded block: restoring ghosts too means a
+        // resumed rank needs no extra halo exchange to be sweep-ready,
+        // and the very next half-sweep reads exactly what it would have.
+        let raw: Vec<u8> = self.spins.iter().map(|&s| s as u8).collect();
+        enc.bytes(&raw);
+        qmc_ckpt::registry::save_registry(enc, &self.metrics);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let raw = dec.bytes()?;
+        if raw.len() != self.spins.len() {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "dist tfim spins: rank block has {} cells, checkpoint has {}",
+                self.spins.len(),
+                raw.len()
+            )));
+        }
+        for (dst, &b) in self.spins.iter_mut().zip(raw) {
+            *dst = match b as i8 {
+                s @ (1 | -1) => s,
+                s => {
+                    return Err(qmc_ckpt::CkptError::corrupt(format!(
+                        "dist tfim spin value {s} is not ±1"
+                    )))
+                }
+            };
+        }
+        qmc_ckpt::registry::load_registry(dec, &mut self.metrics)
+    }
+}
+
 fn dir_id(d: Dir) -> u32 {
     match d {
         Dir::East => 0,

@@ -96,6 +96,10 @@ impl SerialTfim {
         let mut metrics = Registry::new();
         let id_accepted = metrics.counter("tfim.accepted");
         let id_proposed = metrics.counter("tfim.proposed");
+        // Registered eagerly (not on first Wolff update) so a freshly
+        // constructed engine has the exact registry shape a checkpoint
+        // expects, however many updates the checkpointed run had done.
+        metrics.hist("tfim.wolff_cluster");
         Self {
             c,
             spins: vec![1; n],
@@ -363,6 +367,69 @@ impl SerialTfim {
             series.record(&self.measure());
         }
         series
+    }
+}
+
+impl qmc_ckpt::Checkpoint for SerialTfim {
+    fn kind(&self) -> &'static str {
+        "engine.tfim.serial"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        let raw: Vec<u8> = self.spins.iter().map(|&s| s as u8).collect();
+        enc.bytes(&raw);
+        qmc_ckpt::registry::save_registry(enc, &self.metrics);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        // The engine must already be constructed with the same model: the
+        // configuration is restored, the derived tables are not re-read.
+        let raw = dec.bytes()?;
+        if raw.len() != self.spins.len() {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "tfim spins: engine has {} sites, checkpoint has {}",
+                self.spins.len(),
+                raw.len()
+            )));
+        }
+        for (dst, &b) in self.spins.iter_mut().zip(raw) {
+            *dst = match b as i8 {
+                s @ (1 | -1) => s,
+                s => {
+                    return Err(qmc_ckpt::CkptError::corrupt(format!(
+                        "tfim spin value {s} is not ±1"
+                    )))
+                }
+            };
+        }
+        qmc_ckpt::registry::load_registry(dec, &mut self.metrics)
+    }
+}
+
+impl qmc_ckpt::Checkpoint for TfimSeries {
+    fn kind(&self) -> &'static str {
+        "series.tfim"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.f64s(&self.energy);
+        enc.f64s(&self.abs_m);
+        enc.f64s(&self.m2);
+        enc.f64s(&self.sigma_x);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        self.energy = dec.f64s()?;
+        self.abs_m = dec.f64s()?;
+        self.m2 = dec.f64s()?;
+        self.sigma_x = dec.f64s()?;
+        let n = self.energy.len();
+        if self.abs_m.len() != n || self.m2.len() != n || self.sigma_x.len() != n {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "tfim series columns have unequal lengths",
+            ));
+        }
+        Ok(())
     }
 }
 

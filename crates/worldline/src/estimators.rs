@@ -193,6 +193,63 @@ fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+impl qmc_ckpt::Checkpoint for TimeSeries {
+    fn kind(&self) -> &'static str {
+        "series.worldline"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64(self.l as u64);
+        enc.f64(self.beta);
+        enc.f64s(&self.energy);
+        enc.f64s(&self.denergy);
+        enc.f64s(&self.magnetization);
+        enc.f64s(&self.staggered);
+        enc.f64s(&self.chi);
+        enc.f64s(&self.corr_sum);
+        enc.u64(self.corr_count);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let l = dec.u64()? as usize;
+        if l != self.l {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "worldline series is for l={}, checkpoint has l={l}",
+                self.l
+            )));
+        }
+        self.beta = dec.f64()?;
+        self.energy = dec.f64s()?;
+        self.denergy = dec.f64s()?;
+        self.magnetization = dec.f64s()?;
+        self.staggered = dec.f64s()?;
+        self.chi = dec.f64s()?;
+        let corr_sum = dec.f64s()?;
+        if corr_sum.len() != self.corr_sum.len() {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "worldline series correlation table has the wrong length",
+            ));
+        }
+        self.corr_sum = corr_sum;
+        self.corr_count = dec.u64()?;
+        let n = self.energy.len();
+        if [
+            self.denergy.len(),
+            self.magnetization.len(),
+            self.staggered.len(),
+            self.chi.len(),
+        ]
+        .iter()
+        .any(|&len| len != n)
+        {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "worldline series columns have unequal lengths",
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,4 +19,9 @@ cargo test -q
 echo "== observability: determinism + artifact schema =="
 cargo test -q -p qmc-bench --test observability
 
+echo "== fault injection: comm conformance + crash/resume matrix =="
+cargo test -q -p qmc-comm --test conformance
+cargo test -q -p qmc-bench --test checkpoint
+cargo test -q -p qmc-bench --lib faults
+
 echo "All checks passed."

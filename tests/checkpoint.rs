@@ -1,0 +1,403 @@
+//! Checkpoint/restart integration tests.
+//!
+//! The contract of `qmc-ckpt` is that a resumed run is indistinguishable
+//! from one that never stopped: with a fixed seed, killing a run at *any*
+//! sweep boundary and resuming from the newest on-disk generation must
+//! reproduce the final observable series bit for bit and draw exactly as
+//! many random numbers. The crash matrix below kills each engine at every
+//! sweep index; the parallel-tempering test kills a live rank through the
+//! fault-injection layer and recovers a 4-rank ThreadWorld run from the
+//! coordinated checkpoint.
+
+use qmc_bench::ckpt_driver::{
+    run_generic_worldline_ckpt, run_serial_tfim_ckpt, run_sse_ckpt, run_worldline_ckpt, CkptCfg,
+};
+use qmc_ckpt::{load_state, save_state, Checkpoint, CkptStore};
+use qmc_comm::{run_threads, run_threads_with_timeout, Communicator, FaultPlan, FaultyComm};
+use qmc_core::pt::{run_pt_parallel, run_pt_parallel_ckpt, PtCheckpointing, PtConfig, PtLadder};
+use qmc_lattice::{Chain, Square};
+use qmc_rng::{Rng64, StreamFactory, Xoshiro256StarStar};
+use qmc_sse::Sse;
+use qmc_tfim::serial::SerialTfim;
+use qmc_tfim::TfimModel;
+use qmc_worldline::{GenericParams, GenericWorldline, Worldline, WorldlineParams};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counts raw draws while forwarding to the wrapped generator, and
+/// checkpoints the count alongside the generator state — so a resumed
+/// run reports the same total draw count as an uninterrupted one.
+struct CountingRng<R> {
+    inner: R,
+    draws: u64,
+}
+
+impl<R> CountingRng<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, draws: 0 }
+    }
+}
+
+impl<R: Rng64> Rng64 for CountingRng<R> {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        self.draws += out.len() as u64;
+        self.inner.fill_u64(out);
+    }
+}
+
+impl<R: Checkpoint> Checkpoint for CountingRng<R> {
+    fn kind(&self) -> &'static str {
+        "test.counting-rng"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64(self.draws);
+        enc.state(&self.inner);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        self.draws = dec.u64()?;
+        dec.load_state(&mut self.inner)
+    }
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Unique scratch checkpoint directory (std-only, no tempdir crate).
+fn scratch(label: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("qmc-ckpt-it-{}-{label}-{n}", std::process::id()))
+}
+
+/// Crash-at-every-boundary matrix: `run(ck, kill_at, rng)` executes one
+/// engine workload (`total` sweeps, fresh identically-seeded RNG each
+/// call) and returns its observable fingerprint. For every sweep index k
+/// the run is killed at k and resumed; fingerprint and draw count must
+/// equal the uninterrupted reference.
+fn crash_matrix<T, F>(label: &str, total: usize, every: usize, run: F)
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(Option<&CkptCfg<'_>>, Option<usize>) -> Option<(T, u64)>,
+{
+    let reference = run(None, None).expect("reference run completes");
+    for k in 1..total {
+        let dir = scratch(label);
+        let store = CkptStore::new(&dir, 2).expect("scratch store");
+        let ck = CkptCfg {
+            store: &store,
+            every,
+            resume: false,
+        };
+        assert!(
+            run(Some(&ck), Some(k)).is_none(),
+            "{label}: kill at sweep {k} must abort the run"
+        );
+        let ck = CkptCfg {
+            store: &store,
+            every,
+            resume: true,
+        };
+        let resumed = run(Some(&ck), None)
+            .unwrap_or_else(|| panic!("{label}: resume after kill at {k} did not complete"));
+        assert_eq!(
+            reference, resumed,
+            "{label}: resume after kill at sweep {k} diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn serial_tfim_resumes_bit_identical_at_every_boundary() {
+    let (therm, sweeps, every) = (6, 12, 5);
+    crash_matrix("tfim", therm + sweeps, every, |ck, kill| {
+        let model = TfimModel {
+            lx: 8,
+            ly: 8,
+            j: 1.0,
+            h: 2.0,
+            beta: 1.0,
+            m: 4,
+        };
+        let mut rng = CountingRng::new(Xoshiro256StarStar::new(7));
+        let (eng, series) = run_serial_tfim_ckpt(model, &mut rng, therm, sweeps, 1, ck, kill)?;
+        let mut b = bits(&series.energy);
+        b.extend(bits(&series.abs_m));
+        b.extend(bits(&series.sigma_x));
+        Some(((b, eng.accepted(), eng.proposed()), rng.draws))
+    });
+}
+
+#[test]
+fn worldline_resumes_bit_identical_at_every_boundary() {
+    let (therm, sweeps, every) = (6, 12, 5);
+    crash_matrix("worldline", therm + sweeps, every, |ck, kill| {
+        let params = WorldlineParams {
+            l: 8,
+            jx: 1.0,
+            jz: 1.0,
+            beta: 1.0,
+            m: 8,
+        };
+        let mut rng = CountingRng::new(Xoshiro256StarStar::new(11));
+        let (eng, series) = run_worldline_ckpt(params, &mut rng, therm, sweeps, ck, kill)?;
+        let mut b = bits(&series.energy);
+        b.extend(bits(&series.magnetization));
+        b.extend(bits(&series.correlations()));
+        Some(((b, eng.local_accepted, eng.straight_accepted), rng.draws))
+    });
+}
+
+#[test]
+fn generic_worldline_resumes_bit_identical_at_every_boundary() {
+    let (therm, sweeps, every) = (6, 12, 5);
+    crash_matrix("generic", therm + sweeps, every, |ck, kill| {
+        let params = GenericParams {
+            jx: 1.0,
+            jz: 1.0,
+            beta: 1.0,
+            m: 8,
+        };
+        let mut rng = CountingRng::new(Xoshiro256StarStar::new(13));
+        let (_eng, series) = run_generic_worldline_ckpt(
+            Square::new(4, 4),
+            params,
+            &mut rng,
+            therm,
+            sweeps,
+            ck,
+            kill,
+        )?;
+        let mut b = bits(&series.energy);
+        b.extend(bits(&series.magnetization));
+        Some((b, rng.draws))
+    });
+}
+
+#[test]
+fn sse_resumes_bit_identical_at_every_boundary() {
+    let (therm, sweeps, every) = (8, 12, 5);
+    crash_matrix("sse", therm + sweeps, every, |ck, kill| {
+        let lat = Chain::new(8);
+        let mut rng = CountingRng::new(Xoshiro256StarStar::new(17));
+        let (eng, series) = run_sse_ckpt(&lat, 1.0, 2.0, &mut rng, therm, sweeps, ck, kill)?;
+        let mut b = bits(&series.n_ops);
+        b.extend(bits(&series.magnetization));
+        Some(((b, eng.cutoff()), rng.draws))
+    });
+}
+
+/// The checkpointed drivers must be draw-for-draw identical to the plain
+/// `run()` methods when checkpointing is off.
+#[test]
+fn ckpt_drivers_match_plain_runs() {
+    // Serial TFIM.
+    let model = TfimModel {
+        lx: 8,
+        ly: 8,
+        j: 1.0,
+        h: 2.0,
+        beta: 1.0,
+        m: 4,
+    };
+    let mut rng = Xoshiro256StarStar::new(7);
+    let plain = SerialTfim::new(model).run(&mut rng, 10, 30, 1);
+    let mut rng = Xoshiro256StarStar::new(7);
+    let (_, drv) = run_serial_tfim_ckpt(model, &mut rng, 10, 30, 1, None, None).unwrap();
+    assert_eq!(bits(&plain.energy), bits(&drv.energy));
+    assert_eq!(bits(&plain.sigma_x), bits(&drv.sigma_x));
+
+    // World-line chain.
+    let params = WorldlineParams {
+        l: 8,
+        jx: 1.0,
+        jz: 1.0,
+        beta: 1.0,
+        m: 8,
+    };
+    let mut rng = Xoshiro256StarStar::new(11);
+    let plain = Worldline::new(params).run(&mut rng, 10, 30);
+    let mut rng = Xoshiro256StarStar::new(11);
+    let (_, drv) = run_worldline_ckpt(params, &mut rng, 10, 30, None, None).unwrap();
+    assert_eq!(bits(&plain.energy), bits(&drv.energy));
+    assert_eq!(bits(&plain.correlations()), bits(&drv.correlations()));
+
+    // Generic world-line.
+    let params = GenericParams {
+        jx: 1.0,
+        jz: 1.0,
+        beta: 1.0,
+        m: 8,
+    };
+    let mut rng = Xoshiro256StarStar::new(13);
+    let plain = GenericWorldline::new(Square::new(4, 4), params).run(&mut rng, 10, 30);
+    let mut rng = Xoshiro256StarStar::new(13);
+    let (_, drv) =
+        run_generic_worldline_ckpt(Square::new(4, 4), params, &mut rng, 10, 30, None, None)
+            .unwrap();
+    assert_eq!(bits(&plain.energy), bits(&drv.energy));
+
+    // SSE.
+    let lat = Chain::new(8);
+    let mut rng = Xoshiro256StarStar::new(17);
+    let plain = Sse::new(&lat, 1.0, 2.0, &mut rng).run(&mut rng, 20, 40);
+    let mut rng = Xoshiro256StarStar::new(17);
+    let (_, drv) = run_sse_ckpt(&lat, 1.0, 2.0, &mut rng, 20, 40, None, None).unwrap();
+    assert_eq!(bits(&plain.n_ops), bits(&drv.n_ops));
+    assert_eq!(bits(&plain.magnetization), bits(&drv.magnetization));
+}
+
+fn pt_cfg() -> PtConfig {
+    PtConfig {
+        l: 8,
+        jx: 1.0,
+        jz: 1.0,
+        m: 8,
+        betas: vec![0.5, 0.8, 1.2, 1.8],
+        therm: 10,
+        sweeps: 26,
+        exchange_every: 2,
+        seed: 99,
+    }
+}
+
+/// `run_pt_parallel_ckpt` with checkpointing off must be bit-identical
+/// to `run_pt_parallel` on every rank.
+#[test]
+fn pt_ckpt_driver_matches_run_pt_parallel() {
+    let cfg = pt_cfg();
+    let cfg2 = cfg.clone();
+    let plain = run_threads(4, move |comm| {
+        let mut rng = StreamFactory::new(17).stream(comm.rank());
+        run_pt_parallel(comm, &cfg2, &mut rng)
+    });
+    let cfg2 = cfg.clone();
+    let drv = run_threads(4, move |comm| {
+        let mut rng = StreamFactory::new(17).stream(comm.rank());
+        run_pt_parallel_ckpt(comm, &cfg2, &mut rng, None, |_, _| {})
+    });
+    for (p, d) in plain.iter().zip(&drv) {
+        assert_eq!(bits(&p.0), bits(&d.0), "energy series diverged");
+        assert_eq!(bits(&p.1), bits(&d.1), "acceptance rates diverged");
+    }
+}
+
+/// Kill rank 2 of a 4-rank ThreadWorld PT run through the fault layer
+/// (peers engage recv retry/backoff, give up, and the world goes down),
+/// then recover from the coordinated checkpoint and finish bit-identical
+/// to a run that never crashed.
+#[test]
+fn pt_recovers_bit_identical_after_injected_rank_kill() {
+    let cfg = pt_cfg();
+    let every = 4;
+    let kill_sweep = 2 * (cfg.therm + cfg.sweeps) / 3;
+    let dir = scratch("pt-kill");
+
+    let cfg2 = cfg.clone();
+    let reference = run_threads(4, move |comm| {
+        let mut rng = StreamFactory::new(17).stream(comm.rank());
+        run_pt_parallel_ckpt(comm, &cfg2, &mut rng, None, |_, _| {})
+    });
+
+    // Crash run: the scheduled kill panics rank 2; its partners exhaust
+    // their bounded retries and the join propagates the panic. The hook
+    // is silenced so the expected crash does not spam the test log.
+    let cfg2 = cfg.clone();
+    let dir2 = dir.clone();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        run_threads_with_timeout(4, Duration::from_secs(5), move |comm| {
+            let plan = FaultPlan::new(41)
+                .kill(2, kill_sweep)
+                .retry(3, Duration::from_millis(10));
+            let mut rng = StreamFactory::new(17).stream(comm.rank());
+            let store = CkptStore::new(&dir2, 3).expect("store");
+            let ck = PtCheckpointing {
+                store: &store,
+                every,
+                resume: false,
+            };
+            let mut faulty = FaultyComm::new(comm, plan);
+            run_pt_parallel_ckpt(&mut faulty, &cfg2, &mut rng, Some(&ck), |c, s| {
+                c.tick_sweep(s)
+            })
+        })
+    }));
+    std::panic::set_hook(hook);
+    assert!(
+        crashed.is_err(),
+        "the injected rank kill must crash the run"
+    );
+
+    // A coordinated generation at or before the kill survived on disk.
+    let store = CkptStore::new(&dir, 3).expect("store");
+    let newest = *store.generations().last().expect("a generation survived");
+    assert!(newest as usize <= kill_sweep);
+
+    // Recovery: fresh world, faults absorbable-only, resume and finish.
+    let cfg2 = cfg.clone();
+    let dir2 = dir.clone();
+    let recovered = run_threads(4, move |comm| {
+        let plan = FaultPlan::new(43)
+            .drops(20)
+            .delays(30)
+            .retry(8, Duration::from_millis(25));
+        let mut rng = StreamFactory::new(17).stream(comm.rank());
+        let store = CkptStore::new(&dir2, 3).expect("store");
+        let ck = PtCheckpointing {
+            store: &store,
+            every,
+            resume: true,
+        };
+        let mut faulty = FaultyComm::new(comm, plan);
+        run_pt_parallel_ckpt(&mut faulty, &cfg2, &mut rng, Some(&ck), |c, s| {
+            c.tick_sweep(s)
+        })
+    });
+
+    for (r, rec) in reference.iter().zip(&recovered) {
+        assert_eq!(bits(&r.0), bits(&rec.0), "recovered energy series diverged");
+        assert_eq!(bits(&r.1), bits(&rec.1), "recovered rates diverged");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The serial PT ladder checkpoints as one unit (replicas + pair stats +
+/// walker bookkeeping): a restored ladder continues exactly like the
+/// original.
+#[test]
+fn pt_ladder_round_trips_and_continues_identically() {
+    let betas = vec![0.5, 0.8, 1.2, 1.8];
+    let mut a = PtLadder::new(8, 1.0, 1.0, 8, betas.clone());
+    let mut rng = Xoshiro256StarStar::new(23);
+    for step in 0..20 {
+        a.sweep(&mut rng);
+        a.exchange(&mut rng, step % 2);
+    }
+    let snapshot = save_state(&a);
+
+    let mut b = PtLadder::new(8, 1.0, 1.0, 8, betas);
+    load_state(&snapshot, &mut b).expect("ladder restores");
+
+    let mut rng_a = Xoshiro256StarStar::new(31);
+    let mut rng_b = Xoshiro256StarStar::new(31);
+    for step in 0..20 {
+        a.sweep(&mut rng_a);
+        a.exchange(&mut rng_a, step % 2);
+        b.sweep(&mut rng_b);
+        b.exchange(&mut rng_b, step % 2);
+    }
+    assert_eq!(save_state(&a), save_state(&b), "continuations diverged");
+    assert_eq!(a.stats().attempted, b.stats().attempted);
+    assert_eq!(a.stats().accepted, b.stats().accepted);
+}
