@@ -22,6 +22,8 @@
 //! rank records its own track and the records are gathered over the
 //! communicator; serial commands record the driver thread.
 
+// CLI entry point: exiting with a status code is this file's job.
+#![allow(clippy::disallowed_methods)]
 use qmc_comm::{job_seconds, run_model, run_threads, Communicator, MachineModel, SerialComm};
 use qmc_lattice::{Chain, Square};
 use qmc_rng::{Buffered, StreamFactory, Xoshiro256StarStar};

@@ -14,6 +14,12 @@
 //! `all` so physics regeneration never overwrites the benchmark
 //! artifact).
 //!
+//! `repro verify` records a 4-rank parallel-tempering run through the
+//! `qmc-verify` tracing layer, proves the captured comm traffic
+//! deadlock-free, shows the checker flagging a crossed-recv
+//! counterexample, and runs `qmc-lint` over the workspace. Exits
+//! non-zero on any violation (the `scripts/check.sh verify` stage).
+//!
 //! `repro faults` runs the fault-tolerance demo: a 4-rank thread-backed
 //! parallel-tempering run behind `FaultyComm` (seeded drops, duplicates,
 //! delays, transient send failures), then a scheduled rank kill and a
@@ -27,6 +33,8 @@
 //! with experiments named they record the driver thread's spans and
 //! counters across the run and export the same artifacts.
 
+// CLI entry point: exiting with a status code is this file's job.
+#![allow(clippy::disallowed_methods)]
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // Pull out the two value-taking checkpoint flags first; everything
@@ -68,7 +76,7 @@ fn main() {
             return;
         }
         eprintln!(
-            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults> \
+            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults|verify> \
              [--quick] [--metrics] [--trace] \
              [--checkpoint-every N] [--checkpoint-dir D] [--resume]"
         );
@@ -100,6 +108,15 @@ fn main() {
                 "{}",
                 qmc_bench::faults::faults_demo(quick, ck_every, &ck_dir, resume)
             );
+            continue;
+        }
+        if *name == "verify" {
+            println!("=== verify ===");
+            let (report, ok) = qmc_bench::verify::verify_demo();
+            print!("{report}");
+            if !ok {
+                std::process::exit(1);
+            }
             continue;
         }
         match registry.iter().find(|(id, _)| id == *name) {

@@ -41,6 +41,7 @@ fn time_kernel<F: FnMut()>(name: &'static str, ops: u64, mut f: F) -> Kernel {
     f(); // warmup (fills caches, faults pages, grows SSE cutoff, …)
     let mut best = f64::INFINITY;
     for _ in 0..3 {
+        // lint: allow(wall-clock) — benchmark timing is the point
         let t0 = Instant::now();
         f();
         best = best.min(t0.elapsed().as_secs_f64());
@@ -156,10 +157,12 @@ pub fn bench_kernels(quick: bool) -> String {
         let mut writes = 0.0;
         let mut best = f64::INFINITY;
         for round in 0..4 {
+            // lint: allow(wall-clock) — benchmark timing is the point
             let t_run = Instant::now();
             let mut w = 0.0;
             for s in 0..sweeps {
                 if s % 100 == 0 {
+                    // lint: allow(wall-clock) — benchmark timing is the point
                     let t_w = Instant::now();
                     let mut file = qmc_ckpt::CkptFile::new();
                     let mut meta = qmc_ckpt::Encoder::new();

@@ -15,6 +15,7 @@ pub mod kernels;
 pub mod obs;
 pub mod scaling;
 pub mod validation;
+pub mod verify;
 
 /// Everything, in order — `repro all`.
 pub fn run_all(quick: bool) -> String {

@@ -74,7 +74,7 @@ pub fn restore_coordinated<C: Communicator>(
     if msg.first() != Some(&1) {
         return None;
     }
-    let generation = u64::from_le_bytes(msg[1..9].try_into().unwrap());
+    let generation = u64::from_le_bytes(msg[1..9].try_into().expect("8-byte generation field"));
     let outer = match CkptFile::from_bytes(&msg[9..]) {
         Ok(f) => f,
         Err(e) => {

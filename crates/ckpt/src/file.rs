@@ -111,7 +111,11 @@ impl CkptFile {
         if &bytes[body_end..body_end + TRAILER.len()] != TRAILER {
             return Err(CkptError::Truncated { what: "trailer" });
         }
-        let stored_crc = u32::from_le_bytes(bytes[body_end + TRAILER.len()..].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(
+            bytes[body_end + TRAILER.len()..]
+                .try_into()
+                .expect("length check above leaves exactly 4 CRC bytes"),
+        );
         if crc32(&bytes[..body_end]) != stored_crc {
             return Err(CkptError::BadCrc {
                 section: "<file>".to_string(),

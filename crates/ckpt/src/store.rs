@@ -26,10 +26,39 @@ impl CkptStore {
     pub fn new(dir: impl Into<PathBuf>, retain: usize) -> std::io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self {
+        let store = Self {
             dir,
             retain: retain.max(1),
-        })
+        };
+        // A crash between `fs::write(tmp)` and `rename` leaves an orphan
+        // temp file behind; opening the store is the natural point to
+        // sweep them (nothing else can be writing yet).
+        store.gc_temp_files();
+        Ok(store)
+    }
+
+    /// Remove orphaned `.ckpt-*.qckpt.tmp` files left by a writer that
+    /// crashed between the temp write and the atomic rename.
+    ///
+    /// Best-effort (unlink errors are ignored) and safe by construction:
+    /// temp files are only ever live *during* a `write` call, and a
+    /// store is single-writer, so anything matching the pattern when we
+    /// look is garbage. Returns how many files were removed.
+    pub fn gc_temp_files(&self) -> usize {
+        let mut removed = 0;
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.starts_with(".ckpt-")
+                    && name.ends_with(&format!(".{EXT}.tmp"))
+                    && fs::remove_file(entry.path()).is_ok()
+                {
+                    removed += 1;
+                }
+            }
+        }
+        removed
     }
 
     /// Directory this store writes into.
@@ -174,6 +203,45 @@ mod tests {
         fs::write(&p2, &bytes).unwrap();
         let (g, _) = store.latest().unwrap();
         assert_eq!(g, 1);
+    }
+
+    #[test]
+    fn crash_between_tmp_write_and_rename_is_garbage_collected() {
+        let dir = scratch("gc");
+        // Simulate the crash: a finished generation, then a temp file
+        // whose writer died before the rename.
+        {
+            let store = CkptStore::new(&dir, 3).unwrap();
+            store.write(1, &file_with(1)).unwrap();
+            fs::write(
+                dir.join(format!(".ckpt-{:010}.{EXT}.tmp", 2)),
+                b"half-written",
+            )
+            .unwrap();
+        }
+        let orphan = dir.join(format!(".ckpt-{:010}.{EXT}.tmp", 2));
+        assert!(orphan.exists(), "crash simulation precondition");
+
+        // Re-opening the store sweeps the orphan and leaves real
+        // checkpoints alone.
+        let store = CkptStore::new(&dir, 3).unwrap();
+        assert!(!orphan.exists(), "orphan temp file must be removed");
+        assert_eq!(store.generations(), vec![1]);
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 1);
+        assert_eq!(f.get("data"), Some(&[1u8; 16][..]));
+    }
+
+    #[test]
+    fn gc_reports_count_and_ignores_unrelated_files() {
+        let dir = scratch("gc-count");
+        let store = CkptStore::new(&dir, 3).unwrap();
+        fs::write(dir.join(".ckpt-0000000001.qckpt.tmp"), b"x").unwrap();
+        fs::write(dir.join(".ckpt-0000000002.qckpt.tmp"), b"y").unwrap();
+        fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+        assert_eq!(store.gc_temp_files(), 2);
+        assert!(dir.join("notes.txt").exists());
+        assert_eq!(store.gc_temp_files(), 0, "second sweep finds nothing");
     }
 
     #[test]

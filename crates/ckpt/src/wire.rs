@@ -219,17 +219,29 @@ impl<'a> Decoder<'a> {
 
     /// Read a `u32`.
     pub fn u32(&mut self) -> Result<u32, CkptError> {
-        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4, "u32")?
+                .try_into()
+                .expect("take returned 4 bytes"),
+        ))
     }
 
     /// Read a `u64`.
     pub fn u64(&mut self) -> Result<u64, CkptError> {
-        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8, "u64")?
+                .try_into()
+                .expect("take returned 8 bytes"),
+        ))
     }
 
     /// Read an `i64`.
     pub fn i64(&mut self) -> Result<i64, CkptError> {
-        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(
+            self.take(8, "i64")?
+                .try_into()
+                .expect("take returned 8 bytes"),
+        ))
     }
 
     /// Read an `f64` bit pattern.

@@ -294,7 +294,8 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
                          sequence header",
                         self.inner.rank()
                     );
-                    let seq = u64::from_le_bytes(env[..8].try_into().unwrap());
+                    let seq =
+                        u64::from_le_bytes(env[..8].try_into().expect("length asserted above"));
                     if seq < expected {
                         // Stale duplicate of an envelope already
                         // consumed; discard and keep waiting.

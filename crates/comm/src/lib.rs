@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod deadlock;
 mod mailbox;
 mod serial;
 mod thread_world;

@@ -1,5 +1,15 @@
 //! Shared in-memory mailboxes: the "wires" of the simulated machine.
+//!
+//! Each mailbox also carries its owning rank's *wait state* under the
+//! same mutex as the queues. That single-lock coupling is what makes the
+//! runtime deadlock detector ([`crate::deadlock`]) sound: a sender that
+//! deposits a matching message atomically flips the waiting owner back
+//! to [`RankState::Running`], so any observer that reads a stable
+//! `Waiting { epoch }` twice has proved the owner was continuously
+//! blocked on an empty queue in between — there is no window where a
+//! rank holds its message but still looks blocked.
 
+use crate::deadlock::RankState;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -12,14 +22,33 @@ pub(crate) struct Msg {
     pub depart: f64,
 }
 
-/// One rank's incoming mailbox, keyed by `(source, tag)`.
+struct Inner {
+    queues: HashMap<(usize, u32), VecDeque<Msg>>,
+    state: RankState,
+    epoch: u64,
+}
+
+/// One rank's incoming mailbox, keyed by `(source, tag)`, plus the
+/// owning rank's wait state.
 ///
 /// FIFO per key (message order between a fixed pair with a fixed tag is
 /// preserved — the property the deterministic matching argument rests on).
-#[derive(Default)]
 pub(crate) struct Mailbox {
-    queues: Mutex<HashMap<(usize, u32), VecDeque<Msg>>>,
+    inner: Mutex<Inner>,
     cond: Condvar,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                queues: HashMap::new(),
+                state: RankState::Running,
+                epoch: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
 }
 
 impl Mailbox {
@@ -27,11 +56,27 @@ impl Mailbox {
         Self::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Deposit a message from `src` with `tag`.
+    ///
+    /// If the owner is registered as waiting on exactly `(src, tag)` it
+    /// is flipped back to `Running` under the same lock (see module
+    /// docs for why the detector depends on this).
     pub fn put(&self, src: usize, tag: u32, msg: Msg) {
-        let mut q = self.queues.lock().unwrap_or_else(|e| e.into_inner());
-        q.entry((src, tag)).or_default().push_back(msg);
-        drop(q);
+        let mut inner = self.lock();
+        inner.queues.entry((src, tag)).or_default().push_back(msg);
+        if let RankState::Waiting {
+            src: ws, tag: wt, ..
+        } = inner.state
+        {
+            if (ws, wt) == (src, tag) {
+                inner.state = RankState::Running;
+            }
+        }
+        drop(inner);
         self.cond.notify_all();
     }
 
@@ -39,29 +84,17 @@ impl Mailbox {
     ///
     /// Panics after `timeout` — in a correct SPMD program a matching send
     /// always exists, so a timeout means deadlock (or a tag mismatch) and
-    /// aborting with context beats hanging forever.
+    /// aborting with context beats hanging forever. The virtual-clock
+    /// back-end uses this directly; `ThreadComm` instead goes through
+    /// [`Mailbox::register_waiting`] + [`Mailbox::take_slice`] so the
+    /// deadlock detector can watch the wait.
     pub fn take(&self, me: usize, src: usize, tag: u32, timeout: Duration) -> Msg {
-        let deadline = Instant::now() + timeout;
-        let mut q = self.queues.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(queue) = q.get_mut(&(src, tag)) {
-                if let Some(msg) = queue.pop_front() {
-                    return msg;
-                }
-            }
-            let now = Instant::now();
-            let remaining = deadline.saturating_duration_since(now);
-            if remaining.is_zero() {
-                panic!(
-                    "rank {me}: recv(src={src}, tag={tag:#x}) timed out after {timeout:?} — \
-                     deadlock or mismatched send/recv"
-                );
-            }
-            let (guard, _res) = self
-                .cond
-                .wait_timeout(q, remaining)
-                .unwrap_or_else(|e| e.into_inner());
-            q = guard;
+        match self.try_take(src, tag, timeout) {
+            Some(msg) => msg,
+            None => panic!(
+                "rank {me}: recv(src={src}, tag={tag:#x}) timed out after {timeout:?} — \
+                 deadlock or mismatched send/recv"
+            ),
         }
     }
 
@@ -69,24 +102,90 @@ impl Mailbox {
     /// panicking — the primitive behind `recv_bytes_timeout`, where the
     /// caller (fault-tolerant retry loops) owns the give-up policy.
     pub fn try_take(&self, src: usize, tag: u32, timeout: Duration) -> Option<Msg> {
+        // lint: allow(wall-clock) — receive timeouts need host time
         let deadline = Instant::now() + timeout;
-        let mut q = self.queues.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.lock();
         loop {
-            if let Some(queue) = q.get_mut(&(src, tag)) {
+            if let Some(queue) = inner.queues.get_mut(&(src, tag)) {
                 if let Some(msg) = queue.pop_front() {
                     return Some(msg);
                 }
             }
+            // lint: allow(wall-clock)
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return None;
             }
             let (guard, _res) = self
                 .cond
-                .wait_timeout(q, remaining)
+                .wait_timeout(inner, remaining)
                 .unwrap_or_else(|e| e.into_inner());
-            q = guard;
+            inner = guard;
         }
+    }
+
+    /// Atomically: if a message for `(src, tag)` is queued, take it
+    /// (staying `Running`); otherwise register the owner as waiting on
+    /// `(src, tag)` with a fresh epoch and return `None`.
+    ///
+    /// The queue check and the registration share one critical section,
+    /// so `Waiting` is only ever observable while the matching queue is
+    /// empty.
+    pub fn register_waiting(&self, src: usize, tag: u32) -> Option<Msg> {
+        let mut inner = self.lock();
+        if let Some(queue) = inner.queues.get_mut(&(src, tag)) {
+            if let Some(msg) = queue.pop_front() {
+                return Some(msg);
+            }
+        }
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        inner.state = RankState::Waiting { src, tag, epoch };
+        None
+    }
+
+    /// One bounded wait slice for a registered waiter: take the message
+    /// if it arrived (and ensure the state is back to `Running`), else
+    /// return `None` after at most `slice`, leaving the registration in
+    /// place so the detector keeps seeing the same epoch.
+    pub fn take_slice(&self, src: usize, tag: u32, slice: Duration) -> Option<Msg> {
+        // lint: allow(wall-clock) — receive timeouts need host time
+        let deadline = Instant::now() + slice;
+        let mut inner = self.lock();
+        loop {
+            if let Some(queue) = inner.queues.get_mut(&(src, tag)) {
+                if let Some(msg) = queue.pop_front() {
+                    inner.state = RankState::Running;
+                    return Some(msg);
+                }
+            }
+            // lint: allow(wall-clock)
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _res) = self
+                .cond
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Clear a registration without consuming a message (the waiter is
+    /// giving up, e.g. to panic with context).
+    pub fn set_running(&self) {
+        self.lock().state = RankState::Running;
+    }
+
+    /// Mark the owning rank finished (`panicked` says how).
+    pub fn set_done(&self, panicked: bool) {
+        self.lock().state = RankState::Done { panicked };
+    }
+
+    /// Snapshot the owner's wait state (for the deadlock detector).
+    pub fn wait_state(&self) -> RankState {
+        self.lock().state
     }
 }
 
@@ -199,5 +298,68 @@ mod tests {
         );
         let m = mb.try_take(0, 0, Duration::from_millis(5)).unwrap();
         assert_eq!(m.bytes, vec![9]);
+    }
+
+    #[test]
+    fn register_takes_queued_message_without_waiting_state() {
+        let mb = Mailbox::new();
+        mb.put(
+            1,
+            4,
+            Msg {
+                bytes: vec![7],
+                depart: 0.0,
+            },
+        );
+        let m = mb.register_waiting(1, 4).expect("message was queued");
+        assert_eq!(m.bytes, vec![7]);
+        assert_eq!(mb.wait_state(), RankState::Running);
+    }
+
+    #[test]
+    fn matching_put_flips_registered_waiter_to_running() {
+        let mb = Mailbox::new();
+        assert!(mb.register_waiting(1, 4).is_none());
+        let before = mb.wait_state();
+        assert!(matches!(before, RankState::Waiting { src: 1, tag: 4, .. }));
+
+        // A non-matching deposit leaves the registration in place…
+        mb.put(
+            2,
+            4,
+            Msg {
+                bytes: vec![0],
+                depart: 0.0,
+            },
+        );
+        assert_eq!(mb.wait_state(), before);
+
+        // …a matching one atomically flips it.
+        mb.put(
+            1,
+            4,
+            Msg {
+                bytes: vec![1],
+                depart: 0.0,
+            },
+        );
+        assert_eq!(mb.wait_state(), RankState::Running);
+        let m = mb.take_slice(1, 4, Duration::from_millis(50)).unwrap();
+        assert_eq!(m.bytes, vec![1]);
+    }
+
+    #[test]
+    fn reregistration_bumps_epoch() {
+        let mb = Mailbox::new();
+        assert!(mb.register_waiting(0, 0).is_none());
+        let RankState::Waiting { epoch: e1, .. } = mb.wait_state() else {
+            panic!("expected waiting");
+        };
+        mb.set_running();
+        assert!(mb.register_waiting(0, 0).is_none());
+        let RankState::Waiting { epoch: e2, .. } = mb.wait_state() else {
+            panic!("expected waiting");
+        };
+        assert!(e2 > e1, "epoch must advance across re-registration");
     }
 }

@@ -18,6 +18,7 @@ impl SerialComm {
     pub fn new() -> Self {
         Self {
             queues: HashMap::new(),
+            // lint: allow(wall-clock) — the serial clock baseline
             start: Instant::now(),
             stats: CommStats::default(),
             coll_seq: 0,

@@ -1,18 +1,31 @@
 //! Thread-backed ranks: real parallelism on the host machine.
 
+use crate::deadlock::{diagnose, Poison};
 use crate::mailbox::{Mailbox, Msg};
 use crate::{CommStats, Communicator, COLLECTIVE_TAG_BASE};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant}; // lint: allow(wall-clock) — receive timeouts need host time
+
+/// How long a blocked receive sleeps between deadlock-detector passes.
+/// Detection latency is a couple of slices — well under the 1 s budget —
+/// while the wake-ups cost a blocked rank ~40 lock acquisitions/second.
+const WAIT_SLICE: Duration = Duration::from_millis(25);
 
 /// A communicator whose ranks are OS threads on the host.
 ///
 /// Obtained inside [`run_threads`]; all correctness tests and the
 /// real-speedup benchmarks use this back-end.
+///
+/// Blocked receives are watched by a runtime deadlock detector: a cycle
+/// of mutually waiting ranks is reported as a panic naming the exact
+/// wait-for cycle (e.g. `rank 0 waits on rank 1 (tag 0x7) -> rank 1
+/// waits on rank 0 (tag 0x7)`) within a few wait slices, instead of
+/// hanging the suite until the receive timeout.
 pub struct ThreadComm {
     rank: usize,
     size: usize,
     boxes: Arc<Vec<Mailbox>>,
+    poison: Arc<Poison>,
     start: Instant,
     stats: CommStats,
     coll_seq: u32,
@@ -20,12 +33,19 @@ pub struct ThreadComm {
 }
 
 impl ThreadComm {
-    fn new(rank: usize, size: usize, boxes: Arc<Vec<Mailbox>>, timeout: Duration) -> Self {
+    fn new(
+        rank: usize,
+        size: usize,
+        boxes: Arc<Vec<Mailbox>>,
+        poison: Arc<Poison>,
+        timeout: Duration,
+    ) -> Self {
         Self {
             rank,
             size,
             boxes,
-            start: Instant::now(),
+            poison,
+            start: Instant::now(), // lint: allow(wall-clock)
             stats: CommStats::default(),
             coll_seq: 0,
             timeout,
@@ -45,6 +65,53 @@ impl ThreadComm {
         );
     }
 
+    /// Blocking receive with deadlock detection.
+    ///
+    /// Fast path: the message is already queued and `register_waiting`
+    /// hands it over without ever publishing a `Waiting` state — zero
+    /// extra cost for the common case the benchmarks measure. Slow path:
+    /// the rank is registered as waiting and sleeps in bounded slices;
+    /// each wake re-checks the queue, then the world poison, then walks
+    /// the wait-for graph twice (epoch-stable equality is the proof —
+    /// see `deadlock.rs`), then the overall receive timeout.
+    fn recv_checked(&mut self, src: usize, tag: u32) -> Msg {
+        let me = self.rank;
+        if let Some(msg) = self.boxes[me].register_waiting(src, tag) {
+            return msg;
+        }
+        // lint: allow(wall-clock) — receive timeouts need host time
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if let Some(msg) = self.boxes[me].take_slice(src, tag, WAIT_SLICE) {
+                return msg;
+            }
+            if let Some(msg) = self.poison.get() {
+                self.boxes[me].set_running();
+                panic!("{msg}");
+            }
+            if let Some(first) = diagnose(&self.boxes, me) {
+                // Not yet proof: the walk is not atomic. A second walk
+                // returning the *identical* diagnosis (same epochs) is —
+                // every rank on it was continuously blocked in between.
+                if diagnose(&self.boxes, me).as_ref() == Some(&first) {
+                    let msg = first.render();
+                    self.poison.set(&msg);
+                    self.boxes[me].set_running();
+                    panic!("{msg}");
+                }
+            }
+            // lint: allow(wall-clock)
+            if Instant::now() >= deadline {
+                self.boxes[me].set_running();
+                panic!(
+                    "rank {me}: recv(src={src}, tag={tag:#x}) timed out after {:?} — \
+                     deadlock or mismatched send/recv",
+                    self.timeout
+                );
+            }
+        }
+    }
+
     fn raw_recv(&mut self, src: usize, tag: u32) -> Vec<u8> {
         assert!(
             src < self.size,
@@ -52,9 +119,9 @@ impl ThreadComm {
             me = self.rank,
             size = self.size
         );
-        let t0 = Instant::now();
-        let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
-        // The whole mailbox take is time blocked waiting on the sender.
+        let t0 = Instant::now(); // lint: allow(wall-clock)
+        let msg = self.recv_checked(src, tag);
+        // The whole blocked receive is time spent waiting on the sender.
         let wait = t0.elapsed().as_secs_f64();
         self.stats.comm_seconds += wait;
         self.stats.recv_wait_seconds += wait;
@@ -69,8 +136,8 @@ impl ThreadComm {
             me = self.rank,
             size = self.size
         );
-        let t0 = Instant::now();
-        let msg = self.boxes[self.rank].take(self.rank, src, tag, self.timeout);
+        let t0 = Instant::now(); // lint: allow(wall-clock)
+        let msg = self.recv_checked(src, tag);
         let wait = t0.elapsed().as_secs_f64();
         self.stats.comm_seconds += wait;
         self.stats.recv_wait_seconds += wait;
@@ -104,7 +171,7 @@ impl Communicator for ThreadComm {
 
     fn recv_bytes_timeout(&mut self, src: usize, tag: u32, timeout: Duration) -> Option<Vec<u8>> {
         crate::check_recv_args(self.rank, self.size, src, tag);
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint: allow(wall-clock)
         let msg = self.boxes[self.rank].try_take(src, tag, timeout);
         let wait = t0.elapsed().as_secs_f64();
         self.stats.comm_seconds += wait;
@@ -147,12 +214,26 @@ impl Communicator for ThreadComm {
     }
 }
 
+/// Marks the rank `Done` in its mailbox when the rank closure exits —
+/// by return or by unwind — so peers blocked on it get a "dead peer"
+/// diagnosis instead of waiting out the receive timeout.
+struct DoneGuard {
+    boxes: Arc<Vec<Mailbox>>,
+    rank: usize,
+}
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        self.boxes[self.rank].set_done(std::thread::panicking());
+    }
+}
+
 /// Run an SPMD function on `nranks` thread-backed ranks and collect each
 /// rank's return value (indexed by rank).
 ///
-/// Panics in any rank propagate (the scope joins all threads first), so a
-/// deadlock timeout or an assertion inside one rank fails the whole run —
-/// the behaviour tests want.
+/// Panics in any rank propagate with their original payload (the scope
+/// joins all threads first), so a deadlock diagnosis or an assertion
+/// inside one rank fails the whole run — the behaviour tests want.
 pub fn run_threads<T, F>(nranks: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -161,8 +242,9 @@ where
     run_threads_with_timeout(nranks, Duration::from_secs(60), f)
 }
 
-/// [`run_threads`] with an explicit receive-timeout (used by the deadlock
-/// tests to fail fast).
+/// [`run_threads`] with an explicit receive-timeout (the backstop for
+/// blocked receives the deadlock detector cannot prove stuck, e.g. a
+/// peer spinning forever without sending).
 pub fn run_threads_with_timeout<T, F>(nranks: usize, timeout: Duration, f: F) -> Vec<T>
 where
     T: Send,
@@ -170,20 +252,39 @@ where
 {
     assert!(nranks >= 1, "need at least one rank");
     let boxes: Arc<Vec<Mailbox>> = Arc::new((0..nranks).map(|_| Mailbox::new()).collect());
+    let poison = Arc::new(Poison::new());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
         for rank in 0..nranks {
             let boxes = boxes.clone();
+            let poison = poison.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
-                let mut comm = ThreadComm::new(rank, nranks, boxes, timeout);
+                let _done = DoneGuard {
+                    boxes: boxes.clone(),
+                    rank,
+                };
+                let mut comm = ThreadComm::new(rank, nranks, boxes, poison, timeout);
                 f(&mut comm)
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
-            .collect()
+        // Join everyone, then re-raise the first panic with its original
+        // payload so callers (and #[should_panic] tests) see the rank's
+        // own message, not a generic join error.
+        let mut results = Vec::with_capacity(nranks);
+        let mut first_panic = None;
+        for h in handles {
+            match h.join() {
+                Ok(v) => results.push(v),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
     })
 }
 
@@ -219,20 +320,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn deadlock_detected_by_timeout() {
-        // Both ranks receive first — classic deadlock; the 100 ms timeout
-        // turns it into a panic.
-        run_threads_with_timeout(2, Duration::from_millis(100), |c| {
+    #[should_panic(expected = "deadlock detected: rank 0 waits on rank 1 (tag 0x1) -> \
+                               rank 1 waits on rank 0 (tag 0x1)")]
+    fn crossed_recvs_panic_with_the_cycle() {
+        // Both ranks receive first — classic deadlock; the detector names
+        // the cycle long before the (generous) receive timeout.
+        run_threads_with_timeout(2, Duration::from_secs(30), |c| {
             let other = 1 - c.rank();
             let _ = c.recv_bytes(other, 1);
         });
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
+    #[should_panic(expected = "dest rank 5 out of range")]
     fn send_to_invalid_rank_panics() {
         run_threads(1, |c| c.send_bytes(5, 1, &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn slow_sender_past_timeout_panics() {
+        // Rank 1 is alive (Running) the whole time, so the detector can
+        // prove nothing; the receive-timeout backstop fires instead.
+        run_threads_with_timeout(2, Duration::from_millis(60), |c| {
+            if c.rank() == 0 {
+                let _ = c.recv_bytes(1, 2);
+            } else {
+                std::thread::sleep(Duration::from_millis(400));
+                c.send_bytes(0, 2, &[1]);
+            }
+        });
     }
 
     #[test]

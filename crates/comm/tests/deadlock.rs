@@ -1,0 +1,196 @@
+//! Runtime deadlock-detector behaviour tests.
+//!
+//! The contract: a wait-for cycle among thread-backed ranks is converted
+//! into a deterministic panic naming the exact cycle, fast (well under a
+//! second, long before any receive timeout), and clean exchange patterns
+//! are never disturbed.
+
+use qmc_comm::{run_threads, run_threads_with_timeout, Communicator, ReduceOp};
+use std::panic::catch_unwind;
+use std::time::{Duration, Instant};
+
+/// Run `f` catching the propagated rank panic; return its message and
+/// how long the run took.
+fn panic_message_and_elapsed<F>(f: F) -> (String, Duration)
+where
+    F: FnOnce() + std::panic::UnwindSafe,
+{
+    let t0 = Instant::now();
+    let err = catch_unwind(f).expect_err("run was supposed to deadlock");
+    let elapsed = t0.elapsed();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload should be a string");
+    (msg, elapsed)
+}
+
+#[test]
+fn crossed_recv_two_ranks_reports_exact_cycle_fast() {
+    // Both ranks post a receive for the other first: the canonical
+    // crossed-recv deadlock. The 30 s receive timeout is deliberately
+    // generous — only the detector can fail this fast.
+    let (msg, elapsed) = panic_message_and_elapsed(|| {
+        run_threads_with_timeout(2, Duration::from_secs(30), |c| {
+            let other = 1 - c.rank();
+            let got = c.recv_bytes(other, 7);
+            c.send_bytes(other, 7, &[c.rank() as u8]);
+            got
+        });
+    });
+    assert_eq!(
+        msg,
+        "deadlock detected: rank 0 waits on rank 1 (tag 0x7) -> \
+         rank 1 waits on rank 0 (tag 0x7)"
+    );
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "detection took {elapsed:?}, budget is < 1s"
+    );
+}
+
+#[test]
+fn three_rank_cycle_reports_all_edges() {
+    // 0 waits on 2, 1 waits on 0, 2 waits on 1: a 3-cycle where no pair
+    // is mutually blocked — only the graph walk can see it.
+    let (msg, elapsed) = panic_message_and_elapsed(|| {
+        run_threads_with_timeout(3, Duration::from_secs(30), |c| {
+            let prev = (c.rank() + 2) % 3;
+            let _ = c.recv_bytes(prev, 5);
+        });
+    });
+    assert_eq!(
+        msg,
+        "deadlock detected: rank 0 waits on rank 2 (tag 0x5) -> \
+         rank 2 waits on rank 1 (tag 0x5) -> rank 1 waits on rank 0 (tag 0x5)"
+    );
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "detection took {elapsed:?}, budget is < 1s"
+    );
+}
+
+#[test]
+fn rank_stalled_behind_a_cycle_fails_fast_too() {
+    // Rank 2 is not part of the 0<->1 cycle, just blocked on rank 0.
+    // Poison propagation (or its own walk reaching the cycle) must fail
+    // it fast as well — the whole run ends in well under a second even
+    // though every receive timeout is 30 s.
+    let (msg, elapsed) = panic_message_and_elapsed(|| {
+        run_threads_with_timeout(3, Duration::from_secs(30), |c| match c.rank() {
+            0 => {
+                let _ = c.recv_bytes(1, 3);
+            }
+            1 => {
+                let _ = c.recv_bytes(0, 3);
+            }
+            _ => {
+                let _ = c.recv_bytes(0, 4);
+            }
+        });
+    });
+    assert!(
+        msg.contains("rank 0 waits on rank 1 (tag 0x3) -> rank 1 waits on rank 0 (tag 0x3)"),
+        "unexpected message: {msg}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "stalled rank held the run for {elapsed:?}"
+    );
+}
+
+#[test]
+fn waiting_on_a_finished_rank_is_a_dead_peer_not_a_hang() {
+    // Rank 1 exits without ever sending: rank 0's message can never
+    // arrive and the detector says so by name.
+    let (msg, elapsed) = panic_message_and_elapsed(|| {
+        run_threads_with_timeout(2, Duration::from_secs(30), |c| {
+            if c.rank() == 0 {
+                let _ = c.recv_bytes(1, 9);
+            }
+        });
+    });
+    assert!(
+        msg.contains("rank 0 waits on rank 1 (tag 0x9) but rank 1 has already finished"),
+        "unexpected message: {msg}"
+    );
+    assert!(elapsed < Duration::from_secs(1), "took {elapsed:?}");
+}
+
+#[test]
+fn clean_exchange_patterns_are_undisturbed() {
+    // Negative control: a PT-style neighbour exchange (even/odd pairing,
+    // lower rank sends first) plus collectives — exactly the traffic the
+    // detector watches in production runs — completes with correct data.
+    let out = run_threads(4, |c| {
+        let me = c.rank();
+        let mut acc = Vec::new();
+        for phase in 0..2usize {
+            let partner = if (me + phase) % 2 == 0 {
+                me.checked_add(1).filter(|&p| p < 4)
+            } else {
+                me.checked_sub(1)
+            };
+            if let Some(p) = partner {
+                let got = if me < p {
+                    c.send_bytes(p, 7, &[me as u8]);
+                    c.recv_bytes(p, 7)
+                } else {
+                    let got = c.recv_bytes(p, 7);
+                    c.send_bytes(p, 7, &[me as u8]);
+                    got
+                };
+                acc.push(got[0]);
+            }
+            c.barrier();
+        }
+        let sum = c.allreduce_f64(&[me as f64], ReduceOp::Sum)[0];
+        (acc, sum)
+    });
+    // Phase 0 pairs (0,1) (2,3); phase 1 pairs (1,2), ranks 0 and 3 idle.
+    assert_eq!(out[0].0, vec![1]);
+    assert_eq!(out[1].0, vec![0, 2]);
+    assert_eq!(out[2].0, vec![3, 1]);
+    assert_eq!(out[3].0, vec![2]);
+    for (_, sum) in &out {
+        assert_eq!(*sum, 6.0);
+    }
+}
+
+#[test]
+fn detector_tolerates_slow_but_live_senders() {
+    // A sender that dawdles 3 wait slices before sending must NOT be
+    // flagged: it is Running the whole time, so no walk can conclude.
+    let out = run_threads(2, |c| {
+        if c.rank() == 0 {
+            std::thread::sleep(Duration::from_millis(80));
+            c.send_bytes(1, 2, &[42]);
+            0
+        } else {
+            c.recv_bytes(0, 2)[0]
+        }
+    });
+    assert_eq!(out[1], 42);
+}
+
+#[test]
+fn collective_after_peer_panic_fails_fast() {
+    // Rank 1 dies before its barrier; rank 0 blocks inside the
+    // collective's internal receive and must get a dead-peer diagnosis
+    // (reserved internal tag) instead of the 30 s timeout.
+    let (msg, elapsed) = panic_message_and_elapsed(|| {
+        run_threads_with_timeout(2, Duration::from_secs(30), |c| {
+            if c.rank() == 1 {
+                panic!("rank 1 aborts before the barrier");
+            }
+            c.barrier();
+        });
+    });
+    assert!(
+        msg.contains("rank 1 aborts before the barrier")
+            || (msg.contains("rank 0 waits on rank 1") && msg.contains("panicked")),
+        "unexpected message: {msg}"
+    );
+    assert!(elapsed < Duration::from_secs(1), "took {elapsed:?}");
+}

@@ -1,0 +1,29 @@
+//! `#[qmc_hot::hot]` — the marker attribute for steady-state kernel code.
+//!
+//! The attribute expands to exactly its input: it changes nothing about
+//! the compiled program. Its value is that it is *machine-checkable
+//! prose*: a function carrying the marker declares "this is a sweep-rate
+//! kernel — no transcendentals, no heap allocation" and the workspace
+//! linter (`qmc-lint`, in the `qmc-verify` crate) enforces that claim on
+//! every run of `scripts/check.sh`. Table construction and other setup
+//! code simply stays unannotated.
+//!
+//! Being a real attribute (rather than a comment convention) means typos
+//! fail to compile, the marker renames cleanly, and rustdoc shows which
+//! functions are under the kernel discipline.
+
+use proc_macro::TokenStream;
+
+/// Mark a function as a steady-state hot kernel.
+///
+/// No-op at compile time; audited by `qmc-lint` for transcendental calls
+/// (`exp`/`ln`/`powf`/`sqrt`) and heap allocation (`Vec::new`,
+/// `Box::new`, `collect`, `vec![]`, `to_vec`).
+#[proc_macro_attribute]
+pub fn hot(attr: TokenStream, item: TokenStream) -> TokenStream {
+    assert!(
+        attr.is_empty(),
+        "#[qmc_hot::hot] takes no arguments (got `{attr}`)"
+    );
+    item
+}

@@ -255,8 +255,12 @@ pub fn chrome_trace_json(ranks: &[RankObs]) -> String {
             let (sa, sb) = (&r.spans[a], &r.spans[b]);
             sa.t0_us
                 .partial_cmp(&sb.t0_us)
-                .unwrap()
-                .then(sb.t1_us.partial_cmp(&sa.t1_us).unwrap())
+                .expect("span timestamps are finite")
+                .then(
+                    sb.t1_us
+                        .partial_cmp(&sa.t1_us)
+                        .expect("span timestamps are finite"),
+                )
                 .then(sa.depth.cmp(&sb.depth))
         });
         let mut stack: Vec<usize> = Vec::new();

@@ -238,7 +238,9 @@ impl Parser<'_> {
                     while self.pos < self.b.len() && (self.b[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
-                    out.push_str(std::str::from_utf8(&self.b[start..self.pos]).unwrap());
+                    let run = std::str::from_utf8(&self.b[start..self.pos])
+                        .expect("run boundaries follow UTF-8 continuation bytes");
+                    out.push_str(run);
                 }
             }
         }
@@ -256,7 +258,8 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        let text =
+            std::str::from_utf8(&self.b[start..self.pos]).expect("number characters are ASCII");
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|e| format!("bad number {text:?}: {e}"))

@@ -331,11 +331,15 @@ impl Cursor<'_> {
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("take returned 8 bytes"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64, String> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("take returned 8 bytes"),
+        ))
     }
 
     fn str(&mut self) -> Result<String, String> {

@@ -233,6 +233,7 @@ impl Sse {
 
     /// Diagonal update: insert/remove diagonal operators at fixed state
     /// propagation, flipping through off-diagonal vertices.
+    #[qmc_hot::hot]
     fn diagonal_update<R: Rng64>(&mut self, rng: &mut R) {
         let m = self.ops.len();
         debug_assert!(self.prob_insert.len() == m + 1, "stale probability tables");
@@ -268,6 +269,7 @@ impl Sse {
     }
 
     /// Build the doubly linked vertex-leg list.
+    #[qmc_hot::hot]
     fn build_links(&mut self) {
         let m = self.ops.len();
         self.links.clear();
@@ -306,6 +308,7 @@ impl Sse {
     /// Deterministic operator-loop update: construct every loop once,
     /// flip each with probability ½, then update `|α⟩` (free spins flip
     /// with probability ½).
+    #[qmc_hot::hot]
     fn loop_update<R: Rng64>(&mut self, rng: &mut R) {
         let m = self.ops.len();
         self.visited.clear();
@@ -367,6 +370,7 @@ impl Sse {
     }
 
     /// One Monte Carlo sweep (diagonal update + loop update).
+    #[qmc_hot::hot]
     pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
         let _span = qmc_obs::span("sse.sweep");
         {

@@ -236,6 +236,7 @@ impl DistTfim {
 
     /// Update every interior site of global parity `color`; returns the
     /// number of proposals (== sites of that parity).
+    #[qmc_hot::hot]
     fn half_sweep<R: Rng64>(&mut self, color: usize, rng: &mut R) -> u64 {
         let m = self.model;
         let sub = self.sub;
@@ -276,6 +277,7 @@ impl DistTfim {
 
     /// One full sweep: two parity halves, each followed by a halo
     /// exchange; compute time is charged to the communicator's clock.
+    #[qmc_hot::hot]
     pub fn sweep<C: Communicator, R: Rng64>(&mut self, comm: &mut C, rng: &mut R) {
         let _span = qmc_obs::span("tfim.sweep");
         for color in 0..2 {

@@ -212,6 +212,7 @@ impl SerialTfim {
     /// transcendental function runs per proposal. Proposal order and the
     /// random-number stream are identical to the previous `exp`-per-site
     /// implementation.
+    #[qmc_hot::hot]
     pub fn metropolis_sweep<R: Rng64>(&mut self, rng: &mut R) {
         let _span = qmc_obs::span("tfim.metropolis_sweep");
         let m = self.model;

@@ -1,0 +1,26 @@
+// Fixture: HashMap in a checkpoint/wire-serialization file.
+// Not compiled — read by the qmc-lint self-tests, which assert the
+// `ckpt-hashmap` rule fires: this file implements `Checkpoint`, so map
+// iteration order would leak into the wire bytes.
+
+use std::collections::HashMap;
+
+pub struct BadState {
+    // VIOLATION: nondeterministic iteration order in a serialized type.
+    pub counts: HashMap<u32, u64>,
+}
+
+impl Checkpoint for BadState {
+    fn kind(&self) -> &'static str {
+        "fixture.bad"
+    }
+
+    fn save(&self, enc: &mut Encoder) {
+        // VIOLATION: serializing in HashMap iteration order makes the
+        // byte stream depend on hasher seeding.
+        for (k, v) in &self.counts {
+            enc.u64(*k as u64);
+            enc.u64(*v);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+// Fixture: a file every lint rule accepts — table-driven hot kernel,
+// setup-time allocation, waived wall-clock read, test-only unwrap.
+// Not compiled — read by the qmc-lint self-tests, which assert zero
+// findings.
+
+use std::time::Instant;
+
+pub struct Kernel {
+    table: Vec<f64>,
+    scratch: Vec<usize>,
+}
+
+impl Kernel {
+    // Table construction: transcendentals and allocation are fine here.
+    pub fn new(beta: f64, n: usize) -> Self {
+        let table = (0..16).map(|k| (-beta * k as f64).exp()).collect();
+        Self {
+            table,
+            scratch: Vec::with_capacity(n),
+        }
+    }
+
+    #[qmc_hot::hot]
+    pub fn sweep(&mut self, keys: &[usize]) -> f64 {
+        // Steady state: table lookups and reused buffers only.
+        let mut acc = 0.0;
+        self.scratch.clear();
+        for &k in keys {
+            acc += self.table[k & 15];
+            self.scratch.push(k);
+        }
+        acc
+    }
+}
+
+pub fn sanctioned_deadline() -> Instant {
+    // lint: allow(wall-clock) — receive timeouts need host time
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap_and_time() {
+        let t = Instant::now();
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: heap allocation inside a #[qmc_hot::hot] kernel.
+// Not compiled — read by the qmc-lint self-tests, which assert the
+// `hot-alloc` rule fires on every violation below.
+
+#[qmc_hot::hot]
+pub fn bad_sweep(spins: &[i8]) -> Vec<usize> {
+    // VIOLATION: fresh vector per sweep.
+    let mut flips = Vec::new();
+    for (i, &s) in spins.iter().enumerate() {
+        if s > 0 {
+            flips.push(i);
+        }
+    }
+    // VIOLATION: collect allocates.
+    flips.iter().copied().collect()
+}
+
+#[qmc_hot::hot]
+fn bad_buffers(n: usize) -> Vec<u8> {
+    // VIOLATION: vec! macro allocates; Box::new allocates.
+    let _b = Box::new(n);
+    vec![0u8; n]
+}
+
+// Setup code may allocate freely.
+pub fn make_scratch(n: usize) -> Vec<u8> {
+    vec![0u8; n]
+}

@@ -1,0 +1,24 @@
+// Fixture: transcendental calls inside a #[qmc_hot::hot] kernel.
+// Not compiled — read by the qmc-lint self-tests, which assert the
+// `hot-transcendental` rule fires on every violation below.
+
+#[qmc_hot::hot]
+pub fn bad_metropolis(delta: f64, beta: f64) -> f64 {
+    // VIOLATION: per-proposal exponential.
+    (-beta * delta).exp()
+}
+
+#[qmc_hot::hot]
+fn bad_log_weight(w: f64) -> f64 {
+    // VIOLATION: per-call logarithm.
+    w.ln() + f64::sqrt(w)
+}
+
+// Table construction outside the hot region is fine.
+pub fn build_table(beta: f64) -> [f64; 8] {
+    let mut t = [0.0; 8];
+    for (i, slot) in t.iter_mut().enumerate() {
+        *slot = (-beta * i as f64).exp();
+    }
+    t
+}

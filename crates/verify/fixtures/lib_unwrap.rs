@@ -1,0 +1,22 @@
+// Fixture: .unwrap() in library non-test code.
+// Not compiled — read by the qmc-lint self-tests, which assert the
+// `lib-unwrap` rule fires on the non-test sites and stays silent on
+// the test module.
+
+pub fn bad_parse(s: &str) -> u64 {
+    // VIOLATION: panics without context.
+    s.parse().unwrap()
+}
+
+pub fn good_parse(s: &str) -> u64 {
+    s.parse().expect("generation file names are numeric")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: wall-clock reads outside qmc-obs.
+// Not compiled — read by the qmc-lint self-tests, which assert the
+// `wall-clock` rule fires on the unwaived sites below.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_timing() -> f64 {
+    // VIOLATION: ad-hoc wall-clock read in library code.
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn bad_epoch() -> bool {
+    // VIOLATION: SystemTime in library code.
+    SystemTime::now().elapsed().is_ok()
+}
+
+pub fn sanctioned_timeout() -> Instant {
+    // lint: allow(wall-clock) — fixture for the waiver path
+    Instant::now()
+}

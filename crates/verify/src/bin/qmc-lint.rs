@@ -1,0 +1,74 @@
+//! `qmc-lint` — run the workspace invariant linter.
+//!
+//! ```text
+//! qmc-lint [--root DIR] [--rules] [--quiet]
+//! ```
+//!
+//! Scans every `.rs` file under `crates/`, `tests/` and `examples/`
+//! (skipping `target/` and lint `fixtures/`) and reports violations of
+//! the workspace invariants. Exit code 0 when clean, 1 when any
+//! violation is found, 2 on usage errors.
+
+// CLI entry point: exiting with a status code is this file's job.
+#![allow(clippy::disallowed_methods)]
+use qmc_verify::lint;
+
+fn main() {
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = Some(d.into()),
+                None => {
+                    eprintln!("--root needs a directory");
+                    std::process::exit(2); // lint binary, not library code
+                }
+            },
+            "--rules" => {
+                for rule in lint::Rule::all() {
+                    println!("{}", rule.name());
+                }
+                return;
+            }
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("usage: qmc-lint [--root DIR] [--rules] [--quiet] (got '{other}')");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let root = root
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| lint::workspace_root_from(&d))
+        })
+        .unwrap_or_else(|| {
+            eprintln!("qmc-lint: no workspace root found (pass --root DIR)");
+            std::process::exit(2);
+        });
+
+    let findings = lint::lint_workspace(&root).unwrap_or_else(|e| {
+        eprintln!("qmc-lint: I/O error while scanning {}: {e}", root.display());
+        std::process::exit(2);
+    });
+
+    if findings.is_empty() {
+        if !quiet {
+            println!(
+                "qmc-lint: workspace clean ({} rules over {})",
+                lint::Rule::all().len(),
+                root.display()
+            );
+        }
+        return;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!("qmc-lint: {} violation(s)", findings.len());
+    std::process::exit(1);
+}

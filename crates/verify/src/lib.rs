@@ -1,0 +1,36 @@
+//! Protocol verification and static invariant checking for the QMC
+//! workspace.
+//!
+//! Parallel Monte Carlo correctness bugs are silent biases, not
+//! crashes: a message matched out of order, an extra RNG draw, a
+//! transcendental sneaking back into a table-driven kernel — all leave
+//! the program running and the physics subtly wrong. This crate holds
+//! the two mechanical checkers that keep those invariants honest:
+//!
+//! * **Comm-protocol model checker** ([`trace`], [`checker`]):
+//!   [`RecordingComm`] captures per-rank event traces over any
+//!   [`qmc_comm::Communicator`]; [`check`] replays them under the
+//!   deterministic `(source, tag)` matching semantics and proves
+//!   deadlock-freedom, send/recv matching, reserved-tag discipline and
+//!   SPMD collective agreement — or reports the exact wait-for cycle.
+//!   Its runtime counterpart lives in `qmc_comm::ThreadComm`, which
+//!   detects wait-for cycles while the program runs and panics with the
+//!   cycle instead of hanging the suite.
+//! * **Workspace invariant linter** ([`lint`], `qmc-lint` binary):
+//!   a dependency-free token-level scanner enforcing the kernel and
+//!   serialization disciplines (`hot-transcendental`, `hot-alloc`,
+//!   `wall-clock`, `ckpt-hashmap`, `lib-unwrap`) across the workspace,
+//!   with per-site waiver comments as the audit trail.
+//!
+//! `repro verify` and `scripts/check.sh` run both on every gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod lint;
+pub mod trace;
+
+pub use checker::{check, Report, Violation, WaitEdge};
+pub use lint::{lint_source, lint_workspace, workspace_root_from, Finding, Rule};
+pub use trace::{record_threads, Event, RecordingComm, WorldTrace};

@@ -369,6 +369,7 @@ impl Worldline {
 
     /// One full sweep: every unshaded cell is offered a corner move, then
     /// `L` random straight-line attempts.
+    #[qmc_hot::hot]
     pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
         let _span = qmc_obs::span("worldline.sweep");
         let before = (
@@ -406,6 +407,7 @@ impl Worldline {
     }
 
     /// Attempt the corner move on the unshaded cell `(i, t)`.
+    #[qmc_hot::hot]
     fn try_local<R: Rng64>(&mut self, i: usize, t: usize, rng: &mut R) {
         let l = self.params.l;
         let j = (i + 1) % l;
@@ -428,6 +430,7 @@ impl Worldline {
 
     /// Attempt the straight-line move: flip site `i` on every row
     /// (changes total magnetization by ±1 world line).
+    #[qmc_hot::hot]
     fn try_straight_line<R: Rng64>(&mut self, i: usize, rng: &mut R) {
         self.straight_proposed += 1;
         let mut flips = std::mem::take(&mut self.flips_scratch);

@@ -339,6 +339,7 @@ impl<L: Lattice> GenericWorldline<L> {
     /// activations of `b` itself (any shorter flip breaks a cell of a
     /// different color that contains only one of the two sites), and the
     /// occupations must be constant across the window.
+    #[qmc_hot::hot]
     fn try_window<R: Rng64>(&mut self, bond_idx: usize, t_act: usize, rng: &mut R) {
         let p = self.active_colors.len();
         let b = self.lattice.bonds()[bond_idx];
@@ -390,6 +391,7 @@ impl<L: Lattice> GenericWorldline<L> {
     /// the ring-exchange world-line sector that bond-window moves alone
     /// can never reach in d ≥ 2 (omitting them biases the 4×4 Heisenberg
     /// energy by ≈ 10%, reproducibly).
+    #[qmc_hot::hot]
     fn try_ring<R: Rng64>(&mut self, plaq: [u32; 4], r1: usize, len: usize, rng: &mut R) {
         self.ring_proposed += 1;
         let mut flips = std::mem::take(&mut self.flips_scratch);
@@ -412,6 +414,7 @@ impl<L: Lattice> GenericWorldline<L> {
     }
 
     /// Attempt the straight-line move on `site` (flips its whole column).
+    #[qmc_hot::hot]
     fn try_straight_line<R: Rng64>(&mut self, site: usize, rng: &mut R) {
         self.straight_proposed += 1;
         let mut flips = std::mem::take(&mut self.flips_scratch);
@@ -430,6 +433,7 @@ impl<L: Lattice> GenericWorldline<L> {
     /// One sweep: every (bond, activation) window move, every
     /// (plaquette, boundary pair) ring move, plus `n_sites` random
     /// straight-line attempts.
+    #[qmc_hot::hot]
     pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
         let _span = qmc_obs::span("generic_worldline.sweep");
         let before = (self.straight_accepted, self.straight_proposed);

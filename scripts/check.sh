@@ -1,8 +1,22 @@
 #!/usr/bin/env bash
 # Pre-merge gate: formatting, lints, and the tier-1 build+test suite.
 # Run from anywhere inside the repository.
+#
+#   scripts/check.sh          — the standard gate
+#   scripts/check.sh --full   — additionally run the suite under Miri
+#                               when the toolchain has it (skipped
+#                               gracefully offline: `rustup component
+#                               add miri` needs the network)
 set -euo pipefail
 cd "$(git rev-parse --show-toplevel)"
+
+FULL=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) FULL=1 ;;
+    *) echo "usage: $0 [--full]" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -23,5 +37,26 @@ echo "== fault injection: comm conformance + crash/resume matrix =="
 cargo test -q -p qmc-comm --test conformance
 cargo test -q -p qmc-bench --test checkpoint
 cargo test -q -p qmc-bench --lib faults
+
+echo "== verify: protocol trace checker + workspace lint =="
+# qmc-lint over the workspace (token-level invariants), the trace
+# checker's self-tests, the runtime deadlock-detector suite, the
+# zero-steady-state-allocation guard, and the recorded-PT verification.
+cargo run -q -p qmc-verify --bin qmc-lint
+cargo test -q -p qmc-verify
+cargo test -q -p qmc-comm --test deadlock
+cargo test -q -p qmc-bench --test alloc_guard
+cargo run -q -p qmc-bench --bin repro -- verify
+
+if [ "$FULL" = "1" ]; then
+  if cargo miri --version >/dev/null 2>&1; then
+    echo "== full: cargo miri test (UB check) =="
+    # Miri cannot run the timing-sensitive thread-world suites; the pure
+    # data-structure crates are where UB would hide.
+    cargo miri test -q -p qmc-rng -p qmc-stats -p qmc-lattice -p qmc-ckpt -p qmc-verify
+  else
+    echo "== full: miri not installed; skipping (rustup component add miri) =="
+  fi
+fi
 
 echo "All checks passed."

@@ -1,0 +1,140 @@
+//! Zero-steady-state-allocation guard for the four QMC engines.
+//!
+//! The hot-kernel discipline (see `qmc-lint`'s `hot-alloc` rule) says
+//! sweeps may only touch preallocated state. The text lint proves no
+//! allocating *call* appears in a `#[qmc_hot::hot]` region; this harness
+//! proves the *runtime* claim: after warmup, a sweep performs zero heap
+//! allocations — however the calls are spelled or inlined.
+//!
+//! A counting `#[global_allocator]` tallies allocations per thread
+//! (thread-local, so the parallel test harness and unrelated test
+//! threads cannot bleed into each other's counts).
+
+use qmc_lattice::Square;
+use qmc_rng::{Buffered, Xoshiro256StarStar};
+use qmc_sse::Sse;
+use qmc_tfim::serial::SerialTfim;
+use qmc_tfim::TfimModel;
+use qmc_worldline::{GenericParams, GenericWorldline, Worldline, WorldlineParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Forwards to the system allocator, counting every allocation made by
+/// the current thread. `try_with` keeps late TLS-teardown allocations
+/// from recursing or aborting.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow-in-place is still a steady-state allocation as far as
+        // the discipline is concerned.
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+/// Count this thread's allocations across `f`.
+fn allocations_during<F: FnOnce()>(f: F) -> u64 {
+    let before = ALLOC_COUNT.with(|c| c.get());
+    f();
+    ALLOC_COUNT.with(|c| c.get()) - before
+}
+
+/// Assert the engine allocates nothing over `sweeps` steady-state sweeps.
+fn assert_steady_state_clean(name: &str, sweeps: u64, mut sweep: impl FnMut()) {
+    let n = allocations_during(|| {
+        for _ in 0..sweeps {
+            sweep();
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "{name}: {n} heap allocation(s) across {sweeps} steady-state sweeps \
+         (hot kernels must only reuse preallocated buffers)"
+    );
+}
+
+#[test]
+fn serial_tfim_sweep_is_allocation_free() {
+    let model = TfimModel {
+        lx: 16,
+        ly: 16,
+        j: 1.0,
+        h: 2.0,
+        beta: 1.0,
+        m: 8,
+    };
+    let mut eng = SerialTfim::new(model);
+    let mut rng = Buffered::new(Xoshiro256StarStar::new(21));
+    for _ in 0..20 {
+        eng.metropolis_sweep(&mut rng); // warmup: tables, RNG buffer
+    }
+    assert_steady_state_clean("SerialTfim::metropolis_sweep", 100, || {
+        eng.metropolis_sweep(&mut rng)
+    });
+}
+
+#[test]
+fn worldline_sweep_is_allocation_free() {
+    let params = WorldlineParams {
+        l: 32,
+        jx: 1.0,
+        jz: 1.0,
+        beta: 2.0,
+        m: 8,
+    };
+    let mut w = Worldline::new(params);
+    let mut rng = Xoshiro256StarStar::new(22);
+    for _ in 0..50 {
+        w.sweep(&mut rng);
+    }
+    assert_steady_state_clean("Worldline::sweep", 100, || w.sweep(&mut rng));
+}
+
+#[test]
+fn generic_worldline_sweep_is_allocation_free() {
+    let params = GenericParams {
+        jx: 1.0,
+        jz: 1.0,
+        beta: 2.0,
+        m: 8,
+    };
+    let mut w = GenericWorldline::new(Square::new(8, 8), params);
+    let mut rng = Xoshiro256StarStar::new(23);
+    for _ in 0..50 {
+        w.sweep(&mut rng);
+    }
+    assert_steady_state_clean("GenericWorldline::sweep", 100, || w.sweep(&mut rng));
+}
+
+#[test]
+fn sse_sweep_is_allocation_free() {
+    let lat = Square::new(8, 8);
+    let mut rng = Xoshiro256StarStar::new(24);
+    let mut sse = Sse::new(&lat, 1.0, 2.0, &mut rng);
+    // Thermalize until the operator-string cutoff stops growing — cutoff
+    // growth legitimately reallocates, so steady state starts after it.
+    let _ = sse.run(&mut rng, 500, 0);
+    assert_steady_state_clean("Sse::sweep", 100, || sse.sweep(&mut rng));
+}
