@@ -106,15 +106,19 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, defaul
 struct CkptRequest {
     store: qmc_ckpt::CkptStore,
     every: usize,
+    full_every: usize,
     resume: bool,
 }
 
 /// Parse the checkpoint flags; `None` when checkpointing was not asked
 /// for. `--resume` without `--checkpoint-every` keeps checkpointing at a
-/// default cadence of 100 sweeps. The default directory is
+/// default cadence of 100 sweeps. `--checkpoint-full-every K` (default 8)
+/// writes every K-th generation as a full snapshot and the rest as deltas
+/// against it; `0` turns deltas off. The default directory is
 /// `ckpt/qmc-<engine>` at the repository root (gitignored).
 fn ckpt_request(flags: &HashMap<String, String>, engine: &str) -> Option<CkptRequest> {
     let every: usize = get(flags, "checkpoint-every", 0);
+    let full_every: usize = get(flags, "checkpoint-full-every", 8);
     let resume = flags.contains_key("resume");
     if every == 0 && !resume {
         return None;
@@ -130,6 +134,7 @@ fn ckpt_request(flags: &HashMap<String, String>, engine: &str) -> Option<CkptReq
     Some(CkptRequest {
         store,
         every: if every == 0 { 100 } else { every },
+        full_every,
         resume,
     })
 }
@@ -159,6 +164,7 @@ fn run_worldline(flags: &HashMap<String, String>) {
             let ck = qmc_bench::ckpt_driver::CkptCfg {
                 store: &req.store,
                 every: req.every,
+                full_every: req.full_every,
                 resume: req.resume,
             };
             qmc_bench::ckpt_driver::run_worldline_ckpt(
@@ -230,6 +236,7 @@ fn run_sse(flags: &HashMap<String, String>) {
     let ck = req.as_ref().map(|req| qmc_bench::ckpt_driver::CkptCfg {
         store: &req.store,
         every: req.every,
+        full_every: req.full_every,
         resume: req.resume,
     });
     let series = match lattice {
@@ -364,6 +371,7 @@ fn run_tfim(flags: &HashMap<String, String>) {
                     let ck = qmc_bench::ckpt_driver::CkptCfg {
                         store: &req.store,
                         every: req.every,
+                        full_every: req.full_every,
                         resume: req.resume,
                     };
                     qmc_bench::ckpt_driver::run_serial_tfim_ckpt(

@@ -15,7 +15,9 @@
 //! before sweep `k` runs (after any checkpoint due at `k` was written),
 //! leaving the store exactly as a real mid-run failure would.
 
-use qmc_ckpt::{Checkpoint, CkptFile, CkptStore, Decoder, Encoder};
+use qmc_ckpt::{
+    plan_sections, restore_sections, Checkpoint, CkptStore, Decoder, Encoder, SectionPlan,
+};
 use qmc_lattice::Lattice;
 use qmc_rng::Rng64;
 use qmc_sse::{Sse, SseSeries};
@@ -30,6 +32,12 @@ pub struct CkptCfg<'a> {
     pub store: &'a CkptStore,
     /// Write a generation every `every` sweeps.
     pub every: usize,
+    /// Write every `full_every`-th generation as a full snapshot; the
+    /// generations in between are deltas against the last full one
+    /// (sections whose state is unchanged are stored as base
+    /// references). `0` disables deltas entirely — every generation is
+    /// a full snapshot, matching the pre-delta behaviour.
+    pub full_every: usize,
     /// Resume from the newest valid generation before sweeping.
     pub resume: bool,
 }
@@ -59,9 +67,20 @@ where
                 let mut dec = Decoder::new(meta);
                 let s0 = dec.u64().expect("checkpoint sweep index") as usize;
                 assert_eq!(generation, s0 as u64, "generation = sweep index");
-                file.restore("engine", eng).expect("restore engine");
-                file.restore("rng", rng).expect("restore rng");
-                file.restore("series", series).expect("restore series");
+                if file.get("engine").is_some() {
+                    // Legacy monolithic layout (files written before the
+                    // sectioned format). Restore works, but everything is
+                    // left dirty: a delta against this file would have to
+                    // reference section names it never carried, so the
+                    // next write degrades to a full snapshot instead.
+                    file.restore("engine", eng).expect("restore engine");
+                    file.restore("rng", rng).expect("restore rng");
+                    file.restore("series", series).expect("restore series");
+                } else {
+                    restore_sections(&file, "engine", eng).expect("restore engine");
+                    restore_sections(&file, "rng", rng).expect("restore rng");
+                    restore_sections(&file, "series", series).expect("restore series");
+                }
                 start = s0;
             }
         }
@@ -69,15 +88,32 @@ where
     for s in start..total {
         if let Some(ck) = ck {
             if s % ck.every == 0 {
-                let mut file = CkptFile::new();
+                let gen_index = s / ck.every;
+                let want_full = ck.full_every == 0 || gen_index % ck.full_every == 0;
+                // The base must be strictly older: resuming exactly at a
+                // checkpoint boundary would otherwise try to write this
+                // generation as a delta against itself.
+                let delta = !want_full && ck.store.delta_base().is_some_and(|b| b < s as u64);
                 let mut meta = Encoder::new();
                 meta.u64(s as u64);
-                file.add("meta", meta.into_bytes());
-                file.add_state("engine", eng);
-                file.add_state("rng", rng);
-                file.add_state("series", series);
-                if let Err(e) = ck.store.write(s as u64, &file) {
-                    eprintln!("warning: checkpoint generation {s} not written: {e}; continuing");
+                let mut plan = vec![("meta".to_string(), SectionPlan::Payload(meta.into_bytes()))];
+                plan_sections(&mut plan, "engine", eng, delta);
+                plan_sections(&mut plan, "rng", rng, delta);
+                plan_sections(&mut plan, "series", series, delta);
+                match ck.store.write_plan(s as u64, plan, delta) {
+                    Ok(_) => {
+                        // Only a durably written generation may mark state
+                        // clean: a false "clean" would let a later delta
+                        // reference a base that never captured it.
+                        eng.mark_clean();
+                        rng.mark_clean();
+                        series.mark_clean();
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "warning: checkpoint generation {s} not written: {e}; continuing"
+                        );
+                    }
                 }
             }
         }

@@ -96,6 +96,7 @@ fn faulty_run(
                 let ck = PtCheckpointing {
                     store: &store,
                     every: *every,
+                    full_every: 2,
                     resume: *resume,
                 };
                 run_pt_parallel_ckpt(&mut faulty, &cfg, &mut rng, Some(&ck), |c, s| {

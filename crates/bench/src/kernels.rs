@@ -193,6 +193,62 @@ pub fn bench_kernels(quick: bool) -> String {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // --- Incremental (delta) checkpoint size. Three identical same-seed
+    // TFIM driver runs measure steady-state bytes per generation: one
+    // writing a single generation (isolates the first full snapshot's
+    // cost), one writing every generation full, one delta-chained (first
+    // full, rest deltas). The workload is deliberately not scaled by
+    // --quick: it is millisecond-scale, and the byte ratio is only
+    // meaningful once the observable series has grown past the engine
+    // state. Target: a steady-state delta ≤ 0.5x a full snapshot.
+    let (ckpt_delta_ratio, ckpt_delta_bytes, ckpt_full_bytes);
+    {
+        let model = TfimModel {
+            lx: 16,
+            ly: 16,
+            j: 1.0,
+            h: 2.0,
+            beta: 1.0,
+            m: 8,
+        };
+        let (therm, sweeps) = (0usize, 600usize);
+        let run = |every: usize, full_every: usize| -> u64 {
+            let dir = std::env::temp_dir().join(format!(
+                "qmc-bench-delta-{}-{every}-{full_every}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = qmc_ckpt::CkptStore::new(&dir, 2).expect("scratch checkpoint dir");
+            let ck = crate::ckpt_driver::CkptCfg {
+                store: &store,
+                every,
+                full_every,
+                resume: false,
+            };
+            let mut rng = Buffered::new(Xoshiro256StarStar::new(21));
+            let _ = crate::ckpt_driver::run_serial_tfim_ckpt(
+                model,
+                &mut rng,
+                therm,
+                sweeps,
+                1,
+                Some(&ck),
+                None,
+            );
+            let written = store.bytes_written();
+            let _ = std::fs::remove_dir_all(&dir);
+            written
+        };
+        let every = 5;
+        let gens = sweeps.div_ceil(every);
+        let first = run(sweeps + 1, 0); // a single full generation at sweep 0
+        let full_total = run(every, 0); // every generation a full snapshot
+        let delta_total = run(every, usize::MAX); // generation 0 full, rest deltas
+        ckpt_full_bytes = (full_total - first) as f64 / (gens - 1) as f64;
+        ckpt_delta_bytes = (delta_total - first) as f64 / (gens - 1) as f64;
+        ckpt_delta_ratio = ckpt_delta_bytes / ckpt_full_bytes;
+    }
+
     // --- The same sweep with the pre-table kernel (exp per proposal).
     {
         let model = tfim_model();
@@ -336,6 +392,16 @@ pub fn bench_kernels(quick: bool) -> String {
             "WARN"
         }
     );
+    let _ = writeln!(
+        out,
+        "ckpt delta bytes (steady state, vs full snapshot): {ckpt_delta_bytes:.0} B vs \
+         {ckpt_full_bytes:.0} B = {ckpt_delta_ratio:.3}x (target <= 0.5x) [{}]",
+        if ckpt_delta_ratio <= 0.5 {
+            "PASS"
+        } else {
+            "WARN"
+        }
+    );
 
     let mut json = String::from("{\n  \"schema\": \"qmc-bench-kernels/v1\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
@@ -345,6 +411,9 @@ pub fn bench_kernels(quick: bool) -> String {
     );
     let _ = writeln!(json, "  \"obs_overhead\": {obs_overhead:.4},");
     let _ = writeln!(json, "  \"ckpt_overhead\": {ckpt_overhead:.4},");
+    let _ = writeln!(json, "  \"ckpt_delta_bytes\": {ckpt_delta_bytes:.1},");
+    let _ = writeln!(json, "  \"ckpt_full_bytes\": {ckpt_full_bytes:.1},");
+    let _ = writeln!(json, "  \"ckpt_delta_ratio\": {ckpt_delta_ratio:.4},");
     json.push_str("  \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
         let _ = write!(

@@ -1,14 +1,22 @@
 //! Rank-0-coordinated checkpointing over any [`Communicator`].
 //!
-//! Each rank serializes its local [`CkptFile`]; rank 0 gathers all of
-//! them and writes a single atomic file whose sections are named
-//! `rank0`, `rank1`, …. On restore, rank 0 loads the newest valid
-//! generation and broadcasts the whole file; every rank then extracts
-//! its own section. Because the gather/broadcast ride the existing
-//! deterministic collectives, a checkpoint round never perturbs the
-//! fixed-seed trajectory — it draws no random numbers and exchanges no
-//! user-tag messages.
+//! Each rank serializes its local state; rank 0 gathers all of it and
+//! writes a single atomic file. Two layouts exist: the legacy one from
+//! [`write_coordinated`] (one opaque `rank{r}` section holding each
+//! rank's whole serialized [`CkptFile`]) and the sectioned one from
+//! [`write_coordinated_sections`] (flattened `rank{r}/{name}` sections,
+//! which is what lets a delta write reference an individual rank's
+//! unchanged section in the base generation). On restore, rank 0 loads
+//! the newest valid generation — validating that its rank coverage
+//! matches the *current* world size — and broadcasts the whole file;
+//! every rank then extracts its own sections from either layout.
+//! Because the gather/broadcast ride the existing deterministic
+//! collectives, a checkpoint round never perturbs the fixed-seed
+//! trajectory — it draws no random numbers and exchanges no user-tag
+//! messages.
 
+use crate::delta::SectionPlan;
+use crate::wire::{Decoder, Encoder};
 use crate::{CkptFile, CkptStore};
 use qmc_comm::Communicator;
 use std::path::PathBuf;
@@ -46,46 +54,217 @@ pub fn write_coordinated<C: Communicator>(
     }
 }
 
-/// Restore the newest valid generation: rank 0 loads and broadcasts the
-/// coordinated file; every rank gets back `(generation, its own local
-/// CkptFile)`. `None` (on all ranks, consistently) when no valid
-/// checkpoint exists or the file lacks this world's rank sections.
+/// Gather every rank's *section plan* at rank 0 and write generation
+/// `generation` as a full snapshot or a delta against the store's
+/// cached base. Rank 0 decides (`delta` = not `want_full` and a base
+/// exists) and broadcasts the decision before `build` runs, so every
+/// rank serializes — or skips — the same sections; clean sections in a
+/// delta round are never serialized at all. The gathered plans are
+/// flattened into `rank{r}/{name}` global sections.
+///
+/// Returns `(path, committed)`: the written path on rank 0 (`None`
+/// elsewhere, and on a failed write, which is reported, not
+/// propagated), and a *rank-consistent* commit flag. Callers must gate
+/// `mark_clean` on `committed` — clearing dirty flags for a write that
+/// never landed would make the next delta reference state the base
+/// doesn't hold.
+pub fn write_coordinated_sections<C: Communicator>(
+    comm: &mut C,
+    store: &CkptStore,
+    generation: u64,
+    want_full: bool,
+    build: impl FnOnce(bool) -> Vec<(String, SectionPlan)>,
+) -> (Option<PathBuf>, bool) {
+    // Only rank 0 owns the store's base cache, so only it can decide
+    // full-vs-delta; the decision must reach every rank before any plan
+    // is built. The base must be strictly older than `generation`:
+    // resuming exactly at a checkpoint boundary would otherwise re-write
+    // this generation as a delta against itself.
+    let decision = if comm.rank() == 0 {
+        vec![u8::from(
+            !want_full && store.delta_base().is_some_and(|b| b < generation),
+        )]
+    } else {
+        Vec::new()
+    };
+    let decision = comm.broadcast_bytes(0, decision);
+    let delta = decision.first() == Some(&1);
+
+    let plan = build(delta);
+    let mut enc = Encoder::new();
+    enc.u64(plan.len() as u64);
+    for (name, p) in &plan {
+        enc.str(name);
+        match p {
+            SectionPlan::Payload(b) => {
+                enc.u8(0);
+                enc.bytes(b);
+            }
+            SectionPlan::Clean => enc.u8(1),
+        }
+    }
+    let local = enc.into_bytes();
+
+    let path = comm.gather_bytes(0, &local).and_then(|gathered| {
+        let mut global = Vec::new();
+        for (rank, payload) in gathered.into_iter().enumerate() {
+            if decode_plan(&payload, rank, &mut global).is_none() {
+                eprintln!(
+                    "warning: checkpoint generation {generation}: rank {rank} plan unreadable; \
+                     generation skipped"
+                );
+                return None;
+            }
+        }
+        // Chain bounding is the caller's policy: every driver derives
+        // `want_full` from its full-snapshot cadence before calling in.
+        // lint: allow(ckpt-unbounded-chain) — bounded by the caller's want_full
+        match store.write_plan(generation, global, delta) {
+            Ok(path) => Some(path),
+            Err(e) => {
+                eprintln!(
+                    "warning: checkpoint generation {generation} not written ({e}); run continues"
+                );
+                None
+            }
+        }
+    });
+
+    // Second broadcast: did the write land? All ranks must agree before
+    // any of them clears dirty flags.
+    let ack = if comm.rank() == 0 {
+        vec![u8::from(path.is_some())]
+    } else {
+        Vec::new()
+    };
+    let ack = comm.broadcast_bytes(0, ack);
+    (path, ack.first() == Some(&1))
+}
+
+/// Decode one rank's serialized section plan into `out` under
+/// `rank{rank}/…` names. `None` on any framing error.
+fn decode_plan(bytes: &[u8], rank: usize, out: &mut Vec<(String, SectionPlan)>) -> Option<()> {
+    let mut dec = Decoder::new(bytes);
+    let n = dec.u64().ok()?;
+    for _ in 0..n {
+        let name = dec.str().ok()?;
+        let plan = match dec.u8().ok()? {
+            0 => SectionPlan::Payload(dec.bytes().ok()?.to_vec()),
+            1 => SectionPlan::Clean,
+            _ => return None,
+        };
+        out.push((format!("rank{rank}/{name}"), plan));
+    }
+    dec.expect_empty().ok()?;
+    Some(())
+}
+
+/// Number of ranks a coordinated file covers, from its section names
+/// (`rank{r}` legacy or `rank{r}/{name}` flattened). `None` unless the
+/// ranks present are exactly the contiguous range `0..n` — a file with
+/// gaps or foreign sections is not a coordinated checkpoint this world
+/// can resume from.
+fn covered_ranks(outer: &CkptFile) -> Option<usize> {
+    let mut ranks: Vec<usize> = Vec::new();
+    for name in outer.section_names() {
+        let rest = name.strip_prefix("rank")?;
+        let digits = rest.split('/').next().unwrap_or(rest);
+        let r: usize = digits.parse().ok()?;
+        if !ranks.contains(&r) {
+            ranks.push(r);
+        }
+    }
+    let n = ranks.len();
+    ((n > 0) && (0..n).all(|r| ranks.contains(&r))).then_some(n)
+}
+
+/// Decode the restore broadcast `[present u8][generation u64][file
+/// bytes]`. Degrades to `None` — with a warning, never a panic — on a
+/// truncated or unparsable message, honoring the restore contract that
+/// corrupt bytes mean "no checkpoint", not a crash.
+fn decode_restore_broadcast(me: usize, msg: &[u8]) -> Option<(u64, CkptFile)> {
+    if msg.first() != Some(&1) {
+        return None;
+    }
+    let Some(gen_bytes) = msg.get(1..9) else {
+        eprintln!(
+            "warning: rank {me}: broadcast checkpoint truncated ({} bytes); resuming fresh",
+            msg.len()
+        );
+        return None;
+    };
+    let generation = u64::from_le_bytes(gen_bytes.try_into().expect("slice is exactly 8 bytes"));
+    match CkptFile::from_bytes(&msg[9..]) {
+        Ok(f) => Some((generation, f)),
+        Err(e) => {
+            // Rank 0 already validated; a broadcast that corrupts bytes
+            // would be a comm bug, but degrade to "no checkpoint".
+            eprintln!("warning: rank {me}: broadcast checkpoint unreadable ({e})");
+            None
+        }
+    }
+}
+
+/// This rank's local file, extracted from either coordinated layout:
+/// the legacy opaque `rank{me}` section, or the flattened
+/// `rank{me}/{name}` sections (in file order, prefix stripped).
+fn extract_rank_file(outer: &CkptFile, me: usize) -> Option<CkptFile> {
+    if let Some(mine) = outer.get(&rank_section(me)) {
+        return CkptFile::from_bytes(mine).ok();
+    }
+    let prefix = format!("rank{me}/");
+    let mut file = CkptFile::new();
+    for (name, payload) in outer.sections() {
+        if let Some(rest) = name.strip_prefix(prefix.as_str()) {
+            file.add(rest, payload.to_vec());
+        }
+    }
+    (!file.is_empty()).then_some(file)
+}
+
+/// Restore the newest valid generation: rank 0 loads (materializing any
+/// delta chain) and broadcasts the coordinated file; every rank gets
+/// back `(generation, its own local CkptFile)`. `None` (on all ranks,
+/// consistently) when no valid checkpoint exists — including when the
+/// newest checkpoint was written by a *different world size*: rank 0
+/// validates the file's rank coverage against `comm.size()` before
+/// broadcasting, so a 4-rank checkpoint in an 8-rank world makes every
+/// rank resume fresh instead of silently splitting the world into
+/// resumed and fresh halves.
 pub fn restore_coordinated<C: Communicator>(
     comm: &mut C,
     store: &CkptStore,
 ) -> Option<(u64, CkptFile)> {
     let me = comm.rank();
+    let world = comm.size();
     // Rank 0 encodes [present u8][generation u64][file bytes] so absence
     // broadcasts consistently instead of deadlocking non-root ranks.
     let msg = if me == 0 {
         match store.latest() {
-            Some((generation, file)) => {
-                let mut m = vec![1u8];
-                m.extend_from_slice(&generation.to_le_bytes());
-                m.extend_from_slice(&file.to_bytes());
-                m
-            }
+            Some((generation, file)) => match covered_ranks(&file) {
+                Some(n) if n == world => {
+                    let mut m = vec![1u8];
+                    m.extend_from_slice(&generation.to_le_bytes());
+                    m.extend_from_slice(&file.to_bytes());
+                    m
+                }
+                covered => {
+                    eprintln!(
+                        "warning: checkpoint generation {generation} covers {} rank(s) but this \
+                         world has {world}; all ranks resume fresh",
+                        covered.map_or_else(|| "an invalid set of".to_string(), |n| n.to_string())
+                    );
+                    vec![0u8]
+                }
+            },
             None => vec![0u8],
         }
     } else {
         Vec::new()
     };
     let msg = comm.broadcast_bytes(0, msg);
-    if msg.first() != Some(&1) {
-        return None;
-    }
-    let generation = u64::from_le_bytes(msg[1..9].try_into().expect("8-byte generation field"));
-    let outer = match CkptFile::from_bytes(&msg[9..]) {
-        Ok(f) => f,
-        Err(e) => {
-            // Rank 0 already validated; a broadcast that corrupts bytes
-            // would be a comm bug, but degrade to "no checkpoint".
-            eprintln!("warning: rank {me}: broadcast checkpoint unreadable ({e})");
-            return None;
-        }
-    };
-    let mine = outer.get(&rank_section(me))?;
-    let file = CkptFile::from_bytes(mine).ok()?;
+    let (generation, outer) = decode_restore_broadcast(me, &msg)?;
+    let file = extract_rank_file(&outer, me)?;
     if me != 0 {
         // Rank 0's restore was counted inside `CkptStore::latest`.
         qmc_obs::counter_add("ckpt.restores", 1);
@@ -153,5 +332,129 @@ mod tests {
             restore_coordinated(comm, &store).is_none()
         });
         assert!(got.into_iter().all(|absent| absent));
+    }
+
+    // ---- world-size mismatch (regression: low ranks used to resume
+    // while ranks ≥ old-world-size silently started fresh) ----
+
+    fn write_world(dir: &Path, ranks: usize) {
+        let dir = dir.to_path_buf();
+        run_threads(ranks, move |comm| {
+            let store = CkptStore::new(&dir, 2).unwrap();
+            let mut local = CkptFile::new();
+            local.add("payload", vec![comm.rank() as u8; 4]);
+            write_coordinated(comm, &store, 1, &local);
+        });
+    }
+
+    fn restore_world_outcomes(dir: &Path, ranks: usize) -> Vec<bool> {
+        let dir = dir.to_path_buf();
+        run_threads(ranks, move |comm| {
+            let store = CkptStore::new(&dir, 2).unwrap();
+            restore_coordinated(comm, &store).is_some()
+        })
+    }
+
+    #[test]
+    fn growing_the_world_degrades_consistently_on_every_rank() {
+        let dir = scratch("grow");
+        write_world(&dir, 2);
+        let resumed = restore_world_outcomes(&dir, 4);
+        assert_eq!(
+            resumed,
+            vec![false; 4],
+            "a 2-rank checkpoint in a 4-rank world must leave every rank fresh"
+        );
+    }
+
+    #[test]
+    fn shrinking_the_world_degrades_consistently_on_every_rank() {
+        let dir = scratch("shrink");
+        write_world(&dir, 4);
+        let resumed = restore_world_outcomes(&dir, 2);
+        assert_eq!(
+            resumed,
+            vec![false; 2],
+            "a 4-rank checkpoint in a 2-rank world must leave every rank fresh"
+        );
+    }
+
+    #[test]
+    fn matching_world_still_resumes_after_mismatch_checks() {
+        let dir = scratch("match");
+        write_world(&dir, 3);
+        let resumed = restore_world_outcomes(&dir, 3);
+        assert_eq!(resumed, vec![true; 3]);
+    }
+
+    // ---- truncated broadcast (regression: a short message starting
+    // with byte 1 used to panic in the generation-field slice) ----
+
+    #[test]
+    fn truncated_broadcast_degrades_instead_of_panicking() {
+        // Shorter than the 1+8 byte header, first byte claims "present".
+        assert!(decode_restore_broadcast(1, &[1, 2, 3]).is_none());
+        assert!(decode_restore_broadcast(0, &[1]).is_none());
+        // Header complete but the file bytes are garbage.
+        let mut msg = vec![1u8];
+        msg.extend_from_slice(&7u64.to_le_bytes());
+        msg.extend_from_slice(b"not a checkpoint");
+        assert!(decode_restore_broadcast(2, &msg).is_none());
+        // Absent marker and empty message still mean "no checkpoint".
+        assert!(decode_restore_broadcast(0, &[0]).is_none());
+        assert!(decode_restore_broadcast(0, &[]).is_none());
+        // And a well-formed message still decodes.
+        let mut good = vec![1u8];
+        good.extend_from_slice(&9u64.to_le_bytes());
+        let mut f = CkptFile::new();
+        f.add("rank0", vec![1, 2]);
+        good.extend_from_slice(&f.to_bytes());
+        let (g, file) = decode_restore_broadcast(0, &good).expect("valid broadcast decodes");
+        assert_eq!(g, 9);
+        assert_eq!(file.get("rank0"), Some(&[1u8, 2][..]));
+    }
+
+    // ---- sectioned (delta-capable) coordinated writes ----
+
+    #[test]
+    fn sectioned_writes_round_trip_and_go_delta_after_a_full() {
+        let dir = scratch("sectioned");
+        let got = run_threads(3, move |comm| {
+            let store = CkptStore::new(&dir, 4).unwrap();
+            let me = comm.rank() as u8;
+            let build = |tag: u8| {
+                move |delta: bool| {
+                    vec![
+                        (
+                            "big".to_string(),
+                            if delta {
+                                SectionPlan::Clean
+                            } else {
+                                SectionPlan::Payload(vec![me; 128])
+                            },
+                        ),
+                        ("small".to_string(), SectionPlan::Payload(vec![tag; 4])),
+                    ]
+                }
+            };
+            let (_, committed_full) = write_coordinated_sections(comm, &store, 1, true, build(1));
+            let (_, committed_delta) = write_coordinated_sections(comm, &store, 2, false, build(2));
+            comm.barrier();
+            let (g, mine) = restore_coordinated(comm, &store).expect("checkpoint exists");
+            (
+                committed_full,
+                committed_delta,
+                g,
+                mine.get("big").unwrap().to_vec(),
+                mine.get("small").unwrap().to_vec(),
+            )
+        });
+        for (rank, (full_ok, delta_ok, g, big, small)) in got.into_iter().enumerate() {
+            assert!(full_ok, "rank {rank}: full write must commit");
+            assert!(delta_ok, "rank {rank}: delta write must commit");
+            assert_eq!(g, 2, "restore picks the delta generation");
+            assert_eq!(big, vec![rank as u8; 128], "clean section via the base");
+            assert_eq!(small, vec![2u8; 4], "dirty section from the delta");
+        }
     }
 }

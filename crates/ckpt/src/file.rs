@@ -12,10 +12,50 @@ use crate::Checkpoint;
 pub const SCHEMA: &str = "qmc-ckpt/v1";
 
 /// 8-byte file magic.
-const MAGIC: &[u8; 8] = b"QMCCKPT\0";
+pub(crate) const MAGIC: &[u8; 8] = b"QMCCKPT\0";
 /// 4-byte trailer magic; its presence (plus the file CRC) distinguishes
 /// a complete file from a torn one.
-const TRAILER: &[u8; 4] = b"QEND";
+pub(crate) const TRAILER: &[u8; 4] = b"QEND";
+
+/// Validate the shared file envelope (magic, trailer presence, whole-file
+/// CRC) and return the body between the magic and the trailer — the
+/// schema string onward. Shared by the v1 reader here and the v2 reader
+/// in [`crate::delta`].
+pub(crate) fn envelope_body(bytes: &[u8]) -> Result<&[u8], CkptError> {
+    if bytes.len() < MAGIC.len() + TRAILER.len() + 4 {
+        return Err(CkptError::Truncated { what: "file" });
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let body_end = bytes.len() - TRAILER.len() - 4;
+    if &bytes[body_end..body_end + TRAILER.len()] != TRAILER {
+        return Err(CkptError::Truncated { what: "trailer" });
+    }
+    let stored_crc = u32::from_le_bytes(
+        bytes[body_end + TRAILER.len()..]
+            .try_into()
+            .expect("length check above leaves exactly 4 CRC bytes"),
+    );
+    if crc32(&bytes[..body_end]) != stored_crc {
+        return Err(CkptError::BadCrc {
+            section: "<file>".to_string(),
+        });
+    }
+    Ok(&bytes[MAGIC.len()..body_end])
+}
+
+/// Close a file body (everything after the magic) into the shared
+/// envelope: magic + body + trailer + whole-file CRC.
+pub(crate) fn envelope_seal(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + body.len() + TRAILER.len() + 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(body);
+    let file_crc = crc32(&out);
+    out.extend_from_slice(TRAILER);
+    out.extend_from_slice(&file_crc.to_le_bytes());
+    out
+}
 
 /// An in-memory checkpoint file: an ordered list of named sections.
 #[derive(Default, Clone)]
@@ -68,6 +108,13 @@ impl CkptFile {
         self.sections.iter().map(|(n, _)| n.as_str())
     }
 
+    /// `(name, payload)` pairs in file order.
+    pub fn sections(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.sections
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.as_slice()))
+    }
+
     /// Number of sections.
     pub fn len(&self) -> usize {
         self.sections.len()
@@ -83,7 +130,6 @@ impl CkptFile {
     /// everything before the trailer.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
-        let mut out = Vec::from(MAGIC.as_slice());
         enc.str(SCHEMA);
         enc.u64(self.sections.len() as u64);
         for (name, payload) in &self.sections {
@@ -91,37 +137,13 @@ impl CkptFile {
             enc.bytes(payload);
             enc.u32(crc32(payload));
         }
-        out.extend_from_slice(&enc.into_bytes());
-        let file_crc = crc32(&out);
-        out.extend_from_slice(TRAILER);
-        out.extend_from_slice(&file_crc.to_le_bytes());
-        out
+        envelope_seal(&enc.into_bytes())
     }
 
     /// Parse and fully validate a serialized file: magic, schema,
     /// trailer presence, whole-file CRC, and every section CRC.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
-        if bytes.len() < MAGIC.len() + TRAILER.len() + 4 {
-            return Err(CkptError::Truncated { what: "file" });
-        }
-        if &bytes[..MAGIC.len()] != MAGIC {
-            return Err(CkptError::BadMagic);
-        }
-        let body_end = bytes.len() - TRAILER.len() - 4;
-        if &bytes[body_end..body_end + TRAILER.len()] != TRAILER {
-            return Err(CkptError::Truncated { what: "trailer" });
-        }
-        let stored_crc = u32::from_le_bytes(
-            bytes[body_end + TRAILER.len()..]
-                .try_into()
-                .expect("length check above leaves exactly 4 CRC bytes"),
-        );
-        if crc32(&bytes[..body_end]) != stored_crc {
-            return Err(CkptError::BadCrc {
-                section: "<file>".to_string(),
-            });
-        }
-        let mut dec = Decoder::new(&bytes[MAGIC.len()..body_end]);
+        let mut dec = Decoder::new(envelope_body(bytes)?);
         let schema = dec.str()?;
         if schema != SCHEMA {
             return Err(CkptError::BadSchema { found: schema });

@@ -21,16 +21,70 @@ mod store;
 mod wire;
 
 pub mod coord;
+pub mod delta;
 pub mod registry;
 
 pub use crc32::crc32;
+pub use delta::{RawCkpt, SectionData, SectionPlan, SCHEMA_V2};
 pub use file::{CkptFile, SCHEMA};
 pub use store::CkptStore;
 pub use wire::{CkptError, Decoder, Encoder};
 
+/// Named sections of a [`Checkpoint`] value with a changed-since-last-
+/// snapshot flag per section, in a canonical order the save and restore
+/// paths both follow. Produced by [`Checkpoint::dirty_sections`].
+#[derive(Debug, Clone, Default)]
+pub struct DirtySections {
+    entries: Vec<(String, bool)>,
+}
+
+impl DirtySections {
+    /// Empty section list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a section; `dirty` marks it changed since the last
+    /// [`Checkpoint::mark_clean`].
+    pub fn push(&mut self, name: impl Into<String>, dirty: bool) {
+        self.entries.push((name.into(), dirty));
+    }
+
+    /// Section list where every named section is always dirty.
+    pub fn always(names: &[&str]) -> Self {
+        Self {
+            entries: names.iter().map(|n| (n.to_string(), true)).collect(),
+        }
+    }
+
+    /// `(name, dirty)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.entries.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no sections are listed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// State that can be snapshotted into the `qmc-ckpt/v1` wire format and
 /// restored bit-exactly into a freshly constructed value of the same
 /// shape (same lattice size, same RNG kind, …).
+///
+/// The sectioned methods (`dirty_sections` / `save_section` /
+/// `load_section` / `mark_clean`) power incremental (delta)
+/// checkpointing: a value splits its state into named sections and
+/// reports which of them changed since the last successful snapshot, so
+/// a delta file can store unchanged sections as 8-byte base references
+/// (see [`delta`]). The defaults expose the whole state as a single
+/// always-dirty `"state"` section, which keeps every existing
+/// implementation correct (just never smaller than a full snapshot).
 pub trait Checkpoint {
     /// Stable type tag written ahead of the payload; `load` rejects a
     /// payload whose tag does not match (e.g. resuming an SSE run with
@@ -44,6 +98,44 @@ pub trait Checkpoint {
     /// parameters (lattice sizes, table lengths) before mutating and
     /// return [`CkptError::Corrupt`] on mismatch.
     fn load(&mut self, dec: &mut Decoder) -> Result<(), CkptError>;
+
+    /// Named sections with changed-since-last-snapshot flags. A flag may
+    /// be conservatively `true` for an unchanged section (costs bytes,
+    /// never correctness); a `false` flag for a changed section would
+    /// silently resurrect stale state on restore, so implementations
+    /// must only clear flags in mutation-free paths.
+    fn dirty_sections(&self) -> DirtySections {
+        DirtySections::always(&["state"])
+    }
+
+    /// Serialize one named section from [`Checkpoint::dirty_sections`].
+    /// Panics on an unknown name (caller bug, not external input).
+    fn save_section(&self, name: &str, enc: &mut Encoder) {
+        assert_eq!(
+            name,
+            "state",
+            "{} has no checkpoint section {name:?}",
+            self.kind()
+        );
+        self.save(enc);
+    }
+
+    /// Restore one named section. Sections arrive in the order
+    /// [`Checkpoint::save_section`] wrote them (file order).
+    fn load_section(&mut self, name: &str, dec: &mut Decoder) -> Result<(), CkptError> {
+        if name != "state" {
+            return Err(CkptError::MissingSection {
+                name: name.to_string(),
+            });
+        }
+        self.load(dec)
+    }
+
+    /// Every section has just been captured in a successful snapshot (or
+    /// restored from one): reset all dirty flags. Callers must only
+    /// invoke this after the write is durably on disk — clearing flags
+    /// for a failed write corrupts the next delta.
+    fn mark_clean(&mut self) {}
 }
 
 /// Serialize one [`Checkpoint`] value to a standalone byte vector
@@ -60,6 +152,127 @@ pub fn load_state(bytes: &[u8], state: &mut impl Checkpoint) -> Result<(), CkptE
     let mut dec = Decoder::new(bytes);
     dec.load_state(state)?;
     dec.expect_empty()
+}
+
+/// Serialize section `name` of `state` as a standalone byte vector:
+/// kind tag + length-prefixed section body (the sectioned counterpart of
+/// [`save_state`], so type mismatches are still caught per section).
+pub fn save_section_bytes(state: &impl Checkpoint, name: &str) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.str(state.kind());
+    let mut body = Encoder::new();
+    state.save_section(name, &mut body);
+    enc.bytes(&body.into_bytes());
+    enc.into_bytes()
+}
+
+/// Restore section `name` of `state` from bytes produced by
+/// [`save_section_bytes`], verifying the kind tag and requiring the body
+/// to be fully consumed.
+pub fn load_section_bytes(
+    bytes: &[u8],
+    name: &str,
+    state: &mut impl Checkpoint,
+) -> Result<(), CkptError> {
+    let mut dec = Decoder::new(bytes);
+    let found = dec.str()?;
+    if found != state.kind() {
+        return Err(CkptError::KindMismatch {
+            expected: state.kind().to_string(),
+            found,
+        });
+    }
+    let body = dec.bytes()?;
+    dec.expect_empty()?;
+    let mut sub = Decoder::new(body);
+    state.load_section(name, &mut sub)?;
+    sub.expect_empty()
+}
+
+/// Append `state`'s sections to a write plan under `prefix/…` names.
+/// When `delta` is set, clean sections are planned as base references
+/// (no payload serialized at all); otherwise every section is a payload.
+pub fn plan_sections(
+    plan: &mut Vec<(String, SectionPlan)>,
+    prefix: &str,
+    state: &impl Checkpoint,
+    delta: bool,
+) {
+    for (name, dirty) in state.dirty_sections().iter() {
+        let full_name = format!("{prefix}/{name}");
+        if dirty || !delta {
+            plan.push((
+                full_name,
+                SectionPlan::Payload(save_section_bytes(state, name)),
+            ));
+        } else {
+            plan.push((full_name, SectionPlan::Clean));
+        }
+    }
+}
+
+/// Restore `state` from every `prefix/…` section of a materialized
+/// file, in file order. Errors if the file holds no such sections (a
+/// monolithic v1-era layout should take the [`CkptFile::restore`] path
+/// instead).
+pub fn restore_sections(
+    file: &CkptFile,
+    prefix: &str,
+    state: &mut impl Checkpoint,
+) -> Result<(), CkptError> {
+    let p = format!("{prefix}/");
+    let mut found = false;
+    for (name, payload) in file.sections() {
+        if let Some(rest) = name.strip_prefix(p.as_str()) {
+            found = true;
+            load_section_bytes(payload, rest, state)?;
+        }
+    }
+    if !found {
+        return Err(CkptError::MissingSection {
+            name: format!("{prefix}/*"),
+        });
+    }
+    state.mark_clean();
+    Ok(())
+}
+
+/// Fixed-size row chunking for append-only measurement series.
+///
+/// A growing time series dominates full-snapshot bytes in steady state;
+/// splitting it into immutable completed chunks (`rows/0`, `rows/1`, …)
+/// plus a small always-dirty head makes most of those bytes clean, which
+/// is where delta checkpoints win. A chunk is dirty iff a row was
+/// appended past the last snapshot's row count overlaps it — completed
+/// chunks below that mark never change again.
+pub mod chunk {
+    /// Rows per chunk.
+    pub const ROWS: usize = 64;
+
+    /// Number of chunks covering `len` rows (0 for an empty series).
+    pub fn count(len: usize) -> usize {
+        len.div_ceil(ROWS)
+    }
+
+    /// True when chunk `k` overlaps rows appended after `clean_rows`.
+    pub fn is_dirty(k: usize, clean_rows: usize) -> bool {
+        (k + 1) * ROWS > clean_rows
+    }
+
+    /// Row range of chunk `k` in a series of `len` rows.
+    pub fn range(k: usize, len: usize) -> core::ops::Range<usize> {
+        k * ROWS..len.min((k + 1) * ROWS)
+    }
+
+    /// Section name of chunk `k`.
+    pub fn name(k: usize) -> String {
+        format!("rows/{k}")
+    }
+
+    /// Parse a chunk index back out of a section name.
+    pub fn parse(name: &str) -> Option<usize> {
+        name.strip_prefix("rows/")?.parse().ok()
+    }
 }
 
 #[cfg(test)]

@@ -1,23 +1,88 @@
-//! Atomic, generation-numbered checkpoint storage.
+//! Atomic, generation-numbered checkpoint storage with delta chains.
 //!
 //! Writes go to a hidden temp file in the same directory followed by a
 //! `rename`, so a crash never leaves a half-written file under the final
 //! name. Old generations are pruned down to the newest K after every
-//! successful write. Readers walk generations newest-first and skip any
-//! file that fails to parse (torn, CRC-bad, wrong schema) — the run then
-//! resumes from the most recent generation that survived intact.
+//! successful write — but never a base generation that a retained delta
+//! still references. Readers walk generations newest-first, materialize
+//! delta chains transparently, and skip any generation whose chain fails
+//! to parse (torn, CRC-bad, wrong schema) — the run then resumes from
+//! the most recent generation that survived intact.
+//!
+//! Delta writes resolve against the *base cache*: the section index
+//! (name, CRC32, length) of the last generation this store successfully
+//! wrote or restored. [`CkptStore::delta_base`] exposes the cached
+//! generation so callers can decide full-vs-delta *before* serializing —
+//! a clean section in a delta plan is never serialized at all, which is
+//! the entire point of incremental checkpointing.
 
+use crate::crc32::crc32;
+use crate::delta::{peek_base, RawCkpt, SectionData, SectionPlan};
 use crate::file::CkptFile;
 use crate::wire::CkptError;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 const EXT: &str = "qckpt";
 
-/// A directory of `ckpt-<generation>.qckpt` files, retaining the last K.
+/// Directories with a write currently in flight (between the temp-file
+/// write and the atomic rename), shared by every store in the process.
+/// All communicator backends in this workspace are in-process threads,
+/// so this registry sees every writer that could race a store open —
+/// `gc_temp_files` consults it before sweeping, closing the window where
+/// one rank's store open deleted another rank's live temp file.
+static ACTIVE_WRITERS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+
+/// Normalized directory key for the writer registry (two stores may name
+/// the same directory through different paths).
+fn registry_key(dir: &Path) -> PathBuf {
+    fs::canonicalize(dir).unwrap_or_else(|_| dir.to_path_buf())
+}
+
+/// RAII registration of an in-flight write on `dir`.
+struct WriterGuard {
+    key: PathBuf,
+}
+
+impl WriterGuard {
+    fn register(dir: &Path) -> Self {
+        let key = registry_key(dir);
+        ACTIVE_WRITERS
+            .lock()
+            .expect("checkpoint writer registry poisoned")
+            .push(key.clone());
+        Self { key }
+    }
+}
+
+impl Drop for WriterGuard {
+    fn drop(&mut self) {
+        let mut reg = ACTIVE_WRITERS
+            .lock()
+            .expect("checkpoint writer registry poisoned");
+        if let Some(i) = reg.iter().position(|k| k == &self.key) {
+            reg.swap_remove(i);
+        }
+    }
+}
+
+/// Section index of the last successfully written (or restored)
+/// generation: what a delta write's base references resolve against.
+struct BaseCache {
+    generation: u64,
+    /// `(name, crc32, len)` per section of the materialized generation.
+    index: Vec<(String, u32, u32)>,
+}
+
+/// A directory of `ckpt-<generation>.qckpt` files, retaining the last K
+/// (plus any older base a retained delta still needs).
 pub struct CkptStore {
     dir: PathBuf,
     retain: usize,
+    base: Mutex<Option<BaseCache>>,
+    written: AtomicU64,
 }
 
 impl CkptStore {
@@ -29,10 +94,15 @@ impl CkptStore {
         let store = Self {
             dir,
             retain: retain.max(1),
+            base: Mutex::new(None),
+            written: AtomicU64::new(0),
         };
         // A crash between `fs::write(tmp)` and `rename` leaves an orphan
         // temp file behind; opening the store is the natural point to
-        // sweep them (nothing else can be writing yet).
+        // sweep them. The sweep itself skips directories with a write in
+        // flight (see `gc_temp_files`) — in coordinated runs every rank
+        // opens the store while only rank 0 writes, and an unguarded
+        // sweep here used to delete rank 0's live temp file mid-write.
         store.gc_temp_files();
         Ok(store)
     }
@@ -40,11 +110,20 @@ impl CkptStore {
     /// Remove orphaned `.ckpt-*.qckpt.tmp` files left by a writer that
     /// crashed between the temp write and the atomic rename.
     ///
-    /// Best-effort (unlink errors are ignored) and safe by construction:
-    /// temp files are only ever live *during* a `write` call, and a
-    /// store is single-writer, so anything matching the pattern when we
-    /// look is garbage. Returns how many files were removed.
+    /// Best-effort (unlink errors are ignored). A temp file is only live
+    /// *during* a write, and every writer in the process registers
+    /// itself for the duration of that window — so the sweep runs under
+    /// the registry lock and skips the directory entirely while a write
+    /// is in flight, rather than assuming single-writer. Returns how
+    /// many files were removed.
     pub fn gc_temp_files(&self) -> usize {
+        let reg = ACTIVE_WRITERS
+            .lock()
+            .expect("checkpoint writer registry poisoned");
+        let me = registry_key(&self.dir);
+        if reg.iter().any(|k| k == &me) {
+            return 0;
+        }
         let mut removed = 0;
         if let Ok(entries) = fs::read_dir(&self.dir) {
             for entry in entries.flatten() {
@@ -66,34 +145,202 @@ impl CkptStore {
         &self.dir
     }
 
+    /// Total serialized bytes this store instance has written (full and
+    /// delta files alike); the `ckpt_delta_bytes` bench guard reads this.
+    pub fn bytes_written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
     fn path_for(&self, generation: u64) -> PathBuf {
         self.dir.join(format!("ckpt-{generation:010}.{EXT}"))
     }
 
-    /// Atomically write `file` as generation `generation`, then prune
-    /// old generations beyond the retain limit. Records the serialized
-    /// size under the `ckpt.write_bytes` observability counter.
-    pub fn write(&self, generation: u64, file: &CkptFile) -> std::io::Result<PathBuf> {
-        let bytes = file.to_bytes();
+    /// Temp-write + atomic rename, registered with the writer registry
+    /// for the duration so a concurrent store open cannot sweep the live
+    /// temp file.
+    fn write_bytes_atomic(&self, generation: u64, bytes: &[u8]) -> std::io::Result<PathBuf> {
         let final_path = self.path_for(generation);
         let tmp_path = self.dir.join(format!(".ckpt-{generation:010}.{EXT}.tmp"));
-        fs::write(&tmp_path, &bytes)?;
+        let _writing = WriterGuard::register(&self.dir);
+        fs::write(&tmp_path, bytes)?;
         fs::rename(&tmp_path, &final_path)?;
         qmc_obs::counter_add("ckpt.write_bytes", bytes.len() as u64);
-        self.prune();
+        self.written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         Ok(final_path)
     }
 
-    /// Delete the oldest generations until at most `retain` remain.
-    /// Best-effort: unlink errors are ignored (a stale extra file is
-    /// harmless; readers pick the newest valid one regardless).
+    /// Replace the base cache with `file`'s section index.
+    fn seed_cache(&self, generation: u64, file: &CkptFile) {
+        let index = file
+            .sections()
+            .map(|(n, p)| (n.to_string(), crc32(p), p.len() as u32))
+            .collect();
+        *self.base.lock().expect("checkpoint base cache poisoned") =
+            Some(BaseCache { generation, index });
+    }
+
+    /// Atomically write `file` as a full generation `generation`, then
+    /// prune old generations beyond the retain limit. Records the
+    /// serialized size under the `ckpt.write_bytes` observability
+    /// counter and makes this generation the delta base for subsequent
+    /// [`CkptStore::write_delta`] calls.
+    pub fn write(&self, generation: u64, file: &CkptFile) -> std::io::Result<PathBuf> {
+        let bytes = file.to_bytes();
+        let path = self.write_bytes_atomic(generation, &bytes)?;
+        self.seed_cache(generation, file);
+        self.prune();
+        Ok(path)
+    }
+
+    /// Generation a delta write would reference, if the store has one:
+    /// the last generation this instance successfully wrote or restored.
+    /// Callers consult this *before* serializing so clean sections can
+    /// be planned as [`SectionPlan::Clean`] and never serialized.
+    pub fn delta_base(&self) -> Option<u64> {
+        self.base
+            .lock()
+            .expect("checkpoint base cache poisoned")
+            .as_ref()
+            .map(|c| c.generation)
+    }
+
+    /// Atomically write a delta generation: `Clean` plan entries become
+    /// 8-byte references into the cached base generation, `Payload`
+    /// entries are stored verbatim. Errors if a clean section has no
+    /// counterpart in the base (callers pair this with
+    /// [`CkptStore::delta_base`]); degrades to a plain full write when
+    /// the plan has no clean entries. On success the new generation
+    /// becomes the delta base for the next write.
+    pub fn write_delta(
+        &self,
+        generation: u64,
+        plan: Vec<(String, SectionPlan)>,
+    ) -> std::io::Result<PathBuf> {
+        if !plan.iter().any(|(_, p)| matches!(p, SectionPlan::Clean)) {
+            // Nothing to reference — a "delta" carrying every payload is
+            // just a full snapshot; write it as one.
+            let mut file = CkptFile::new();
+            for (name, p) in plan {
+                if let SectionPlan::Payload(b) = p {
+                    file.add(&name, b);
+                }
+            }
+            return self.write(generation, &file);
+        }
+        let (base_generation, index, sections) = {
+            let cache = self.base.lock().expect("checkpoint base cache poisoned");
+            let Some(cache) = cache.as_ref() else {
+                return Err(std::io::Error::other(
+                    "delta write with no base generation (no prior successful write)",
+                ));
+            };
+            if cache.generation >= generation {
+                return Err(std::io::Error::other(format!(
+                    "delta generation {generation} must be newer than its base {}",
+                    cache.generation
+                )));
+            }
+            let mut index = Vec::with_capacity(plan.len());
+            let mut sections = Vec::with_capacity(plan.len());
+            for (name, p) in plan {
+                match p {
+                    SectionPlan::Payload(b) => {
+                        index.push((name.clone(), crc32(&b), b.len() as u32));
+                        sections.push((name, SectionData::Payload(b)));
+                    }
+                    SectionPlan::Clean => {
+                        let Some((_, crc, len)) = cache.index.iter().find(|(n, _, _)| *n == name)
+                        else {
+                            return Err(std::io::Error::other(format!(
+                                "clean section {name:?} has no counterpart in base generation {}",
+                                cache.generation
+                            )));
+                        };
+                        index.push((name.clone(), *crc, *len));
+                        sections.push((
+                            name,
+                            SectionData::BaseRef {
+                                crc: *crc,
+                                len: *len,
+                            },
+                        ));
+                    }
+                }
+            }
+            (cache.generation, index, sections)
+        };
+        let raw = RawCkpt {
+            base: Some(base_generation),
+            sections,
+        };
+        let path = self.write_bytes_atomic(generation, &raw.to_bytes())?;
+        *self.base.lock().expect("checkpoint base cache poisoned") =
+            Some(BaseCache { generation, index });
+        self.prune();
+        Ok(path)
+    }
+
+    /// Write a planned generation: a delta against the cached base when
+    /// `delta` is set, else a plain full snapshot. `delta` must come
+    /// from a [`CkptStore::delta_base`] check made before the plan was
+    /// built, so clean sections were never serialized.
+    pub fn write_plan(
+        &self,
+        generation: u64,
+        plan: Vec<(String, SectionPlan)>,
+        delta: bool,
+    ) -> std::io::Result<PathBuf> {
+        if delta {
+            self.write_delta(generation, plan)
+        } else {
+            let mut file = CkptFile::new();
+            for (name, p) in plan {
+                match p {
+                    SectionPlan::Payload(b) => file.add(&name, b),
+                    SectionPlan::Clean => {
+                        return Err(std::io::Error::other(format!(
+                            "clean section {name:?} in a full write plan"
+                        )))
+                    }
+                }
+            }
+            self.write(generation, &file)
+        }
+    }
+
+    /// Delete the oldest generations until at most `retain` remain —
+    /// except that a base generation referenced (transitively) by any
+    /// retained delta is kept alive regardless of age, because dropping
+    /// it would orphan the whole chain. Best-effort: unlink errors are
+    /// ignored (a stale extra file is harmless; readers pick the newest
+    /// valid one regardless).
     fn prune(&self) {
         let gens = self.generations();
-        if gens.len() > self.retain {
-            for &g in &gens[..gens.len() - self.retain] {
+        if gens.len() <= self.retain {
+            return;
+        }
+        let mut keep: Vec<u64> = gens[gens.len() - self.retain..].to_vec();
+        let mut frontier = keep.clone();
+        while let Some(g) = frontier.pop() {
+            if let Some(b) = self.read_base(g) {
+                if gens.contains(&b) && !keep.contains(&b) {
+                    keep.push(b);
+                    frontier.push(b);
+                }
+            }
+        }
+        for &g in &gens {
+            if !keep.contains(&g) {
                 let _ = fs::remove_file(self.path_for(g));
             }
         }
+    }
+
+    /// Base generation `generation`'s file references, from a cheap
+    /// header peek (no CRC validation; `None` for full/v1/unreadable).
+    fn read_base(&self, generation: u64) -> Option<u64> {
+        peek_base(&fs::read(self.path_for(generation)).ok()?)
     }
 
     /// All on-disk generation numbers, sorted ascending. Files that do
@@ -117,26 +364,65 @@ impl CkptStore {
         gens
     }
 
-    /// Load and fully validate a specific generation.
+    /// Load, fully validate, and materialize a specific generation,
+    /// resolving its delta chain (base of base of …) transparently.
+    /// Every file in the chain is CRC-validated and every base reference
+    /// re-verified against the materialized base payloads.
     pub fn load(&self, generation: u64) -> Result<CkptFile, CkptError> {
-        let bytes = fs::read(self.path_for(generation)).map_err(|e| CkptError::Io {
-            detail: format!("{}: {e}", self.path_for(generation).display()),
+        let path = self.path_for(generation);
+        let bytes = fs::read(&path).map_err(|e| CkptError::Io {
+            detail: format!("{}: {e}", path.display()),
         })?;
-        CkptFile::from_bytes(&bytes)
+        let raw = RawCkpt::from_bytes(&bytes)?;
+        match raw.base {
+            None => raw.resolve(None),
+            Some(b) if b >= generation => Err(CkptError::corrupt(format!(
+                "delta generation {generation} references a non-older base {b}"
+            ))),
+            Some(b) => {
+                let base = self.load(b)?;
+                raw.resolve(Some(&base))
+            }
+        }
     }
 
-    /// Newest generation that parses and passes every CRC, walking
-    /// backwards past torn or corrupt files. Bumps the `ckpt.restores`
-    /// observability counter on success. `None` when no valid
-    /// checkpoint exists.
+    /// Newest generation whose whole chain parses and passes every CRC,
+    /// walking backwards past torn or corrupt generations (a torn delta
+    /// falls back to its base's generation if that one is intact on its
+    /// own or via an earlier chain). Bumps the `ckpt.restores`
+    /// observability counter on success and seeds the delta-base cache,
+    /// so a resumed run's next checkpoint can be written as a delta.
+    /// `None` when no valid checkpoint exists.
     pub fn latest(&self) -> Option<(u64, CkptFile)> {
         for &g in self.generations().iter().rev() {
             if let Ok(file) = self.load(g) {
                 qmc_obs::counter_add("ckpt.restores", 1);
+                self.seed_cache(g, &file);
                 return Some((g, file));
             }
         }
         None
+    }
+
+    /// Collapse the newest valid generation's delta chain into a fresh
+    /// standalone full snapshot (ROADMAP: checkpoint compaction): the
+    /// chain is materialized, rewritten atomically under the same
+    /// generation number, and bases it no longer needs are pruned.
+    /// Returns the compacted generation, `None` when the store is empty
+    /// (or holds only corrupt files). A crash mid-compaction leaves the
+    /// original chain untouched — the rewrite rides the same temp+rename
+    /// discipline as every other write.
+    pub fn compact(&self) -> std::io::Result<Option<u64>> {
+        for &g in self.generations().iter().rev() {
+            let Ok(file) = self.load(g) else { continue };
+            if self.read_base(g).is_some() {
+                self.write_bytes_atomic(g, &file.to_bytes())?;
+            }
+            self.seed_cache(g, &file);
+            self.prune();
+            return Ok(Some(g));
+        }
+        Ok(None)
     }
 }
 
@@ -158,6 +444,21 @@ mod tests {
     fn file_with(tag: u8) -> CkptFile {
         let mut f = CkptFile::new();
         f.add("data", vec![tag; 16]);
+        f
+    }
+
+    /// A two-section plan: `big` clean (delta candidate), `small` dirty.
+    fn delta_plan(tag: u8) -> Vec<(String, SectionPlan)> {
+        vec![
+            ("big".to_string(), SectionPlan::Clean),
+            ("small".to_string(), SectionPlan::Payload(vec![tag; 4])),
+        ]
+    }
+
+    fn full_file(tag: u8) -> CkptFile {
+        let mut f = CkptFile::new();
+        f.add("big", vec![0xAB; 256]);
+        f.add("small", vec![tag; 4]);
         f
     }
 
@@ -249,5 +550,212 @@ mod tests {
         let store = CkptStore::new(scratch("empty"), 2).unwrap();
         assert!(store.latest().is_none());
         assert!(store.generations().is_empty());
+    }
+
+    // ---- store-open GC race (regression: a non-zero rank opening the
+    // store used to sweep rank 0's live temp file mid-write) ----
+
+    #[test]
+    fn store_open_does_not_sweep_a_live_writers_temp_file() {
+        let dir = scratch("gc-race");
+        let store = CkptStore::new(&dir, 3).unwrap();
+        // Freeze rank 0 between `fs::write(tmp)` and `rename`: register
+        // the writer guard and put the temp file on disk by hand.
+        let tmp = dir.join(format!(".ckpt-{:010}.{EXT}.tmp", 5));
+        let guard = WriterGuard::register(store.dir());
+        fs::write(&tmp, b"live in-flight write").unwrap();
+
+        // Another rank opens the same store concurrently — its GC sweep
+        // must leave the live temp file alone.
+        let _other = CkptStore::new(&dir, 3).unwrap();
+        assert!(
+            tmp.exists(),
+            "store open swept a live temp file out from under an active writer"
+        );
+
+        // Once the writer is gone (crash case), the next open may sweep.
+        drop(guard);
+        let _third = CkptStore::new(&dir, 3).unwrap();
+        assert!(!tmp.exists(), "orphaned temp file must still be collected");
+    }
+
+    #[test]
+    fn concurrent_store_opens_never_break_an_active_writer() {
+        let dir = scratch("gc-race-threads");
+        let store = std::sync::Arc::new(CkptStore::new(&dir, 3).unwrap());
+        let writer = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for g in 1..=200u64 {
+                    store.write(g, &file_with(g as u8)).expect("write survives");
+                }
+            })
+        };
+        let opener = {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let _ = CkptStore::new(&dir, 3).expect("open survives");
+                }
+            })
+        };
+        writer.join().expect("writer thread");
+        opener.join().expect("opener thread");
+        let (g, _) = store.latest().expect("checkpoints survived the race");
+        assert_eq!(g, 200);
+    }
+
+    // ---- delta chains ----
+
+    #[test]
+    fn delta_chain_materializes_through_latest() {
+        let store = CkptStore::new(scratch("delta-rt"), 4).unwrap();
+        assert_eq!(store.delta_base(), None);
+        store.write(1, &full_file(1)).unwrap();
+        assert_eq!(store.delta_base(), Some(1));
+        store.write_delta(2, delta_plan(2)).unwrap();
+        assert_eq!(store.delta_base(), Some(2));
+        store.write_delta(3, delta_plan(3)).unwrap();
+
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 3);
+        assert_eq!(f.get("big"), Some(&[0xABu8; 256][..]), "clean via chain");
+        assert_eq!(f.get("small"), Some(&[3u8; 4][..]), "dirty from the delta");
+        // The delta files really are small: big's 256 bytes appear once.
+        let full_len = fs::metadata(store.path_for(1)).unwrap().len();
+        let delta_len = fs::metadata(store.path_for(3)).unwrap().len();
+        assert!(
+            delta_len * 2 < full_len,
+            "delta file ({delta_len} B) should be far smaller than full ({full_len} B)"
+        );
+    }
+
+    #[test]
+    fn write_delta_without_base_is_an_error() {
+        let store = CkptStore::new(scratch("delta-nobase"), 3).unwrap();
+        assert!(store.write_delta(1, delta_plan(1)).is_err());
+    }
+
+    #[test]
+    fn all_dirty_delta_degrades_to_full() {
+        let store = CkptStore::new(scratch("delta-alldirty"), 3).unwrap();
+        let plan = vec![("small".to_string(), SectionPlan::Payload(vec![5; 4]))];
+        store.write_delta(1, plan).unwrap();
+        assert_eq!(store.read_base(1), None, "no-clean delta is a full file");
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 1);
+        assert_eq!(f.get("small"), Some(&[5u8; 4][..]));
+    }
+
+    #[test]
+    fn prune_retain_1_keeps_the_base_a_delta_needs() {
+        let store = CkptStore::new(scratch("delta-prune1"), 1).unwrap();
+        store.write(1, &full_file(1)).unwrap();
+        store.write_delta(2, delta_plan(2)).unwrap();
+        // retain=1 keeps only generation 2 — but 2 is a delta against 1,
+        // so 1 must survive or the chain is orphaned.
+        assert_eq!(store.generations(), vec![1, 2]);
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 2);
+        assert_eq!(f.get("big"), Some(&[0xABu8; 256][..]));
+        // A later full snapshot releases the pin: both old files go.
+        store.write(3, &full_file(3)).unwrap();
+        assert_eq!(store.generations(), vec![3]);
+    }
+
+    #[test]
+    fn torn_delta_falls_back_to_its_base() {
+        let store = CkptStore::new(scratch("delta-torn"), 4).unwrap();
+        store.write(1, &full_file(1)).unwrap();
+        let p2 = store.write_delta(2, delta_plan(2)).unwrap();
+        let bytes = fs::read(&p2).unwrap();
+        fs::write(&p2, &bytes[..bytes.len() / 2]).unwrap();
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 1, "torn delta must fall back to the base generation");
+        assert_eq!(f.get("small"), Some(&[1u8; 4][..]));
+    }
+
+    #[test]
+    fn delta_whose_base_is_missing_is_skipped() {
+        let store = CkptStore::new(scratch("delta-orphan"), 4).unwrap();
+        store.write(1, &full_file(1)).unwrap();
+        store.write_delta(2, delta_plan(2)).unwrap();
+        fs::remove_file(store.path_for(1)).unwrap();
+        assert!(
+            store.latest().is_none(),
+            "orphaned delta must not materialize"
+        );
+    }
+
+    #[test]
+    fn resumed_store_can_write_deltas_immediately() {
+        let dir = scratch("delta-resume");
+        {
+            let store = CkptStore::new(&dir, 4).unwrap();
+            store.write(1, &full_file(1)).unwrap();
+            store.write_delta(2, delta_plan(2)).unwrap();
+        }
+        // A fresh store (fresh process) restores, then continues the
+        // chain without an intervening full snapshot.
+        let store = CkptStore::new(&dir, 4).unwrap();
+        assert_eq!(store.delta_base(), None, "cache starts empty");
+        let (g, _) = store.latest().unwrap();
+        assert_eq!(g, 2);
+        assert_eq!(store.delta_base(), Some(2), "restore seeds the cache");
+        store.write_delta(3, delta_plan(3)).unwrap();
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 3);
+        assert_eq!(f.get("big"), Some(&[0xABu8; 256][..]));
+    }
+
+    #[test]
+    fn compact_collapses_a_chain_into_a_full_snapshot() {
+        let store = CkptStore::new(scratch("compact"), 1).unwrap();
+        store.write(1, &full_file(1)).unwrap();
+        store.write_delta(2, delta_plan(2)).unwrap();
+        store.write_delta(3, delta_plan(3)).unwrap();
+        assert_eq!(store.generations(), vec![1, 2, 3], "chain pins its bases");
+        assert_eq!(store.compact().unwrap(), Some(3));
+        assert_eq!(store.read_base(3), None, "compacted file is standalone");
+        assert_eq!(
+            store.generations(),
+            vec![3],
+            "compaction releases the chain's pinned bases"
+        );
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 3);
+        assert_eq!(f.get("big"), Some(&[0xABu8; 256][..]));
+        assert_eq!(f.get("small"), Some(&[3u8; 4][..]));
+        // Compacting an already-full newest generation is a no-op.
+        assert_eq!(store.compact().unwrap(), Some(3));
+    }
+
+    #[test]
+    fn crash_mid_compaction_leaves_the_chain_intact() {
+        let store = CkptStore::new(scratch("compact-crash"), 2).unwrap();
+        store.write(1, &full_file(1)).unwrap();
+        store.write_delta(2, delta_plan(2)).unwrap();
+        // Simulate the crash: compaction died after writing its temp
+        // file but before the rename.
+        fs::write(
+            store.dir().join(format!(".ckpt-{:010}.{EXT}.tmp", 2)),
+            b"half-compacted",
+        )
+        .unwrap();
+        // Reopen: the orphan is swept, the original chain still reads.
+        let store = CkptStore::new(store.dir().to_path_buf(), 2).unwrap();
+        let (g, f) = store.latest().unwrap();
+        assert_eq!(g, 2);
+        assert_eq!(f.get("big"), Some(&[0xABu8; 256][..]));
+        assert_eq!(f.get("small"), Some(&[2u8; 4][..]));
+        // And a retried compaction completes.
+        assert_eq!(store.compact().unwrap(), Some(2));
+        assert_eq!(store.read_base(2), None);
+    }
+
+    #[test]
+    fn empty_store_compacts_to_none() {
+        let store = CkptStore::new(scratch("compact-empty"), 2).unwrap();
+        assert_eq!(store.compact().unwrap(), None);
     }
 }

@@ -389,6 +389,10 @@ pub struct PtCheckpointing<'a> {
     /// Write a coordinated checkpoint every `every` sweeps (before the
     /// sweep runs, so generation `g` is the state entering sweep `g`).
     pub every: usize,
+    /// Write every `full_every`-th generation as a full snapshot; the
+    /// ones in between are deltas against the last full generation.
+    /// `0` disables deltas — every generation is a full snapshot.
+    pub full_every: usize,
     /// Resume from the newest valid generation before sweeping.
     pub resume: bool,
 }
@@ -466,10 +470,21 @@ where
                 let step0 = dec
                     .u64()
                     .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                file.restore("replica", &mut replica)
-                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                file.restore("rng", rng)
-                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                if file.get("replica").is_some() {
+                    // Legacy monolithic layout: restore, but leave the
+                    // state dirty so the next delta write degrades to a
+                    // full snapshot (this file carries no sectioned
+                    // names a delta could reference).
+                    file.restore("replica", &mut replica)
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    file.restore("rng", rng)
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                } else {
+                    qmc_ckpt::restore_sections(&file, "replica", &mut replica)
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    qmc_ckpt::restore_sections(&file, "rng", rng)
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                }
                 let stats = file
                     .require("stats")
                     .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
@@ -537,19 +552,42 @@ where
     for s in start..therm + sweeps {
         if let Some(ck) = ck {
             if s % ck.every == 0 {
-                let mut file = qmc_ckpt::CkptFile::new();
-                let mut meta = qmc_ckpt::Encoder::new();
-                meta.u64(s as u64);
-                meta.u64(step);
-                file.add("meta", meta.into_bytes());
-                file.add_state("replica", &replica);
-                file.add_state("rng", rng);
-                let mut st = qmc_ckpt::Encoder::new();
-                st.f64s(&accepted);
-                st.f64s(&attempted);
-                st.f64s(&energies);
-                file.add("stats", st.into_bytes());
-                qmc_ckpt::coord::write_coordinated(comm, ck.store, s as u64, &file);
+                let gen_index = s / ck.every;
+                let want_full = ck.full_every == 0 || gen_index % ck.full_every == 0;
+                let (_, committed) = qmc_ckpt::coord::write_coordinated_sections(
+                    comm,
+                    ck.store,
+                    s as u64,
+                    want_full,
+                    |delta| {
+                        let mut meta = qmc_ckpt::Encoder::new();
+                        meta.u64(s as u64);
+                        meta.u64(step);
+                        let mut plan = vec![(
+                            "meta".to_string(),
+                            qmc_ckpt::SectionPlan::Payload(meta.into_bytes()),
+                        )];
+                        qmc_ckpt::plan_sections(&mut plan, "replica", &replica, delta);
+                        qmc_ckpt::plan_sections(&mut plan, "rng", rng, delta);
+                        let mut st = qmc_ckpt::Encoder::new();
+                        st.f64s(&accepted);
+                        st.f64s(&attempted);
+                        st.f64s(&energies);
+                        plan.push((
+                            "stats".to_string(),
+                            qmc_ckpt::SectionPlan::Payload(st.into_bytes()),
+                        ));
+                        plan
+                    },
+                );
+                // Every rank saw the same commit ack, so either all mark
+                // their state clean or none do — a rank that wrongly
+                // believed "clean" would ship stale base references into
+                // the next delta.
+                if committed {
+                    qmc_ckpt::Checkpoint::mark_clean(&mut replica);
+                    qmc_ckpt::Checkpoint::mark_clean(rng);
+                }
             }
         }
         on_sweep(comm, s);

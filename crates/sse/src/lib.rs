@@ -77,6 +77,12 @@ pub struct Sse {
     vlast: Vec<i64>,
     flipped: Vec<bool>,
     visited: Vec<bool>,
+    /// Basis state changed since the last successful checkpoint snapshot
+    /// (conservatively true on construction; cleared only by
+    /// [`qmc_ckpt::Checkpoint::mark_clean`]).
+    state_dirty: bool,
+    /// Operator string changed since the last successful snapshot.
+    ops_dirty: bool,
 }
 
 /// Per-sweep measurements.
@@ -111,6 +117,9 @@ pub struct SseSeries {
     /// empty for 2-D lattices), r ∈ 0..=N/2.
     corr_sum: Vec<f64>,
     corr_count: u64,
+    /// Rows captured by the last successful snapshot: completed row
+    /// chunks below this mark are immutable and checkpoint as clean.
+    clean_rows: usize,
 }
 
 impl SseSeries {
@@ -199,6 +208,8 @@ impl Sse {
             vlast: Vec::new(),
             flipped: Vec::new(),
             visited: Vec::new(),
+            state_dirty: true,
+            ops_dirty: true,
         };
         sse.rebuild_diag_tables();
         sse
@@ -247,6 +258,7 @@ impl Sse {
                         if rng.metropolis(prob) {
                             self.ops[p] = 2 * b as Op;
                             self.n_ops += 1;
+                            self.ops_dirty = true;
                         }
                     }
                 }
@@ -255,6 +267,7 @@ impl Sse {
                     if rng.metropolis(prob) {
                         self.ops[p] = IDENTITY;
                         self.n_ops -= 1;
+                        self.ops_dirty = true;
                     }
                 }
                 op => {
@@ -334,6 +347,7 @@ impl Sse {
                 let p = v / 4;
                 if flip {
                     self.ops[p] ^= 1; // diagonal ↔ off-diagonal
+                    self.ops_dirty = true;
                 }
                 let exit = v ^ 1; // same-side partner leg
                 self.visited[exit] = true;
@@ -349,9 +363,11 @@ impl Sse {
             if self.vfirst[site] < 0 {
                 if rng.bernoulli(0.5) {
                     self.state[site] = !self.state[site];
+                    self.state_dirty = true;
                 }
             } else if self.flipped[self.vfirst[site] as usize] {
                 self.state[site] = !self.state[site];
+                self.state_dirty = true;
             }
         }
     }
@@ -365,6 +381,7 @@ impl Sse {
         let m = self.ops.len();
         if n + n / 3 > m {
             self.ops.resize(n + n / 3 + 10, IDENTITY);
+            self.ops_dirty = true;
             self.rebuild_diag_tables();
         }
     }
@@ -420,6 +437,7 @@ impl Sse {
             staggered: Vec::with_capacity(capacity),
             corr_sum: vec![0.0; self.n_sites / 2 + 1],
             corr_count: 0,
+            clean_rows: 0,
         }
     }
 
@@ -502,6 +520,8 @@ impl Sse {
                 .push(Op::from_le_bytes(chunk.try_into().expect("8 bytes")));
         }
         self.n_ops = self.ops.iter().filter(|&&o| o != IDENTITY).count();
+        self.state_dirty = true;
+        self.ops_dirty = true;
         self.rebuild_diag_tables();
         self.check_consistency()
             .unwrap_or_else(|e| panic!("corrupt checkpoint: {e}"));
@@ -570,9 +590,81 @@ impl qmc_ckpt::Checkpoint for Sse {
         self.state = state;
         self.ops = ops;
         self.n_ops = self.ops.iter().filter(|&&o| o != IDENTITY).count();
+        self.state_dirty = true;
+        self.ops_dirty = true;
         self.rebuild_diag_tables();
         self.check_consistency()
             .map_err(qmc_ckpt::CkptError::corrupt)
+    }
+
+    fn dirty_sections(&self) -> qmc_ckpt::DirtySections {
+        let mut s = qmc_ckpt::DirtySections::new();
+        // "spins" before "ops": restoring the operator string runs the
+        // closure consistency check, which needs the basis state already
+        // in place.
+        s.push("spins", self.state_dirty);
+        s.push("ops", self.ops_dirty);
+        s
+    }
+
+    fn save_section(&self, name: &str, enc: &mut qmc_ckpt::Encoder) {
+        match name {
+            "spins" => {
+                enc.u64(self.n_sites as u64);
+                enc.bools(&self.state);
+            }
+            "ops" => enc.i64s(&self.ops),
+            _ => panic!("engine.sse has no checkpoint section {name:?}"),
+        }
+    }
+
+    fn load_section(
+        &mut self,
+        name: &str,
+        dec: &mut qmc_ckpt::Decoder,
+    ) -> Result<(), qmc_ckpt::CkptError> {
+        match name {
+            "spins" => {
+                let n_sites = dec.u64()? as usize;
+                if n_sites != self.n_sites {
+                    return Err(qmc_ckpt::CkptError::corrupt(format!(
+                        "sse checkpoint is for {n_sites} sites, engine has {}",
+                        self.n_sites
+                    )));
+                }
+                let state = dec.bools()?;
+                if state.len() != self.n_sites {
+                    return Err(qmc_ckpt::CkptError::corrupt(
+                        "sse basis state has the wrong length",
+                    ));
+                }
+                self.state = state;
+                Ok(())
+            }
+            "ops" => {
+                let ops = dec.i64s()?;
+                for &op in &ops {
+                    if op != IDENTITY && (op < 0 || (op / 2) as usize >= self.bonds.len()) {
+                        return Err(qmc_ckpt::CkptError::corrupt(format!(
+                            "sse operator code {op} out of range"
+                        )));
+                    }
+                }
+                self.ops = ops;
+                self.n_ops = self.ops.iter().filter(|&&o| o != IDENTITY).count();
+                self.rebuild_diag_tables();
+                self.check_consistency()
+                    .map_err(qmc_ckpt::CkptError::corrupt)
+            }
+            _ => Err(qmc_ckpt::CkptError::MissingSection {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    fn mark_clean(&mut self) {
+        self.state_dirty = false;
+        self.ops_dirty = false;
     }
 }
 
@@ -623,7 +715,119 @@ impl qmc_ckpt::Checkpoint for SseSeries {
                 "sse series columns have unequal lengths",
             ));
         }
+        self.clean_rows = 0;
         Ok(())
+    }
+
+    fn dirty_sections(&self) -> qmc_ckpt::DirtySections {
+        use qmc_ckpt::chunk;
+        let mut s = qmc_ckpt::DirtySections::new();
+        for k in 0..chunk::count(self.n_ops.len()) {
+            s.push(chunk::name(k), chunk::is_dirty(k, self.clean_rows));
+        }
+        // Head last: it carries the total row count, so restoring it
+        // validates that every chunk before it arrived intact.
+        s.push("head", true);
+        s
+    }
+
+    fn save_section(&self, name: &str, enc: &mut qmc_ckpt::Encoder) {
+        use qmc_ckpt::chunk;
+        if name == "head" {
+            enc.f64(self.beta);
+            enc.f64(self.j);
+            enc.u64(self.n_sites as u64);
+            enc.u64(self.n_bonds as u64);
+            enc.f64s(&self.corr_sum);
+            enc.u64(self.corr_count);
+            enc.u64(self.n_ops.len() as u64);
+            return;
+        }
+        let k = chunk::parse(name)
+            .unwrap_or_else(|| panic!("series.sse has no checkpoint section {name:?}"));
+        enc.u64(k as u64);
+        let r = chunk::range(k, self.n_ops.len());
+        enc.f64s(&self.n_ops[r.clone()]);
+        enc.f64s(&self.magnetization[r.clone()]);
+        enc.f64s(&self.staggered[r]);
+    }
+
+    fn load_section(
+        &mut self,
+        name: &str,
+        dec: &mut qmc_ckpt::Decoder,
+    ) -> Result<(), qmc_ckpt::CkptError> {
+        use qmc_ckpt::chunk;
+        if name == "head" {
+            let beta = dec.f64()?;
+            let j = dec.f64()?;
+            let n_sites = dec.u64()? as usize;
+            let n_bonds = dec.u64()? as usize;
+            if n_sites != self.n_sites || n_bonds != self.n_bonds {
+                return Err(qmc_ckpt::CkptError::corrupt(format!(
+                    "sse series is for {n_sites} sites / {n_bonds} bonds, engine has {} / {}",
+                    self.n_sites, self.n_bonds
+                )));
+            }
+            let corr_sum = dec.f64s()?;
+            if corr_sum.len() != self.corr_sum.len() {
+                return Err(qmc_ckpt::CkptError::corrupt(
+                    "sse series correlation table has the wrong length",
+                ));
+            }
+            self.beta = beta;
+            self.j = j;
+            self.corr_sum = corr_sum;
+            self.corr_count = dec.u64()?;
+            let n = dec.u64()? as usize;
+            if n != self.n_ops.len() {
+                return Err(qmc_ckpt::CkptError::corrupt(format!(
+                    "sse series head claims {n} rows, chunks supplied {}",
+                    self.n_ops.len()
+                )));
+            }
+            return Ok(());
+        }
+        let Some(k) = chunk::parse(name) else {
+            return Err(qmc_ckpt::CkptError::MissingSection {
+                name: name.to_string(),
+            });
+        };
+        let stored = dec.u64()? as usize;
+        if stored != k {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "sse series chunk {k} carries index {stored}"
+            )));
+        }
+        if k == 0 {
+            self.n_ops.clear();
+            self.magnetization.clear();
+            self.staggered.clear();
+            self.clean_rows = 0;
+        }
+        if self.n_ops.len() != k * chunk::ROWS {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "sse series chunk {k} arrived at row {}",
+                self.n_ops.len()
+            )));
+        }
+        let n_ops = dec.f64s()?;
+        let magnetization = dec.f64s()?;
+        let staggered = dec.f64s()?;
+        let n = n_ops.len();
+        if n == 0 || n > chunk::ROWS || magnetization.len() != n || staggered.len() != n {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "sse series chunk {k} has malformed columns"
+            )));
+        }
+        self.n_ops.extend_from_slice(&n_ops);
+        self.magnetization.extend_from_slice(&magnetization);
+        self.staggered.extend_from_slice(&staggered);
+        Ok(())
+    }
+
+    fn mark_clean(&mut self) {
+        self.clean_rows = self.n_ops.len();
     }
 }
 

@@ -11,6 +11,10 @@ pub struct SerialTfim {
     model: TfimModel,
     c: StCouplings,
     spins: Vec<i8>,
+    /// Spins changed since the last successful checkpoint snapshot
+    /// (conservatively true on construction and after any accepted
+    /// update; cleared only by [`qmc_ckpt::Checkpoint::mark_clean`]).
+    spins_dirty: bool,
     /// Engine-owned metrics (acceptance counters, Wolff cluster sizes).
     /// Always live — the reported acceptance rate does not depend on the
     /// observability layer being enabled.
@@ -52,6 +56,9 @@ pub struct TfimSeries {
     pub m2: Vec<f64>,
     /// σˣ per site.
     pub sigma_x: Vec<f64>,
+    /// Rows captured by the last successful snapshot: completed row
+    /// chunks below this mark are immutable and checkpoint as clean.
+    clean_rows: usize,
 }
 
 impl TfimSeries {
@@ -103,6 +110,7 @@ impl SerialTfim {
         Self {
             c,
             spins: vec![1; n],
+            spins_dirty: true,
             model,
             metrics,
             id_accepted,
@@ -262,6 +270,9 @@ impl SerialTfim {
         }
         self.metrics.add(self.id_proposed, proposed);
         self.metrics.add(self.id_accepted, accepted);
+        if accepted > 0 {
+            self.spins_dirty = true;
+        }
     }
 
     /// One Wolff cluster update (grows a single cluster and always flips
@@ -294,6 +305,8 @@ impl SerialTfim {
             }
             self.spins[site] = -s;
         }
+        // A Wolff update always flips its (≥ 1 site) cluster.
+        self.spins_dirty = true;
         self.metrics.record_named("tfim.wolff_cluster", size as u64);
         size
     }
@@ -371,20 +384,13 @@ impl SerialTfim {
     }
 }
 
-impl qmc_ckpt::Checkpoint for SerialTfim {
-    fn kind(&self) -> &'static str {
-        "engine.tfim.serial"
-    }
-
-    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+impl SerialTfim {
+    fn save_spins(&self, enc: &mut qmc_ckpt::Encoder) {
         let raw: Vec<u8> = self.spins.iter().map(|&s| s as u8).collect();
         enc.bytes(&raw);
-        qmc_ckpt::registry::save_registry(enc, &self.metrics);
     }
 
-    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
-        // The engine must already be constructed with the same model: the
-        // configuration is restored, the derived tables are not re-read.
+    fn load_spins(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
         let raw = dec.bytes()?;
         if raw.len() != self.spins.len() {
             return Err(qmc_ckpt::CkptError::corrupt(format!(
@@ -403,7 +409,60 @@ impl qmc_ckpt::Checkpoint for SerialTfim {
                 }
             };
         }
+        Ok(())
+    }
+}
+
+impl qmc_ckpt::Checkpoint for SerialTfim {
+    fn kind(&self) -> &'static str {
+        "engine.tfim.serial"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        self.save_spins(enc);
+        qmc_ckpt::registry::save_registry(enc, &self.metrics);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        // The engine must already be constructed with the same model: the
+        // configuration is restored, the derived tables are not re-read.
+        self.load_spins(dec)?;
+        self.spins_dirty = true;
         qmc_ckpt::registry::load_registry(dec, &mut self.metrics)
+    }
+
+    fn dirty_sections(&self) -> qmc_ckpt::DirtySections {
+        let mut s = qmc_ckpt::DirtySections::new();
+        s.push("spins", self.spins_dirty);
+        // Counters advance every sweep whether or not a flip landed.
+        s.push("metrics", true);
+        s
+    }
+
+    fn save_section(&self, name: &str, enc: &mut qmc_ckpt::Encoder) {
+        match name {
+            "spins" => self.save_spins(enc),
+            "metrics" => qmc_ckpt::registry::save_registry(enc, &self.metrics),
+            _ => panic!("engine.tfim.serial has no checkpoint section {name:?}"),
+        }
+    }
+
+    fn load_section(
+        &mut self,
+        name: &str,
+        dec: &mut qmc_ckpt::Decoder,
+    ) -> Result<(), qmc_ckpt::CkptError> {
+        match name {
+            "spins" => self.load_spins(dec),
+            "metrics" => qmc_ckpt::registry::load_registry(dec, &mut self.metrics),
+            _ => Err(qmc_ckpt::CkptError::MissingSection {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    fn mark_clean(&mut self) {
+        self.spins_dirty = false;
     }
 }
 
@@ -430,7 +489,97 @@ impl qmc_ckpt::Checkpoint for TfimSeries {
                 "tfim series columns have unequal lengths",
             ));
         }
+        self.clean_rows = 0;
         Ok(())
+    }
+
+    fn dirty_sections(&self) -> qmc_ckpt::DirtySections {
+        use qmc_ckpt::chunk;
+        let mut s = qmc_ckpt::DirtySections::new();
+        for k in 0..chunk::count(self.len()) {
+            s.push(chunk::name(k), chunk::is_dirty(k, self.clean_rows));
+        }
+        // Head last: it carries the total row count, so restoring it
+        // validates that every chunk before it arrived intact.
+        s.push("head", true);
+        s
+    }
+
+    fn save_section(&self, name: &str, enc: &mut qmc_ckpt::Encoder) {
+        use qmc_ckpt::chunk;
+        if name == "head" {
+            enc.u64(self.len() as u64);
+            return;
+        }
+        let k = chunk::parse(name)
+            .unwrap_or_else(|| panic!("series.tfim has no checkpoint section {name:?}"));
+        enc.u64(k as u64);
+        let r = chunk::range(k, self.len());
+        enc.f64s(&self.energy[r.clone()]);
+        enc.f64s(&self.abs_m[r.clone()]);
+        enc.f64s(&self.m2[r.clone()]);
+        enc.f64s(&self.sigma_x[r]);
+    }
+
+    fn load_section(
+        &mut self,
+        name: &str,
+        dec: &mut qmc_ckpt::Decoder,
+    ) -> Result<(), qmc_ckpt::CkptError> {
+        use qmc_ckpt::chunk;
+        if name == "head" {
+            let n = dec.u64()? as usize;
+            if n != self.len() {
+                return Err(qmc_ckpt::CkptError::corrupt(format!(
+                    "tfim series head claims {n} rows, chunks supplied {}",
+                    self.len()
+                )));
+            }
+            return Ok(());
+        }
+        let Some(k) = chunk::parse(name) else {
+            return Err(qmc_ckpt::CkptError::MissingSection {
+                name: name.to_string(),
+            });
+        };
+        let stored = dec.u64()? as usize;
+        if stored != k {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "tfim series chunk {k} carries index {stored}"
+            )));
+        }
+        if k == 0 {
+            self.energy.clear();
+            self.abs_m.clear();
+            self.m2.clear();
+            self.sigma_x.clear();
+            self.clean_rows = 0;
+        }
+        if self.len() != k * chunk::ROWS {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "tfim series chunk {k} arrived at row {}",
+                self.len()
+            )));
+        }
+        let energy = dec.f64s()?;
+        let abs_m = dec.f64s()?;
+        let m2 = dec.f64s()?;
+        let sigma_x = dec.f64s()?;
+        let n = energy.len();
+        if n == 0 || n > chunk::ROWS || abs_m.len() != n || m2.len() != n || sigma_x.len() != n {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "tfim series chunk {k} has malformed columns"
+            )));
+        }
+        self.energy.extend_from_slice(&energy);
+        self.abs_m.extend_from_slice(&abs_m);
+        self.m2.extend_from_slice(&m2);
+        self.sigma_x.extend_from_slice(&sigma_x);
+        Ok(())
+    }
+
+    fn mark_clean(&mut self) {
+        self.clean_rows = self.len();
     }
 }
 

@@ -11,6 +11,7 @@
 //! | `wall-clock`        | no `Instant::now`/`SystemTime::now` outside the `qmc-obs` crate (waivable where timeouts genuinely need host time) |
 //! | `ckpt-hashmap`      | no `HashMap`/`HashSet` in checkpoint/wire-serialization files — iteration order would break the deterministic format |
 //! | `lib-unwrap`        | no `.unwrap()` in library crates' non-test code       |
+//! | `ckpt-unbounded-chain` | no `.write_delta(`/`.write_plan(` in a file that never mentions a `full_every` cadence knob or `compact` — an unbounded delta chain grows restore cost without limit |
 //!
 //! Test code (`#[cfg(test)]` items, `#[test]` functions, `tests/`
 //! directories) is exempt from every rule. A violation can be waived at
@@ -45,6 +46,8 @@ pub enum Rule {
     CkptHashMap,
     /// `.unwrap()` in library non-test code.
     LibUnwrap,
+    /// Delta checkpoint writes in a file with no full-snapshot bound.
+    CkptUnboundedChain,
 }
 
 impl Rule {
@@ -56,6 +59,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::CkptHashMap => "ckpt-hashmap",
             Rule::LibUnwrap => "lib-unwrap",
+            Rule::CkptUnboundedChain => "ckpt-unbounded-chain",
         }
     }
 
@@ -67,6 +71,7 @@ impl Rule {
             Rule::WallClock,
             Rule::CkptHashMap,
             Rule::LibUnwrap,
+            Rule::CkptUnboundedChain,
         ]
     }
 }
@@ -585,6 +590,15 @@ pub fn lint_source(display_path: &str, source: &str) -> Vec<Finding> {
                 && matches!(&w[1].tok, Tok::Ident(b) if b == "for")
         });
 
+    // Delta-chain bounding: a file that writes delta generations must
+    // also carry the policy that bounds the chain — a `full_every`
+    // cadence knob or a `compact` call. Without either, every restore
+    // walks an ever-longer base chain and a single torn base strands
+    // every delta behind it.
+    let chain_bounded = tokens
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "full_every" || s == "compact"));
+
     let mut findings = Vec::new();
     let mut push = |line: u32, rule: Rule, message: String| {
         let waived = [line, line.saturating_sub(1)].iter().any(|l| {
@@ -686,6 +700,16 @@ pub fn lint_source(display_path: &str, source: &str) -> Vec<Finding> {
             }
         }
 
+        if !chain_bounded {
+            if let Some(name) = method_call(tokens, i, &["write_delta", "write_plan"]) {
+                push(
+                    line,
+                    Rule::CkptUnboundedChain,
+                    format!("`.{name}()` writes delta checkpoints but this file never bounds the chain (add a `full_every` cadence or a periodic `compact`)"),
+                );
+            }
+        }
+
         if is_lib_crate && method_call(tokens, i, &["unwrap"]).is_some() {
             push(
                 line,
@@ -771,6 +795,7 @@ mod tests {
     const WALL_CLOCK_BAD: &str = include_str!("../fixtures/wall_clock.rs");
     const CKPT_HASHMAP_BAD: &str = include_str!("../fixtures/ckpt_hashmap.rs");
     const LIB_UNWRAP_BAD: &str = include_str!("../fixtures/lib_unwrap.rs");
+    const CKPT_CHAIN_BAD: &str = include_str!("../fixtures/ckpt_chain.rs");
     const CLEAN: &str = include_str!("../fixtures/clean.rs");
 
     fn rules_fired(path: &str, src: &str) -> Vec<Rule> {
@@ -808,6 +833,22 @@ mod tests {
     }
 
     #[test]
+    fn fixture_fires_ckpt_unbounded_chain() {
+        let fired = rules_fired("crates/fixture/src/lib.rs", CKPT_CHAIN_BAD);
+        assert!(fired.contains(&Rule::CkptUnboundedChain), "{fired:?}");
+    }
+
+    #[test]
+    fn chain_write_is_fine_when_the_file_bounds_it() {
+        let src = "
+            fn drive(store: &CkptStore, full_every: usize, s: u64, plan: Plan, delta: bool) {
+                let _ = store.write_plan(s, plan, delta);
+            }
+        ";
+        assert!(rules_fired("crates/fixture/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
     fn every_rule_has_a_live_fixture() {
         // The union of the fixture corpus must exercise every rule — a
         // rule nothing can trigger is dead code.
@@ -818,6 +859,7 @@ mod tests {
             WALL_CLOCK_BAD,
             CKPT_HASHMAP_BAD,
             LIB_UNWRAP_BAD,
+            CKPT_CHAIN_BAD,
         ] {
             fired.extend(rules_fired("crates/fixture/src/lib.rs", src));
         }

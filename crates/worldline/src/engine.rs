@@ -38,6 +38,11 @@ pub struct Worldline {
     rows: usize,
     /// Row-major spins: `spins[t * l + i]`, `true` = ↑.
     spins: Vec<bool>,
+    /// Spins changed since the last successful checkpoint snapshot
+    /// (conservatively true on construction and after any accepted move
+    /// or replica import; cleared only by
+    /// [`qmc_ckpt::Checkpoint::mark_clean`]).
+    spins_dirty: bool,
     weights: PlaqWeights,
     /// Precomputed corner-move acceptance ratios over all 2⁹ neighbourhood
     /// spin patterns (see [`local_move_key`]): the hot kernel is a single
@@ -156,6 +161,7 @@ impl Worldline {
             params,
             rows,
             spins,
+            spins_dirty: true,
             weights,
             local_ratio,
             cells_scratch: Vec::with_capacity(4 * rows),
@@ -269,6 +275,7 @@ impl Worldline {
         for (dst, &b) in self.spins.iter_mut().zip(bytes) {
             *dst = b != 0;
         }
+        self.spins_dirty = true;
         debug_assert!(self.log_weight().is_finite(), "imported invalid config");
     }
 
@@ -389,6 +396,11 @@ impl Worldline {
         for _ in 0..l {
             let i = rng.index(l);
             self.try_straight_line(i, rng);
+        }
+        // Only accepted moves mutate spins; proposal counts alone leave
+        // the configuration (and its checkpoint section) untouched.
+        if self.local_accepted != before.0 || self.straight_accepted != before.2 {
+            self.spins_dirty = true;
         }
         // Mirror this sweep's counter deltas into the rank recorder (the
         // public fields stay authoritative; no-ops when metrics are off).
@@ -531,6 +543,7 @@ impl qmc_ckpt::Checkpoint for Worldline {
             )));
         }
         self.spins = spins;
+        self.spins_dirty = true;
         self.local_accepted = dec.u64()?;
         self.local_proposed = dec.u64()?;
         self.straight_accepted = dec.u64()?;
@@ -541,6 +554,67 @@ impl qmc_ckpt::Checkpoint for Worldline {
             ));
         }
         Ok(())
+    }
+
+    fn dirty_sections(&self) -> qmc_ckpt::DirtySections {
+        let mut s = qmc_ckpt::DirtySections::new();
+        s.push("spins", self.spins_dirty);
+        // Proposal counters advance every sweep regardless of acceptance.
+        s.push("counters", true);
+        s
+    }
+
+    fn save_section(&self, name: &str, enc: &mut qmc_ckpt::Encoder) {
+        match name {
+            "spins" => enc.bools(&self.spins),
+            "counters" => {
+                enc.u64(self.local_accepted);
+                enc.u64(self.local_proposed);
+                enc.u64(self.straight_accepted);
+                enc.u64(self.straight_proposed);
+            }
+            _ => panic!("engine.worldline.chain has no checkpoint section {name:?}"),
+        }
+    }
+
+    fn load_section(
+        &mut self,
+        name: &str,
+        dec: &mut qmc_ckpt::Decoder,
+    ) -> Result<(), qmc_ckpt::CkptError> {
+        match name {
+            "spins" => {
+                let spins = dec.bools()?;
+                if spins.len() != self.spins.len() {
+                    return Err(qmc_ckpt::CkptError::corrupt(format!(
+                        "worldline spins: engine has {} cells, checkpoint has {}",
+                        self.spins.len(),
+                        spins.len()
+                    )));
+                }
+                self.spins = spins;
+                if !self.log_weight().is_finite() {
+                    return Err(qmc_ckpt::CkptError::corrupt(
+                        "worldline checkpoint is not a valid configuration",
+                    ));
+                }
+                Ok(())
+            }
+            "counters" => {
+                self.local_accepted = dec.u64()?;
+                self.local_proposed = dec.u64()?;
+                self.straight_accepted = dec.u64()?;
+                self.straight_proposed = dec.u64()?;
+                Ok(())
+            }
+            _ => Err(qmc_ckpt::CkptError::MissingSection {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    fn mark_clean(&mut self) {
+        self.spins_dirty = false;
     }
 }
 

@@ -75,6 +75,9 @@ pub struct TimeSeries {
     corr_sum: Vec<f64>,
     /// Number of correlation samples accumulated.
     corr_count: u64,
+    /// Rows captured by the last successful snapshot: completed row
+    /// chunks below this mark are immutable and checkpoint as clean.
+    clean_rows: usize,
 }
 
 impl TimeSeries {
@@ -90,6 +93,7 @@ impl TimeSeries {
             chi: Vec::new(),
             corr_sum: vec![0.0; l / 2 + 1],
             corr_count: 0,
+            clean_rows: 0,
         }
     }
 
@@ -246,7 +250,128 @@ impl qmc_ckpt::Checkpoint for TimeSeries {
                 "worldline series columns have unequal lengths",
             ));
         }
+        self.clean_rows = 0;
         Ok(())
+    }
+
+    fn dirty_sections(&self) -> qmc_ckpt::DirtySections {
+        use qmc_ckpt::chunk;
+        let mut s = qmc_ckpt::DirtySections::new();
+        for k in 0..chunk::count(self.len()) {
+            s.push(chunk::name(k), chunk::is_dirty(k, self.clean_rows));
+        }
+        // Head last: it carries β, the correlation accumulators (which
+        // change every sweep) and the total row count, so restoring it
+        // validates that every chunk before it arrived intact.
+        s.push("head", true);
+        s
+    }
+
+    fn save_section(&self, name: &str, enc: &mut qmc_ckpt::Encoder) {
+        use qmc_ckpt::chunk;
+        if name == "head" {
+            enc.u64(self.l as u64);
+            enc.f64(self.beta);
+            enc.f64s(&self.corr_sum);
+            enc.u64(self.corr_count);
+            enc.u64(self.len() as u64);
+            return;
+        }
+        let k = chunk::parse(name)
+            .unwrap_or_else(|| panic!("series.worldline has no checkpoint section {name:?}"));
+        enc.u64(k as u64);
+        let r = chunk::range(k, self.len());
+        enc.f64s(&self.energy[r.clone()]);
+        enc.f64s(&self.denergy[r.clone()]);
+        enc.f64s(&self.magnetization[r.clone()]);
+        enc.f64s(&self.staggered[r.clone()]);
+        enc.f64s(&self.chi[r]);
+    }
+
+    fn load_section(
+        &mut self,
+        name: &str,
+        dec: &mut qmc_ckpt::Decoder,
+    ) -> Result<(), qmc_ckpt::CkptError> {
+        use qmc_ckpt::chunk;
+        if name == "head" {
+            let l = dec.u64()? as usize;
+            if l != self.l {
+                return Err(qmc_ckpt::CkptError::corrupt(format!(
+                    "worldline series is for l={}, checkpoint has l={l}",
+                    self.l
+                )));
+            }
+            self.beta = dec.f64()?;
+            let corr_sum = dec.f64s()?;
+            if corr_sum.len() != self.corr_sum.len() {
+                return Err(qmc_ckpt::CkptError::corrupt(
+                    "worldline series correlation table has the wrong length",
+                ));
+            }
+            self.corr_sum = corr_sum;
+            self.corr_count = dec.u64()?;
+            let n = dec.u64()? as usize;
+            if n != self.len() {
+                return Err(qmc_ckpt::CkptError::corrupt(format!(
+                    "worldline series head claims {n} rows, chunks supplied {}",
+                    self.len()
+                )));
+            }
+            return Ok(());
+        }
+        let Some(k) = chunk::parse(name) else {
+            return Err(qmc_ckpt::CkptError::MissingSection {
+                name: name.to_string(),
+            });
+        };
+        let stored = dec.u64()? as usize;
+        if stored != k {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "worldline series chunk {k} carries index {stored}"
+            )));
+        }
+        if k == 0 {
+            self.energy.clear();
+            self.denergy.clear();
+            self.magnetization.clear();
+            self.staggered.clear();
+            self.chi.clear();
+            self.clean_rows = 0;
+        }
+        if self.len() != k * chunk::ROWS {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "worldline series chunk {k} arrived at row {}",
+                self.len()
+            )));
+        }
+        let energy = dec.f64s()?;
+        let denergy = dec.f64s()?;
+        let magnetization = dec.f64s()?;
+        let staggered = dec.f64s()?;
+        let chi = dec.f64s()?;
+        let n = energy.len();
+        if n == 0
+            || n > chunk::ROWS
+            || denergy.len() != n
+            || magnetization.len() != n
+            || staggered.len() != n
+            || chi.len() != n
+        {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "worldline series chunk {k} has malformed columns"
+            )));
+        }
+        self.energy.extend_from_slice(&energy);
+        self.denergy.extend_from_slice(&denergy);
+        self.magnetization.extend_from_slice(&magnetization);
+        self.staggered.extend_from_slice(&staggered);
+        self.chi.extend_from_slice(&chi);
+        Ok(())
+    }
+
+    fn mark_clean(&mut self) {
+        self.clean_rows = self.len();
     }
 }
 

@@ -92,6 +92,10 @@ pub struct GenericWorldline<L: Lattice> {
     pub straight_accepted: u64,
     /// Proposed straight-line moves.
     pub straight_proposed: u64,
+    /// Spins changed since the last successful checkpoint snapshot
+    /// (conservatively true on construction and after any accepted move;
+    /// cleared only by [`qmc_ckpt::Checkpoint::mark_clean`]).
+    spins_dirty: bool,
 }
 
 impl<L: Lattice> GenericWorldline<L> {
@@ -215,6 +219,7 @@ impl<L: Lattice> GenericWorldline<L> {
             ring_proposed: 0,
             straight_accepted: 0,
             straight_proposed: 0,
+            spins_dirty: true,
         }
     }
 
@@ -437,6 +442,11 @@ impl<L: Lattice> GenericWorldline<L> {
     pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
         let _span = qmc_obs::span("generic_worldline.sweep");
         let before = (self.straight_accepted, self.straight_proposed);
+        let accepted_before = (
+            self.window_accepted,
+            self.ring_accepted,
+            self.straight_accepted,
+        );
         // Bond-window moves.
         for t in 0..self.rows {
             let ci = self.color_index_of_interval(t);
@@ -467,6 +477,17 @@ impl<L: Lattice> GenericWorldline<L> {
         for _ in 0..self.lattice.num_sites() {
             let site = rng.index(self.lattice.num_sites());
             self.try_straight_line(site, rng);
+        }
+        // Only accepted moves mutate spins; proposal counts alone leave
+        // the configuration (and its checkpoint section) untouched.
+        if accepted_before
+            != (
+                self.window_accepted,
+                self.ring_accepted,
+                self.straight_accepted,
+            )
+        {
+            self.spins_dirty = true;
         }
         // Mirror this sweep's counter deltas into the rank recorder (the
         // public fields stay authoritative; no-ops when metrics are off).
@@ -573,6 +594,7 @@ impl<L: Lattice> qmc_ckpt::Checkpoint for GenericWorldline<L> {
             )));
         }
         self.spins = spins;
+        self.spins_dirty = true;
         self.window_accepted = dec.u64()?;
         self.window_proposed = dec.u64()?;
         self.ring_accepted = dec.u64()?;
@@ -585,6 +607,71 @@ impl<L: Lattice> qmc_ckpt::Checkpoint for GenericWorldline<L> {
             ));
         }
         Ok(())
+    }
+
+    fn dirty_sections(&self) -> qmc_ckpt::DirtySections {
+        let mut s = qmc_ckpt::DirtySections::new();
+        s.push("spins", self.spins_dirty);
+        // Proposal counters advance every sweep regardless of acceptance.
+        s.push("counters", true);
+        s
+    }
+
+    fn save_section(&self, name: &str, enc: &mut qmc_ckpt::Encoder) {
+        match name {
+            "spins" => enc.bools(&self.spins),
+            "counters" => {
+                enc.u64(self.window_accepted);
+                enc.u64(self.window_proposed);
+                enc.u64(self.ring_accepted);
+                enc.u64(self.ring_proposed);
+                enc.u64(self.straight_accepted);
+                enc.u64(self.straight_proposed);
+            }
+            _ => panic!("engine.worldline.generic has no checkpoint section {name:?}"),
+        }
+    }
+
+    fn load_section(
+        &mut self,
+        name: &str,
+        dec: &mut qmc_ckpt::Decoder,
+    ) -> Result<(), qmc_ckpt::CkptError> {
+        match name {
+            "spins" => {
+                let spins = dec.bools()?;
+                if spins.len() != self.spins.len() {
+                    return Err(qmc_ckpt::CkptError::corrupt(format!(
+                        "generic worldline spins: engine has {} cells, checkpoint has {}",
+                        self.spins.len(),
+                        spins.len()
+                    )));
+                }
+                self.spins = spins;
+                if !self.log_weight().is_finite() {
+                    return Err(qmc_ckpt::CkptError::corrupt(
+                        "generic worldline checkpoint is not a valid configuration",
+                    ));
+                }
+                Ok(())
+            }
+            "counters" => {
+                self.window_accepted = dec.u64()?;
+                self.window_proposed = dec.u64()?;
+                self.ring_accepted = dec.u64()?;
+                self.ring_proposed = dec.u64()?;
+                self.straight_accepted = dec.u64()?;
+                self.straight_proposed = dec.u64()?;
+                Ok(())
+            }
+            _ => Err(qmc_ckpt::CkptError::MissingSection {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    fn mark_clean(&mut self) {
+        self.spins_dirty = false;
     }
 }
 

@@ -38,6 +38,13 @@ cargo test -q -p qmc-comm --test conformance
 cargo test -q -p qmc-bench --test checkpoint
 cargo test -q -p qmc-bench --lib faults
 
+echo "== checkpointing: delta store, GC race, coordinated restore =="
+# The qmc-ckpt unit suites: v2 delta parsing/resolution, delta chains
+# (prune/base retention, torn-delta fallback, compaction), the
+# store-open GC vs live-writer race, and world-size-mismatch /
+# truncated-broadcast degradation in coordinated restore.
+cargo test -q -p qmc-ckpt
+
 echo "== verify: protocol trace checker + workspace lint =="
 # qmc-lint over the workspace (token-level invariants), the trace
 # checker's self-tests, the runtime deadlock-detector suite, the

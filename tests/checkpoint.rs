@@ -92,9 +92,13 @@ where
     for k in 1..total {
         let dir = scratch(label);
         let store = CkptStore::new(&dir, 2).expect("scratch store");
+        // `full_every: 3` exercises the delta chains: most generations in
+        // the matrix are deltas against an earlier full snapshot, so every
+        // bit-identity assertion below also covers delta restore.
         let ck = CkptCfg {
             store: &store,
             every,
+            full_every: 3,
             resume: false,
         };
         assert!(
@@ -104,6 +108,7 @@ where
         let ck = CkptCfg {
             store: &store,
             every,
+            full_every: 3,
             resume: true,
         };
         let resumed = run(Some(&ck), None)
@@ -325,6 +330,7 @@ fn pt_recovers_bit_identical_after_injected_rank_kill() {
             let ck = PtCheckpointing {
                 store: &store,
                 every,
+                full_every: 2,
                 resume: false,
             };
             let mut faulty = FaultyComm::new(comm, plan);
@@ -357,6 +363,7 @@ fn pt_recovers_bit_identical_after_injected_rank_kill() {
         let ck = PtCheckpointing {
             store: &store,
             every,
+            full_every: 2,
             resume: true,
         };
         let mut faulty = FaultyComm::new(comm, plan);
@@ -369,6 +376,74 @@ fn pt_recovers_bit_identical_after_injected_rank_kill() {
         assert_eq!(bits(&r.0), bits(&rec.0), "recovered energy series diverged");
         assert_eq!(bits(&r.1), bits(&rec.1), "recovered rates diverged");
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Forward compatibility: a v1 monolithic checkpoint (the pre-delta
+/// layout — whole engine/rng/series states as single opaque sections)
+/// must still resume under the sectioned delta driver, continue
+/// bit-identically, and safely switch to the new layout for subsequent
+/// generations.
+#[test]
+fn v1_monolithic_checkpoints_resume_under_the_delta_driver() {
+    let model = TfimModel {
+        lx: 8,
+        ly: 8,
+        j: 1.0,
+        h: 2.0,
+        beta: 1.0,
+        m: 4,
+    };
+    let (therm, sweeps) = (6, 12);
+    let mut rng = CountingRng::new(Xoshiro256StarStar::new(7));
+    let (_, reference) = run_serial_tfim_ckpt(model, &mut rng, therm, sweeps, 1, None, None)
+        .expect("reference run completes");
+    let (ref_bits, ref_draws) = (bits(&reference.energy), rng.draws);
+
+    // Hand-build the legacy generation at sweep k exactly as the
+    // pre-delta driver wrote it: replay k sweeps, then store whole
+    // states as single sections.
+    let k = 7usize;
+    let mut rng = CountingRng::new(Xoshiro256StarStar::new(7));
+    let mut eng = SerialTfim::new(model);
+    let mut series = qmc_tfim::serial::TfimSeries::default();
+    for s in 0..k {
+        eng.metropolis_sweep(&mut rng);
+        eng.wolff_update(&mut rng);
+        if s >= therm {
+            series.record(&eng.measure());
+        }
+    }
+    let dir = scratch("v1-compat");
+    {
+        let store = CkptStore::new(&dir, 2).expect("scratch store");
+        let mut file = qmc_ckpt::CkptFile::new();
+        let mut meta = qmc_ckpt::Encoder::new();
+        meta.u64(k as u64);
+        file.add("meta", meta.into_bytes());
+        file.add_state("engine", &eng);
+        file.add_state("rng", &rng);
+        file.add_state("series", &series);
+        store.write(k as u64, &file).expect("legacy write");
+    }
+
+    // Resume from the v1 file with delta checkpointing fully enabled.
+    let store = CkptStore::new(&dir, 2).expect("scratch store");
+    let ck = CkptCfg {
+        store: &store,
+        every: 5,
+        full_every: 3,
+        resume: true,
+    };
+    let mut rng = CountingRng::new(Xoshiro256StarStar::new(7));
+    let (_, resumed) = run_serial_tfim_ckpt(model, &mut rng, therm, sweeps, 1, Some(&ck), None)
+        .expect("resume from v1 completes");
+    assert_eq!(ref_bits, bits(&resumed.energy), "v1 resume diverged");
+    assert_eq!(ref_draws, rng.draws, "v1 resume drew a different count");
+    assert!(
+        store.generations().len() > 1,
+        "the resumed run wrote new generations after the v1 file"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
