@@ -12,7 +12,10 @@
 //! `repro bench` times the hot update kernels with fixed seeds and
 //! writes `BENCH_kernels.json` at the repository root (it is kept out of
 //! `all` so physics regeneration never overwrites the benchmark
-//! artifact).
+//! artifact). With `--assert-guards` it exits non-zero when the
+//! `packed_speedup_vs_scalar` guard misses its target (≥ 4x full,
+//! ≥ 2x relaxed under `--quick`) — the `scripts/check.sh bench-quick`
+//! stage.
 //!
 //! `repro verify` records a 4-rank parallel-tempering run through the
 //! `qmc-verify` tracing layer, proves the captured comm traffic
@@ -61,6 +64,7 @@ fn main() {
         }
     }
     let quick = args.iter().any(|a| a == "--quick");
+    let assert_guards = args.iter().any(|a| a == "--assert-guards");
     let metrics = args.iter().any(|a| a == "--metrics");
     let trace = args.iter().any(|a| a == "--trace");
     let resume = args.iter().any(|a| a == "--resume");
@@ -77,7 +81,7 @@ fn main() {
         }
         eprintln!(
             "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults|verify> \
-             [--quick] [--metrics] [--trace] \
+             [--quick] [--metrics] [--trace] [--assert-guards] \
              [--checkpoint-every N] [--checkpoint-dir D] [--resume]"
         );
         std::process::exit(2);
@@ -99,7 +103,12 @@ fn main() {
         }
         if *name == "bench" {
             println!("=== bench ===");
-            print!("{}", qmc_bench::kernels::bench_kernels(quick));
+            let (report, guards_ok) = qmc_bench::kernels::bench_kernels_checked(quick);
+            print!("{report}");
+            if assert_guards && !guards_ok {
+                eprintln!("bench guard failed: packed_speedup_vs_scalar below target");
+                std::process::exit(1);
+            }
             continue;
         }
         if *name == "faults" {

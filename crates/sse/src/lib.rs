@@ -255,6 +255,7 @@ impl Sse {
                     let (i, jj) = self.bonds[b];
                     if self.state[i as usize] != self.state[jj as usize] {
                         let prob = self.prob_insert[m - self.n_ops];
+                        // lint: allow(hot-scalar-spin-loop) — reference SSE diagonal update (operator-string algorithm, not spin-parallel)
                         if rng.metropolis(prob) {
                             self.ops[p] = 2 * b as Op;
                             self.n_ops += 1;
@@ -264,6 +265,7 @@ impl Sse {
                 }
                 op if op % 2 == 0 => {
                     let prob = self.prob_remove[m - self.n_ops + 1];
+                    // lint: allow(hot-scalar-spin-loop) — reference SSE diagonal update (operator-string algorithm, not spin-parallel)
                     if rng.metropolis(prob) {
                         self.ops[p] = IDENTITY;
                         self.n_ops -= 1;
@@ -333,6 +335,7 @@ impl Sse {
             if self.links[v0] < 0 || self.visited[v0] {
                 continue;
             }
+            // lint: allow(hot-scalar-spin-loop) — loop-flip seed draw of the directed-loop update (branchy by construction)
             let flip = rng.bernoulli(0.5);
             let mut v = v0;
             let mut guard = 0usize;
@@ -361,6 +364,7 @@ impl Sse {
 
         for site in 0..self.n_sites {
             if self.vfirst[site] < 0 {
+                // lint: allow(hot-scalar-spin-loop) — free-site flip: one draw per unconstrained site, no packed SSE path
                 if rng.bernoulli(0.5) {
                     self.state[site] = !self.state[site];
                     self.state_dirty = true;

@@ -1,0 +1,1899 @@
+//! Multi-spin-coded TFIM sweep kernels: 64 spins per `u64`, updated with
+//! bitwise logic and **no per-spin branch, no per-spin RNG call**.
+//!
+//! # Replica packing (primary mode)
+//!
+//! [`PackedReplicas`] runs up to 64 independent replicas of the same
+//! model in lockstep: bit `j` of word `i` is spin `i` of replica `j`
+//! (bit 1 ⇔ spin +1). One checkerboard site visit then:
+//!
+//! 1. gathers the (2 or 4) spatial and 2 temporal neighbour words and
+//!    reduces them to *bit planes* of the per-lane up-neighbour counts
+//!    with carry-save adders (`sum2`/`sum4` — pure XOR/AND trees);
+//! 2. draws all lane variates with **one** batched [`Rng64::fill_u64`]
+//!    call of 32 words — each draw supplies two independent 32-bit
+//!    decision lanes (lane `j` consumes the low half of draw `j/2` when
+//!    `j` is even, the high half when odd — the RNG lane discipline
+//!    documented in DESIGN.md);
+//! 3. assembles per-lane 6-bit table indices eight lanes at a time with
+//!    a bit→byte spread and resolves every acceptance as an integer
+//!    compare `r ≤ thr` against the precomputed [`PackedAcceptTable`]
+//!    (the [`AcceptTable`] ratios rescaled to `u32` thresholds, so
+//!    `P(accept) = min(1, e^{−ΔS})` to within 2⁻³¹ — orders of magnitude
+//!    below any statistical resolution of the estimators);
+//! 4. merges all accepted flips with a single masked XOR into the word.
+//!
+//! [`PackedTfimLadder`] reuses the same kernel with a per-lane threshold
+//! table — one β per lane — and adds bitwise replica exchange between
+//! adjacent rungs. [`PackedDistTfim`] distributes the replica-packed
+//! lattice over a processor mesh, exchanging ghost *words* (8 bytes per
+//! boundary cell, all 64 lanes in one message). [`PackedSpatialTfim`]
+//! packs 64 consecutive sites of a single replica instead, for lattices
+//! whose x-extent divides by 64.
+//!
+//! The scalar engines are untouched: their fixed-seed trajectories remain
+//! bit-identical. The packed path is validated statistically — against
+//! the exact-diagonalization oracle and against scalar-path means — in
+//! the tests below, and its measurements are *bit-identical* to
+//! [`SerialTfim::measure`] on equal configurations (same integer bond
+//! sums, same float operation order).
+
+use crate::parallel::{dir_bytes_counter, dir_id, grid_for, FLOPS_PER_UPDATE};
+use crate::serial::{SerialTfim, TfimMeasurement, TfimSeries};
+use crate::{AcceptTable, StCouplings, TfimModel};
+use qmc_comm::{Communicator, ReduceOp};
+use qmc_lattice::{Decomposition, Dir, LaneCounter, PackedLattice, Subdomain};
+use qmc_obs::{CounterId, Registry};
+use qmc_rng::Rng64;
+
+/// Map an acceptance ratio to a `u32` threshold such that
+/// `P(r ≤ thr) = (thr+1)/2³² = min(1, ratio)` for a uniform `u32` draw
+/// `r`, exactly for `ratio ≥ 1` and to within 2⁻³¹ below (scaling plus
+/// the saturating float→int cast). 32 random bits per decision let one
+/// `u64` draw feed two lanes — that halves the RNG cost per site update,
+/// and the ≤ 2⁻³¹ acceptance-probability quantization is invisible next
+/// to statistical errors of order 10⁻⁴.
+fn threshold(ratio: f64) -> u32 {
+    if ratio >= 1.0 {
+        u32::MAX
+    } else {
+        const TWO32: f64 = 4_294_967_296.0; // 2^32
+                                            // Scaling by a power of two is exact except for the final
+                                            // rounding into f64's 52-bit mantissa; the saturating cast and
+                                            // the −1 keep the acceptance probability within 2⁻³¹ of the
+                                            // ratio (and strictly below 1 for every ratio < 1).
+        ((ratio * TWO32) as u32).saturating_sub(1)
+    }
+}
+
+/// [`AcceptTable`] rescaled to integer thresholds, indexed by a 6-bit
+/// pattern assembled per lane from the bit planes:
+/// `idx = s | u_sp·2 | u_t·16` where `s` is the site bit, `u_sp ∈ [0, 4]`
+/// the count of *up* spatial neighbours and `u_t ∈ [0, 2]` the count of
+/// up temporal neighbours. Unreachable patterns hold threshold 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedAcceptTable {
+    thr: [u32; 64],
+}
+
+impl PackedAcceptTable {
+    /// Tabulate thresholds for a site with `spatial_neighbors` (2 on a
+    /// chain, 4 on a square lattice) spatial neighbours.
+    pub fn new(c: &StCouplings, spatial_neighbors: usize) -> Self {
+        assert!(
+            spatial_neighbors == 2 || spatial_neighbors == 4,
+            "spatial_neighbors must be 2 (chain) or 4 (square)"
+        );
+        let scalar = AcceptTable::new(c);
+        let mut thr = [0u32; 64];
+        for s_bit in 0..2usize {
+            let s: i8 = if s_bit == 1 { 1 } else { -1 };
+            for u_sp in 0..=spatial_neighbors {
+                for u_t in 0..=2usize {
+                    // The signed neighbour sums of the scalar table: each
+                    // down neighbour contributes −1, each up +1.
+                    let sp = 2 * u_sp as i32 - spatial_neighbors as i32;
+                    let tp = 2 * u_t as i32 - 2;
+                    thr[s_bit | (u_sp << 1) | (u_t << 4)] = threshold(scalar.ratio(s, sp, tp));
+                }
+            }
+        }
+        Self { thr }
+    }
+
+    /// Threshold for an assembled 6-bit index.
+    #[inline(always)]
+    fn get(&self, idx: usize) -> u32 {
+        self.thr[idx & 63]
+    }
+
+    /// Raw threshold row (per-lane ladder tables are flat copies).
+    fn row(&self) -> [u32; 64] {
+        self.thr
+    }
+}
+
+/// Carry-save add of two one-bit-per-lane words: `(sum, carry)` planes.
+#[inline(always)]
+fn sum2(a: u64, b: u64) -> (u64, u64) {
+    (a ^ b, a & b)
+}
+
+/// Bit planes `(p0, p1, p2)` of the per-lane count of set bits among four
+/// words (count ∈ [0, 4], so three planes suffice).
+#[inline(always)]
+fn sum4(a: u64, b: u64, c: u64, d: u64) -> (u64, u64, u64) {
+    let (s0, c0) = sum2(a, b);
+    let (s1, c1) = sum2(c, d);
+    let (p0, carry) = sum2(s0, s1);
+    // c0 + c1 + carry ∈ [0, 2]: c0&c1 ⇒ s0 = s1 = 0 ⇒ carry = 0, and
+    // carry ⇒ s0 = s1 = 1 ⇒ c0 = c1 = 0 — so XOR/AND recover both bits.
+    (p0, c0 ^ c1 ^ carry, c0 & c1)
+}
+
+/// Per-lane neighbour-count bit planes of one packed site: spatial count
+/// planes `s0..s2` (value `s0 + 2·s1 + 4·s2`) and temporal planes
+/// `t0, t1`.
+#[derive(Clone, Copy)]
+struct Planes {
+    s0: u64,
+    s1: u64,
+    s2: u64,
+    t0: u64,
+    t1: u64,
+}
+
+impl Planes {
+    /// Reduce neighbour words to count planes; `north`/`south` are
+    /// ignored for chains (`ly == 1`).
+    #[inline(always)]
+    fn gather(ly: usize, east: u64, west: u64, north: u64, south: u64, up: u64, down: u64) -> Self {
+        let (s0, s1, s2) = if ly > 1 {
+            sum4(east, west, north, south)
+        } else {
+            let (a, b) = sum2(east, west);
+            (a, b, 0)
+        };
+        let (t0, t1) = sum2(up, down);
+        Self { s0, s1, s2, t0, t1 }
+    }
+}
+
+/// Raw `u64` draws consumed per packed site word: two 32-bit decision
+/// lanes per draw cover all 64 bit lanes. The count is independent of the
+/// active lane count so the RNG stream layout is model-determined.
+const DRAWS_PER_WORD: usize = 32;
+
+/// Spread the low 8 bits of `b` to the least-significant bit of each of
+/// the 8 bytes of the result (bit `k` → bit `8k`), in three shift-or-mask
+/// steps. Shifting the spread planes left by 0..5 and OR-ing assembles
+/// eight 6-bit table indices — one per byte — in parallel.
+#[inline(always)]
+fn spread8(b: u64) -> u64 {
+    let mut x = b & 0xFF;
+    x = (x | (x << 28)) & 0x0000_000F_0000_000F;
+    x = (x | (x << 14)) & 0x0003_0003_0003_0003;
+    x = (x | (x << 7)) & 0x0101_0101_0101_0101;
+    x
+}
+
+/// Resolve the acceptance mask of one packed site: lane `j` compares a
+/// uniform 32-bit variate (the low half of draw `rnd[j/2]` for even `j`,
+/// the high half for odd `j`) against `thr(j, idx_j)`, where `idx_j` is
+/// the 6-bit pattern of lane `j`'s site bit and neighbour-count planes.
+/// The indices are assembled eight lanes at a time with [`spread8`] — one
+/// byte per lane — instead of a per-lane shift cascade. Returns a mask
+/// with bit `j` set iff lane `j` accepts; the caller merges it with one
+/// XOR.
+#[inline(always)]
+fn resolve_word(w: u64, pl: Planes, rnd: &[u64], thr: impl Fn(usize, usize) -> u32) -> u64 {
+    debug_assert_eq!(rnd.len(), DRAWS_PER_WORD);
+    let mut accept = 0u64;
+    for chunk in 0..8usize {
+        let sh = chunk * 8;
+        let idxb = spread8(w >> sh)
+            | spread8(pl.s0 >> sh) << 1
+            | spread8(pl.s1 >> sh) << 2
+            | spread8(pl.s2 >> sh) << 3
+            | spread8(pl.t0 >> sh) << 4
+            | spread8(pl.t1 >> sh) << 5;
+        let mut bits = 0u64;
+        for half in 0..4usize {
+            let r = rnd[4 * chunk + half];
+            let j = 2 * half;
+            let idx_lo = ((idxb >> (8 * j)) & 63) as usize;
+            let idx_hi = ((idxb >> (8 * j + 8)) & 63) as usize;
+            bits |= (((r as u32) <= thr(sh + j, idx_lo)) as u64) << j;
+            bits |= ((((r >> 32) as u32) <= thr(sh + j + 1, idx_hi)) as u64) << (j + 1);
+        }
+        accept |= bits << sh;
+    }
+    accept
+}
+
+/// Per-lane `(up-spin, equal-spatial-bond, equal-temporal-bond)` counts
+/// of a replica-packed spacetime configuration — the integer inputs to
+/// every packed observable. Each site owns its `+x` (and `+y`) and `+t`
+/// bonds, exactly like [`SerialTfim::bond_sums`].
+fn lane_counts(model: &TfimModel, lat: &PackedLattice) -> ([u64; 64], [u64; 64], [u64; 64]) {
+    let (lx, ly, mm) = (model.lx, model.ly, model.m);
+    let slice = lx * ly;
+    let mask = lat.lane_mask();
+    let words = lat.words();
+    let mut ups = LaneCounter::new();
+    let mut speq = LaneCounter::new();
+    let mut teq = LaneCounter::new();
+    for t in 0..mm {
+        let tslice = t * slice;
+        let tup = ((t + 1) % mm) * slice;
+        for y in 0..ly {
+            let row = tslice + y * lx;
+            let north = tslice + ((y + 1) % ly) * lx;
+            for x in 0..lx {
+                let w = words[row + x];
+                ups.push(w);
+                let xp = if x + 1 == lx { 0 } else { x + 1 };
+                speq.push(!(w ^ words[row + xp]) & mask);
+                if ly > 1 {
+                    speq.push(!(w ^ words[north + x]) & mask);
+                }
+                teq.push(!(w ^ words[tup + y * lx + x]) & mask);
+            }
+        }
+    }
+    (ups.finish(), speq.finish(), teq.finish())
+}
+
+/// Assemble a per-lane measurement from the lane counts (bit-identical to
+/// the scalar estimator path: same integers, same float operation order).
+fn lane_measurement(
+    c: &StCouplings,
+    model: &TfimModel,
+    up: u64,
+    sp_eq: u64,
+    t_eq: u64,
+) -> TfimMeasurement {
+    let n = model.n_sites();
+    let cells = (n * model.m) as i64;
+    let n_sp_bonds = cells * if model.ly > 1 { 2 } else { 1 };
+    let sp = (2 * sp_eq as i64 - n_sp_bonds) as f64;
+    let tt = (2 * t_eq as i64 - cells) as f64;
+    let mag = (2 * up as i64 - cells) as f64 / cells as f64;
+    TfimMeasurement {
+        energy_per_site: c.energy(n, model.m, sp, tt) / n as f64,
+        abs_m: mag.abs(),
+        m2: mag * mag,
+        sigma_x: c.sigma_x(n, model.m, tt),
+    }
+}
+
+/// Replica-packed serial TFIM engine: up to 64 independent replicas of
+/// one model advancing through a shared bitwise checkerboard sweep.
+#[derive(Debug, Clone)]
+pub struct PackedReplicas {
+    model: TfimModel,
+    c: StCouplings,
+    lat: PackedLattice,
+    table: PackedAcceptTable,
+    /// Persistent per-site draw buffer ([`DRAWS_PER_WORD`] raw `u64`s) —
+    /// the sweep performs zero heap allocations.
+    rbuf: Vec<u64>,
+    metrics: Registry,
+    id_accepted: CounterId,
+    id_proposed: CounterId,
+    spins_dirty: bool,
+}
+
+impl PackedReplicas {
+    /// `lanes` replicas of `model`, all starting fully aligned.
+    pub fn new(model: TfimModel, lanes: usize) -> Self {
+        let model = model.validated();
+        let cells = model.lx * model.ly * model.m;
+        let c = model.couplings();
+        let k_sp = if model.ly > 1 { 4 } else { 2 };
+        let mut metrics = Registry::new();
+        let id_accepted = metrics.counter("tfim.accepted");
+        let id_proposed = metrics.counter("tfim.proposed");
+        Self {
+            model,
+            c,
+            lat: PackedLattice::new(cells, lanes),
+            table: PackedAcceptTable::new(&c, k_sp),
+            rbuf: vec![0; DRAWS_PER_WORD],
+            metrics,
+            id_accepted,
+            id_proposed,
+            spins_dirty: true,
+        }
+    }
+
+    /// Pack one scalar engine per lane (all must share the same model).
+    pub fn from_engines(engines: &[SerialTfim]) -> Self {
+        assert!(
+            !engines.is_empty() && engines.len() <= 64,
+            "1..=64 replicas per packed batch"
+        );
+        let model = *engines[0].model();
+        let mut packed = Self::new(model, engines.len());
+        for (lane, eng) in engines.iter().enumerate() {
+            assert_eq!(*eng.model(), model, "all packed replicas share one model");
+            packed.lat.pack_lane(lane, eng.export_spins());
+        }
+        packed
+    }
+
+    /// Hand every lane's configuration back to its scalar engine.
+    pub fn unpack_into_engines(&self, engines: &mut [SerialTfim]) {
+        assert_eq!(engines.len(), self.lat.lanes(), "engine count != lanes");
+        let mut buf = vec![0i8; self.lat.cells()];
+        for (lane, eng) in engines.iter_mut().enumerate() {
+            self.lat.unpack_lane(lane, &mut buf);
+            eng.import_spins(&buf);
+        }
+    }
+
+    /// Load one replica's scalar configuration into a lane.
+    pub fn load_replica(&mut self, lane: usize, spins: &[i8]) {
+        self.lat.pack_lane(lane, spins);
+        self.spins_dirty = true;
+    }
+
+    /// Extract one replica's scalar configuration.
+    pub fn extract_replica(&self, lane: usize, out: &mut [i8]) {
+        self.lat.unpack_lane(lane, out);
+    }
+
+    /// Model parameters.
+    pub fn model(&self) -> &TfimModel {
+        &self.model
+    }
+
+    /// Number of packed replicas.
+    pub fn lanes(&self) -> usize {
+        self.lat.lanes()
+    }
+
+    /// Metropolis proposals accepted across all lanes (`tfim.accepted`).
+    pub fn accepted(&self) -> u64 {
+        self.metrics.value(self.id_accepted)
+    }
+
+    /// Metropolis proposals made across all lanes (`tfim.proposed`).
+    pub fn proposed(&self) -> u64 {
+        self.metrics.value(self.id_proposed)
+    }
+
+    /// Fraction of proposals accepted so far.
+    pub fn acceptance_rate(&self) -> f64 {
+        self.accepted() as f64 / self.proposed().max(1) as f64
+    }
+
+    /// Engine metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// One bitwise checkerboard Metropolis sweep over every lane: the
+    /// site visit order matches [`SerialTfim::metropolis_sweep`]; each
+    /// site consumes [`DRAWS_PER_WORD`] raw draws through one batched
+    /// [`Rng64::fill_u64`] call and resolves all lanes branch-free.
+    #[qmc_hot::hot]
+    pub fn metropolis_sweep<R: Rng64>(&mut self, rng: &mut R) {
+        let _span = qmc_obs::span("tfim.packed_sweep");
+        let m = self.model;
+        let (lx, ly, mm) = (m.lx, m.ly, m.m);
+        let slice = lx * ly;
+        let lanes = self.lat.lanes();
+        let lane_mask = self.lat.lane_mask();
+        let table = self.table;
+        let rbuf = &mut self.rbuf[..DRAWS_PER_WORD];
+        let words = self.lat.words_mut();
+        let mut accepted = 0u64;
+        for color in 0..2usize {
+            for t in 0..mm {
+                let up = ((t + 1) % mm) * slice;
+                let down = ((t + mm - 1) % mm) * slice;
+                let tslice = t * slice;
+                for y in 0..ly {
+                    let row = tslice + y * lx;
+                    let (north, south) = if ly > 1 {
+                        (
+                            tslice + ((y + 1) % ly) * lx,
+                            tslice + ((y + ly - 1) % ly) * lx,
+                        )
+                    } else {
+                        (0, 0)
+                    };
+                    let x0 = (color + y + t) % 2;
+                    for x in (x0..lx).step_by(2) {
+                        let xp = if x + 1 == lx { 0 } else { x + 1 };
+                        let xm = if x == 0 { lx - 1 } else { x - 1 };
+                        let i = row + x;
+                        let w = words[i];
+                        let pl = Planes::gather(
+                            ly,
+                            words[row + xp],
+                            words[row + xm],
+                            words[north + x],
+                            words[south + x],
+                            words[up + y * lx + x],
+                            words[down + y * lx + x],
+                        );
+                        rng.fill_u64(rbuf);
+                        let flip = resolve_word(w, pl, rbuf, |_, idx| table.get(idx)) & lane_mask;
+                        words[i] = w ^ flip;
+                        accepted += u64::from(flip.count_ones());
+                    }
+                }
+            }
+        }
+        self.metrics
+            .add(self.id_proposed, (slice * mm * lanes) as u64);
+        self.metrics.add(self.id_accepted, accepted);
+        if accepted > 0 {
+            self.spins_dirty = true;
+        }
+    }
+
+    /// Measure every lane into `out` (cleared first). Per-lane bond sums
+    /// come from 64×64 bit transposes plus popcounts, and each entry is
+    /// bit-identical to [`SerialTfim::measure`] on the same
+    /// configuration.
+    pub fn measure_into(&self, out: &mut Vec<TfimMeasurement>) {
+        let _span = qmc_obs::span("tfim.packed_measure");
+        out.clear();
+        let (ups, sps, tts) = lane_counts(&self.model, &self.lat);
+        for lane in 0..self.lat.lanes() {
+            out.push(lane_measurement(
+                &self.c,
+                &self.model,
+                ups[lane],
+                sps[lane],
+                tts[lane],
+            ));
+        }
+    }
+
+    /// Measure every lane (allocating convenience wrapper).
+    pub fn measure_all(&self) -> Vec<TfimMeasurement> {
+        let mut out = Vec::with_capacity(self.lat.lanes());
+        self.measure_into(&mut out);
+        out
+    }
+
+    /// Thermalize then record `sweeps` measurements per lane.
+    pub fn run<R: Rng64>(&mut self, rng: &mut R, therm: usize, sweeps: usize) -> Vec<TfimSeries> {
+        for _ in 0..therm {
+            self.metropolis_sweep(rng);
+        }
+        let mut series: Vec<TfimSeries> = (0..self.lat.lanes())
+            .map(|_| TfimSeries::default())
+            .collect();
+        let mut meas = Vec::with_capacity(self.lat.lanes());
+        for _ in 0..sweeps {
+            self.metropolis_sweep(rng);
+            self.measure_into(&mut meas);
+            for (s, m) in series.iter_mut().zip(&meas) {
+                s.record(m);
+            }
+        }
+        series
+    }
+}
+
+impl SerialTfim {
+    /// Batch a set of independent scalar engines through the bit-packed
+    /// sweep path: pack one engine per lane, run `sweeps` packed
+    /// checkerboard sweeps, and hand the configurations back. Returns the
+    /// packed `(accepted, proposed)` counters.
+    ///
+    /// The scalar per-engine path is untouched (and remains bit-identical
+    /// under fixed seeds); this driver samples the same distribution
+    /// roughly an order of magnitude faster per site update.
+    pub fn sweep_packed<R: Rng64>(
+        engines: &mut [SerialTfim],
+        rng: &mut R,
+        sweeps: usize,
+    ) -> (u64, u64) {
+        let mut packed = PackedReplicas::from_engines(engines);
+        for _ in 0..sweeps {
+            packed.metropolis_sweep(rng);
+        }
+        packed.unpack_into_engines(engines);
+        (packed.accepted(), packed.proposed())
+    }
+}
+
+impl PackedReplicas {
+    fn save_words(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64(self.lat.lanes() as u64);
+        enc.u64(self.lat.cells() as u64);
+        enc.u64s(self.lat.words());
+    }
+
+    fn load_words(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let lanes = dec.u64()? as usize;
+        let cells = dec.u64()? as usize;
+        if lanes != self.lat.lanes() || cells != self.lat.cells() {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "packed tfim: engine is {}×{} (cells×lanes), checkpoint is {cells}×{lanes}",
+                self.lat.cells(),
+                self.lat.lanes()
+            )));
+        }
+        let words = dec.u64s()?;
+        if words.len() != cells {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "packed tfim: word count does not match header",
+            ));
+        }
+        let mask = self.lat.lane_mask();
+        if words.iter().any(|&w| w & !mask != 0) {
+            return Err(qmc_ckpt::CkptError::corrupt(
+                "packed tfim: inactive lane bits set in checkpoint",
+            ));
+        }
+        self.lat.words_mut().copy_from_slice(&words);
+        Ok(())
+    }
+}
+
+impl qmc_ckpt::Checkpoint for PackedReplicas {
+    fn kind(&self) -> &'static str {
+        "engine.tfim.packed"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        self.save_words(enc);
+        qmc_ckpt::registry::save_registry(enc, &self.metrics);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        self.load_words(dec)?;
+        self.spins_dirty = true;
+        qmc_ckpt::registry::load_registry(dec, &mut self.metrics)
+    }
+
+    fn dirty_sections(&self) -> qmc_ckpt::DirtySections {
+        let mut s = qmc_ckpt::DirtySections::new();
+        s.push("spins", self.spins_dirty);
+        s.push("metrics", true);
+        s
+    }
+
+    fn save_section(&self, name: &str, enc: &mut qmc_ckpt::Encoder) {
+        match name {
+            "spins" => self.save_words(enc),
+            "metrics" => qmc_ckpt::registry::save_registry(enc, &self.metrics),
+            _ => panic!("engine.tfim.packed has no checkpoint section {name:?}"),
+        }
+    }
+
+    fn load_section(
+        &mut self,
+        name: &str,
+        dec: &mut qmc_ckpt::Decoder,
+    ) -> Result<(), qmc_ckpt::CkptError> {
+        match name {
+            "spins" => {
+                self.load_words(dec)?;
+                self.spins_dirty = true;
+                Ok(())
+            }
+            "metrics" => qmc_ckpt::registry::load_registry(dec, &mut self.metrics),
+            _ => Err(qmc_ckpt::CkptError::MissingSection {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    fn mark_clean(&mut self) {
+        self.spins_dirty = false;
+    }
+}
+
+/// Per-lane measurement series of a packed batch, checkpointable as one
+/// unit: lane `i`'s sections are prefixed `l{i}/`, so the chunked dirty
+/// tracking of each [`TfimSeries`] (only new row chunks re-write) carries
+/// over to delta checkpoints of the whole batch.
+#[derive(Debug, Clone, Default)]
+pub struct PackedSeries {
+    /// One series per lane.
+    pub lanes: Vec<TfimSeries>,
+}
+
+impl PackedSeries {
+    /// Empty series for `lanes` replicas.
+    pub fn new(lanes: usize) -> Self {
+        Self {
+            lanes: (0..lanes).map(|_| TfimSeries::default()).collect(),
+        }
+    }
+
+    /// Record one measurement per lane.
+    pub fn record(&mut self, meas: &[TfimMeasurement]) {
+        assert_eq!(meas.len(), self.lanes.len(), "measurement count != lanes");
+        for (s, m) in self.lanes.iter_mut().zip(meas) {
+            s.record(m);
+        }
+    }
+}
+
+fn parse_lane_section(name: &str) -> Option<(usize, &str)> {
+    let rest = name.strip_prefix('l')?;
+    let (lane, section) = rest.split_once('/')?;
+    Some((lane.parse().ok()?, section))
+}
+
+impl qmc_ckpt::Checkpoint for PackedSeries {
+    fn kind(&self) -> &'static str {
+        "series.tfim.packed"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64(self.lanes.len() as u64);
+        for s in &self.lanes {
+            enc.state(s);
+        }
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let n = dec.u64()? as usize;
+        if n != self.lanes.len() {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "packed series: have {} lanes, checkpoint has {n}",
+                self.lanes.len()
+            )));
+        }
+        for s in &mut self.lanes {
+            dec.load_state(s)?;
+        }
+        Ok(())
+    }
+
+    fn dirty_sections(&self) -> qmc_ckpt::DirtySections {
+        let mut out = qmc_ckpt::DirtySections::new();
+        for (i, s) in self.lanes.iter().enumerate() {
+            for (name, dirty) in s.dirty_sections().iter() {
+                out.push(format!("l{i}/{name}"), dirty);
+            }
+        }
+        out
+    }
+
+    fn save_section(&self, name: &str, enc: &mut qmc_ckpt::Encoder) {
+        let (lane, section) = parse_lane_section(name)
+            .unwrap_or_else(|| panic!("series.tfim.packed has no checkpoint section {name:?}"));
+        self.lanes[lane].save_section(section, enc);
+    }
+
+    fn load_section(
+        &mut self,
+        name: &str,
+        dec: &mut qmc_ckpt::Decoder,
+    ) -> Result<(), qmc_ckpt::CkptError> {
+        let Some((lane, section)) = parse_lane_section(name) else {
+            return Err(qmc_ckpt::CkptError::MissingSection {
+                name: name.to_string(),
+            });
+        };
+        if lane >= self.lanes.len() {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "packed series: section for lane {lane} of {}",
+                self.lanes.len()
+            )));
+        }
+        self.lanes[lane].load_section(section, dec)
+    }
+
+    fn mark_clean(&mut self) {
+        for s in &mut self.lanes {
+            s.mark_clean();
+        }
+    }
+}
+
+/// Parallel-tempering ladder over β with one rung per lane: every rung
+/// advances through the shared packed sweep kernel (per-lane threshold
+/// tables, since each β has its own couplings), and adjacent rungs
+/// exchange configurations with a bitwise lane swap.
+#[derive(Debug, Clone)]
+pub struct PackedTfimLadder {
+    model: TfimModel,
+    cs: Vec<StCouplings>,
+    tables: Vec<[u32; 64]>,
+    lat: PackedLattice,
+    rbuf: Vec<u64>,
+    metrics: Registry,
+    id_accepted: CounterId,
+    id_proposed: CounterId,
+    /// Swap acceptance counters per adjacent pair `(k, k+1)`.
+    swap_accepted: Vec<u64>,
+    swap_attempted: Vec<u64>,
+    /// Alternating exchange phase (even pairs, then odd pairs).
+    phase: usize,
+    spins_dirty: bool,
+}
+
+impl PackedTfimLadder {
+    /// Ladder with one rung per entry of `betas` (2..=64 rungs); `model`
+    /// supplies the lattice and couplings template, its `beta` field is
+    /// replaced per rung.
+    pub fn new(model: TfimModel, betas: &[f64]) -> Self {
+        assert!((2..=64).contains(&betas.len()), "ladder needs 2..=64 rungs");
+        assert!(betas.iter().all(|&b| b > 0.0), "β must be positive");
+        let model = model.validated();
+        let cells = model.lx * model.ly * model.m;
+        let k_sp = if model.ly > 1 { 4 } else { 2 };
+        let cs: Vec<StCouplings> = betas
+            .iter()
+            .map(|&beta| TfimModel { beta, ..model }.couplings())
+            .collect();
+        // Padded to 64 rows (zero thresholds beyond the last rung): the
+        // resolver visits every bit lane and the inactive ones are masked
+        // off afterwards, so the per-lane table lookup stays branch-free.
+        let mut tables: Vec<[u32; 64]> = cs
+            .iter()
+            .map(|c| PackedAcceptTable::new(c, k_sp).row())
+            .collect();
+        tables.resize(64, [0u32; 64]);
+        let mut metrics = Registry::new();
+        let id_accepted = metrics.counter("tfim.accepted");
+        let id_proposed = metrics.counter("tfim.proposed");
+        Self {
+            model,
+            cs,
+            tables,
+            lat: PackedLattice::new(cells, betas.len()),
+            rbuf: vec![0; DRAWS_PER_WORD],
+            metrics,
+            id_accepted,
+            id_proposed,
+            swap_accepted: vec![0; betas.len().saturating_sub(1)],
+            swap_attempted: vec![0; betas.len().saturating_sub(1)],
+            phase: 0,
+            spins_dirty: true,
+        }
+    }
+
+    /// Number of rungs.
+    pub fn rungs(&self) -> usize {
+        self.lat.lanes()
+    }
+
+    /// The couplings of rung `k`.
+    pub fn couplings(&self, k: usize) -> &StCouplings {
+        &self.cs[k]
+    }
+
+    /// Swap acceptance rate of the pair `(k, k+1)`.
+    pub fn swap_rate(&self, k: usize) -> f64 {
+        self.swap_accepted[k] as f64 / self.swap_attempted[k].max(1) as f64
+    }
+
+    /// One packed checkerboard sweep advancing every rung (per-lane
+    /// acceptance tables; otherwise identical to
+    /// [`PackedReplicas::metropolis_sweep`]).
+    #[qmc_hot::hot]
+    pub fn metropolis_sweep<R: Rng64>(&mut self, rng: &mut R) {
+        let _span = qmc_obs::span("tfim.packed_ladder_sweep");
+        let m = self.model;
+        let (lx, ly, mm) = (m.lx, m.ly, m.m);
+        let slice = lx * ly;
+        let lanes = self.lat.lanes();
+        let lane_mask = self.lat.lane_mask();
+        let tables = &self.tables[..64];
+        let rbuf = &mut self.rbuf[..DRAWS_PER_WORD];
+        let words = self.lat.words_mut();
+        let mut accepted = 0u64;
+        for color in 0..2usize {
+            for t in 0..mm {
+                let up = ((t + 1) % mm) * slice;
+                let down = ((t + mm - 1) % mm) * slice;
+                let tslice = t * slice;
+                for y in 0..ly {
+                    let row = tslice + y * lx;
+                    let (north, south) = if ly > 1 {
+                        (
+                            tslice + ((y + 1) % ly) * lx,
+                            tslice + ((y + ly - 1) % ly) * lx,
+                        )
+                    } else {
+                        (0, 0)
+                    };
+                    let x0 = (color + y + t) % 2;
+                    for x in (x0..lx).step_by(2) {
+                        let xp = if x + 1 == lx { 0 } else { x + 1 };
+                        let xm = if x == 0 { lx - 1 } else { x - 1 };
+                        let i = row + x;
+                        let w = words[i];
+                        let pl = Planes::gather(
+                            ly,
+                            words[row + xp],
+                            words[row + xm],
+                            words[north + x],
+                            words[south + x],
+                            words[up + y * lx + x],
+                            words[down + y * lx + x],
+                        );
+                        rng.fill_u64(rbuf);
+                        let flip =
+                            resolve_word(w, pl, rbuf, |j, idx| tables[j][idx & 63]) & lane_mask;
+                        words[i] = w ^ flip;
+                        accepted += u64::from(flip.count_ones());
+                    }
+                }
+            }
+        }
+        self.metrics
+            .add(self.id_proposed, (slice * mm * lanes) as u64);
+        self.metrics.add(self.id_accepted, accepted);
+        if accepted > 0 {
+            self.spins_dirty = true;
+        }
+    }
+
+    /// One replica-exchange phase: alternating even/odd adjacent pairs.
+    /// Accepted swaps exchange the two rungs' configurations with a
+    /// bitwise lane swap over every word; the acceptance uses the exact
+    /// action difference from per-lane bond sums:
+    /// `Δ = (K_s' − K_s)·ΔΣSP + (K_τ' − K_τ)·ΔΣT`, `P = min(1, e^{−Δ})`.
+    pub fn exchange<R: Rng64>(&mut self, rng: &mut R) {
+        let _span = qmc_obs::span("tfim.packed_ladder_exchange");
+        let (_, sps, tts) = lane_counts(&self.model, &self.lat);
+        let lanes = self.lat.lanes();
+        let phase = self.phase;
+        self.phase ^= 1;
+        let mut k = phase;
+        while k + 1 < lanes {
+            let (a, b) = (k, k + 1);
+            // Equal-bond counts and signed bond sums differ by an
+            // affine map with equal offsets, so the *differences* agree.
+            let dsp = 2.0 * (sps[b] as f64 - sps[a] as f64);
+            let dtt = 2.0 * (tts[b] as f64 - tts[a] as f64);
+            let delta = (self.cs[b].k_space - self.cs[a].k_space) * dsp
+                + (self.cs[b].k_time - self.cs[a].k_time) * dtt;
+            self.swap_attempted[a] += 1;
+            if rng.metropolis((-delta).exp()) {
+                self.swap_accepted[a] += 1;
+                for w in self.lat.words_mut() {
+                    let x = ((*w >> a) ^ (*w >> b)) & 1;
+                    *w ^= (x << a) | (x << b);
+                }
+                self.spins_dirty = true;
+            }
+            k += 2;
+        }
+    }
+
+    /// Measure every rung with its own couplings.
+    pub fn measure_into(&self, out: &mut Vec<TfimMeasurement>) {
+        out.clear();
+        let (ups, sps, tts) = lane_counts(&self.model, &self.lat);
+        for lane in 0..self.lat.lanes() {
+            out.push(lane_measurement(
+                &self.cs[lane],
+                &self.model,
+                ups[lane],
+                sps[lane],
+                tts[lane],
+            ));
+        }
+    }
+
+    /// Thermalize then record `sweeps` measurements per rung, with one
+    /// exchange phase after every sweep.
+    pub fn run<R: Rng64>(&mut self, rng: &mut R, therm: usize, sweeps: usize) -> Vec<TfimSeries> {
+        for _ in 0..therm {
+            self.metropolis_sweep(rng);
+            self.exchange(rng);
+        }
+        let mut series: Vec<TfimSeries> = (0..self.lat.lanes())
+            .map(|_| TfimSeries::default())
+            .collect();
+        let mut meas = Vec::with_capacity(self.lat.lanes());
+        for _ in 0..sweeps {
+            self.metropolis_sweep(rng);
+            self.exchange(rng);
+            self.measure_into(&mut meas);
+            for (s, m) in series.iter_mut().zip(&meas) {
+                s.record(m);
+            }
+        }
+        series
+    }
+}
+
+/// Spatially packed single-replica TFIM engine: bit `j` of word `k` in a
+/// row is the spin at `x = 64·k + j`, so one word update advances 32
+/// checkerboard-active sites. Requires `lx % 64 == 0` (check with
+/// [`Self::supports`]); replica packing is the general-purpose mode.
+#[derive(Debug, Clone)]
+pub struct PackedSpatialTfim {
+    model: TfimModel,
+    c: StCouplings,
+    /// `lx/64 · ly · m` words, 64 sites each.
+    lat: PackedLattice,
+    table: PackedAcceptTable,
+    rbuf: Vec<u64>,
+    metrics: Registry,
+    id_accepted: CounterId,
+    id_proposed: CounterId,
+    spins_dirty: bool,
+}
+
+impl PackedSpatialTfim {
+    /// True when the model's layout admits spatial packing.
+    pub fn supports(model: &TfimModel) -> bool {
+        model.lx.is_multiple_of(64)
+    }
+
+    /// Fresh fully-aligned engine (panics unless [`Self::supports`]).
+    pub fn new(model: TfimModel) -> Self {
+        let model = model.validated();
+        assert!(
+            Self::supports(&model),
+            "spatial packing needs lx % 64 == 0 (lx = {}); use PackedReplicas",
+            model.lx
+        );
+        let c = model.couplings();
+        let k_sp = if model.ly > 1 { 4 } else { 2 };
+        let words = (model.lx / 64) * model.ly * model.m;
+        let mut metrics = Registry::new();
+        let id_accepted = metrics.counter("tfim.accepted");
+        let id_proposed = metrics.counter("tfim.proposed");
+        Self {
+            model,
+            c,
+            lat: PackedLattice::new(words, 64),
+            table: PackedAcceptTable::new(&c, k_sp),
+            rbuf: vec![0; DRAWS_PER_WORD / 2],
+            metrics,
+            id_accepted,
+            id_proposed,
+            spins_dirty: true,
+        }
+    }
+
+    /// Model parameters.
+    pub fn model(&self) -> &TfimModel {
+        &self.model
+    }
+
+    /// Metropolis proposals accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.metrics.value(self.id_accepted)
+    }
+
+    /// Metropolis proposals made so far.
+    pub fn proposed(&self) -> u64 {
+        self.metrics.value(self.id_proposed)
+    }
+
+    #[inline]
+    fn word_of(&self, x: usize, y: usize, t: usize) -> (usize, usize) {
+        let wpr = self.model.lx / 64;
+        ((t * self.model.ly + y) * wpr + x / 64, x % 64)
+    }
+
+    /// Load a scalar configuration (layout `(t·ly + y)·lx + x`, ±1).
+    pub fn load_config(&mut self, spins: &[i8]) {
+        let m = self.model;
+        assert_eq!(spins.len(), m.lx * m.ly * m.m, "configuration length");
+        for t in 0..m.m {
+            for y in 0..m.ly {
+                for x in 0..m.lx {
+                    let (w, b) = self.word_of(x, y, t);
+                    self.lat.set(w, b, spins[(t * m.ly + y) * m.lx + x]);
+                }
+            }
+        }
+        self.spins_dirty = true;
+    }
+
+    /// Extract the scalar configuration.
+    pub fn extract_config(&self, out: &mut [i8]) {
+        let m = self.model;
+        assert_eq!(out.len(), m.lx * m.ly * m.m, "configuration length");
+        for t in 0..m.m {
+            for y in 0..m.ly {
+                for x in 0..m.lx {
+                    let (w, b) = self.word_of(x, y, t);
+                    out[(t * m.ly + y) * m.lx + x] = self.lat.get(w, b);
+                }
+            }
+        }
+    }
+
+    /// One bitwise checkerboard sweep: each word update resolves its 32
+    /// active-parity sites with 16 draws from one batched fill (two
+    /// 32-bit decision lanes per draw, consecutive active sites taking
+    /// the low then the high half). The x±1 neighbours come from shifts
+    /// with carries across adjacent words (periodic wrap within the row).
+    #[qmc_hot::hot]
+    pub fn metropolis_sweep<R: Rng64>(&mut self, rng: &mut R) {
+        let _span = qmc_obs::span("tfim.packed_spatial_sweep");
+        let m = self.model;
+        let (ly, mm) = (m.ly, m.m);
+        let wpr = m.lx / 64;
+        let slice = wpr * ly;
+        let table = self.table;
+        let rbuf = &mut self.rbuf[..DRAWS_PER_WORD / 2];
+        let words = self.lat.words_mut();
+        let mut accepted = 0u64;
+        for color in 0..2usize {
+            for t in 0..mm {
+                let up = ((t + 1) % mm) * slice;
+                let down = ((t + mm - 1) % mm) * slice;
+                let tslice = t * slice;
+                for y in 0..ly {
+                    let row = tslice + y * wpr;
+                    let (north, south) = if ly > 1 {
+                        (
+                            tslice + ((y + 1) % ly) * wpr,
+                            tslice + ((y + ly - 1) % ly) * wpr,
+                        )
+                    } else {
+                        (0, 0)
+                    };
+                    // Bit parity equals x parity (64 | lx), so one parity
+                    // selects this row's checkerboard-active sites.
+                    let par = (color + y + t) % 2;
+                    for k in 0..wpr {
+                        let i = row + k;
+                        let w = words[i];
+                        let nxt = words[row + if k + 1 == wpr { 0 } else { k + 1 }];
+                        let prv = words[row + if k == 0 { wpr - 1 } else { k - 1 }];
+                        let east = (w >> 1) | (nxt << 63);
+                        let west = (w << 1) | (prv >> 63);
+                        let pl = Planes::gather(
+                            ly,
+                            east,
+                            west,
+                            words[north + k],
+                            words[south + k],
+                            words[up + y * wpr + k],
+                            words[down + y * wpr + k],
+                        );
+                        rng.fill_u64(rbuf);
+                        let (mut sw, mut q0, mut q1, mut q2, mut u0, mut u1) = (
+                            w >> par,
+                            pl.s0 >> par,
+                            pl.s1 >> par,
+                            pl.s2 >> par,
+                            pl.t0 >> par,
+                            pl.t1 >> par,
+                        );
+                        let mut flip = 0u64;
+                        let mut bit = 1u64 << par;
+                        for &r in rbuf.iter() {
+                            let idx = ((sw & 1)
+                                | (q0 & 1) << 1
+                                | (q1 & 1) << 2
+                                | (q2 & 1) << 3
+                                | (u0 & 1) << 4
+                                | (u1 & 1) << 5) as usize;
+                            flip |= (((r as u32) <= table.get(idx)) as u64).wrapping_mul(bit);
+                            sw >>= 2;
+                            q0 >>= 2;
+                            q1 >>= 2;
+                            q2 >>= 2;
+                            u0 >>= 2;
+                            u1 >>= 2;
+                            bit <<= 2;
+                            let idx = ((sw & 1)
+                                | (q0 & 1) << 1
+                                | (q1 & 1) << 2
+                                | (q2 & 1) << 3
+                                | (u0 & 1) << 4
+                                | (u1 & 1) << 5) as usize;
+                            flip |=
+                                ((((r >> 32) as u32) <= table.get(idx)) as u64).wrapping_mul(bit);
+                            sw >>= 2;
+                            q0 >>= 2;
+                            q1 >>= 2;
+                            q2 >>= 2;
+                            u0 >>= 2;
+                            u1 >>= 2;
+                            bit <<= 2;
+                        }
+                        words[i] = w ^ flip;
+                        accepted += u64::from(flip.count_ones());
+                    }
+                }
+            }
+        }
+        self.metrics.add(self.id_proposed, (slice * mm * 64) as u64);
+        self.metrics.add(self.id_accepted, accepted);
+        if accepted > 0 {
+            self.spins_dirty = true;
+        }
+    }
+
+    /// Measure the configuration (popcount bond sums; bit-identical to
+    /// [`SerialTfim::measure`] on the same configuration).
+    pub fn measure(&self) -> TfimMeasurement {
+        let m = self.model;
+        let (ly, mm) = (m.ly, m.m);
+        let wpr = m.lx / 64;
+        let slice = wpr * ly;
+        let words = self.lat.words();
+        let (mut up_cnt, mut speq, mut teq) = (0u64, 0u64, 0u64);
+        for t in 0..mm {
+            let tslice = t * slice;
+            let tup = ((t + 1) % mm) * slice;
+            for y in 0..ly {
+                let row = tslice + y * wpr;
+                let north = tslice + ((y + 1) % ly) * wpr;
+                for k in 0..wpr {
+                    let w = words[row + k];
+                    up_cnt += u64::from(w.count_ones());
+                    let nxt = words[row + if k + 1 == wpr { 0 } else { k + 1 }];
+                    let east = (w >> 1) | (nxt << 63);
+                    speq += u64::from((!(w ^ east)).count_ones());
+                    if ly > 1 {
+                        speq += u64::from((!(w ^ words[north + k])).count_ones());
+                    }
+                    teq += u64::from((!(w ^ words[tup + y * wpr + k])).count_ones());
+                }
+            }
+        }
+        lane_measurement(&self.c, &self.model, up_cnt, speq, teq)
+    }
+
+    /// Thermalize then record `sweeps` measurements.
+    pub fn run<R: Rng64>(&mut self, rng: &mut R, therm: usize, sweeps: usize) -> TfimSeries {
+        for _ in 0..therm {
+            self.metropolis_sweep(rng);
+        }
+        let mut series = TfimSeries::default();
+        for _ in 0..sweeps {
+            self.metropolis_sweep(rng);
+            series.record(&self.measure());
+        }
+        series
+    }
+}
+
+impl qmc_ckpt::Checkpoint for PackedSpatialTfim {
+    fn kind(&self) -> &'static str {
+        "engine.tfim.packed-spatial"
+    }
+
+    fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+        enc.u64s(self.lat.words());
+        qmc_ckpt::registry::save_registry(enc, &self.metrics);
+    }
+
+    fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+        let words = dec.u64s()?;
+        if words.len() != self.lat.cells() {
+            return Err(qmc_ckpt::CkptError::corrupt(format!(
+                "packed spatial tfim: engine has {} words, checkpoint has {}",
+                self.lat.cells(),
+                words.len()
+            )));
+        }
+        self.lat.words_mut().copy_from_slice(&words);
+        self.spins_dirty = true;
+        qmc_ckpt::registry::load_registry(dec, &mut self.metrics)
+    }
+}
+
+/// Replica-packed distributed TFIM engine: the spatial block decomposition
+/// of [`crate::parallel::DistTfim`] with one packed word (all lanes) per
+/// cell. Halo exchange moves boundary *words* — 8 bytes per cell carrying
+/// all 64 replicas — through the same persistent caller-owned buffers.
+pub struct PackedDistTfim {
+    model: TfimModel,
+    c: StCouplings,
+    sub: Subdomain,
+    rank: usize,
+    lat: PackedLattice,
+    slice_stride: usize,
+    table: PackedAcceptTable,
+    rbuf: Vec<u64>,
+    metrics: Registry,
+    id_accepted: CounterId,
+    id_proposed: CounterId,
+    send_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
+    halo: Vec<PackedHaloDir>,
+}
+
+/// Precomputed halo plan for one mesh direction (packed variant: the
+/// payload is `u64` words, 8 bytes per strip cell per slice).
+struct PackedHaloDir {
+    neighbor: usize,
+    from: usize,
+    tag: u32,
+    send_idx: Vec<usize>,
+    recv_idx: Vec<usize>,
+    bytes_ctr: CounterId,
+}
+
+impl PackedDistTfim {
+    /// Build the rank-local state (collective) for `lanes` replicas.
+    pub fn new<C: Communicator>(model: TfimModel, lanes: usize, comm: &C) -> Self {
+        let model = model.validated();
+        let grid = grid_for(&model, comm.size());
+        assert_eq!(grid.size(), comm.size(), "grid/communicator size mismatch");
+        let decomp = Decomposition::new(model.lx, model.ly, grid);
+        let sub = decomp.subdomain(comm.rank());
+        let slice_stride = sub.padded_len();
+        let c = model.couplings();
+        let k_sp = if model.ly > 1 { 4 } else { 2 };
+        let strip = sub.w.max(sub.h) * model.m * 8;
+        let rank = comm.rank();
+        let dirs: &[Dir] = if model.ly == 1 {
+            &[Dir::East, Dir::West]
+        } else {
+            &Dir::ALL
+        };
+        let mut metrics = Registry::new();
+        let id_accepted = metrics.counter("tfim.accepted");
+        let id_proposed = metrics.counter("tfim.proposed");
+        let halo = dirs
+            .iter()
+            .map(|&dir| PackedHaloDir {
+                neighbor: grid.neighbor(rank, dir),
+                from: grid.neighbor(rank, dir.opposite()),
+                tag: 120 + dir_id(dir),
+                send_idx: sub.send_strip(dir),
+                recv_idx: sub.recv_strip(dir.opposite()),
+                bytes_ctr: metrics.counter(dir_bytes_counter(dir)),
+            })
+            .collect();
+        Self {
+            model,
+            c,
+            sub,
+            rank,
+            lat: PackedLattice::new(slice_stride * model.m, lanes),
+            slice_stride,
+            table: PackedAcceptTable::new(&c, k_sp),
+            rbuf: vec![0; DRAWS_PER_WORD],
+            metrics,
+            id_accepted,
+            id_proposed,
+            send_buf: Vec::with_capacity(strip),
+            recv_buf: Vec::with_capacity(strip),
+            halo,
+        }
+    }
+
+    /// Number of packed replicas.
+    pub fn lanes(&self) -> usize {
+        self.lat.lanes()
+    }
+
+    /// The block this rank owns.
+    pub fn subdomain(&self) -> Subdomain {
+        self.sub
+    }
+
+    /// This rank's engine metrics (acceptance + halo byte counters).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Exchange ghost frames: one aggregated message per direction, each
+    /// boundary cell serialized as an 8-byte little-endian word carrying
+    /// every lane. Allocation-free in steady state (persistent buffers,
+    /// precomputed strips, [`Communicator::sendrecv_bytes_into`]).
+    pub fn halo_exchange<C: Communicator>(&mut self, comm: &mut C) {
+        let _span = qmc_obs::span("tfim.packed_halo_exchange");
+        let halo = std::mem::take(&mut self.halo);
+        let mut send = std::mem::take(&mut self.send_buf);
+        let mut recv = std::mem::take(&mut self.recv_buf);
+        let words = self.lat.words_mut();
+        for hd in &halo {
+            send.clear();
+            for t in 0..self.model.m {
+                let base = t * self.slice_stride;
+                for &i in &hd.send_idx {
+                    send.extend_from_slice(&words[base + i].to_le_bytes());
+                }
+            }
+
+            let incoming: &[u8] = if hd.neighbor == self.rank && hd.from == self.rank {
+                &send
+            } else {
+                self.metrics.add(hd.bytes_ctr, send.len() as u64);
+                comm.sendrecv_bytes_into(hd.neighbor, hd.tag, &send, hd.from, hd.tag, &mut recv);
+                &recv
+            };
+
+            assert_eq!(
+                incoming.len(),
+                hd.recv_idx.len() * self.model.m * 8,
+                "packed halo payload size mismatch"
+            );
+            let mut chunks = incoming.chunks_exact(8);
+            for t in 0..self.model.m {
+                let base = t * self.slice_stride;
+                for &i in &hd.recv_idx {
+                    let bytes: [u8; 8] = chunks.next().expect("sized above").try_into().expect("8");
+                    words[base + i] = u64::from_le_bytes(bytes);
+                }
+            }
+        }
+        self.halo = halo;
+        self.send_buf = send;
+        self.recv_buf = recv;
+    }
+
+    /// Update every interior site of global parity `color` across all
+    /// lanes; returns the number of per-lane proposals.
+    #[qmc_hot::hot]
+    fn half_sweep<R: Rng64>(&mut self, color: usize, rng: &mut R) -> u64 {
+        let m = self.model;
+        let sub = self.sub;
+        let w2 = sub.w + 2;
+        let lanes = self.lat.lanes();
+        let lane_mask = self.lat.lane_mask();
+        let table = self.table;
+        let rbuf = &mut self.rbuf[..DRAWS_PER_WORD];
+        let words = self.lat.words_mut();
+        let mut proposals = 0u64;
+        let mut accepted = 0u64;
+        for t in 0..m.m {
+            let base = t * self.slice_stride;
+            let up = ((t + 1) % m.m) * self.slice_stride;
+            let down = ((t + m.m - 1) % m.m) * self.slice_stride;
+            for iy in 0..sub.h {
+                let gy = sub.y0 + iy;
+                for ix in 0..sub.w {
+                    let gx = sub.x0 + ix;
+                    if (gx + gy + t) % 2 != color {
+                        continue;
+                    }
+                    let li = sub.local(ix as isize, iy as isize);
+                    let w = words[base + li];
+                    let pl = Planes::gather(
+                        m.ly,
+                        words[base + li + 1],
+                        words[base + li - 1],
+                        words[base + li + w2],
+                        words[base + li - w2],
+                        words[up + li],
+                        words[down + li],
+                    );
+                    rng.fill_u64(rbuf);
+                    let flip = resolve_word(w, pl, rbuf, |_, idx| table.get(idx)) & lane_mask;
+                    words[base + li] = w ^ flip;
+                    proposals += lanes as u64;
+                    accepted += u64::from(flip.count_ones());
+                }
+            }
+        }
+        self.metrics.add(self.id_proposed, proposals);
+        self.metrics.add(self.id_accepted, accepted);
+        proposals
+    }
+
+    /// One full sweep: two parity halves, each followed by a halo
+    /// exchange; per-lane site updates are charged to the communicator.
+    #[qmc_hot::hot]
+    pub fn sweep<C: Communicator, R: Rng64>(&mut self, comm: &mut C, rng: &mut R) {
+        let _span = qmc_obs::span("tfim.packed_dist_sweep");
+        for color in 0..2 {
+            let proposals = self.half_sweep(color, rng);
+            comm.compute(proposals as f64 * FLOPS_PER_UPDATE);
+            self.halo_exchange(comm);
+        }
+    }
+
+    /// Measure every lane globally (collective; identical on all ranks).
+    pub fn measure_into<C: Communicator>(&self, comm: &mut C, out: &mut Vec<TfimMeasurement>) {
+        let _span = qmc_obs::span("tfim.packed_measure");
+        let m = self.model;
+        let sub = self.sub;
+        let w2 = sub.w + 2;
+        let lanes = self.lat.lanes();
+        let mask = self.lat.lane_mask();
+        let words = self.lat.words();
+        let mut ups = LaneCounter::new();
+        let mut speq = LaneCounter::new();
+        let mut teq = LaneCounter::new();
+        for t in 0..m.m {
+            let base = t * self.slice_stride;
+            let up = ((t + 1) % m.m) * self.slice_stride;
+            for iy in 0..sub.h {
+                for ix in 0..sub.w {
+                    let li = sub.local(ix as isize, iy as isize);
+                    let w = words[base + li];
+                    ups.push(w);
+                    speq.push(!(w ^ words[base + li + 1]) & mask);
+                    if m.ly > 1 {
+                        speq.push(!(w ^ words[base + li + w2]) & mask);
+                    }
+                    teq.push(!(w ^ words[up + li]) & mask);
+                }
+            }
+        }
+        let (u, s, tt) = (ups.finish(), speq.finish(), teq.finish());
+        // Local per-lane [up, sp_eq, t_eq] counts → one allreduce.
+        let mut local = Vec::with_capacity(3 * lanes);
+        for lane in 0..lanes {
+            local.push(u[lane] as f64);
+            local.push(s[lane] as f64);
+            local.push(tt[lane] as f64);
+        }
+        let global = comm.allreduce_f64(&local, ReduceOp::Sum);
+        out.clear();
+        for lane in 0..lanes {
+            out.push(lane_measurement(
+                &self.c,
+                &self.model,
+                global[3 * lane] as u64,
+                global[3 * lane + 1] as u64,
+                global[3 * lane + 2] as u64,
+            ));
+        }
+    }
+
+    /// Thermalize and run, recording one measurement per lane per sweep
+    /// (identical series on every rank).
+    pub fn run<C: Communicator, R: Rng64>(
+        &mut self,
+        comm: &mut C,
+        rng: &mut R,
+        therm: usize,
+        sweeps: usize,
+    ) -> Vec<TfimSeries> {
+        self.halo_exchange(comm);
+        for _ in 0..therm {
+            self.sweep(comm, rng);
+        }
+        let mut series: Vec<TfimSeries> = (0..self.lat.lanes())
+            .map(|_| TfimSeries::default())
+            .collect();
+        let mut meas = Vec::with_capacity(self.lat.lanes());
+        for _ in 0..sweeps {
+            self.sweep(comm, rng);
+            self.measure_into(comm, &mut meas);
+            for (sr, mm) in series.iter_mut().zip(&meas) {
+                sr.record(mm);
+            }
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmc_ckpt::Checkpoint;
+    use qmc_comm::run_threads;
+    use qmc_rng::{StreamFactory, Xoshiro256StarStar};
+    use qmc_stats::BinningAnalysis;
+
+    fn chain(lx: usize, h: f64, beta: f64, m: usize) -> TfimModel {
+        TfimModel {
+            lx,
+            ly: 1,
+            j: 1.0,
+            h,
+            beta,
+            m,
+        }
+    }
+
+    fn square(l: usize, h: f64, beta: f64, m: usize) -> TfimModel {
+        TfimModel {
+            lx: l,
+            ly: l,
+            j: 1.0,
+            h,
+            beta,
+            m,
+        }
+    }
+
+    /// Pool per-lane series: mean of lane means, error from per-lane
+    /// binning errors of independent lanes.
+    fn pooled(series: &[TfimSeries], field: fn(&TfimSeries) -> &Vec<f64>) -> (f64, f64) {
+        let n = series.len() as f64;
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        for s in series {
+            let b = BinningAnalysis::new(field(s), 16);
+            mean += b.mean;
+            var += b.error().powi(2);
+        }
+        (mean / n, var.sqrt() / n)
+    }
+
+    #[test]
+    fn threshold_maps_ratios_to_u32_compare() {
+        assert_eq!(threshold(1.0), u32::MAX);
+        assert_eq!(threshold(2.5), u32::MAX);
+        // P(r ≤ thr(0.5)) = (thr+1)/2^32 = 0.5 exactly.
+        assert_eq!(threshold(0.5), (1u32 << 31) - 1);
+        assert_eq!(threshold(0.0), 0);
+        assert!(threshold(0.25) < threshold(0.5));
+        // Ratios just below 1 stay strictly below certain acceptance.
+        assert!(threshold(1.0 - 1e-12) < u32::MAX);
+    }
+
+    /// The byte-spread fast path of [`resolve_word`] reproduces, bit for
+    /// bit, the naive per-lane reference: lane `j` takes the low half of
+    /// draw `j/2` when even, the high half when odd (the RNG lane
+    /// discipline), indexed by its own 6-bit plane pattern.
+    #[test]
+    fn resolve_word_matches_per_lane_reference() {
+        let mut rng = Xoshiro256StarStar::new(99);
+        let mut draws = [0u64; DRAWS_PER_WORD];
+        // Per-(lane, idx) thresholds spanning the full u32 range.
+        let thr =
+            |j: usize, idx: usize| ((j as u32) << 26) ^ ((idx as u32).wrapping_mul(0x0421_1593));
+        for trial in 0..64 {
+            let w = rng.next_u64();
+            let pl = Planes {
+                s0: rng.next_u64(),
+                s1: rng.next_u64(),
+                s2: rng.next_u64(),
+                t0: rng.next_u64(),
+                t1: rng.next_u64(),
+            };
+            rng.fill_u64(&mut draws);
+            let fast = resolve_word(w, pl, &draws, thr);
+            let mut expect = 0u64;
+            for j in 0..64usize {
+                let idx = (((w >> j) & 1)
+                    | ((pl.s0 >> j) & 1) << 1
+                    | ((pl.s1 >> j) & 1) << 2
+                    | ((pl.s2 >> j) & 1) << 3
+                    | ((pl.t0 >> j) & 1) << 4
+                    | ((pl.t1 >> j) & 1) << 5) as usize;
+                let r = if j % 2 == 0 {
+                    draws[j / 2] as u32
+                } else {
+                    (draws[j / 2] >> 32) as u32
+                };
+                expect |= ((r <= thr(j, idx)) as u64) << j;
+            }
+            assert_eq!(fast, expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn packed_table_matches_scalar_ratios_over_reachable_domain() {
+        for (model, k_sp) in [(chain(8, 1.3, 1.7, 8), 2), (square(4, 2.0, 1.0, 8), 4)] {
+            let c = model.couplings();
+            let scalar = AcceptTable::new(&c);
+            let packed = PackedAcceptTable::new(&c, k_sp);
+            for s_bit in 0..2usize {
+                let s: i8 = if s_bit == 1 { 1 } else { -1 };
+                for u_sp in 0..=k_sp {
+                    for u_t in 0..=2usize {
+                        let sp = 2 * u_sp as i32 - k_sp as i32;
+                        let tp = 2 * u_t as i32 - 2;
+                        let idx = s_bit | (u_sp << 1) | (u_t << 4);
+                        assert_eq!(
+                            packed.get(idx),
+                            threshold(scalar.ratio(s, sp, tp)),
+                            "s={s} u_sp={u_sp} u_t={u_t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum4_planes_encode_exact_counts() {
+        // Exhaustive over all 16 per-lane input combinations, replicated
+        // across lanes with different alignment.
+        for pattern in 0..16u64 {
+            let a = if pattern & 1 != 0 { !0u64 } else { 0 };
+            let b = if pattern & 2 != 0 { !0u64 } else { 0 };
+            let c = if pattern & 4 != 0 { !0u64 } else { 0 };
+            let d = if pattern & 8 != 0 { !0u64 } else { 0 };
+            let (p0, p1, p2) = sum4(a, b, c, d);
+            let expect = pattern.count_ones() as u64;
+            let got = (p0 & 1) + 2 * (p1 & 1) + 4 * (p2 & 1);
+            assert_eq!(got, expect, "pattern {pattern:04b}");
+        }
+    }
+
+    /// Satellite: pack/unpack round-trips through engines at sizes not
+    /// divisible by 64, single-replica worlds, and odd y/t extents (the
+    /// checkerboard parity cases), asserting exact configuration
+    /// recovery plus bitwise energy agreement per lane.
+    #[test]
+    fn pack_unpack_roundtrip_and_bitwise_measure_agreement() {
+        for (model, lanes) in [
+            (chain(6, 1.2, 1.3, 6), 5),    // 36 cells: not divisible by 64
+            (chain(4, 0.7, 2.0, 16), 1),   // single-replica world
+            (square(4, 1.5, 1.0, 4), 3),   // 64 cells: exactly one block
+            (chain(10, 2.0, 0.7, 26), 64), // 260 cells: 4 blocks + tail
+        ] {
+            // Scramble each scalar engine differently.
+            let mut engines: Vec<SerialTfim> = (0..lanes).map(|_| SerialTfim::new(model)).collect();
+            for (k, eng) in engines.iter_mut().enumerate() {
+                let mut rng = Xoshiro256StarStar::new(1000 + k as u64);
+                for _ in 0..8 {
+                    eng.metropolis_sweep(&mut rng);
+                }
+            }
+            let originals: Vec<Vec<i8>> =
+                engines.iter().map(|e| e.export_spins().to_vec()).collect();
+
+            let packed = PackedReplicas::from_engines(&engines);
+            // Round trip: unpack returns exactly what was packed.
+            let mut back: Vec<SerialTfim> = (0..lanes).map(|_| SerialTfim::new(model)).collect();
+            packed.unpack_into_engines(&mut back);
+            for (eng, orig) in back.iter().zip(&originals) {
+                assert_eq!(eng.export_spins(), &orig[..]);
+            }
+
+            // Bitwise measurement agreement per configuration.
+            let meas = packed.measure_all();
+            for (eng, pm) in engines.iter().zip(&meas) {
+                let sm = eng.measure();
+                assert_eq!(sm.energy_per_site.to_bits(), pm.energy_per_site.to_bits());
+                assert_eq!(sm.abs_m.to_bits(), pm.abs_m.to_bits());
+                assert_eq!(sm.m2.to_bits(), pm.m2.to_bits());
+                assert_eq!(sm.sigma_x.to_bits(), pm.sigma_x.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_replicas_match_ed_pooled() {
+        // 16 replicas of the L=4 near-critical chain, pooled against the
+        // exact-diagonalization oracle.
+        let model = chain(4, 1.0, 1.0, 16);
+        let mut packed = PackedReplicas::new(model, 16);
+        let mut rng = Xoshiro256StarStar::new(42);
+        let series = packed.run(&mut rng, 1500, 4000);
+
+        let lat = qmc_lattice::Chain::new(4);
+        let exact = qmc_ed::tfim::thermal(&lat, &qmc_ed::tfim::TfimParams { j: 1.0, h: 1.0 }, 1.0);
+        let (e, de) = pooled(&series, |s| &s.energy);
+        let trotter = (1.0f64 / 16.0).powi(2) * 2.0;
+        assert!(
+            (e - exact.energy / 4.0).abs() < 4.0 * de.max(2e-4) + trotter,
+            "E {e} ± {de} vs {}",
+            exact.energy / 4.0
+        );
+        let (sx, dsx) = pooled(&series, |s| &s.sigma_x);
+        assert!(
+            (sx - exact.sx).abs() < 4.0 * dsx.max(2e-4) + trotter,
+            "σx {sx} ± {dsx} vs {}",
+            exact.sx
+        );
+        let rate = packed.acceptance_rate();
+        assert!(rate > 0.05 && rate < 0.95, "acceptance {rate}");
+    }
+
+    #[test]
+    fn packed_square_lattice_matches_scalar_means() {
+        // 2-D model: packed (4 spatial neighbours → sum4 path) vs the
+        // scalar engine, distribution level.
+        let model = square(4, 2.5, 1.0, 8);
+        let mut packed = PackedReplicas::new(model, 8);
+        let mut rng = Xoshiro256StarStar::new(7);
+        let pseries = packed.run(&mut rng, 800, 3000);
+        let (pe, pde) = pooled(&pseries, |s| &s.energy);
+
+        let mut scalar = SerialTfim::new(model);
+        let mut srng = Xoshiro256StarStar::new(8);
+        let sseries = scalar.run(&mut srng, 1500, 15_000, 0);
+        let bs = BinningAnalysis::new(&sseries.energy, 16);
+        let err = (pde.powi(2) + bs.error().powi(2)).sqrt().max(5e-4);
+        assert!(
+            (pe - bs.mean).abs() < 5.0 * err,
+            "packed {pe} ± {pde} vs scalar {} ± {}",
+            bs.mean,
+            bs.error()
+        );
+    }
+
+    #[test]
+    fn sweep_packed_batches_scalar_engines() {
+        let model = chain(8, 1.2, 1.5, 16);
+        let mut engines: Vec<SerialTfim> = (0..8).map(|_| SerialTfim::new(model)).collect();
+        let mut rng = Xoshiro256StarStar::new(3);
+        let (accepted, proposed) = SerialTfim::sweep_packed(&mut engines, &mut rng, 500);
+        assert_eq!(proposed, 500 * 8 * 128);
+        assert!(accepted > 0 && accepted < proposed);
+        // The batch leaves every engine in a valid, decorrelated state:
+        // measurements are finite and the engines differ pairwise.
+        let spins0 = engines[0].export_spins().to_vec();
+        assert!(engines[1..].iter().any(|e| e.export_spins() != &spins0[..]));
+        for eng in &engines {
+            assert!(eng.measure().energy_per_site.is_finite());
+        }
+    }
+
+    #[test]
+    fn packed_ladder_rungs_match_ed() {
+        let model = chain(4, 1.0, 1.0, 32);
+        let betas = [0.6, 1.0, 1.6, 2.4];
+        let mut ladder = PackedTfimLadder::new(model, &betas);
+        let mut rng = Xoshiro256StarStar::new(11);
+        let series = ladder.run(&mut rng, 2000, 15_000);
+
+        let lat = qmc_lattice::Chain::new(4);
+        for (k, &beta) in betas.iter().enumerate() {
+            let exact =
+                qmc_ed::tfim::thermal(&lat, &qmc_ed::tfim::TfimParams { j: 1.0, h: 1.0 }, beta);
+            let b = BinningAnalysis::new(&series[k].energy, 16);
+            let trotter = (beta / 32.0).powi(2) * 2.0;
+            assert!(
+                (b.mean - exact.energy / 4.0).abs() < 5.0 * b.error().max(3e-4) + trotter,
+                "rung {k} (β={beta}): E {} ± {} vs {}",
+                b.mean,
+                b.error(),
+                exact.energy / 4.0
+            );
+        }
+        for k in 0..betas.len() - 1 {
+            let rate = ladder.swap_rate(k);
+            assert!(rate > 0.05 && rate <= 1.0, "pair {k} swap rate {rate}");
+        }
+    }
+
+    #[test]
+    fn spatial_packing_matches_scalar_means() {
+        // lx = 64 chain: big enough for spatial packing, and the scalar
+        // engine provides the reference means (ED cannot reach L=64).
+        let model = chain(64, 1.0, 1.0, 8);
+        assert!(PackedSpatialTfim::supports(&model));
+        let mut packed = PackedSpatialTfim::new(model);
+        let mut rng = Xoshiro256StarStar::new(21);
+        let pseries = packed.run(&mut rng, 1000, 8000);
+        let bp = BinningAnalysis::new(&pseries.energy, 16);
+
+        let mut scalar = SerialTfim::new(model);
+        let mut srng = Xoshiro256StarStar::new(22);
+        let sseries = scalar.run(&mut srng, 1000, 8000, 0);
+        let bs = BinningAnalysis::new(&sseries.energy, 16);
+        let err = (bp.error().powi(2) + bs.error().powi(2)).sqrt().max(5e-4);
+        assert!(
+            (bp.mean - bs.mean).abs() < 5.0 * err,
+            "spatial {} ± {} vs scalar {} ± {}",
+            bp.mean,
+            bp.error(),
+            bs.mean,
+            bs.error()
+        );
+        assert!(!PackedSpatialTfim::supports(&chain(8, 1.0, 1.0, 8)));
+    }
+
+    #[test]
+    fn spatial_config_roundtrip_and_bitwise_measure() {
+        let model = chain(64, 1.3, 1.2, 6); // odd-ish extents: m = 6
+        let mut scalar = SerialTfim::new(model);
+        let mut rng = Xoshiro256StarStar::new(31);
+        for _ in 0..10 {
+            scalar.metropolis_sweep(&mut rng);
+        }
+        let mut packed = PackedSpatialTfim::new(model);
+        packed.load_config(scalar.export_spins());
+        let mut back = vec![0i8; scalar.export_spins().len()];
+        packed.extract_config(&mut back);
+        assert_eq!(&back[..], scalar.export_spins());
+        let sm = scalar.measure();
+        let pm = packed.measure();
+        assert_eq!(sm.energy_per_site.to_bits(), pm.energy_per_site.to_bits());
+        assert_eq!(sm.sigma_x.to_bits(), pm.sigma_x.to_bits());
+        assert_eq!(sm.abs_m.to_bits(), pm.abs_m.to_bits());
+    }
+
+    #[test]
+    fn packed_dist_pooled_matches_ed() {
+        let model = chain(8, 1.0, 1.0, 16);
+        let results = run_threads(4, move |comm| {
+            let mut eng = PackedDistTfim::new(model, 8, comm);
+            let mut rng = StreamFactory::new(5).stream(comm.rank());
+            eng.run(comm, &mut rng, 1200, 5000)
+        });
+        let lat = qmc_lattice::Chain::new(8);
+        let exact = qmc_ed::tfim::thermal(&lat, &qmc_ed::tfim::TfimParams { j: 1.0, h: 1.0 }, 1.0);
+        let (e, de) = pooled(&results[0], |s| &s.energy);
+        let trotter = (1.0f64 / 16.0).powi(2) * 2.0;
+        assert!(
+            (e - exact.energy / 8.0).abs() < 4.0 * de.max(2e-4) + trotter,
+            "E {e} ± {de} vs {}",
+            exact.energy / 8.0
+        );
+        // Collective measurements: identical series on every rank.
+        for r in &results[1..] {
+            for (a, b) in r.iter().zip(&results[0]) {
+                assert_eq!(a.energy, b.energy);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_dist_deterministic_and_counts_halo_bytes() {
+        let model = chain(8, 1.0, 1.0, 8);
+        let run = || {
+            run_threads(2, move |comm| {
+                let mut eng = PackedDistTfim::new(model, 4, comm);
+                let mut rng = StreamFactory::new(123).stream(comm.rank());
+                let series = eng.run(comm, &mut rng, 20, 40);
+                let halo: u64 = ["east", "west"]
+                    .iter()
+                    .map(|d| eng.metrics().get(&format!("tfim.halo_bytes.{d}")))
+                    .sum();
+                (series, halo)
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a[0].0[0].energy, b[0].0[0].energy);
+        // 8 bytes per boundary word, 2 directions, m slices, per exchange:
+        // initial + 2 per sweep over 60 sweeps.
+        assert_eq!(a[0].1, 2 * 8 * 8 * (1 + 2 * 60));
+    }
+
+    #[test]
+    fn packed_checkpoint_roundtrip_is_bit_identical() {
+        let model = chain(8, 1.1, 1.4, 8);
+        let mut eng = PackedReplicas::new(model, 24);
+        let mut rng = Xoshiro256StarStar::new(77);
+        for _ in 0..20 {
+            eng.metropolis_sweep(&mut rng);
+        }
+        let bytes = qmc_ckpt::save_state(&eng);
+        let mut restored = PackedReplicas::new(model, 24);
+        qmc_ckpt::load_state(&bytes, &mut restored).expect("restore");
+        assert_eq!(restored.lat.words(), eng.lat.words());
+        assert_eq!(restored.accepted(), eng.accepted());
+        // Continuing both produces identical trajectories.
+        let mut ra = Xoshiro256StarStar::new(5);
+        let mut rb = Xoshiro256StarStar::new(5);
+        eng.metropolis_sweep(&mut ra);
+        restored.metropolis_sweep(&mut rb);
+        assert_eq!(restored.lat.words(), eng.lat.words());
+
+        // Wrong lane count is rejected, not silently truncated.
+        let mut wrong = PackedReplicas::new(model, 23);
+        assert!(qmc_ckpt::load_state(&bytes, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn packed_series_sections_roundtrip_with_lane_prefixes() {
+        let mut series = PackedSeries::new(3);
+        let meas: Vec<TfimMeasurement> = (0..3)
+            .map(|k| TfimMeasurement {
+                energy_per_site: -1.0 - k as f64,
+                abs_m: 0.5,
+                m2: 0.25,
+                sigma_x: 0.7,
+            })
+            .collect();
+        for _ in 0..70 {
+            series.record(&meas);
+        }
+        // Chunked dirty tracking carries the lane prefix.
+        series.mark_clean();
+        for _ in 0..3 {
+            series.record(&meas);
+        }
+        let dirty: Vec<String> = series
+            .dirty_sections()
+            .iter()
+            .filter(|(_, d)| *d)
+            .map(|(n, _)| n.to_string())
+            .collect();
+        // Per lane: the second row chunk (rows 64..73) and the head.
+        assert_eq!(dirty.len(), 6, "{dirty:?}");
+        assert!(dirty.contains(&"l0/rows/1".to_string()));
+        assert!(dirty.contains(&"l2/head".to_string()));
+        assert!(!dirty.contains(&"l1/rows/0".to_string()));
+
+        let bytes = qmc_ckpt::save_state(&series);
+        let mut restored = PackedSeries::new(3);
+        qmc_ckpt::load_state(&bytes, &mut restored).expect("restore");
+        for (a, b) in restored.lanes.iter().zip(&series.lanes) {
+            assert_eq!(a.energy, b.energy);
+            assert_eq!(a.sigma_x, b.sigma_x);
+        }
+    }
+}

@@ -260,6 +260,7 @@ impl SerialTfim {
                         let tp = self.spins[up + y * lx + x] as i32
                             + self.spins[down + y * lx + x] as i32;
                         proposed += 1;
+                        // lint: allow(hot-scalar-spin-loop) — reference scalar kernel the packed path is validated against
                         if rng.metropolis(self.accept.ratio(s, sp, tp)) {
                             self.spins[i] = -s;
                             accepted += 1;
@@ -309,6 +310,26 @@ impl SerialTfim {
         self.spins_dirty = true;
         self.metrics.record_named("tfim.wolff_cluster", size as u64);
         size
+    }
+
+    /// The raw spacetime configuration, indexed `(t·ly + y)·lx + x` — the
+    /// bridge to the bit-packed sweep path (see [`crate::packed`]).
+    pub fn export_spins(&self) -> &[i8] {
+        &self.spins
+    }
+
+    /// Replace the spacetime configuration (±1 per site, same layout as
+    /// [`Self::export_spins`]). Used by the packed drivers to hand a
+    /// batch-updated configuration back to the scalar engine.
+    pub fn import_spins(&mut self, spins: &[i8]) {
+        assert_eq!(
+            spins.len(),
+            self.spins.len(),
+            "configuration length mismatch"
+        );
+        assert!(spins.iter().all(|&s| s == 1 || s == -1), "spins must be ±1");
+        self.spins.copy_from_slice(spins);
+        self.spins_dirty = true;
     }
 
     fn coords(&self, i: usize) -> (usize, usize, usize) {

@@ -1,0 +1,23 @@
+// Fixture: per-spin acceptance branching inside a hot kernel — each
+// site burns one RNG call and one branch, where a multi-spin-coded
+// kernel resolves 64 sites per word with batched draws and a masked
+// XOR. Not compiled — read by the qmc-lint self-tests.
+
+pub struct ScalarSweep {
+    spins: Vec<i8>,
+    ratio: f64,
+}
+
+impl ScalarSweep {
+    #[qmc_hot::hot]
+    pub fn sweep<R: Rng64>(&mut self, rng: &mut R) {
+        for i in 0..self.spins.len() {
+            if rng.metropolis(self.ratio) {
+                self.spins[i] = -self.spins[i];
+            }
+            if rng.bernoulli(0.5) {
+                self.spins[i] = 1;
+            }
+        }
+    }
+}

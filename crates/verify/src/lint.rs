@@ -12,6 +12,7 @@
 //! | `ckpt-hashmap`      | no `HashMap`/`HashSet` in checkpoint/wire-serialization files — iteration order would break the deterministic format |
 //! | `lib-unwrap`        | no `.unwrap()` in library crates' non-test code       |
 //! | `ckpt-unbounded-chain` | no `.write_delta(`/`.write_plan(` in a file that never mentions a `full_every` cadence knob or `compact` — an unbounded delta chain grows restore cost without limit |
+//! | `hot-scalar-spin-loop` | no per-spin `.metropolis(`/`.bernoulli(` decision inside `#[qmc_hot::hot]` functions — a multi-spin-coded equivalent (batched draws, bitwise acceptance; see `qmc_tfim::packed`) exists, so scalar per-spin branching in a hot kernel must be a sanctioned reference path (waived) |
 //!
 //! Test code (`#[cfg(test)]` items, `#[test]` functions, `tests/`
 //! directories) is exempt from every rule. A violation can be waived at
@@ -48,6 +49,8 @@ pub enum Rule {
     LibUnwrap,
     /// Delta checkpoint writes in a file with no full-snapshot bound.
     CkptUnboundedChain,
+    /// Per-spin acceptance branching inside a `#[qmc_hot::hot]` region.
+    HotScalarSpinLoop,
 }
 
 impl Rule {
@@ -60,6 +63,7 @@ impl Rule {
             Rule::CkptHashMap => "ckpt-hashmap",
             Rule::LibUnwrap => "lib-unwrap",
             Rule::CkptUnboundedChain => "ckpt-unbounded-chain",
+            Rule::HotScalarSpinLoop => "hot-scalar-spin-loop",
         }
     }
 
@@ -72,6 +76,7 @@ impl Rule {
             Rule::CkptHashMap,
             Rule::LibUnwrap,
             Rule::CkptUnboundedChain,
+            Rule::HotScalarSpinLoop,
         ]
     }
 }
@@ -674,6 +679,13 @@ pub fn lint_source(display_path: &str, source: &str) -> Vec<Finding> {
                     );
                 }
             }
+            if let Some(name) = method_call(tokens, i, &["metropolis", "bernoulli"]) {
+                push(
+                    line,
+                    Rule::HotScalarSpinLoop,
+                    format!("per-spin `.{name}()` decision inside a #[qmc_hot::hot] kernel (multi-spin coding resolves 64 spins per word with batched draws — see qmc_tfim::packed; waive only on sanctioned reference scalar kernels)"),
+                );
+            }
         }
 
         if !is_obs {
@@ -796,6 +808,7 @@ mod tests {
     const CKPT_HASHMAP_BAD: &str = include_str!("../fixtures/ckpt_hashmap.rs");
     const LIB_UNWRAP_BAD: &str = include_str!("../fixtures/lib_unwrap.rs");
     const CKPT_CHAIN_BAD: &str = include_str!("../fixtures/ckpt_chain.rs");
+    const HOT_SCALAR_SPIN_BAD: &str = include_str!("../fixtures/hot_scalar_spin_loop.rs");
     const CLEAN: &str = include_str!("../fixtures/clean.rs");
 
     fn rules_fired(path: &str, src: &str) -> Vec<Rule> {
@@ -839,6 +852,34 @@ mod tests {
     }
 
     #[test]
+    fn fixture_fires_hot_scalar_spin_loop() {
+        let fired = rules_fired("crates/fixture/src/lib.rs", HOT_SCALAR_SPIN_BAD);
+        // Both the `.metropolis(` and the `.bernoulli(` branch fire.
+        assert_eq!(
+            fired
+                .iter()
+                .filter(|r| **r == Rule::HotScalarSpinLoop)
+                .count(),
+            2,
+            "{fired:?}"
+        );
+    }
+
+    #[test]
+    fn scalar_spin_decisions_outside_hot_fns_are_fine() {
+        // Replica exchange and cluster seeding legitimately draw per
+        // decision — the rule only polices `#[qmc_hot::hot]` kernels.
+        let src = "
+            fn exchange<R: Rng64>(&mut self, rng: &mut R) {
+                if rng.metropolis(self.ratio) {
+                    self.swap();
+                }
+            }
+        ";
+        assert!(rules_fired("crates/fixture/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
     fn chain_write_is_fine_when_the_file_bounds_it() {
         let src = "
             fn drive(store: &CkptStore, full_every: usize, s: u64, plan: Plan, delta: bool) {
@@ -860,6 +901,7 @@ mod tests {
             CKPT_HASHMAP_BAD,
             LIB_UNWRAP_BAD,
             CKPT_CHAIN_BAD,
+            HOT_SCALAR_SPIN_BAD,
         ] {
             fired.extend(rules_fired("crates/fixture/src/lib.rs", src));
         }

@@ -432,6 +432,7 @@ impl Worldline {
         }
         self.local_proposed += 1;
         let ratio = self.local_ratio[self.local_key(i, t)];
+        // lint: allow(hot-scalar-spin-loop) — reference plaquette kernel; ratios depend on 4-spin patterns
         if rng.metropolis(ratio) {
             for (s, r) in [(i, t), (i, tu), (j, t), (j, tu)] {
                 self.flip(s, r);
@@ -449,6 +450,7 @@ impl Worldline {
         flips.clear();
         flips.extend((0..self.rows).map(|t| (i, t)));
         let ratio = self.ratio_for_flips(&flips);
+        // lint: allow(hot-scalar-spin-loop) — straight-line move flips a whole column per decision, not one spin
         if ratio > 0.0 && rng.metropolis(ratio) {
             for &(s, r) in &flips {
                 self.flip(s, r);

@@ -372,6 +372,7 @@ impl<L: Lattice> GenericWorldline<L> {
             row = self.row_up(row);
         }
         let ratio = self.ratio_for_flips(&flips);
+        // lint: allow(hot-scalar-spin-loop) — reference plaquette kernel; ratios depend on 4-spin patterns
         if rng.metropolis(ratio) {
             for &(s, r) in &flips {
                 self.flip(s, r);
@@ -409,6 +410,7 @@ impl<L: Lattice> GenericWorldline<L> {
             row = self.row_up(row);
         }
         let ratio = self.ratio_for_flips(&flips);
+        // lint: allow(hot-scalar-spin-loop) — loop move: one decision per grown cluster, not per spin
         if ratio > 0.0 && rng.metropolis(ratio) {
             for &(s, r) in &flips {
                 self.flip(s, r);
@@ -426,6 +428,7 @@ impl<L: Lattice> GenericWorldline<L> {
         flips.clear();
         flips.extend((0..self.rows).map(|r| (site, r)));
         let ratio = self.ratio_for_flips(&flips);
+        // lint: allow(hot-scalar-spin-loop) — temporal column flip: one decision covers all rows of a site
         if ratio > 0.0 && rng.metropolis(ratio) {
             for &(s, r) in &flips {
                 self.flip(s, r);

@@ -55,6 +55,13 @@ cargo test -q -p qmc-comm --test deadlock
 cargo test -q -p qmc-bench --test alloc_guard
 cargo run -q -p qmc-bench --bin repro -- verify
 
+echo "== bench-quick: packed-kernel speedup guard =="
+# A shrunk fixed-seed bench run (median of 5) asserting the multi-spin
+# coded sweep stays >= 2x the scalar kernel (the full-run target is 4x;
+# --quick relaxes it so gate latency stays in seconds). Exits non-zero
+# when the guard misses.
+cargo run -q --release -p qmc-bench --bin repro -- bench --quick --assert-guards
+
 if [ "$FULL" = "1" ]; then
   if cargo miri --version >/dev/null 2>&1; then
     echo "== full: cargo miri test (UB check) =="
