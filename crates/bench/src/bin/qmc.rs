@@ -21,6 +21,11 @@
 //! root; load the trace in Perfetto). With `--machine threads` every
 //! rank records its own track and the records are gathered over the
 //! communicator; serial commands record the driver thread.
+//!
+//! Convergence health: `--metrics` streams every engine observable
+//! through the online health monitor (τ_int, error bars, equilibration
+//! drift — exported into `METRICS_run.json`); `--health-every N` also
+//! prints a one-line report per observable every N samples.
 
 // CLI entry point: exiting with a status code is this file's job.
 #![allow(clippy::disallowed_methods)]
@@ -86,9 +91,20 @@ fn obs_flags(flags: &HashMap<String, String>) -> (bool, bool) {
 }
 
 /// Build the recorder config for the requested artifacts, or `None` when
-/// observability was not asked for.
-fn obs_config(metrics: bool, trace: bool) -> Option<qmc_obs::ObsConfig> {
-    (metrics || trace).then(|| qmc_obs::ObsConfig::new().with_metrics(metrics))
+/// observability was not asked for. `--metrics` also turns on online
+/// health monitoring (per-observable τ_int/error/drift snapshots export
+/// into `METRICS_run.json`); `--health-every N` additionally prints a
+/// one-line health report per observable every N samples.
+fn obs_config(flags: &HashMap<String, String>) -> Option<qmc_obs::ObsConfig> {
+    let (metrics, trace) = obs_flags(flags);
+    let health_every: usize = get(flags, "health-every", 0);
+    (metrics || trace || health_every > 0).then(|| {
+        let mut cfg = qmc_obs::ObsConfig::new().with_metrics(metrics);
+        if metrics || health_every > 0 {
+            cfg = cfg.with_health_every(health_every);
+        }
+        cfg
+    })
 }
 
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
@@ -141,7 +157,7 @@ fn ckpt_request(flags: &HashMap<String, String>, engine: &str) -> Option<CkptReq
 
 fn run_worldline(flags: &HashMap<String, String>) {
     let (metrics, trace) = obs_flags(flags);
-    if let Some(cfg) = obs_config(metrics, trace) {
+    if let Some(cfg) = obs_config(flags) {
         qmc_obs::init(0, &cfg);
     }
     let sweeps: usize = get(flags, "sweeps", 20_000);
@@ -221,7 +237,7 @@ fn run_worldline(flags: &HashMap<String, String>) {
 
 fn run_sse(flags: &HashMap<String, String>) {
     let (metrics, trace) = obs_flags(flags);
-    if let Some(cfg) = obs_config(metrics, trace) {
+    if let Some(cfg) = obs_config(flags) {
         qmc_obs::init(0, &cfg);
     }
     let sweeps: usize = get(flags, "sweeps", 20_000);
@@ -312,7 +328,7 @@ fn run_sse(flags: &HashMap<String, String>) {
 
 fn run_tfim(flags: &HashMap<String, String>) {
     let (metrics, trace) = obs_flags(flags);
-    let obs_cfg = obs_config(metrics, trace);
+    let obs_cfg = obs_config(flags);
     let sweeps: usize = get(flags, "sweeps", 10_000);
     let therm: usize = get(flags, "therm", sweeps / 5);
     let model = TfimModel {

@@ -30,11 +30,24 @@
 //! `--checkpoint-every N` / `--checkpoint-dir D` override the cadence
 //! and store location; `--resume` skips straight to the recovery act.
 //!
+//! `repro analyze` records the same 4-rank parallel-tempering run
+//! through `qmc_obs::TracingComm`, merges the per-rank streams into a
+//! cross-rank happens-before DAG, and prints the critical path with
+//! per-rank compute/wait/send attribution and the straggler/imbalance
+//! summary. Writes `ANALYSIS_run.json` (schema `qmc-analysis/v1`) and a
+//! `trace.json` whose flow events draw each matched message as an arrow
+//! between rank tracks. Exits non-zero if the trace fails analysis (the
+//! `scripts/check.sh analyze` stage).
+//!
 //! `--metrics` / `--trace` turn on the observability layer (`qmc-obs`):
 //! with no experiment named they run the 4-rank thread-backed TFIM demo
 //! and write `METRICS_run.json` / `trace.json` at the repository root;
 //! with experiments named they record the driver thread's spans and
-//! counters across the run and export the same artifacts.
+//! counters across the run and export the same artifacts. `--metrics`
+//! also streams engine observables through the online health monitor
+//! (τ_int, error bars, equilibration drift → `METRICS_run.json`);
+//! `--health-every N` prints a one-line report per observable every N
+//! samples.
 
 // CLI entry point: exiting with a status code is this file's job.
 #![allow(clippy::disallowed_methods)]
@@ -45,6 +58,7 @@ fn main() {
     let mut args = Vec::new();
     let mut ck_every = 0usize;
     let mut ck_dir = String::new();
+    let mut health_every = 0usize;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -60,6 +74,12 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--health-every" => {
+                health_every = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--health-every needs a sample count");
+                    std::process::exit(2);
+                });
+            }
             _ => args.push(a),
         }
     }
@@ -68,7 +88,7 @@ fn main() {
     let metrics = args.iter().any(|a| a == "--metrics");
     let trace = args.iter().any(|a| a == "--trace");
     let resume = args.iter().any(|a| a == "--resume");
-    let obs_on = metrics || trace;
+    let obs_on = metrics || trace || health_every > 0;
     let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     if wanted.is_empty() {
@@ -80,15 +100,18 @@ fn main() {
             return;
         }
         eprintln!(
-            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults|verify> \
-             [--quick] [--metrics] [--trace] [--assert-guards] \
+            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults|verify|analyze> \
+             [--quick] [--metrics] [--trace] [--health-every N] [--assert-guards] \
              [--checkpoint-every N] [--checkpoint-dir D] [--resume]"
         );
         std::process::exit(2);
     }
 
     if obs_on {
-        let config = qmc_obs::ObsConfig::new().with_metrics(metrics);
+        let mut config = qmc_obs::ObsConfig::new().with_metrics(metrics);
+        if metrics || health_every > 0 {
+            config = config.with_health_every(health_every);
+        }
         qmc_obs::init(0, &config);
     }
 
@@ -122,6 +145,15 @@ fn main() {
         if *name == "verify" {
             println!("=== verify ===");
             let (report, ok) = qmc_bench::verify::verify_demo();
+            print!("{report}");
+            if !ok {
+                std::process::exit(1);
+            }
+            continue;
+        }
+        if *name == "analyze" {
+            println!("=== analyze ===");
+            let (report, ok) = qmc_bench::analyze::analyze_demo(quick);
             print!("{report}");
             if !ok {
                 std::process::exit(1);

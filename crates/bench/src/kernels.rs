@@ -44,6 +44,11 @@ struct Kernel {
 /// Timing repetitions per kernel (after one untimed warmup).
 const REPS: usize = 5;
 
+/// Repetitions for the paired overhead guards (`obs_overhead`,
+/// `trace_overhead`). Percent-level ratios need more chances at a
+/// contention-free bare/instrumented pair than the plain kernels do.
+const PAIR_REPS: usize = 9;
+
 /// Time `f` (which performs `ops` elementary operations per invocation)
 /// over [`REPS`] repetitions, recording both the minimum and the median
 /// so downstream guard comparisons aren't single-sample noise.
@@ -141,21 +146,59 @@ pub fn bench_kernels_checked(quick: bool) -> (String, bool) {
     }
 
     // --- The same table-driven sweep with observability fully on (spans
-    // recorded into the ring + metrics flushed per sweep). The ratio to
-    // `tfim_serial_sweep` is the instrumentation overhead guard (≤2%).
+    // recorded into the ring + metrics flushed per sweep). Paired
+    // single-thread design like the trace-overhead guard below: each
+    // repetition times the sweeps bare and then again with a recorder
+    // installed, back to back, and the guard compares the *best* rep on
+    // each side. Contention noise on a shared box is one-sided (it only
+    // ever adds time), so best-of-N recovers the uncontended cost of
+    // both variants, while the interleaving keeps slower drift
+    // common-mode — independent medians drifted ±10%, 5x the 2% budget
+    // being guarded.
+    let obs_overhead;
     {
         let model = tfim_model();
         let sweeps = 1500 / scale;
         let updates = (model.lx * model.ly * model.m * sweeps) as u64;
         let mut eng = SerialTfim::new(model);
         let mut rng = Buffered::new(Xoshiro256StarStar::new(12));
+        let mut bare_times = [0.0f64; PAIR_REPS];
+        let mut obs_times = [0.0f64; PAIR_REPS];
+        for _ in 0..sweeps {
+            eng.metropolis_sweep(&mut rng); // bare warmup
+        }
         qmc_obs::init(0, &qmc_obs::ObsConfig::new());
-        kernels.push(time_kernel("tfim_serial_sweep_obs", updates, || {
+        for _ in 0..sweeps {
+            eng.metropolis_sweep(&mut rng); // instrumented warmup
+        }
+        let _ = qmc_obs::finish();
+        for rep in 0..PAIR_REPS {
+            // lint: allow(wall-clock) — benchmark timing is the point
+            let t0 = Instant::now();
             for _ in 0..sweeps {
                 eng.metropolis_sweep(&mut rng);
             }
-        }));
-        let _ = qmc_obs::finish();
+            bare_times[rep] = t0.elapsed().as_secs_f64();
+            // Ring allocation happens here, outside the timed window.
+            qmc_obs::init(0, &qmc_obs::ObsConfig::new());
+            // lint: allow(wall-clock) — benchmark timing is the point
+            let t1 = Instant::now();
+            for _ in 0..sweeps {
+                eng.metropolis_sweep(&mut rng);
+            }
+            obs_times[rep] = t1.elapsed().as_secs_f64();
+            let _ = qmc_obs::finish();
+        }
+        bare_times.sort_by(|a, b| a.total_cmp(b));
+        obs_times.sort_by(|a, b| a.total_cmp(b));
+        obs_overhead = obs_times[0] / bare_times[0];
+        kernels.push(Kernel {
+            name: "tfim_serial_sweep_obs",
+            ns_per_op: obs_times[0] * 1e9 / updates as f64,
+            ns_per_op_median: obs_times[PAIR_REPS / 2] * 1e9 / updates as f64,
+            ops_per_s: updates as f64 / obs_times[0],
+            ops: updates,
+        });
     }
 
     // --- The same table-driven sweep checkpointing every 100 sweeps
@@ -340,6 +383,127 @@ pub fn bench_kernels_checked(quick: bool) -> (String, bool) {
         }));
     }
 
+    // --- Causal-tracing overhead, paired single-thread design: the
+    // serial TFIM sweep plus a halo-like burst of 8 self-messages per
+    // sweep through a `SerialComm` — each repetition times the loop bare
+    // and then again wrapped in [`qmc_obs::TracingComm`] with the
+    // recorder on (per-sweep span + a ring record and two clock reads
+    // per message). The guard compares the *best* rep on each side:
+    // contention noise only ever adds time, so best-of-N recovers the
+    // uncontended cost of both variants while the bare/traced
+    // interleaving keeps slower drift common-mode (multi-rank timing on
+    // a shared box is noisier than the 2% budget).
+    let trace_overhead;
+    {
+        let model = tfim_model();
+        let sweeps = 300 / scale;
+        let updates = (model.lx * model.ly * model.m * sweeps) as u64;
+        let msgs_per_sweep = 8usize;
+        let payload = vec![0u8; 4096];
+        let mut bare_times = [0.0f64; PAIR_REPS];
+        let mut traced_times = [0.0f64; PAIR_REPS];
+
+        let mut eng = SerialTfim::new(model);
+        let mut rng = Buffered::new(Xoshiro256StarStar::new(12));
+        let mut comm = qmc_comm::SerialComm::new();
+        let run_bare = |eng: &mut SerialTfim,
+                        rng: &mut Buffered<Xoshiro256StarStar>,
+                        comm: &mut qmc_comm::SerialComm| {
+            for _ in 0..sweeps {
+                eng.metropolis_sweep(rng);
+                for _ in 0..msgs_per_sweep {
+                    comm.send_bytes(0, 11, &payload);
+                    let _ = comm.recv_bytes(0, 11);
+                }
+            }
+        };
+        run_bare(&mut eng, &mut rng, &mut comm); // warmup
+        qmc_obs::init(0, &qmc_obs::ObsConfig::new());
+        {
+            // Traced warmup (fills the ring once so steady-state
+            // overwrites, not first-touch, are what gets timed).
+            let mut traced = qmc_obs::TracingComm::new(&mut comm);
+            for _ in 0..sweeps {
+                let _s = qmc_obs::span("bench.sweep");
+                eng.metropolis_sweep(&mut rng);
+                for _ in 0..msgs_per_sweep {
+                    traced.send_bytes(0, 11, &payload);
+                    let _ = traced.recv_bytes(0, 11);
+                }
+            }
+        }
+        for rep in 0..PAIR_REPS {
+            // lint: allow(wall-clock) — benchmark timing is the point
+            let t0 = Instant::now();
+            run_bare(&mut eng, &mut rng, &mut comm);
+            let bare = t0.elapsed().as_secs_f64();
+            let mut traced = qmc_obs::TracingComm::new(&mut comm);
+            // lint: allow(wall-clock) — benchmark timing is the point
+            let t1 = Instant::now();
+            for _ in 0..sweeps {
+                let _s = qmc_obs::span("bench.sweep");
+                eng.metropolis_sweep(&mut rng);
+                for _ in 0..msgs_per_sweep {
+                    traced.send_bytes(0, 11, &payload);
+                    let _ = traced.recv_bytes(0, 11);
+                }
+            }
+            let tr = t1.elapsed().as_secs_f64();
+            bare_times[rep] = bare;
+            traced_times[rep] = tr;
+        }
+        let _ = qmc_obs::finish();
+        bare_times.sort_by(|a, b| a.total_cmp(b));
+        traced_times.sort_by(|a, b| a.total_cmp(b));
+        trace_overhead = traced_times[0] / bare_times[0];
+        kernels.push(Kernel {
+            name: "tfim_serial_sweep_selfmsg",
+            ns_per_op: bare_times[0] * 1e9 / updates as f64,
+            ns_per_op_median: bare_times[PAIR_REPS / 2] * 1e9 / updates as f64,
+            ops_per_s: updates as f64 / bare_times[0],
+            ops: updates,
+        });
+        kernels.push(Kernel {
+            name: "tfim_serial_sweep_selfmsg_traced",
+            ns_per_op: traced_times[0] * 1e9 / updates as f64,
+            ns_per_op_median: traced_times[PAIR_REPS / 2] * 1e9 / updates as f64,
+            ops_per_s: updates as f64 / traced_times[0],
+            ops: updates,
+        });
+    }
+
+    // --- Autocorrelation of the serial-TFIM demo observable: a
+    // fixed-seed energy series through the offline binning analysis.
+    // Reported, not guarded — τ_int tracks the sampling efficiency of
+    // the kernel (how many sweeps one independent sample costs), and the
+    // committed number anchors the online-vs-offline agreement test in
+    // tests/observability.rs to the same machinery.
+    let (tfim_energy_tau_int, tfim_energy_tau_converged, tau_samples);
+    {
+        let model = TfimModel {
+            lx: 16,
+            ly: 16,
+            j: 1.0,
+            h: 2.0,
+            beta: 1.0,
+            m: 8,
+        };
+        tau_samples = if quick { 256usize } else { 2048 };
+        let mut eng = SerialTfim::new(model);
+        let mut rng = Buffered::new(Xoshiro256StarStar::new(12));
+        for _ in 0..64 {
+            eng.metropolis_sweep(&mut rng);
+        }
+        let mut series = Vec::with_capacity(tau_samples);
+        for _ in 0..tau_samples {
+            eng.metropolis_sweep(&mut rng);
+            series.push(eng.measure().energy_per_site);
+        }
+        let b = qmc_stats::BinningAnalysis::new(&series, 16);
+        tfim_energy_tau_int = b.tau_int();
+        tfim_energy_tau_converged = b.converged();
+    }
+
     // --- World-line local-move sweep (table-driven corner moves).
     {
         let params = WorldlineParams {
@@ -456,15 +620,31 @@ pub fn bench_kernels_checked(quick: bool) -> (String, bool) {
          (target >= {packed_target:.1}x) [{}]",
         if packed_ok { "PASS" } else { "FAIL" }
     );
-    let obs = kernels
-        .iter()
-        .find(|k| k.name == "tfim_serial_sweep_obs")
-        .expect("kernel present");
-    let obs_overhead = obs.ns_per_op_median / table.ns_per_op_median;
     let _ = writeln!(
         out,
-        "obs overhead (spans+metrics on vs off): {obs_overhead:.3}x (target <= 1.02x) [{}]",
+        "obs overhead (spans+metrics on vs off, paired best-of-{PAIR_REPS}): {obs_overhead:.3}x \
+         (target <= 1.02x) [{}]",
         if obs_overhead <= 1.02 { "PASS" } else { "WARN" }
+    );
+    let _ = writeln!(
+        out,
+        "trace overhead (TracingComm+spans vs bare, paired best-of-{PAIR_REPS}): {trace_overhead:.3}x \
+         (target <= 1.02x) [{}]",
+        if trace_overhead <= 1.02 {
+            "PASS"
+        } else {
+            "WARN"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "serial TFIM energy tau_int (binning over {tau_samples} sweeps): \
+         {tfim_energy_tau_int:.2} sweeps{}",
+        if tfim_energy_tau_converged {
+            ""
+        } else {
+            " (plateau NOT resolved — series too short)"
+        }
     );
     let _ = writeln!(
         out,
@@ -494,6 +674,12 @@ pub fn bench_kernels_checked(quick: bool) -> (String, bool) {
     );
     let _ = writeln!(json, "  \"packed_speedup_vs_scalar\": {packed_speedup:.3},");
     let _ = writeln!(json, "  \"obs_overhead\": {obs_overhead:.4},");
+    let _ = writeln!(json, "  \"trace_overhead\": {trace_overhead:.4},");
+    let _ = writeln!(json, "  \"tfim_energy_tau_int\": {tfim_energy_tau_int:.3},");
+    let _ = writeln!(
+        json,
+        "  \"tfim_energy_tau_converged\": {tfim_energy_tau_converged},"
+    );
     let _ = writeln!(json, "  \"ckpt_overhead\": {ckpt_overhead:.4},");
     let _ = writeln!(json, "  \"ckpt_delta_bytes\": {ckpt_delta_bytes:.1},");
     let _ = writeln!(json, "  \"ckpt_full_bytes\": {ckpt_full_bytes:.1},");

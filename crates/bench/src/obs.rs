@@ -44,8 +44,12 @@ pub fn run_instrumented(sweeps: usize, config: &ObsConfig) -> Vec<RankObs> {
         eng.halo_exchange(comm);
         for _ in 0..sweeps {
             eng.sweep(comm, &mut rng);
+            // Feeds convergence health when the config enables it;
+            // measure() is collective + RNG-free, so the demo stays
+            // deterministic either way.
+            let m = eng.measure(comm);
+            qmc_obs::health_record("energy", m.energy_per_site);
         }
-        eng.measure(comm);
         let mut mine = qmc_obs::finish().expect("recorder installed by init");
         mine.absorb_registry(eng.metrics());
         mine.set_comm(comm.stats());
@@ -74,9 +78,14 @@ pub fn demo_meta(sweeps: usize) -> RunMeta {
 /// both at the repository root, and returns a human-readable summary.
 pub fn obs_demo(metrics: bool, trace: bool, quick: bool) -> String {
     let sweeps = if quick { 30 } else { 300 };
-    let config = ObsConfig::new()
+    let mut config = ObsConfig::new()
         .with_spans(trace || metrics)
         .with_metrics(metrics);
+    if metrics {
+        // Silent monitor (no periodic printing): snapshots still land
+        // in METRICS_run.json's per-rank `health` arrays.
+        config = config.with_health_every(0);
+    }
     let ranks = run_instrumented(sweeps, &config);
 
     let mut out = String::new();

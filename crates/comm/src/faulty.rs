@@ -166,6 +166,9 @@ pub struct FaultyComm<'a, C: Communicator> {
     pending: VecDeque<(usize, u32, Vec<u8>)>,
     /// Monotone send-event index feeding the schedule hash.
     events: u64,
+    /// Receive-wait seconds spent in this wrapper's retry loop that the
+    /// inner backend did *not* charge itself (see [`Self::stats`]).
+    extra_wait: f64,
     fstats: FaultStats,
 }
 
@@ -179,6 +182,7 @@ impl<'a, C: Communicator> FaultyComm<'a, C> {
             recv_seq: HashMap::new(),
             pending: VecDeque::new(),
             events: 0,
+            extra_wait: 0.0,
             fstats: FaultStats::default(),
         }
     }
@@ -286,7 +290,21 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
             // sit in a receive loop.
             self.flush_pending();
             let timeout = self.timeout_for(attempt);
-            match self.inner.recv_bytes_timeout(src, tag, timeout) {
+            // Charge retry/backoff waiting the inner backend doesn't
+            // account itself, so comm_fraction() stays honest under
+            // fault injection. Only the *shortfall* is added: host time
+            // spent in the attempt minus whatever the backend already
+            // put into recv_wait_seconds (ThreadComm charges timed-out
+            // waits itself; a virtual-clock backend charges nothing and
+            // also sleeps ~no host time, so the shortfall is ~0 there
+            // and no wall time pollutes the virtual ledger).
+            let wait_before = self.inner.stats().recv_wait_seconds;
+            // lint: allow(wall-clock) — measuring the retry wait itself
+            let t0 = std::time::Instant::now();
+            let attempt_result = self.inner.recv_bytes_timeout(src, tag, timeout);
+            let inner_charged = self.inner.stats().recv_wait_seconds - wait_before;
+            self.extra_wait += (t0.elapsed().as_secs_f64() - inner_charged).max(0.0);
+            match attempt_result {
                 Some(env) => {
                     assert!(
                         env.len() >= 8,
@@ -338,7 +356,12 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
     }
 
     fn stats(&self) -> CommStats {
-        self.inner.stats()
+        // The retry loop's uncharged waiting is communication time spent
+        // blocked in receives, same as a backend-level recv wait.
+        let mut s = self.inner.stats();
+        s.recv_wait_seconds += self.extra_wait;
+        s.comm_seconds += self.extra_wait;
+        s
     }
 
     fn next_collective_seq(&mut self) -> u32 {
@@ -466,6 +489,114 @@ mod tests {
                 fc.send_bytes(0, 2, &[42]);
             }
         });
+    }
+
+    /// An inner backend whose timed-out receives burn host time but
+    /// charge nothing themselves — the worst case for wait attribution.
+    struct SleepyComm {
+        deliveries_to_skip: u32,
+        stats: CommStats,
+    }
+
+    impl Communicator for SleepyComm {
+        fn rank(&self) -> usize {
+            0
+        }
+        fn size(&self) -> usize {
+            1
+        }
+        fn send_bytes(&mut self, _dest: usize, _tag: u32, data: &[u8]) {
+            self.stats.note_sent(data.len());
+        }
+        fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+            self.recv_bytes_timeout(src, tag, Duration::from_secs(1))
+                .expect("attempts exhausted")
+        }
+        fn recv_bytes_timeout(
+            &mut self,
+            _src: usize,
+            _tag: u32,
+            timeout: Duration,
+        ) -> Option<Vec<u8>> {
+            if self.deliveries_to_skip > 0 {
+                self.deliveries_to_skip -= 1;
+                std::thread::sleep(timeout);
+                return None;
+            }
+            // Deliver a well-formed seq-0 envelope.
+            let mut env = 0u64.to_le_bytes().to_vec();
+            env.push(7);
+            self.stats.note_received(env.len());
+            Some(env)
+        }
+        fn compute(&mut self, _units: f64) {}
+        fn now(&self) -> f64 {
+            0.0
+        }
+        fn stats(&self) -> CommStats {
+            self.stats
+        }
+        fn next_collective_seq(&mut self) -> u32 {
+            0
+        }
+        fn send_internal(&mut self, _dest: usize, _tag: u32, _data: &[u8]) {}
+        fn recv_internal(&mut self, _src: usize, _tag: u32) -> Vec<u8> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn backoff_sleeps_are_charged_to_recv_wait() {
+        // Two timed-out attempts at 10 ms and 20 ms, then delivery: the
+        // inner backend charged nothing, so the wrapper must surface
+        // ≥ 30 ms in recv_wait_seconds (and inside comm_seconds).
+        let mut inner = SleepyComm {
+            deliveries_to_skip: 2,
+            stats: CommStats::default(),
+        };
+        let plan = FaultPlan::new(1).retry(8, Duration::from_millis(10));
+        let mut fc = FaultyComm::new(&mut inner, plan);
+        assert_eq!(fc.recv_bytes(0, 3), vec![7]);
+        let s = fc.stats();
+        assert!(
+            s.recv_wait_seconds >= 0.030,
+            "backoff sleeps not attributed: {s:?}"
+        );
+        assert!(s.comm_seconds >= s.recv_wait_seconds);
+        assert_eq!(fc.fault_stats().timeouts, 2);
+        // The inner ledger itself stays unchanged.
+        assert_eq!(inner.stats.recv_wait_seconds, 0.0);
+    }
+
+    #[test]
+    fn thread_backend_waits_are_not_double_counted() {
+        // ThreadComm already charges timed-out receive waits itself; the
+        // wrapper must only add its (tiny) bookkeeping shortfall, not a
+        // second copy of the wait. Total attributed wait stays below the
+        // physical wall time of the exchange.
+        let results = run_threads(2, |comm| {
+            let plan = FaultPlan::new(1).retry(8, Duration::from_millis(25));
+            let start = std::time::Instant::now();
+            let mut fc = FaultyComm::new(comm, plan);
+            if fc.rank() == 0 {
+                let got = fc.recv_bytes(1, 2);
+                assert_eq!(got, vec![9]);
+            } else {
+                std::thread::sleep(Duration::from_millis(60));
+                fc.send_bytes(0, 2, &[9]);
+            }
+            (fc.stats(), start.elapsed().as_secs_f64())
+        });
+        let (s0, elapsed0) = &results[0];
+        // Rank 0 blocked ~60 ms (with ≥ 1 timeout in between). Double
+        // counting would push recv_wait to ~2× the physical wait.
+        assert!(s0.recv_wait_seconds >= 0.050, "wait went missing: {s0:?}");
+        assert!(
+            s0.recv_wait_seconds <= *elapsed0 * 1.05 + 0.005,
+            "recv wait double-counted: {} attributed vs {} physical",
+            s0.recv_wait_seconds,
+            elapsed0
+        );
     }
 
     #[test]

@@ -174,7 +174,11 @@ impl PtLadder {
                 phase ^= 1;
             }
             for (k, r) in self.replicas.iter().enumerate() {
-                energies[k].push(qmc_worldline::estimators::measure(r).energy_per_site);
+                let e = qmc_worldline::estimators::measure(r).energy_per_site;
+                if k == 0 {
+                    qmc_obs::health_record("energy", e);
+                }
+                energies[k].push(e);
             }
         }
         energies
@@ -303,16 +307,25 @@ pub fn run_pt_parallel<C: Communicator, R: Rng64>(
         }
     };
 
+    // A run-level span bounds the whole loop so per-rank attribution
+    // (compute = span time minus in-span comm) covers loop bookkeeping
+    // and the gaps between per-step guards; `pt.step` nests inside it
+    // for trace granularity.
+    let run_span = qmc_obs::span("pt.run");
     for s in 0..therm + sweeps {
+        let _step = qmc_obs::span("pt.step");
         replica.sweep(rng);
         if s % exchange_every == 0 {
             do_phase(&mut replica, comm, step, &mut accepted, &mut attempted);
             step += 1;
         }
         if s >= therm {
-            energies.push(qmc_worldline::estimators::measure(&replica).energy_per_site);
+            let e = qmc_worldline::estimators::measure(&replica).energy_per_site;
+            qmc_obs::health_record("energy", e);
+            energies.push(e);
         }
     }
+    drop(run_span);
 
     let acc = comm.allreduce_f64(&accepted, ReduceOp::Sum);
     let att = comm.allreduce_f64(&attempted, ReduceOp::Sum);
@@ -549,7 +562,11 @@ where
         }
     };
 
+    // Run-level span: see run_pt_parallel — bounds attribution over the
+    // whole loop, with `pt.step` nested inside for trace granularity.
+    let run_span = qmc_obs::span("pt.run");
     for s in start..therm + sweeps {
+        let _step_span = qmc_obs::span("pt.step");
         if let Some(ck) = ck {
             if s % ck.every == 0 {
                 let gen_index = s / ck.every;
@@ -597,9 +614,12 @@ where
             step += 1;
         }
         if s >= therm {
-            energies.push(qmc_worldline::estimators::measure(&replica).energy_per_site);
+            let e = qmc_worldline::estimators::measure(&replica).energy_per_site;
+            qmc_obs::health_record("energy", e);
+            energies.push(e);
         }
     }
+    drop(run_span);
 
     let acc = comm.allreduce_f64(&accepted, ReduceOp::Sum);
     let att = comm.allreduce_f64(&attempted, ReduceOp::Sum);

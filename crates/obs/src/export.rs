@@ -5,6 +5,7 @@
 //! deliberately dependency-free); the in-repo [`crate::json`] parser reads
 //! the artifacts back in the schema round-trip tests.
 
+use crate::analysis::match_flows;
 use crate::record::{CommSummary, RankObs};
 
 /// Schema identifier written into every metrics artifact.
@@ -191,7 +192,27 @@ pub fn metrics_json(meta: &RunMeta, ranks: &[RankObs]) -> String {
         if !r.hists.is_empty() {
             out.push_str("\n      ");
         }
-        out.push_str("},\n      \"comm\": ");
+        out.push_str("},\n      \"health\": [");
+        for (i, h) in r.health.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"name\": \"{}\", \"count\": {}, \"mean\": {}, \"std_dev\": {}, \
+                 \"error\": {}, \"tau_int\": {}, \"drift_z\": {}}}",
+                esc(&h.name),
+                h.count,
+                h.mean,
+                h.std_dev,
+                h.error,
+                h.tau_int,
+                h.drift_z
+            ));
+        }
+        if !r.health.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("],\n      \"comm\": ");
         match &r.comm {
             Some(c) => out.push_str(&comm_json(c, "      ")),
             None => out.push_str("null"),
@@ -212,7 +233,12 @@ pub fn metrics_json(meta: &RunMeta, ranks: &[RankObs]) -> String {
 ///
 /// Within each rank the B/E events are emitted in valid stack order
 /// (non-decreasing `ts`, every `E` matching the most recent open `B`),
-/// reconstructed from the completed-span list.
+/// reconstructed from the completed-span list. Each `B` carries its
+/// per-rank span id in `args.span`, matched send/receive pairs from the
+/// comm-event rings are drawn as flow arrows (`ph: "s"`/`ph: "f"`)
+/// between the rank tracks, and a rank that overflowed a ring gets an
+/// instant `dropped_spans` marker (plus a stderr warning) so a
+/// truncated trace is never mistaken for a complete one.
 pub fn chrome_trace_json(ranks: &[RankObs]) -> String {
     fn push_ev(out: &mut String, first: &mut bool, ev: &str) {
         if !*first {
@@ -279,9 +305,10 @@ pub fn chrome_trace_json(ranks: &[RankObs]) -> String {
                 &mut first,
                 &format!(
                     "{{\"name\": \"{}\", \"ph\": \"B\", \"pid\": 0, \"tid\": {tid}, \
-                     \"ts\": {:.3}}}",
+                     \"ts\": {:.3}, \"args\": {{\"span\": {}}}}}",
                     esc(&s.name),
-                    s.t0_us
+                    s.t0_us,
+                    s.id
                 ),
             );
             stack.push(i);
@@ -289,6 +316,51 @@ pub fn chrome_trace_json(ranks: &[RankObs]) -> String {
         while let Some(top) = stack.pop() {
             close_ev(&mut out, &mut first, tid, &r.spans[top]);
         }
+
+        // Ring overflow is data loss: mark it in-band so the truncated
+        // timeline can't silently pass for the whole run.
+        if r.dropped_spans > 0 || r.dropped_comm_events > 0 {
+            eprintln!(
+                "warning: rank {tid} trace is incomplete ({} spans, {} comm events \
+                 overwritten by ring overflow) — raise ObsConfig::span_capacity / comm_capacity",
+                r.dropped_spans, r.dropped_comm_events
+            );
+            let ts = r.spans.first().map(|s| s.t0_us).unwrap_or(0.0);
+            push_ev(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\": \"dropped_spans\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \
+                     \"tid\": {tid}, \"ts\": {ts:.3}, \"args\": {{\"dropped_spans\": {}, \
+                     \"dropped_comm_events\": {}}}}}",
+                    r.dropped_spans, r.dropped_comm_events
+                ),
+            );
+        }
+    }
+
+    // Matched messages become flow arrows between the rank tracks: the
+    // "s" end sits at send completion on the sender's track, the "f"
+    // (binding-point "e") end at receive completion on the receiver's.
+    for (i, f) in match_flows(ranks).flows.iter().enumerate() {
+        push_ev(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\": \"msg tag {}\", \"cat\": \"comm\", \"ph\": \"s\", \"id\": {i}, \
+                 \"pid\": 0, \"tid\": {}, \"ts\": {:.3}}}",
+                f.tag, f.src, f.send.t1_us
+            ),
+        );
+        push_ev(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\": \"msg tag {}\", \"cat\": \"comm\", \"ph\": \"f\", \"bp\": \"e\", \
+                 \"id\": {i}, \"pid\": 0, \"tid\": {}, \"ts\": {:.3}}}",
+                f.tag, f.dst, f.recv.t1_us
+            ),
+        );
     }
 
     out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n");
@@ -304,24 +376,24 @@ mod tests {
     fn two_ranks() -> Vec<RankObs> {
         let mk = |rank: u64, off: f64| RankObs {
             rank,
-            dropped_spans: 0,
             spans: vec![
                 OwnedSpan {
                     name: "inner".into(),
+                    id: 2,
                     t0_us: off + 2.0,
                     t1_us: off + 5.0,
                     depth: 1,
                 },
                 OwnedSpan {
                     name: "outer".into(),
+                    id: 1,
                     t0_us: off,
                     t1_us: off + 10.0,
                     depth: 0,
                 },
             ],
             counters: vec![("proposed".to_string(), 100 * (rank + 1))],
-            hists: Vec::new(),
-            comm: None,
+            ..Default::default()
         };
         vec![mk(0, 0.0), mk(1, 1.0)]
     }
@@ -378,6 +450,125 @@ mod tests {
             }
             assert!(stack.is_empty(), "unclosed spans in tid {tid}");
         }
+    }
+
+    #[test]
+    fn b_events_carry_span_ids() {
+        let doc = Json::parse(&chrome_trace_json(&two_ranks())).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let mut b_ids = Vec::new();
+        for e in events {
+            if e.get("ph").unwrap().as_str() == Some("B") {
+                b_ids.push(
+                    e.get("args")
+                        .unwrap()
+                        .get("span")
+                        .unwrap()
+                        .as_f64()
+                        .unwrap(),
+                );
+            }
+        }
+        // Two ranks × (outer id 1, inner id 2), emitted outer-first.
+        assert_eq!(b_ids, vec![1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn matched_comm_events_become_flow_pairs() {
+        use crate::record::{CommDir, CommEvent};
+        let mut ranks = two_ranks();
+        let msg = |dir, peer, t0: f64, t1: f64| CommEvent {
+            dir,
+            peer,
+            tag: 7,
+            seq: 0,
+            bytes: 16,
+            t0_us: t0,
+            t1_us: t1,
+            span_id: 1,
+        };
+        ranks[0].comm_events.push(msg(CommDir::Send, 1, 3.0, 3.5));
+        ranks[1].comm_events.push(msg(CommDir::Recv, 0, 4.0, 6.0));
+        let doc = Json::parse(&chrome_trace_json(&ranks)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<&Json> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").unwrap().as_str(), Some("s") | Some("f")))
+            .collect();
+        assert_eq!(flows.len(), 2);
+        let s = flows
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .unwrap();
+        let f = flows
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("f"))
+            .unwrap();
+        // Arrow from sender's track at send end to receiver's at recv end.
+        assert_eq!(s.get("tid").unwrap().as_f64(), Some(0.0));
+        assert_eq!(s.get("ts").unwrap().as_f64(), Some(3.5));
+        assert_eq!(f.get("tid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(f.get("ts").unwrap().as_f64(), Some(6.0));
+        assert_eq!(f.get("bp").unwrap().as_str(), Some("e"));
+        // Shared flow id stitches the pair.
+        assert_eq!(s.get("id").unwrap().as_f64(), f.get("id").unwrap().as_f64());
+    }
+
+    #[test]
+    fn dropped_spans_leave_an_in_band_marker() {
+        let mut ranks = two_ranks();
+        ranks[1].dropped_spans = 6;
+        let doc = Json::parse(&chrome_trace_json(&ranks)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let markers: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .collect();
+        assert_eq!(markers.len(), 1);
+        let m = markers[0];
+        assert_eq!(m.get("name").unwrap().as_str(), Some("dropped_spans"));
+        assert_eq!(m.get("tid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            m.get("args")
+                .unwrap()
+                .get("dropped_spans")
+                .unwrap()
+                .as_f64(),
+            Some(6.0)
+        );
+        // A clean trace has no marker.
+        let clean = Json::parse(&chrome_trace_json(&two_ranks())).unwrap();
+        assert!(clean
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .all(|e| e.get("ph").unwrap().as_str() != Some("i")));
+    }
+
+    #[test]
+    fn metrics_json_includes_health_snapshots() {
+        use crate::record::HealthSnapshot;
+        let mut ranks = two_ranks();
+        ranks[0].health.push(HealthSnapshot {
+            name: "energy".into(),
+            count: 128,
+            mean: -1.0,
+            std_dev: 0.25,
+            error: 0.03,
+            tau_int: 1.5,
+            drift_z: 0.2,
+        });
+        let meta = RunMeta::new("demo", "tfim", "threads", 2);
+        let doc = Json::parse(&metrics_json(&meta, &ranks)).unwrap();
+        let r0 = &doc.get("ranks").unwrap().as_arr().unwrap()[0];
+        let health = r0.get("health").unwrap().as_arr().unwrap();
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].get("name").unwrap().as_str(), Some("energy"));
+        assert_eq!(health[0].get("tau_int").unwrap().as_f64(), Some(1.5));
+        let r1 = &doc.get("ranks").unwrap().as_arr().unwrap()[1];
+        assert!(r1.get("health").unwrap().as_arr().unwrap().is_empty());
     }
 
     #[test]

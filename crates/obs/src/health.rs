@@ -1,0 +1,381 @@
+//! Online convergence health: streaming binning for τ_int and error
+//! bars, an equilibration drift test, and replica-ladder agreement.
+//!
+//! The offline analysis (`qmc_stats::BinningAnalysis`) needs the full
+//! series in memory after the run ends; [`HealthMonitor`] is its
+//! streaming twin, so a run can report its own error bars, integrated
+//! autocorrelation time, and equilibration status *while it executes*
+//! and export them into `METRICS_run.json`. The level-doubling scheme is
+//! identical: level ℓ holds the series pair-averaged ℓ times, the error
+//! estimate per level plateaus at the true error of the correlated
+//! series, and `τ_int = ½ (ε_plateau / ε_naive)²`.
+//!
+//! `qmc-stats` sits *above* this crate in the dependency graph
+//! (`qmc-stats → qmc-ckpt → qmc-obs`), so the online binner lives here
+//! and is pinned against the offline `BinningAnalysis` by an integration
+//! test requiring agreement within 1% on the same series.
+//!
+//! Everything is allocation-free in steady state: the level and era
+//! tables are fixed arrays sized for 2⁶⁴ samples.
+
+/// Hard upper bound on binning levels / drift eras (enough for any u64
+/// sample count).
+const MAX_LEVELS: usize = 64;
+
+/// Welford accumulator for one binning level (mirrors
+/// `qmc_stats::Accumulator` so online and offline error bars agree).
+#[derive(Debug, Clone, Copy, Default)]
+struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    #[inline]
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Streaming level-doubling binning analysis.
+///
+/// Each pushed value lands in level 0; every complete pair of values at
+/// level ℓ is averaged into one value at level ℓ+1 (a trailing unpaired
+/// value is simply never propagated — the exact semantics of the offline
+/// `chunks_exact(2)` halving).
+#[derive(Debug, Clone)]
+pub struct OnlineBinning {
+    levels: [Welford; MAX_LEVELS],
+    /// Unpaired value waiting at each level (`NaN` = none; samples are
+    /// required to be finite, which `push` asserts).
+    pending: [f64; MAX_LEVELS],
+    min_bins: usize,
+}
+
+impl OnlineBinning {
+    /// Empty analysis; levels deeper than `min_bins` remaining bins are
+    /// excluded from the plateau search, exactly like
+    /// `BinningAnalysis::new(series, min_bins)`.
+    pub fn new(min_bins: usize) -> Self {
+        assert!(min_bins >= 2, "need at least 2 bins per level");
+        Self {
+            levels: [Welford::default(); MAX_LEVELS],
+            pending: [f64::NAN; MAX_LEVELS],
+            min_bins,
+        }
+    }
+
+    /// Add one observation (finite values only).
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite health sample");
+        let mut v = x;
+        for lvl in 0..MAX_LEVELS {
+            self.levels[lvl].push(v);
+            if self.pending[lvl].is_nan() {
+                self.pending[lvl] = v;
+                return;
+            }
+            v = 0.5 * (self.pending[lvl] + v);
+            self.pending[lvl] = f64::NAN;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.levels[0].n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.levels[0].mean
+    }
+
+    /// Sample standard deviation (single-sample spread, not the error of
+    /// the mean).
+    pub fn std_dev(&self) -> f64 {
+        self.levels[0].variance().sqrt()
+    }
+
+    /// Naive (uncorrelated) error of the mean, `σ/√N`.
+    pub fn naive_error(&self) -> f64 {
+        self.levels[0].std_error()
+    }
+
+    /// Deepest level included in the plateau search: levels are included
+    /// from 0 while the *previous* level still had `≥ 2·min_bins` bins.
+    fn top_level(&self) -> usize {
+        let mut top = 0;
+        while top + 1 < MAX_LEVELS && self.levels[top].n / 2 >= self.min_bins as u64 {
+            top += 1;
+        }
+        top
+    }
+
+    /// Plateau error estimate: the maximum over included levels.
+    pub fn error(&self) -> f64 {
+        (0..=self.top_level())
+            .map(|l| self.levels[l].std_error())
+            .fold(0.0, f64::max)
+    }
+
+    /// Integrated autocorrelation time, `½ (ε_plateau / ε_naive)²`.
+    pub fn tau_int(&self) -> f64 {
+        let naive = self.naive_error();
+        if naive == 0.0 {
+            return 0.5;
+        }
+        0.5 * (self.error() / naive).powi(2)
+    }
+
+    /// Effective number of independent samples, `N / (2 τ_int)`.
+    pub fn effective_samples(&self) -> f64 {
+        self.count() as f64 / (2.0 * self.tau_int())
+    }
+}
+
+/// Streaming convergence health for one observable: the online binning
+/// analysis plus a dyadic-window equilibration drift test.
+///
+/// The drift test keeps one accumulator per *era*, where era `k` covers
+/// the `k`-th dyadic block of samples (`[2ᵏ, 2ᵏ⁺¹)` in 1-based order).
+/// The *late* window is the newest eras merged until they hold at least
+/// a third of the series; everything older is the *early* window. An
+/// unequilibrated start shows up as a large z-score between the two
+/// windows' means; the naive errors are inflated by `√(2 τ_int)` to
+/// account for autocorrelation.
+///
+/// τ_int for that inflation is estimated on the *newest era only* (a
+/// second binning restarted at each doubling): a slow drift masquerades
+/// as correlation in the full-series τ, which would inflate the error
+/// bars by exactly the signal being tested and mask it. The recent
+/// window is stationary once the transient has passed, so its τ reflects
+/// genuine autocorrelation.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    bin: OnlineBinning,
+    /// Binning over the newest era only (reset at each doubling).
+    recent: OnlineBinning,
+    eras: [Welford; MAX_LEVELS],
+}
+
+impl HealthMonitor {
+    /// Fresh monitor; `min_bins` as in [`OnlineBinning::new`].
+    pub fn new(min_bins: usize) -> Self {
+        Self {
+            bin: OnlineBinning::new(min_bins),
+            recent: OnlineBinning::new(min_bins),
+            eras: [Welford::default(); MAX_LEVELS],
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let i = self.bin.count() + 1; // 1-based index of this sample
+        if i & (i - 1) == 0 {
+            // Entering a new dyadic era: restart the recent-window
+            // binning (fixed arrays — no allocation).
+            self.recent = OnlineBinning::new(self.recent.min_bins);
+        }
+        let era = (64 - i.leading_zeros() - 1) as usize;
+        self.eras[era].push(x);
+        self.recent.push(x);
+        self.bin.push(x);
+    }
+
+    /// The underlying binning analysis.
+    pub fn binning(&self) -> &OnlineBinning {
+        &self.bin
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.bin.count()
+    }
+
+    /// Drift z-score between the early and late sample windows
+    /// (0 when fewer than 16 samples or the series is constant).
+    pub fn drift_z(&self) -> f64 {
+        let count = self.bin.count();
+        if count < 16 {
+            return 0.0;
+        }
+        let newest = (64 - count.leading_zeros() - 1) as usize;
+        // Late window: newest eras merged until ≥ a third of the series
+        // (a lone just-started era is never judged on its own).
+        let mut late = Welford::default();
+        let mut split = newest + 1;
+        while split > 0 && late.n * 3 < count {
+            split -= 1;
+            late = merge(late, self.eras[split]);
+        }
+        let mut early = Welford::default();
+        for era in &self.eras[..split] {
+            if era.n > 0 {
+                early = merge(early, *era);
+            }
+        }
+        if early.n < 2 || late.n < 2 {
+            return 0.0;
+        }
+        let infl = (2.0 * self.recent.tau_int()).sqrt().max(1.0);
+        let se = ((early.std_error() * infl).powi(2) + (late.std_error() * infl).powi(2)).sqrt();
+        if se == 0.0 {
+            return 0.0;
+        }
+        (late.mean - early.mean).abs() / se
+    }
+
+    /// True when the drift z-score is below 3 (no detectable
+    /// equilibration transient at the current sample count).
+    pub fn equilibrated(&self) -> bool {
+        self.drift_z() < 3.0
+    }
+
+    /// One-line human-readable status.
+    pub fn report(&self) -> String {
+        let b = &self.bin;
+        format!(
+            "n={} mean={:.6} ±{:.2e} tau_int={:.2} drift_z={:.2}{}",
+            b.count(),
+            b.mean(),
+            b.error(),
+            b.tau_int(),
+            self.drift_z(),
+            if self.equilibrated() { "" } else { " [DRIFT]" },
+        )
+    }
+}
+
+/// Chan et al. pairwise combination of two Welford accumulators.
+fn merge(a: Welford, b: Welford) -> Welford {
+    if a.n == 0 {
+        return b;
+    }
+    if b.n == 0 {
+        return a;
+    }
+    let (n1, n2) = (a.n as f64, b.n as f64);
+    let delta = b.mean - a.mean;
+    let total = n1 + n2;
+    Welford {
+        n: a.n + b.n,
+        mean: a.mean + delta * n2 / total,
+        m2: a.m2 + b.m2 + delta * delta * n1 * n2 / total,
+    }
+}
+
+/// Replica-ladder agreement: z-separations `|m_{k+1} − m_k| /
+/// √(σ_k² + σ_{k+1}²)` between successive replicas' sample
+/// distributions (means `m`, standard deviations `σ`).
+///
+/// For a parallel-tempering ladder this predicts exchange viability:
+/// adjacent rungs whose observable distributions barely overlap (large
+/// z) cannot swap, so walkers stop diffusing across the ladder.
+pub fn replica_agreement(means: &[f64], std_devs: &[f64]) -> Vec<f64> {
+    assert_eq!(means.len(), std_devs.len());
+    means
+        .windows(2)
+        .zip(std_devs.windows(2))
+        .map(|(m, s)| {
+            let spread = (s[0] * s[0] + s[1] * s[1]).sqrt();
+            if spread == 0.0 {
+                0.0
+            } else {
+                (m[1] - m[0]).abs() / spread
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The doc-comment series from qmc-stats: blocks of 8 repeated values
+    /// are strongly correlated.
+    fn correlated_series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i / 8) % 7) as f64).collect()
+    }
+
+    #[test]
+    fn online_binning_matches_known_tau_regime() {
+        let xs = correlated_series(4096);
+        let mut ob = OnlineBinning::new(32);
+        for &x in &xs {
+            ob.push(x);
+        }
+        assert_eq!(ob.count(), 4096);
+        assert!(ob.error() > ob.naive_error());
+        assert!(ob.tau_int() > 1.0, "tau {}", ob.tau_int());
+    }
+
+    #[test]
+    fn constant_series_has_zero_error_and_unit_floor_tau() {
+        let mut ob = OnlineBinning::new(2);
+        for _ in 0..64 {
+            ob.push(2.5);
+        }
+        assert_eq!(ob.error(), 0.0);
+        assert_eq!(ob.tau_int(), 0.5);
+        assert_eq!(ob.mean(), 2.5);
+    }
+
+    #[test]
+    fn drift_is_flagged_for_a_shifted_first_half() {
+        let mut hm = HealthMonitor::new(16);
+        // A cold start: far-off transient, then stationary noise-free-ish.
+        for i in 0..1024u32 {
+            let x = if i < 256 { 10.0 } else { 0.0 } + (i % 5) as f64 * 0.01;
+            hm.push(x);
+        }
+        assert!(hm.drift_z() > 3.0, "z {}", hm.drift_z());
+        assert!(!hm.equilibrated());
+        // A stationary series is clean.
+        let mut ok = HealthMonitor::new(16);
+        for i in 0..1024u32 {
+            ok.push((i % 5) as f64 * 0.01);
+        }
+        assert!(ok.equilibrated(), "z {}", ok.drift_z());
+    }
+
+    #[test]
+    fn replica_agreement_scores_overlap() {
+        // Overlapping rungs → small z; disjoint rungs → large z.
+        let z = replica_agreement(&[0.0, 0.5, 10.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(z.len(), 2);
+        assert!(z[0] < 1.0);
+        assert!(z[1] > 3.0);
+        assert_eq!(replica_agreement(&[1.0, 1.0], &[0.0, 0.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn report_mentions_drift_only_when_present() {
+        let mut hm = HealthMonitor::new(16);
+        for i in 0..512u32 {
+            hm.push((i % 3) as f64);
+        }
+        assert!(!hm.report().contains("[DRIFT]"));
+    }
+}

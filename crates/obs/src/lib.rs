@@ -54,19 +54,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod export;
+pub mod health;
 pub mod json;
 mod metrics;
 mod record;
 mod span;
+mod trace;
 
-pub use export::{chrome_trace_json, metrics_json, RunMeta};
-pub use metrics::{CounterId, Hist, HistId, Registry, N_BUCKETS};
-pub use record::{gather_ranks, CommSummary, HistSnapshot, OwnedSpan, RankObs};
-pub use span::{
-    counter_add, enabled, finish, hist_record, init, metrics_enabled, span, spans_enabled,
-    ObsConfig, Span,
+pub use analysis::{
+    analysis_json, analyze, match_flows, render_report, world_trace, Analysis, Flow, FlowMatch,
+    RankAttribution, Segment, SegmentKind, ANALYSIS_SCHEMA,
 };
+pub use export::{chrome_trace_json, metrics_json, RunMeta};
+pub use health::{replica_agreement, HealthMonitor, OnlineBinning};
+pub use metrics::{CounterId, Hist, HistId, Registry, N_BUCKETS};
+pub use record::{
+    gather_ranks, CommDir, CommEvent, CommSummary, HealthSnapshot, HistSnapshot, OwnedSpan, RankObs,
+};
+pub use span::{
+    active_span_id, counter_add, enabled, finish, health_enabled, health_record, hist_record, init,
+    metrics_enabled, now_us, span, spans_enabled, ObsConfig, Span,
+};
+pub use trace::TracingComm;
 
 /// Mirror a rank's [`qmc_comm::FaultStats`] into the thread-local metrics
 /// registry as `comm.retries` / `comm.timeouts`.

@@ -8,6 +8,7 @@
 
 use qmc_comm::{CommStats, Communicator};
 
+use crate::health::HealthMonitor;
 use crate::metrics::{Hist, Registry};
 
 /// A completed span, owned (names copied out of the ring's `&'static str`).
@@ -15,12 +16,87 @@ use crate::metrics::{Hist, Registry};
 pub struct OwnedSpan {
     /// Span name (the string passed to [`crate::span`]).
     pub name: String,
+    /// Per-rank span id (assigned in open order from 1; 0 only in
+    /// records predating span ids).
+    pub id: u64,
     /// Start, microseconds since the run's shared epoch.
     pub t0_us: f64,
     /// End, microseconds since the run's shared epoch.
     pub t1_us: f64,
     /// Nesting depth at open time (0 = top level).
     pub depth: u16,
+}
+
+/// Direction of a traced point-to-point message, from the recording
+/// rank's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommDir {
+    /// The recording rank sent the message.
+    Send,
+    /// The recording rank received the message.
+    Recv,
+}
+
+/// One traced point-to-point message event (recorded by `TracingComm`).
+///
+/// `seq` counts messages per directed `(self, peer, tag)` channel on the
+/// send side and per `(peer, self, tag)` channel on the receive side, so
+/// a send and the receive it caused carry the same `(src, dst, tag, seq)`
+/// key — that key is how the cross-rank merger pairs them into
+/// happens-before edges without any global clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommEvent {
+    /// Send or receive.
+    pub dir: CommDir,
+    /// The other rank.
+    pub peer: u64,
+    /// Message tag.
+    pub tag: u32,
+    /// Per-channel message sequence number (from 0).
+    pub seq: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Call start, microseconds since the shared epoch.
+    pub t0_us: f64,
+    /// Call end, microseconds since the shared epoch.
+    pub t1_us: f64,
+    /// Id of the innermost span open at call time (0 = none).
+    pub span_id: u64,
+}
+
+/// Exported state of one observable's online [`HealthMonitor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// Observable name (the string passed to [`crate::health_record`]).
+    pub name: String,
+    /// Samples streamed so far.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Autocorrelation-aware error of the mean (binning plateau).
+    pub error: f64,
+    /// Integrated autocorrelation time.
+    pub tau_int: f64,
+    /// Equilibration drift z-score (≥ 3 flags a transient).
+    pub drift_z: f64,
+}
+
+impl HealthSnapshot {
+    /// Snapshot a monitor's current state.
+    pub fn of(name: &str, hm: &HealthMonitor) -> Self {
+        let b = hm.binning();
+        Self {
+            name: name.to_string(),
+            count: b.count(),
+            mean: b.mean(),
+            std_dev: b.std_dev(),
+            error: b.error(),
+            tau_int: b.tau_int(),
+            drift_z: hm.drift_z(),
+        }
+    }
 }
 
 /// A histogram flattened for transport/export: only non-empty buckets.
@@ -119,10 +195,16 @@ pub struct RankObs {
     pub dropped_spans: u64,
     /// Completed spans, chronological (oldest first).
     pub spans: Vec<OwnedSpan>,
+    /// Traced comm events lost to ring overflow.
+    pub dropped_comm_events: u64,
+    /// Traced comm events, chronological (oldest first).
+    pub comm_events: Vec<CommEvent>,
     /// `(name, value)` monotonic counters.
     pub counters: Vec<(String, u64)>,
     /// Histogram snapshots.
     pub hists: Vec<HistSnapshot>,
+    /// Online convergence health, one snapshot per observable.
+    pub health: Vec<HealthSnapshot>,
     /// Communication totals, when the run attached them.
     pub comm: Option<CommSummary>,
 }
@@ -168,9 +250,25 @@ impl RankObs {
         put_u64(&mut b, self.spans.len() as u64);
         for s in &self.spans {
             put_str(&mut b, &s.name);
+            put_u64(&mut b, s.id);
             put_f64(&mut b, s.t0_us);
             put_f64(&mut b, s.t1_us);
             put_u64(&mut b, s.depth as u64);
+        }
+        put_u64(&mut b, self.dropped_comm_events);
+        put_u64(&mut b, self.comm_events.len() as u64);
+        for e in &self.comm_events {
+            b.push(match e.dir {
+                CommDir::Send => 0,
+                CommDir::Recv => 1,
+            });
+            put_u64(&mut b, e.peer);
+            put_u64(&mut b, e.tag as u64);
+            put_u64(&mut b, e.seq);
+            put_u64(&mut b, e.bytes);
+            put_f64(&mut b, e.t0_us);
+            put_f64(&mut b, e.t1_us);
+            put_u64(&mut b, e.span_id);
         }
         put_u64(&mut b, self.counters.len() as u64);
         for (n, v) in &self.counters {
@@ -189,6 +287,16 @@ impl RankObs {
                 put_u64(&mut b, lo);
                 put_u64(&mut b, c);
             }
+        }
+        put_u64(&mut b, self.health.len() as u64);
+        for h in &self.health {
+            put_str(&mut b, &h.name);
+            put_u64(&mut b, h.count);
+            put_f64(&mut b, h.mean);
+            put_f64(&mut b, h.std_dev);
+            put_f64(&mut b, h.error);
+            put_f64(&mut b, h.tau_int);
+            put_f64(&mut b, h.drift_z);
         }
         match self.comm {
             None => b.push(0),
@@ -217,9 +325,30 @@ impl RankObs {
         for _ in 0..nspans {
             spans.push(OwnedSpan {
                 name: c.str()?,
+                id: c.u64()?,
                 t0_us: c.f64()?,
                 t1_us: c.f64()?,
                 depth: c.u64()? as u16,
+            });
+        }
+        let dropped_comm_events = c.u64()?;
+        let nev = c.u64()? as usize;
+        let mut comm_events = Vec::with_capacity(nev.min(1 << 20));
+        for _ in 0..nev {
+            let dir = match c.u8()? {
+                0 => CommDir::Send,
+                1 => CommDir::Recv,
+                t => return Err(format!("bad comm event dir {t}")),
+            };
+            comm_events.push(CommEvent {
+                dir,
+                peer: c.u64()?,
+                tag: c.u64()? as u32,
+                seq: c.u64()?,
+                bytes: c.u64()?,
+                t0_us: c.f64()?,
+                t1_us: c.f64()?,
+                span_id: c.u64()?,
             });
         }
         let nctr = c.u64()? as usize;
@@ -249,6 +378,19 @@ impl RankObs {
                 buckets,
             });
         }
+        let nhealth = c.u64()? as usize;
+        let mut health = Vec::with_capacity(nhealth.min(1 << 20));
+        for _ in 0..nhealth {
+            health.push(HealthSnapshot {
+                name: c.str()?,
+                count: c.u64()?,
+                mean: c.f64()?,
+                std_dev: c.f64()?,
+                error: c.f64()?,
+                tau_int: c.f64()?,
+                drift_z: c.f64()?,
+            });
+        }
         let comm = match c.u8()? {
             0 => None,
             1 => Some(CommSummary {
@@ -274,8 +416,11 @@ impl RankObs {
             rank,
             dropped_spans,
             spans,
+            dropped_comm_events,
+            comm_events,
             counters,
             hists,
+            health,
             comm,
         })
     }
@@ -364,9 +509,42 @@ mod tests {
             dropped_spans: 1,
             spans: vec![OwnedSpan {
                 name: "sweep".into(),
+                id: 17,
                 t0_us: 1.5,
                 t1_us: 9.25,
                 depth: 0,
+            }],
+            dropped_comm_events: 3,
+            comm_events: vec![
+                CommEvent {
+                    dir: CommDir::Send,
+                    peer: 1,
+                    tag: 7,
+                    seq: 0,
+                    bytes: 128,
+                    t0_us: 2.0,
+                    t1_us: 2.5,
+                    span_id: 17,
+                },
+                CommEvent {
+                    dir: CommDir::Recv,
+                    peer: 1,
+                    tag: 7,
+                    seq: 0,
+                    bytes: 128,
+                    t0_us: 3.0,
+                    t1_us: 4.5,
+                    span_id: 17,
+                },
+            ],
+            health: vec![HealthSnapshot {
+                name: "energy".into(),
+                count: 400,
+                mean: -1.25,
+                std_dev: 0.5,
+                error: 0.05,
+                tau_int: 2.0,
+                drift_z: 0.4,
             }],
             ..Default::default()
         };

@@ -451,6 +451,7 @@ impl Sse {
     /// used a Chain; harmless extra numbers otherwise).
     pub fn record_measurement(&self, series: &mut SseSeries) {
         let meas = self.measure();
+        qmc_obs::health_record("sse.n_ops", meas.n_ops);
         series.n_ops.push(meas.n_ops);
         series.magnetization.push(meas.magnetization);
         series.staggered.push(meas.staggered);

@@ -83,6 +83,28 @@ impl BinningAnalysis {
     pub fn effective_samples(&self, total: usize) -> f64 {
         total as f64 / (2.0 * self.tau_int())
     }
+
+    /// Level at which the error estimate peaks (bin size `2^level`).
+    ///
+    /// For a converged analysis this is where the growth plateaus; if it
+    /// is the *last* level the series was too short to resolve τ_int and
+    /// [`Self::error`] may still be an underestimate.
+    pub fn plateau_level(&self) -> usize {
+        let mut best = 0;
+        for (l, e) in self.errors.iter().enumerate() {
+            if *e > self.errors[best] {
+                best = l;
+            }
+        }
+        best
+    }
+
+    /// Whether the error growth saturated before the level cap — i.e. the
+    /// peak error is not at the final (coarsest) level, so the plateau was
+    /// actually observed rather than truncated.
+    pub fn converged(&self) -> bool {
+        self.errors.len() > 1 && self.plateau_level() + 1 < self.errors.len()
+    }
 }
 
 #[cfg(test)]
@@ -164,5 +186,23 @@ mod tests {
     #[should_panic(expected = "at least 2 bins")]
     fn rejects_min_bins_below_two() {
         BinningAnalysis::new(&[1.0, 2.0], 1);
+    }
+
+    #[test]
+    fn plateau_detection_on_correlated_series() {
+        let mut rng = SplitMix64::new(5);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..1 << 16)
+            .map(|_| {
+                x = 0.9 * x + rng.gaussian();
+                x
+            })
+            .collect();
+        let b = BinningAnalysis::new(&xs, 32);
+        // τ ≈ 9.5 → plateau near bin size 2^5..2^7, well before the cap.
+        assert!(b.plateau_level() >= 3, "level {}", b.plateau_level());
+        assert!(b.converged());
+        // A 3-point series has a single level: nothing to converge.
+        assert!(!BinningAnalysis::new(&[1.0, 2.0, 3.0], 2).converged());
     }
 }

@@ -64,6 +64,7 @@ pub struct TfimSeries {
 impl TfimSeries {
     /// Record one measurement.
     pub fn record(&mut self, m: &TfimMeasurement) {
+        qmc_obs::health_record("energy", m.energy_per_site);
         self.energy.push(m.energy_per_site);
         self.abs_m.push(m.abs_m);
         self.m2.push(m.m2);

@@ -1,0 +1,29 @@
+// Fixture: wall-clock reads inside a #[qmc_hot::hot] kernel.
+// Not compiled — read by the qmc-lint self-tests, which assert the
+// `hot-wall-clock` rule fires on every violation below.
+
+#[qmc_hot::hot]
+pub fn bad_self_timed_sweep(spins: &mut [u64]) -> f64 {
+    // VIOLATION: per-call clock read inside the kernel.
+    let t0 = std::time::Instant::now();
+    for w in spins.iter_mut() {
+        *w ^= 1;
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+#[qmc_hot::hot]
+fn bad_deadline_poll(spins: &mut [u64]) {
+    for w in spins.iter_mut() {
+        // VIOLATION: system time polled per iteration.
+        let _ = std::time::SystemTime::now();
+        *w ^= 1;
+    }
+}
+
+// Timing the kernel from outside the hot region is the sanctioned
+// pattern: the span guard pays the two clock reads once.
+pub fn timed_caller(spins: &mut [u64]) {
+    let _g = qmc_obs::span("tfim.sweep");
+    bad_deadline_poll(spins);
+}

@@ -13,6 +13,7 @@
 //! | `lib-unwrap`        | no `.unwrap()` in library crates' non-test code       |
 //! | `ckpt-unbounded-chain` | no `.write_delta(`/`.write_plan(` in a file that never mentions a `full_every` cadence knob or `compact` — an unbounded delta chain grows restore cost without limit |
 //! | `hot-scalar-spin-loop` | no per-spin `.metropolis(`/`.bernoulli(` decision inside `#[qmc_hot::hot]` functions — a multi-spin-coded equivalent (batched draws, bitwise acceptance; see `qmc_tfim::packed`) exists, so scalar per-spin branching in a hot kernel must be a sanctioned reference path (waived) |
+//! | `hot-wall-clock`    | no `Instant::now`/`SystemTime::now` inside `#[qmc_hot::hot]` functions, *any* crate — timing belongs in `qmc_obs::span` guards around the kernel, not per-iteration clock reads inside it |
 //!
 //! Test code (`#[cfg(test)]` items, `#[test]` functions, `tests/`
 //! directories) is exempt from every rule. A violation can be waived at
@@ -51,6 +52,8 @@ pub enum Rule {
     CkptUnboundedChain,
     /// Per-spin acceptance branching inside a `#[qmc_hot::hot]` region.
     HotScalarSpinLoop,
+    /// Wall-clock read inside a `#[qmc_hot::hot]` region (any crate).
+    HotWallClock,
 }
 
 impl Rule {
@@ -64,6 +67,7 @@ impl Rule {
             Rule::LibUnwrap => "lib-unwrap",
             Rule::CkptUnboundedChain => "ckpt-unbounded-chain",
             Rule::HotScalarSpinLoop => "hot-scalar-spin-loop",
+            Rule::HotWallClock => "hot-wall-clock",
         }
     }
 
@@ -77,6 +81,7 @@ impl Rule {
             Rule::LibUnwrap,
             Rule::CkptUnboundedChain,
             Rule::HotScalarSpinLoop,
+            Rule::HotWallClock,
         ]
     }
 }
@@ -686,6 +691,19 @@ pub fn lint_source(display_path: &str, source: &str) -> Vec<Finding> {
                     format!("per-spin `.{name}()` decision inside a #[qmc_hot::hot] kernel (multi-spin coding resolves 64 spins per word with batched draws — see qmc_tfim::packed; waive only on sanctioned reference scalar kernels)"),
                 );
             }
+            // Unlike the crate-scoped `wall-clock` rule this one fires even
+            // in qmc-obs: a hot kernel must not read the clock per
+            // iteration — wrap the kernel in a `qmc_obs::span` guard and
+            // let the span pay the two clock reads once.
+            for clock in ["Instant", "SystemTime"] {
+                if path_expr(tokens, i, clock, "now") {
+                    push(
+                        line,
+                        Rule::HotWallClock,
+                        format!("`{clock}::now()` inside a #[qmc_hot::hot] kernel (time the kernel with a qmc_obs::span guard around the call site, not per-iteration clock reads)"),
+                    );
+                }
+            }
         }
 
         if !is_obs {
@@ -809,6 +827,7 @@ mod tests {
     const LIB_UNWRAP_BAD: &str = include_str!("../fixtures/lib_unwrap.rs");
     const CKPT_CHAIN_BAD: &str = include_str!("../fixtures/ckpt_chain.rs");
     const HOT_SCALAR_SPIN_BAD: &str = include_str!("../fixtures/hot_scalar_spin_loop.rs");
+    const HOT_WALL_CLOCK_BAD: &str = include_str!("../fixtures/hot_wall_clock.rs");
     const CLEAN: &str = include_str!("../fixtures/clean.rs");
 
     fn rules_fired(path: &str, src: &str) -> Vec<Rule> {
@@ -866,6 +885,33 @@ mod tests {
     }
 
     #[test]
+    fn fixture_fires_hot_wall_clock() {
+        let fired = rules_fired("crates/fixture/src/lib.rs", HOT_WALL_CLOCK_BAD);
+        // Both the Instant and the SystemTime violation fire; the
+        // span-guarded caller outside the hot region does not.
+        assert_eq!(
+            fired.iter().filter(|r| **r == Rule::HotWallClock).count(),
+            2,
+            "{fired:?}"
+        );
+    }
+
+    #[test]
+    fn hot_wall_clock_fires_even_inside_qmc_obs() {
+        // The crate-scoped `wall-clock` rule exempts qmc-obs; the hot
+        // variant must not — a kernel is a kernel wherever it lives.
+        let src = "
+            #[qmc_hot::hot]
+            fn bad(xs: &mut [f64]) {
+                let _t = Instant::now();
+            }
+        ";
+        let fired = rules_fired("crates/obs/src/lib.rs", src);
+        assert!(fired.contains(&Rule::HotWallClock), "{fired:?}");
+        assert!(!fired.contains(&Rule::WallClock), "{fired:?}");
+    }
+
+    #[test]
     fn scalar_spin_decisions_outside_hot_fns_are_fine() {
         // Replica exchange and cluster seeding legitimately draw per
         // decision — the rule only polices `#[qmc_hot::hot]` kernels.
@@ -902,6 +948,7 @@ mod tests {
             LIB_UNWRAP_BAD,
             CKPT_CHAIN_BAD,
             HOT_SCALAR_SPIN_BAD,
+            HOT_WALL_CLOCK_BAD,
         ] {
             fired.extend(rules_fired("crates/fixture/src/lib.rs", src));
         }

@@ -55,6 +55,12 @@ cargo test -q -p qmc-comm --test deadlock
 cargo test -q -p qmc-bench --test alloc_guard
 cargo run -q -p qmc-bench --bin repro -- verify
 
+echo "== analyze: causal trace -> critical-path report =="
+# Records the 4-rank traced PT demo, merges the per-rank streams into
+# the happens-before DAG, and prints the critical path + attribution.
+# Exits non-zero if message matching or the path walk fails.
+cargo run -q --release -p qmc-bench --bin repro -- analyze
+
 echo "== bench-quick: packed-kernel speedup guard =="
 # A shrunk fixed-seed bench run (median of 5) asserting the multi-spin
 # coded sweep stays >= 2x the scalar kernel (the full-run target is 4x;

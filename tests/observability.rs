@@ -11,7 +11,10 @@
 use qmc_comm::{run_threads, Communicator};
 use qmc_lattice::{Chain, Square};
 use qmc_obs::json::Json;
-use qmc_obs::{chrome_trace_json, gather_ranks, metrics_json, ObsConfig, RunMeta};
+use qmc_obs::{
+    analyze, chrome_trace_json, gather_ranks, metrics_json, ObsConfig, OnlineBinning, RunMeta,
+    SegmentKind,
+};
 use qmc_rng::{Rng64, StreamFactory, Xoshiro256StarStar};
 use qmc_sse::Sse;
 use qmc_tfim::parallel::DistTfim;
@@ -273,4 +276,208 @@ fn chrome_trace_is_sorted_and_balanced_per_rank() {
         seen_tids.push(tid);
     }
     assert_eq!(seen_tids, vec![0, 1, 2]);
+}
+
+// ---- causal tracing & critical-path analysis ---------------------------
+
+#[test]
+fn pt_bit_identical_traced_vs_bare() {
+    // The analyze demo runs parallel tempering through TracingComm with
+    // spans, comm tracing and per-rank recorders all live. Replaying the
+    // exact configuration bare must land on the same trajectory to the
+    // last bit: tracing is observation-only.
+    let cfg = qmc_bench::analyze::demo_cfg();
+    let mut bare = run_threads(4, move |comm| {
+        let mut rng = StreamFactory::new(qmc_bench::analyze::STREAM_SEED).stream(comm.rank());
+        let (energies, _rates) =
+            qmc_core::pt::run_pt_parallel_ckpt(comm, &cfg, &mut rng, None, |_c, _s| {});
+        energies
+    });
+    let bare_energies = bare.swap_remove(0);
+    let (_, traced_energies) = qmc_bench::analyze::run_traced(None);
+    assert!(!bare_energies.is_empty());
+    assert_eq!(
+        bits(&bare_energies),
+        bits(&traced_energies),
+        "TracingComm perturbed the PT trajectory"
+    );
+}
+
+#[test]
+fn serial_tfim_bit_identical_with_health_on() {
+    // Same contract as `serial_tfim_bit_identical_with_obs_on`, but with
+    // the online convergence-health layer enabled (silently: every=0
+    // suppresses the periodic stderr reports while the monitors stream).
+    let run = || {
+        let model = TfimModel {
+            lx: 8,
+            ly: 8,
+            j: 1.0,
+            h: 2.0,
+            beta: 1.0,
+            m: 4,
+        };
+        let mut eng = SerialTfim::new(model);
+        let mut rng = CountingRng::new(Xoshiro256StarStar::new(23));
+        let series = eng.run(&mut rng, 50, 200, 1);
+        (bits(&series.energy), rng.draws)
+    };
+    let off = run();
+    qmc_obs::init(0, &ObsConfig::new().with_health_every(0));
+    let on = run();
+    let rank = qmc_obs::finish().expect("recorder installed");
+    assert_eq!(off, on, "health monitoring changed the trajectory");
+    // The engine actually fed the monitor: one snapshot per observable.
+    assert!(
+        rank.health.iter().any(|h| h.name == "energy"),
+        "no energy health snapshot was recorded"
+    );
+}
+
+#[test]
+fn online_binning_matches_offline_within_one_percent() {
+    // The streaming level-doubling analysis behind the health monitor
+    // must agree with the offline `qmc_stats::BinningAnalysis` it
+    // mirrors: same plateau rule, same min-bins cutoff, same series.
+    let mut rng = Xoshiro256StarStar::new(29);
+    let mut series = Vec::with_capacity(1 << 14);
+    let mut x = 0.0f64;
+    for _ in 0..1 << 14 {
+        // AR(1) with φ = 0.8: τ_int well above the uncorrelated 0.5, so
+        // the comparison exercises the plateau search, not just σ/√N.
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x = 0.8 * x + (u - 0.5);
+        series.push(x);
+    }
+    let mut online = OnlineBinning::new(16);
+    for &v in &series {
+        online.push(v);
+    }
+    let offline = qmc_stats::BinningAnalysis::new(&series, 16);
+    assert!(offline.tau_int() > 1.0, "series not correlated enough");
+    let rel = |a: f64, b: f64| (a - b).abs() / b.abs();
+    assert!(
+        rel(online.error(), offline.error()) < 0.01,
+        "error: online {} vs offline {}",
+        online.error(),
+        offline.error()
+    );
+    assert!(
+        rel(online.tau_int(), offline.tau_int()) < 0.01,
+        "tau_int: online {} vs offline {}",
+        online.tau_int(),
+        offline.tau_int()
+    );
+}
+
+#[test]
+fn analyze_trace_is_perfetto_valid_with_matched_flows() {
+    // The 4-rank traced PT demo is the trace `repro analyze` ships to
+    // Perfetto: per-track timestamps sorted, B/E balanced, and every
+    // flow id appearing exactly once as a start ("s") and once as a
+    // finish ("f") on different tracks.
+    let (ranks, _) = qmc_bench::analyze::run_traced(None);
+    let trace = chrome_trace_json(&ranks);
+    let doc = Json::parse(&trace).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    for tid in 0..4u64 {
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut depth: i64 = 0;
+        for e in events.iter().filter(|e| {
+            e.get("tid").and_then(Json::as_f64) == Some(tid as f64)
+                && matches!(e.get("ph").and_then(Json::as_str), Some("B") | Some("E"))
+        }) {
+            let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+            assert!(ts >= last_ts, "rank {tid}: timestamps out of order");
+            last_ts = ts;
+            depth += match e.get("ph").and_then(Json::as_str) {
+                Some("B") => 1,
+                _ => -1,
+            };
+            assert!(depth >= 0, "rank {tid}: E before matching B");
+        }
+        assert_eq!(depth, 0, "rank {tid}: unbalanced B/E");
+    }
+    // Flow arrows: collect (id -> [s-tid, f-tid]) and demand clean pairs.
+    let mut starts = std::collections::BTreeMap::new();
+    let mut finishes = std::collections::BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str);
+        if !matches!(ph, Some("s") | Some("f")) {
+            continue;
+        }
+        let id = e.get("id").and_then(Json::as_f64).expect("flow id") as u64;
+        let tid = e.get("tid").and_then(Json::as_f64).expect("flow tid") as u64;
+        let table = if ph == Some("s") {
+            &mut starts
+        } else {
+            &mut finishes
+        };
+        assert!(
+            table.insert(id, tid).is_none(),
+            "flow id {id} duplicated for phase {ph:?}"
+        );
+    }
+    assert!(!starts.is_empty(), "traced PT run produced no flow arrows");
+    assert_eq!(
+        starts.keys().collect::<Vec<_>>(),
+        finishes.keys().collect::<Vec<_>>(),
+        "unpaired flow ids"
+    );
+    for (id, s_tid) in &starts {
+        assert_ne!(
+            s_tid, &finishes[id],
+            "flow {id}: message arrow starts and ends on the same rank"
+        );
+    }
+}
+
+#[test]
+fn critical_path_span_ids_exist_in_recorded_spans() {
+    // Every compute segment the critical path names must point at a span
+    // that is actually in the trace (span id 0 = outside any span).
+    let (ranks, _) = qmc_bench::analyze::run_traced(None);
+    let a = analyze(&ranks).expect("clean analysis");
+    let mut checked = 0;
+    for seg in &a.critical_path {
+        if seg.kind != SegmentKind::Compute || seg.span_id == 0 {
+            continue;
+        }
+        let rank = ranks
+            .iter()
+            .find(|r| r.rank == seg.rank)
+            .expect("segment names a traced rank");
+        assert!(
+            rank.spans.iter().any(|s| s.id == seg.span_id),
+            "critical-path span {} missing from rank {}'s spans",
+            seg.span_id,
+            seg.rank
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "critical path named no spans at all");
+}
+
+#[test]
+fn slow_rank_is_dragged_onto_critical_path() {
+    // A 2 ms per-sweep stall on rank 3 dwarfs the real work (the whole
+    // unstalled run is under a millisecond), so the analysis must name
+    // rank 3 both as the straggler and as the rank dominating the
+    // critical path's compute time.
+    let (ranks, _) = qmc_bench::analyze::run_traced(Some(3));
+    let a = analyze(&ranks).expect("clean analysis");
+    assert_eq!(a.straggler, 3, "stalled rank not flagged as straggler");
+    assert_eq!(
+        a.path_dominant_rank(),
+        3,
+        "critical path did not move onto the stalled rank"
+    );
+    assert!(
+        a.imbalance > 1.5,
+        "stall should show as load imbalance, got {:.2}x",
+        a.imbalance
+    );
 }
