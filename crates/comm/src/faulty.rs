@@ -572,12 +572,15 @@ mod tests {
     fn thread_backend_waits_are_not_double_counted() {
         // ThreadComm already charges timed-out receive waits itself; the
         // wrapper must only add its (tiny) bookkeeping shortfall, not a
-        // second copy of the wait. Total attributed wait stays below the
-        // physical wall time of the exchange.
+        // second copy of the wait. Checked structurally against the
+        // inner ledger rather than against wall clock: scheduler delays
+        // on a loaded host make wall-proportional bounds flaky, but the
+        // wrapper's *extra* charge beyond what the backend recorded is
+        // loop overhead regardless of load, while a double count would
+        // re-add the full backend wait on top.
         let results = run_threads(2, |comm| {
             let plan = FaultPlan::new(1).retry(8, Duration::from_millis(25));
-            let start = std::time::Instant::now();
-            let mut fc = FaultyComm::new(comm, plan);
+            let mut fc = FaultyComm::new(&mut *comm, plan);
             if fc.rank() == 0 {
                 let got = fc.recv_bytes(1, 2);
                 assert_eq!(got, vec![9]);
@@ -585,17 +588,27 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(60));
                 fc.send_bytes(0, 2, &[9]);
             }
-            (fc.stats(), start.elapsed().as_secs_f64())
+            let outer = fc.stats();
+            drop(fc);
+            (outer, comm.stats())
         });
-        let (s0, elapsed0) = &results[0];
-        // Rank 0 blocked ~60 ms (with ≥ 1 timeout in between). Double
-        // counting would push recv_wait to ~2× the physical wait.
-        assert!(s0.recv_wait_seconds >= 0.050, "wait went missing: {s0:?}");
+        let (outer0, inner0) = &results[0];
+        // Rank 0 blocked ~60 ms across its timed-out attempts, which the
+        // thread backend charged itself.
         assert!(
-            s0.recv_wait_seconds <= *elapsed0 * 1.05 + 0.005,
-            "recv wait double-counted: {} attributed vs {} physical",
-            s0.recv_wait_seconds,
-            elapsed0
+            inner0.recv_wait_seconds > 0.0,
+            "backend charged no wait: {inner0:?}"
+        );
+        // Nothing the backend charged goes missing through the wrapper…
+        assert!(outer0.recv_wait_seconds >= inner0.recv_wait_seconds);
+        // …and the wrapper's own contribution is only the bookkeeping
+        // shortfall. Double counting would make it ≥ the backend's
+        // charge (~60 ms), far above this bound.
+        let extra = outer0.recv_wait_seconds - inner0.recv_wait_seconds;
+        assert!(
+            extra <= 0.5 * inner0.recv_wait_seconds + 0.020,
+            "recv wait double-counted: {extra} s extra vs {} s backend-charged",
+            inner0.recv_wait_seconds
         );
     }
 

@@ -282,10 +282,13 @@ pub fn analyze(ranks: &[RankObs]) -> Result<Analysis, String> {
         })?;
     }
     let fm = match_flows(ranks);
-    // recv lookup: (dst rank, index of recv event in that rank) → flow.
-    let mut recv_flow: HashMap<(u64, u32, u64), &Flow> = HashMap::new();
+    // recv lookup: (dst, src, tag, seq) → flow. seq numbers count per
+    // directed (src, dst, tag) channel, so the sender must be part of
+    // the key — the same (tag, seq) received from two different peers
+    // is two distinct messages, not one.
+    let mut recv_flow: HashMap<(u64, u64, u32, u64), &Flow> = HashMap::new();
     for f in &fm.flows {
-        recv_flow.insert((f.dst, f.tag, f.seq), f);
+        recv_flow.insert((f.dst, f.src, f.tag, f.seq), f);
     }
     let by_rank: HashMap<u64, &RankObs> = ranks.iter().map(|r| (r.rank, r)).collect();
 
@@ -394,7 +397,7 @@ pub fn analyze(ranks: &[RankObs]) -> Result<Analysis, String> {
             rank_window(cur_rank).map_or(e.t0_us, |w| w.0)
         };
         let flow = (e.dir == CommDir::Recv)
-            .then(|| recv_flow.get(&(cur_rank.rank, e.tag, e.seq)))
+            .then(|| recv_flow.get(&(cur_rank.rank, e.peer, e.tag, e.seq)))
             .flatten();
         if let Some(f) = flow {
             if f.send.t1_us > prev_t1 {
@@ -756,6 +759,51 @@ mod tests {
                 .all(|s| s.kind != SegmentKind::Message || s.rank != 1),
             "early message must not bind rank 1's path"
         );
+    }
+
+    #[test]
+    fn same_tag_seq_from_different_peers_bind_to_their_own_sender() {
+        // Channel seq numbers count per (src, dst, tag), so rank 1 can
+        // receive tag 7 seq 0 from rank 0 AND from rank 2 — exactly what
+        // the 4-rank PT demo does. The recv→flow lookup must key on the
+        // peer too; collapsing the key to (dst, tag, seq) lets one
+        // sender's flow shadow the other's, and the walk then binds the
+        // recv-from-2 below to rank 0's early send (t1=2), reporting a
+        // message from the wrong rank with the wrong times.
+        let r0 = RankObs {
+            rank: 0,
+            spans: vec![span("w0", 1, 0.0, 2.0)],
+            comm_events: vec![ev(CommDir::Send, 1, 7, 0, 0.0, 2.0, 1)],
+            ..Default::default()
+        };
+        let r1 = RankObs {
+            rank: 1,
+            spans: vec![span("w1", 1, 0.0, 50.0)],
+            comm_events: vec![
+                ev(CommDir::Recv, 2, 7, 0, 5.0, 45.0, 1),
+                ev(CommDir::Recv, 0, 7, 0, 46.0, 48.0, 1),
+            ],
+            ..Default::default()
+        };
+        let r2 = RankObs {
+            rank: 2,
+            spans: vec![span("w2", 1, 0.0, 40.0)],
+            comm_events: vec![ev(CommDir::Send, 1, 7, 0, 30.0, 40.0, 1)],
+            ..Default::default()
+        };
+        let a = analyze(&[r0, r1, r2]).unwrap();
+        assert_eq!(a.matched_messages, 2);
+        // Rank 1 waited on rank 2's late send: the binding message comes
+        // from rank 2 and spans send-completion (40) to recv-return (45).
+        let msgs: Vec<&Segment> = a
+            .critical_path
+            .iter()
+            .filter(|s| s.kind == SegmentKind::Message)
+            .collect();
+        assert_eq!(msgs.len(), 1, "path {:?}", a.critical_path);
+        assert_eq!((msgs[0].from_rank, msgs[0].rank), (2, 1));
+        assert_eq!(msgs[0].t0_us, 40.0);
+        assert_eq!(msgs[0].t1_us, 45.0);
     }
 
     #[test]

@@ -66,10 +66,12 @@ impl Welford {
 #[derive(Debug, Clone)]
 pub struct OnlineBinning {
     levels: [Welford; MAX_LEVELS],
-    /// Unpaired value waiting at each level (`NaN` = none; samples are
-    /// required to be finite, which `push` asserts).
+    /// Unpaired value waiting at each level (`NaN` = none; `push`
+    /// rejects non-finite samples so the sentinel is unambiguous).
     pending: [f64; MAX_LEVELS],
     min_bins: usize,
+    /// Non-finite samples rejected by `push`.
+    rejected: u64,
 }
 
 impl OnlineBinning {
@@ -82,13 +84,21 @@ impl OnlineBinning {
             levels: [Welford::default(); MAX_LEVELS],
             pending: [f64::NAN; MAX_LEVELS],
             min_bins,
+            rejected: 0,
         }
     }
 
-    /// Add one observation (finite values only).
+    /// Add one observation. Non-finite samples are rejected (and counted
+    /// in [`rejected`](Self::rejected)) rather than pushed: `NaN` would
+    /// poison the Welford accumulators and, because `NaN` doubles as the
+    /// empty-pending-slot sentinel, silently desynchronize the level
+    /// pairing relative to the offline `BinningAnalysis`.
     #[inline]
     pub fn push(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "non-finite health sample");
+        if !x.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         let mut v = x;
         for lvl in 0..MAX_LEVELS {
             self.levels[lvl].push(v);
@@ -104,6 +114,11 @@ impl OnlineBinning {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.levels[0].n
+    }
+
+    /// Number of non-finite samples rejected by [`push`](Self::push).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Sample mean.
@@ -189,9 +204,14 @@ impl HealthMonitor {
         }
     }
 
-    /// Add one observation.
+    /// Add one observation (non-finite samples are rejected and counted,
+    /// as in [`OnlineBinning::push`]).
     #[inline]
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.bin.rejected += 1;
+            return;
+        }
         let i = self.bin.count() + 1; // 1-based index of this sample
         if i & (i - 1) == 0 {
             // Entering a new dyadic era: restart the recent-window
@@ -212,6 +232,11 @@ impl HealthMonitor {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.bin.count()
+    }
+
+    /// Number of non-finite samples rejected.
+    pub fn rejected(&self) -> u64 {
+        self.bin.rejected()
     }
 
     /// Drift z-score between the early and late sample windows
@@ -340,6 +365,40 @@ mod tests {
         assert_eq!(ob.error(), 0.0);
         assert_eq!(ob.tau_int(), 0.5);
         assert_eq!(ob.mean(), 2.5);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_pooled() {
+        // A NaN must neither poison the statistics nor be mistaken for
+        // the empty-pending-slot sentinel (which would desynchronize the
+        // level pairing for every later sample).
+        let xs = correlated_series(4096);
+        let mut clean = OnlineBinning::new(32);
+        let mut dirty = OnlineBinning::new(32);
+        for (i, &x) in xs.iter().enumerate() {
+            clean.push(x);
+            dirty.push(x);
+            if i == 17 {
+                dirty.push(f64::NAN);
+                dirty.push(f64::INFINITY);
+            }
+        }
+        assert_eq!(dirty.rejected(), 2);
+        assert_eq!(dirty.count(), clean.count());
+        assert_eq!(dirty.mean(), clean.mean());
+        assert_eq!(dirty.error(), clean.error());
+        assert_eq!(dirty.tau_int(), clean.tau_int());
+        // The monitor guards its era accumulators the same way.
+        let mut hm = HealthMonitor::new(16);
+        for i in 0..512u32 {
+            hm.push((i % 5) as f64);
+            if i == 100 {
+                hm.push(f64::NAN);
+            }
+        }
+        assert_eq!(hm.rejected(), 1);
+        assert_eq!(hm.count(), 512);
+        assert!(hm.drift_z().is_finite());
     }
 
     #[test]
