@@ -6,6 +6,10 @@
 //! qmc sse       --lattice square --l 8  --beta 4.0 --sweeps 20000
 //! qmc tfim      --lx 32 --ly 1 --h 1.0 --beta 8.0 --m 64 --sweeps 10000
 //! qmc tfim      --lx 64 --ly 64 --h 2.0 --beta 1.0 --m 8 --ranks 16 --machine mesh1993
+//! qmc serve     --addr 127.0.0.1:7777 --workers 4 --ckpt-dir ckpt/serve
+//! qmc submit    --addr 127.0.0.1:7777 --tenant alice --engine tfim --lx 16 --sweeps 2000
+//! qmc submit    --addr 127.0.0.1:7777 --tenant alice --stats
+//! qmc submit    --addr 127.0.0.1:7777 --tenant admin --drain
 //! ```
 //!
 //! Common flags: `--seed N` (default 1), `--therm N` (default sweeps/5).
@@ -49,20 +53,22 @@ fn main() {
         "worldline" => run_worldline(&flags),
         "sse" => run_sse(&flags),
         "tfim" => run_tfim(&flags),
+        "serve" => run_serve(&flags),
+        "submit" => run_submit(&flags),
         _ => usage_and_exit(),
     }
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: qmc <worldline|sse|tfim> [flags]\n\
+        "usage: qmc <worldline|sse|tfim|serve|submit> [flags]\n\
          see crate docs (src/bin/qmc.rs) for the flag list per engine"
     );
     std::process::exit(2);
 }
 
 /// Flags that take no value (presence means `true`).
-const BOOL_FLAGS: &[&str] = &["metrics", "trace", "resume"];
+const BOOL_FLAGS: &[&str] = &["metrics", "trace", "resume", "drain", "stats", "quiet"];
 
 fn parse_flags(items: Vec<String>) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -155,6 +161,190 @@ fn ckpt_request(flags: &HashMap<String, String>, engine: &str) -> Option<CkptReq
     })
 }
 
+/// `qmc serve --addr H:P --workers N --ckpt-dir D --ckpt-every N
+/// --max-active N` — run the multi-tenant job server until a client
+/// drains it (`qmc submit --addr H:P --drain`).
+fn run_serve(flags: &HashMap<String, String>) {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7777".to_string());
+    let ckpt_root = flags
+        .get("ckpt-dir")
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../ckpt/qmc-serve", env!("CARGO_MANIFEST_DIR")));
+    let cfg = qmc_serve::ServeConfig {
+        workers: get(flags, "workers", 4),
+        ckpt_root: ckpt_root.into(),
+        ckpt_every: get(flags, "ckpt-every", 10),
+        quota: qmc_serve::TenantQuota {
+            max_active: get(flags, "max-active", 64),
+        },
+        ..qmc_serve::ServeConfig::default()
+    };
+    let workers = cfg.workers;
+    let server = qmc_serve::Server::start(cfg, &addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind '{addr}': {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "qmc-serve listening on {} ({workers} workers); stop with \
+         `qmc submit --addr {} --tenant admin --drain`",
+        server.addr(),
+        server.addr()
+    );
+    let obs = server.join();
+    let mut counters = obs.counters;
+    counters.sort();
+    println!("drained; final counters:");
+    for (name, v) in counters {
+        println!("  {name} = {v}");
+    }
+}
+
+/// Build a [`qmc_serve::JobSpec`] from submit flags.
+fn submit_spec(flags: &HashMap<String, String>, tenant: &str) -> qmc_serve::JobSpec {
+    let engine = flags
+        .get("engine")
+        .map(String::as_str)
+        .unwrap_or("tfim")
+        .to_string();
+    let sweeps: u32 = get(flags, "sweeps", 1000);
+    let (kind, betas) = match engine.as_str() {
+        "tfim" => (
+            qmc_serve::JobKind::Tfim {
+                lx: get(flags, "lx", 16),
+                ly: get(flags, "ly", 1),
+                j: get(flags, "j", 1.0),
+                h: get(flags, "h", 2.0),
+                m: get(flags, "m", 8),
+                wolff: get(flags, "wolff", 1),
+            },
+            vec![get(flags, "beta", 1.0)],
+        ),
+        "pt" => {
+            let betas: Vec<f64> = flags
+                .get("betas")
+                .map(String::as_str)
+                .unwrap_or("0.5,1.0,2.0")
+                .split(',')
+                .filter_map(|b| b.trim().parse().ok())
+                .collect();
+            (
+                qmc_serve::JobKind::PtXxz {
+                    l: get(flags, "l", 8),
+                    jx: get(flags, "jx", 1.0),
+                    jz: get(flags, "jz", 1.0),
+                    m: get(flags, "m", 8),
+                    exchange_every: get(flags, "exchange-every", 2),
+                },
+                betas,
+            )
+        }
+        other => {
+            eprintln!("unknown --engine '{other}' (want tfim or pt)");
+            std::process::exit(2);
+        }
+    };
+    qmc_serve::JobSpec {
+        tenant: tenant.to_string(),
+        name: flags
+            .get("name")
+            .cloned()
+            .unwrap_or_else(|| format!("{engine}-job")),
+        kind,
+        betas,
+        therm: get(flags, "therm", sweeps / 5),
+        sweeps,
+        seed: get(flags, "seed", 1),
+        priority: get(flags, "priority", 0),
+        ckpt_every: get(flags, "job-ckpt-every", 0),
+    }
+}
+
+/// `qmc submit --addr H:P --tenant T [job flags]` — submit a job and
+/// stream its progress; `--stats` prints the tenant's counters instead;
+/// `--drain` asks the server to checkpoint everything and shut down.
+fn run_submit(flags: &HashMap<String, String>) {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7777".to_string());
+    let tenant = flags
+        .get("tenant")
+        .cloned()
+        .unwrap_or_else(|| "default".to_string());
+    let mut client = qmc_serve::Client::connect(addr.as_str(), &tenant).unwrap_or_else(|e| {
+        eprintln!("cannot connect to '{addr}': {e}");
+        std::process::exit(2);
+    });
+    if flags.contains_key("drain") {
+        match client.drain() {
+            Ok(()) => println!("server is draining"),
+            Err(e) => {
+                eprintln!("drain failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if flags.contains_key("stats") {
+        match client.stats(&tenant) {
+            Ok((counters, health)) => {
+                for (name, v) in counters {
+                    println!("{name} = {v}");
+                }
+                for h in health {
+                    println!(
+                        "health {}: n {} mean {:.6} ± {:.3e} tau_int {:.2}",
+                        h.name, h.count, h.mean, h.error, h.tau_int
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("stats failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let spec = submit_spec(flags, &tenant);
+    let quiet = flags.contains_key("quiet");
+    let id = match client.submit(&spec) {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("submit rejected: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("job {id} accepted ({} as {})", spec.name, tenant);
+    let on_snap = |sweep: u64, total: u64, mean: f64, attempt: u32| {
+        if !quiet {
+            println!("  job {id} attempt {attempt}: sweep {sweep}/{total}, mean energy {mean:.6}");
+        }
+    };
+    match client.await_result(id, on_snap) {
+        Ok((obs, attempts)) => {
+            let n = obs.energy.first().map(Vec::len).unwrap_or(0);
+            let mean = obs
+                .energy
+                .first()
+                .filter(|e| !e.is_empty())
+                .map(|e| e.iter().sum::<f64>() / e.len() as f64)
+                .unwrap_or(f64::NAN);
+            println!(
+                "job {id} done in {attempts} attempt(s): {} series x {n} samples, \
+                 mean energy {mean:.6}",
+                obs.energy.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("job {id} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_worldline(flags: &HashMap<String, String>) {
     let (metrics, trace) = obs_flags(flags);
     if let Some(cfg) = obs_config(flags) {
@@ -182,6 +372,7 @@ fn run_worldline(flags: &HashMap<String, String>) {
                 every: req.every,
                 full_every: req.full_every,
                 resume: req.resume,
+                stop: None,
             };
             qmc_bench::ckpt_driver::run_worldline_ckpt(
                 params,
@@ -254,6 +445,7 @@ fn run_sse(flags: &HashMap<String, String>) {
         every: req.every,
         full_every: req.full_every,
         resume: req.resume,
+        stop: None,
     });
     let series = match lattice {
         "chain" => {
@@ -389,6 +581,7 @@ fn run_tfim(flags: &HashMap<String, String>) {
                         every: req.every,
                         full_every: req.full_every,
                         resume: req.resume,
+                        stop: None,
                     };
                     qmc_bench::ckpt_driver::run_serial_tfim_ckpt(
                         model,

@@ -30,6 +30,13 @@
 //! `--checkpoint-every N` / `--checkpoint-dir D` override the cadence
 //! and store location; `--resume` skips straight to the recovery act.
 //!
+//! `repro serve-demo` runs the multi-tenant job-server drill: 240 jobs
+//! from four tenants over TCP with five injected worker deaths, a
+//! parallel-tempering world kill, and a drain/restart — every result
+//! verified bit-identical to a direct in-process run, zero jobs lost.
+//! Writes `METRICS_serve.json` and exits non-zero on any divergence
+//! (the `scripts/check.sh serve` stage).
+//!
 //! `repro analyze` records the same 4-rank parallel-tempering run
 //! through `qmc_obs::TracingComm`, merges the per-rank streams into a
 //! cross-rank happens-before DAG, and prints the critical path with
@@ -100,7 +107,7 @@ fn main() {
             return;
         }
         eprintln!(
-            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults|verify|analyze> \
+            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults|verify|analyze|serve-demo> \
              [--quick] [--metrics] [--trace] [--health-every N] [--assert-guards] \
              [--checkpoint-every N] [--checkpoint-dir D] [--resume]"
         );
@@ -140,6 +147,15 @@ fn main() {
                 "{}",
                 qmc_bench::faults::faults_demo(quick, ck_every, &ck_dir, resume)
             );
+            continue;
+        }
+        if *name == "serve-demo" {
+            println!("=== serve-demo ===");
+            let (report, ok) = qmc_bench::serve_demo::serve_demo(quick);
+            print!("{report}");
+            if !ok {
+                std::process::exit(1);
+            }
             continue;
         }
         if *name == "verify" {

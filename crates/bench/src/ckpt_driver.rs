@@ -26,6 +26,7 @@ use qmc_tfim::serial::{SerialTfim, TfimSeries};
 use qmc_tfim::TfimModel;
 use qmc_worldline::estimators::TimeSeries;
 use qmc_worldline::{GenericParams, GenericWorldline, Worldline, WorldlineParams};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Checkpoint policy shared by the serial drivers.
 pub struct CkptCfg<'a> {
@@ -41,6 +42,11 @@ pub struct CkptCfg<'a> {
     pub full_every: usize,
     /// Resume from the newest valid generation before sweeping.
     pub resume: bool,
+    /// Graceful-drain flag: when set (observed at a sweep boundary) the
+    /// driver writes a final full checkpoint generation and returns
+    /// early instead of being killed mid-write. A later run with
+    /// `resume: true` continues the identical trajectory bit for bit.
+    pub stop: Option<&'a AtomicBool>,
 }
 
 /// Shared loop: restore (optionally), then for each sweep write the due
@@ -87,10 +93,19 @@ where
         }
     }
     for s in start..total {
+        // A drain request is honoured at the sweep boundary: write a
+        // final (full) generation, then exit cleanly instead of being
+        // killed mid-write.
+        let draining = ck
+            .and_then(|c| c.stop)
+            .is_some_and(|f| f.load(Ordering::SeqCst));
         if let Some(ck) = ck {
-            if s % ck.every == 0 {
+            if draining || s % ck.every == 0 {
+                // A drain can land between cadence boundaries, where the
+                // generation-index arithmetic below has no meaning —
+                // draining always forces a full snapshot.
                 let gen_index = s / ck.every;
-                let want_full = ck.full_every == 0 || gen_index % ck.full_every == 0;
+                let want_full = draining || ck.full_every == 0 || gen_index % ck.full_every == 0;
                 // The base must be strictly older: resuming exactly at a
                 // checkpoint boundary would otherwise try to write this
                 // generation as a delta against itself.
@@ -117,6 +132,9 @@ where
                     }
                 }
             }
+        }
+        if draining {
+            return false;
         }
         if kill_at == Some(s) {
             return false;

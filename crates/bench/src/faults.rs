@@ -98,6 +98,7 @@ fn faulty_run(
                     every: *every,
                     full_every: 2,
                     resume: *resume,
+                    stop: None,
                 };
                 run_pt_parallel_ckpt(&mut faulty, &cfg, &mut rng, Some(&ck), |c, s| {
                     c.tick_sweep(s)

@@ -291,6 +291,7 @@ pub fn bench_kernels_checked(quick: bool) -> (String, bool) {
                 every,
                 full_every,
                 resume: false,
+                stop: None,
             };
             let mut rng = Buffered::new(Xoshiro256StarStar::new(21));
             let _ = crate::ckpt_driver::run_serial_tfim_ckpt(

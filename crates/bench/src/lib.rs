@@ -15,6 +15,7 @@ pub mod figures;
 pub mod kernels;
 pub mod obs;
 pub mod scaling;
+pub mod serve_demo;
 pub mod validation;
 pub mod verify;
 

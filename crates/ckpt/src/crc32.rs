@@ -1,45 +1,22 @@
-//! Table-driven CRC-32 (IEEE 802.3 polynomial, reflected), the same
-//! checksum gzip and zlib use. Table is built in a `const fn` so there
-//! is no startup cost and no external dependency.
+//! CRC-32 used by the checkpoint wire format.
+//!
+//! The implementation moved to [`qmc_comm::crc`] (the bottom of the
+//! workspace dependency graph) when the TCP frame transport started
+//! guarding its frames with the same checksum; this module re-exports it
+//! so every existing `crate::crc32::crc32` call site — and the public
+//! `qmc_ckpt::crc32` path — keeps working unchanged.
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static TABLE: [u32; 256] = build_table();
-
-/// CRC-32 of `bytes` (IEEE, reflected, init/xorout `0xFFFF_FFFF`).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    crc ^ 0xFFFF_FFFF
-}
+pub use qmc_comm::crc::crc32;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn known_vectors() {
-        // Standard check value for "123456789".
+    fn checkpoint_crc_is_the_shared_ieee_crc32() {
+        // The on-disk format is pinned to IEEE CRC-32; if the shared
+        // implementation ever drifted, every existing checkpoint file
+        // would be rejected wholesale.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);

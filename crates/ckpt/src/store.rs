@@ -35,6 +35,31 @@ const EXT: &str = "qckpt";
 /// one rank's store open deleted another rank's live temp file.
 static ACTIVE_WRITERS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
 
+/// Map one namespace segment onto a safe directory name: keep
+/// `[A-Za-z0-9._-]`, replace the rest with `_`, and turn anything that
+/// could still walk the tree (empty, `.`, `..`, or a segment that lost
+/// all its identity to `_`) into a CRC-derived token that is stable for
+/// a given input but cannot escape the root.
+fn sanitize_segment(segment: &str) -> String {
+    let mapped: String = segment
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let degenerate =
+        mapped.is_empty() || mapped.chars().all(|c| matches!(c, '.' | '_')) || mapped.len() > 128;
+    if degenerate {
+        format!("ns-{:08x}", crate::crc32::crc32(segment.as_bytes()))
+    } else {
+        mapped
+    }
+}
+
 /// Normalized directory key for the writer registry (two stores may name
 /// the same directory through different paths).
 fn registry_key(dir: &Path) -> PathBuf {
@@ -105,6 +130,27 @@ impl CkptStore {
         // sweep here used to delete rank 0's live temp file mid-write.
         store.gc_temp_files();
         Ok(store)
+    }
+
+    /// Open (creating if needed) a store in a named subdirectory of
+    /// `root` — the per-job namespacing the job server uses, where every
+    /// job checkpoints under `<root>/<tenant>/<job>` without colliding.
+    ///
+    /// Each `/`-separated segment of `name` is sanitized to
+    /// `[A-Za-z0-9._-]` (anything else maps to `_`), and path-escape
+    /// segments (empty, `.`, `..`, or all-underscores after mapping) are
+    /// replaced with a hash-derived token, so a hostile job name cannot
+    /// climb out of `root`.
+    pub fn open_namespace(
+        root: impl Into<PathBuf>,
+        name: &str,
+        retain: usize,
+    ) -> std::io::Result<Self> {
+        let mut dir = root.into();
+        for segment in name.split('/') {
+            dir.push(sanitize_segment(segment));
+        }
+        Self::new(dir, retain)
     }
 
     /// Remove orphaned `.ckpt-*.qckpt.tmp` files left by a writer that
@@ -460,6 +506,46 @@ mod tests {
         f.add("big", vec![0xAB; 256]);
         f.add("small", vec![tag; 4]);
         f
+    }
+
+    #[test]
+    fn namespaced_stores_do_not_collide() {
+        let root = scratch("ns");
+        let a = CkptStore::open_namespace(&root, "tenant-a/job1", 3).unwrap();
+        let b = CkptStore::open_namespace(&root, "tenant-b/job1", 3).unwrap();
+        a.write(1, &file_with(1)).unwrap();
+        b.write(9, &file_with(9)).unwrap();
+        assert_eq!(a.latest().unwrap().0, 1);
+        assert_eq!(b.latest().unwrap().0, 9);
+        // Reopening the same namespace sees the same generations.
+        let a2 = CkptStore::open_namespace(&root, "tenant-a/job1", 3).unwrap();
+        assert_eq!(a2.latest().unwrap().0, 1);
+    }
+
+    #[test]
+    fn hostile_namespace_names_cannot_escape_root() {
+        let root = scratch("ns-hostile");
+        fs::create_dir_all(&root).unwrap();
+        let canon_root = fs::canonicalize(&root).unwrap();
+        for name in ["../../etc/job", "..", ".", "a/../../b", "", "😀/\0x"] {
+            let store = CkptStore::open_namespace(&root, name, 2).unwrap();
+            store.write(1, &file_with(1)).unwrap();
+            let dir = fs::canonicalize(store.dir()).unwrap();
+            assert!(
+                dir.starts_with(&canon_root),
+                "name {name:?} escaped to {dir:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitize_segment_keeps_identity_and_blocks_walks() {
+        assert_eq!(sanitize_segment("tenant-a"), "tenant-a");
+        assert_eq!(sanitize_segment("job 7!"), "job_7_");
+        assert!(sanitize_segment("..").starts_with("ns-"));
+        assert!(sanitize_segment("").starts_with("ns-"));
+        // Distinct hostile inputs land on distinct tokens.
+        assert_ne!(sanitize_segment(".."), sanitize_segment("..."));
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Table-driven CRC-32 (IEEE 802.3 polynomial, reflected), the same
+//! checksum gzip and zlib use. Table is built in a `const fn` so there
+//! is no startup cost and no external dependency.
+//!
+//! Lives in `qmc-comm` — the bottom of the workspace dependency graph —
+//! because both the checkpoint wire format (`qmc-ckpt`) and the TCP
+//! frame transport ([`crate::tcp`]) guard their payloads with it.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE, reflected, init/xorout `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let a = b"the quick brown fox".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 0x01;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+}

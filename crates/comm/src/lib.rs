@@ -59,8 +59,10 @@ mod mailbox;
 mod serial;
 mod thread_world;
 
+pub mod crc;
 pub mod faulty;
 pub mod model;
+pub mod tcp;
 
 pub mod util;
 

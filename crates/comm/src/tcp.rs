@@ -1,0 +1,391 @@
+//! TCP frame transport: length-prefixed, CRC-guarded message framing.
+//!
+//! The job server (`qmc-serve`) talks to clients over TCP. TCP is a byte
+//! stream, so this module supplies the message boundary discipline the
+//! rest of the workspace already uses on disk (`qmc-ckpt`): every frame
+//! is
+//!
+//! ```text
+//! "QFRM" | u32 LE payload length | payload bytes | u32 LE CRC-32(payload)
+//! ```
+//!
+//! The pure encode/parse half ([`encode_frame`] / [`read_frame`]) works
+//! on any `Read`, so the adversarial tests run on in-memory cursors
+//! without sockets. The connected half ([`FrameConn`] / [`FrameListener`])
+//! wraps `TcpStream`/`TcpListener` with the same discipline plus
+//! timeouts.
+//!
+//! Design rules, shared with the checkpoint format:
+//! * the length prefix is validated against a caller-supplied cap
+//!   *before* any allocation, so a hostile 4 GiB length cannot OOM the
+//!   server;
+//! * the CRC covers the payload, so a flipped bit is a decode error, not
+//!   undefined behavior downstream;
+//! * a clean EOF on a frame boundary is [`FrameError::Closed`] (normal
+//!   hangup), while EOF mid-frame is [`FrameError::Truncated`].
+//!
+//! No wall-clock reads here: blocking behavior is controlled through
+//! socket read timeouts and non-blocking accepts, keeping timing policy
+//! out of the transport.
+
+use crate::crc::crc32;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Magic prefix of every frame on the wire.
+pub const FRAME_MAGIC: [u8; 4] = *b"QFRM";
+
+/// Default cap on a single frame's payload (16 MiB). Callers that know
+/// their messages are small should pass something much tighter.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Everything that can go wrong reading one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The 4-byte magic was wrong: the peer is not speaking this protocol.
+    BadMagic([u8; 4]),
+    /// The length prefix exceeds the configured cap; rejected before
+    /// allocating.
+    TooLarge {
+        /// Length the peer claimed.
+        len: usize,
+        /// Cap the reader was configured with.
+        max: usize,
+    },
+    /// Payload CRC mismatch — the frame was corrupted in flight.
+    BadCrc,
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The peer closed the connection cleanly on a frame boundary.
+    Closed,
+    /// The configured read timeout elapsed *before any byte of a frame*
+    /// arrived — retryable: the stream is still frame-aligned. (A
+    /// timeout mid-frame is `Truncated` instead: partial reads are
+    /// discarded, so the stream cannot be resynchronized.)
+    TimedOut,
+    /// Underlying socket error (message kept, source type erased so the
+    /// error stays `Clone`/`PartialEq` for tests).
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            FrameError::BadCrc => write!(f, "frame CRC mismatch"),
+            FrameError::Truncated => write!(f, "stream truncated mid-frame"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TimedOut => write!(f, "read timed out on a frame boundary"),
+            FrameError::Io(e) => write!(f, "frame io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+            _ => FrameError::Io(e.to_string()),
+        }
+    }
+}
+
+/// Encode one payload as a wire frame (magic, LE length, payload, CRC).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Read exactly `buf.len()` bytes; `eof_is_close` maps EOF *before the
+/// first byte* to `Closed` (frame boundary) instead of `Truncated`.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], eof_is_close: bool) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 && eof_is_close {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Retryable only when the frame hasn't started; a
+                // timeout mid-frame loses the buffered prefix, so the
+                // stream can't be realigned.
+                return Err(if filled == 0 && eof_is_close {
+                    FrameError::TimedOut
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame from `r`, returning its payload. Rejects bad magic,
+/// lengths above `max`, truncation, and CRC mismatches; a clean EOF on
+/// the frame boundary is [`FrameError::Closed`].
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut head = [0u8; 8];
+    read_exact_or(r, &mut head, true)?;
+    let magic: [u8; 4] = head[..4].try_into().expect("4-byte slice");
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes(head[4..8].try_into().expect("4-byte slice")) as usize;
+    if len > max {
+        // Reject before allocating: the length is attacker-controlled.
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, false)?;
+    let mut crc_bytes = [0u8; 4];
+    read_exact_or(r, &mut crc_bytes, false)?;
+    if u32::from_le_bytes(crc_bytes) != crc32(&payload) {
+        return Err(FrameError::BadCrc);
+    }
+    Ok(payload)
+}
+
+/// A connected, framed TCP endpoint.
+pub struct FrameConn {
+    stream: TcpStream,
+    max_frame: usize,
+    peer: String,
+}
+
+impl FrameConn {
+    /// Connect to `addr` with the default frame cap.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<FrameConn> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(FrameConn::from_stream(stream))
+    }
+
+    /// Wrap an accepted/connected stream. Disables Nagle so small
+    /// request/response frames are not batched behind each other.
+    pub fn from_stream(stream: TcpStream) -> FrameConn {
+        let _ = stream.set_nodelay(true);
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        FrameConn {
+            stream,
+            max_frame: MAX_FRAME_BYTES,
+            peer,
+        }
+    }
+
+    /// Override the per-frame payload cap for this connection.
+    pub fn set_max_frame(&mut self, max: usize) {
+        self.max_frame = max;
+    }
+
+    /// Peer address label for error context ("host:port" when known).
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Bound how long a single [`FrameConn::recv`] may block.
+    /// `None` blocks indefinitely.
+    pub fn set_recv_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(dur)
+    }
+
+    /// Send one payload as a frame.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), FrameError> {
+        let frame = encode_frame(payload);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Receive one frame's payload (blocking, subject to the configured
+    /// read timeout).
+    pub fn recv(&mut self) -> Result<Vec<u8>, FrameError> {
+        read_frame(&mut self.stream, self.max_frame)
+    }
+
+    /// A second handle to the same socket — used to shut a blocked
+    /// reader down from another thread.
+    pub fn try_clone(&self) -> io::Result<FrameConn> {
+        Ok(FrameConn {
+            stream: self.stream.try_clone()?,
+            max_frame: self.max_frame,
+            peer: self.peer.clone(),
+        })
+    }
+
+    /// Shut both directions down; a peer blocked in `recv` observes
+    /// [`FrameError::Closed`].
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A framed TCP listener with non-blocking accept, so an accept loop can
+/// poll a stop flag instead of parking forever in the kernel.
+pub struct FrameListener {
+    listener: TcpListener,
+}
+
+impl FrameListener {
+    /// Bind to `addr` (use port 0 for an ephemeral port in tests).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<FrameListener> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(FrameListener { listener })
+    }
+
+    /// The bound address (reports the kernel-chosen port after a port-0
+    /// bind).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Try to accept one connection. `Ok(None)` means no pending
+    /// connection right now — the caller should sleep briefly and
+    /// re-check its stop flag.
+    pub fn accept(&self) -> io::Result<Option<FrameConn>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets inherit non-blocking on some
+                // platforms; frames want blocking reads.
+                stream.set_nonblocking(false)?;
+                Ok(Some(FrameConn::from_stream(stream)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let payload = b"hello frames";
+        let wire = encode_frame(payload);
+        let mut cur = Cursor::new(wire);
+        assert_eq!(read_frame(&mut cur, MAX_FRAME_BYTES).unwrap(), payload);
+        // Stream now at clean EOF: next read reports Closed.
+        assert_eq!(
+            read_frame(&mut cur, MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::Closed
+        );
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let wire = encode_frame(b"");
+        let mut cur = Cursor::new(wire);
+        assert_eq!(read_frame(&mut cur, 16).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut wire = encode_frame(b"one");
+        wire.extend_from_slice(&encode_frame(b"two"));
+        let mut cur = Cursor::new(wire);
+        assert_eq!(read_frame(&mut cur, 64).unwrap(), b"one");
+        assert_eq!(read_frame(&mut cur, 64).unwrap(), b"two");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = encode_frame(b"payload");
+        wire[0] = b'X';
+        let err = read_frame(&mut Cursor::new(wire), 64).unwrap_err();
+        assert!(matches!(err, FrameError::BadMagic(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        // Claim a ~4 GiB payload; the reader must reject on the prefix
+        // alone rather than trying to allocate it.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&FRAME_MAGIC);
+        wire.extend_from_slice(&0xFFFF_FFF0u32.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(wire), 1024).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::TooLarge {
+                len: 0xFFFF_FFF0,
+                max: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_cut_is_detected() {
+        let wire = encode_frame(b"some payload worth guarding");
+        for cut in 1..wire.len() {
+            let err = read_frame(&mut Cursor::new(wire[..cut].to_vec()), 64).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated),
+                "cut at {cut}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let wire = encode_frame(b"bit flip target");
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bad = wire.clone();
+                bad[byte] ^= 1 << bit;
+                let res = read_frame(&mut Cursor::new(bad), 64);
+                assert!(res.is_err(), "flip at byte {byte} bit {bit} was accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn socket_round_trip_and_shutdown() {
+        let listener = FrameListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = FrameConn::connect(addr).unwrap();
+
+        // Non-blocking accept: poll until the pending connection shows up.
+        let mut server = loop {
+            if let Some(c) = listener.accept().unwrap() {
+                break c;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+
+        client.send(b"ping").unwrap();
+        assert_eq!(server.recv().unwrap(), b"ping");
+        server.send(b"pong").unwrap();
+        assert_eq!(client.recv().unwrap(), b"pong");
+
+        // Shutting the server side down unblocks the client with Closed.
+        server.shutdown();
+        assert_eq!(client.recv().unwrap_err(), FrameError::Closed);
+    }
+}

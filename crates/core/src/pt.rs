@@ -408,6 +408,14 @@ pub struct PtCheckpointing<'a> {
     pub full_every: usize,
     /// Resume from the newest valid generation before sweeping.
     pub resume: bool,
+    /// Graceful-drain flag. Must be `Some` on every rank or `None` on
+    /// every rank (the drain decision is a collective): rank 0 reads the
+    /// flag at each sweep boundary and broadcasts the verdict, so all
+    /// ranks write one final coordinated full checkpoint and exit
+    /// together. Resuming afterwards continues the identical trajectory
+    /// bit for bit; checking only rank 0's flag keeps the ranks from
+    /// desynchronizing on a racy read.
+    pub stop: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 /// [`run_pt_parallel`] with coordinated checkpoint/restore and a
@@ -567,10 +575,30 @@ where
     let run_span = qmc_obs::span("pt.run");
     for s in start..therm + sweeps {
         let _step_span = qmc_obs::span("pt.step");
+        // Drain check (collective): rank 0 reads the stop flag, every
+        // rank hears the same verdict, so the final coordinated write
+        // below sees all ranks or none. No RNG draws are involved, so a
+        // run with the flag never raised stays bit-identical.
+        let draining = if ck.is_some_and(|c| c.stop.is_some()) {
+            let mine = if me == 0 {
+                let raised = ck
+                    .and_then(|c| c.stop)
+                    .is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst));
+                vec![raised as u8]
+            } else {
+                Vec::new()
+            };
+            comm.broadcast_bytes(0, mine)[0] != 0
+        } else {
+            false
+        };
         if let Some(ck) = ck {
-            if s % ck.every == 0 {
+            if draining || s % ck.every == 0 {
                 let gen_index = s / ck.every;
-                let want_full = ck.full_every == 0 || gen_index % ck.full_every == 0;
+                // A drain can land between cadence boundaries where the
+                // generation-index arithmetic is meaningless — draining
+                // always writes a full snapshot.
+                let want_full = draining || ck.full_every == 0 || gen_index % ck.full_every == 0;
                 let (_, committed) = qmc_ckpt::coord::write_coordinated_sections(
                     comm,
                     ck.store,
@@ -606,6 +634,12 @@ where
                     qmc_ckpt::Checkpoint::mark_clean(rng);
                 }
             }
+        }
+        if draining {
+            // Checkpoint written; exit before the sweep it names runs.
+            // The partial energy series (`energies.len() < sweeps`) is
+            // how callers recognize a drained run.
+            break;
         }
         on_sweep(comm, s);
         replica.sweep(rng);

@@ -228,6 +228,38 @@ impl RankObs {
         }
     }
 
+    /// [`RankObs::absorb_registry`] with every counter and histogram name
+    /// prefixed (e.g. `tenant.alice.`). This is how the job server keeps
+    /// per-tenant metrics in one record without cross-tenant collisions:
+    /// each tenant's engine registry folds in under its own namespace.
+    pub fn absorb_registry_prefixed(&mut self, reg: &Registry, prefix: &str) {
+        for &(name, v) in reg.counters() {
+            let full = format!("{prefix}{name}");
+            match self.counters.iter_mut().find(|(n, _)| *n == full) {
+                Some((_, cur)) => *cur += v,
+                None => self.counters.push((full, v)),
+            }
+        }
+        for (name, h) in reg.hists() {
+            let mut snap = HistSnapshot::from_hist(name, h);
+            snap.name = format!("{prefix}{name}");
+            match self.hists.iter_mut().find(|s| s.name == snap.name) {
+                Some(cur) => cur.merge(&snap),
+                None => self.hists.push(snap),
+            }
+        }
+    }
+
+    /// Bump a named counter directly (String-keyed, unlike the
+    /// `&'static str` engine [`Registry`]) — used for server-side
+    /// counters like `serve.jobs_completed` whose names are dynamic.
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, cur)) => *cur += v,
+            None => self.counters.push((name.to_string(), v)),
+        }
+    }
+
     /// Attach communication totals from the rank's communicator.
     pub fn set_comm(&mut self, stats: CommStats) {
         self.comm = Some(stats.into());
@@ -588,6 +620,52 @@ mod tests {
         assert_eq!(h.max, 1500);
         // Buckets stay sorted after the merge inserts a new low bucket.
         assert!(h.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn absorb_prefixed_namespaces_counters_and_hists() {
+        let mut obs = RankObs::default();
+        let mut alice = Registry::new();
+        alice.add_named("accepted", 7);
+        alice.record_named("sweep_ns", 100);
+        let mut bob = Registry::new();
+        bob.add_named("accepted", 3);
+        bob.record_named("sweep_ns", 900);
+
+        obs.absorb_registry_prefixed(&alice, "tenant.alice.");
+        obs.absorb_registry_prefixed(&bob, "tenant.bob.");
+
+        // Same engine counter name, two tenants: no cross-talk.
+        assert_eq!(obs.counter("tenant.alice.accepted"), 7);
+        assert_eq!(obs.counter("tenant.bob.accepted"), 3);
+        assert_eq!(obs.counter("accepted"), 0);
+        let a = obs
+            .hists
+            .iter()
+            .find(|h| h.name == "tenant.alice.sweep_ns")
+            .unwrap();
+        assert_eq!((a.count, a.max), (1, 100));
+        let b = obs
+            .hists
+            .iter()
+            .find(|h| h.name == "tenant.bob.sweep_ns")
+            .unwrap();
+        assert_eq!((b.count, b.max), (1, 900));
+
+        // Re-absorbing the same tenant sums into the same namespace.
+        obs.absorb_registry_prefixed(&alice, "tenant.alice.");
+        assert_eq!(obs.counter("tenant.alice.accepted"), 14);
+        assert_eq!(obs.counter("tenant.bob.accepted"), 3);
+    }
+
+    #[test]
+    fn counter_add_accumulates_dynamic_names() {
+        let mut obs = RankObs::default();
+        obs.counter_add("serve.jobs_completed", 2);
+        obs.counter_add("serve.jobs_completed", 3);
+        obs.counter_add("serve.requeues", 1);
+        assert_eq!(obs.counter("serve.jobs_completed"), 5);
+        assert_eq!(obs.counter("serve.requeues"), 1);
     }
 
     #[test]

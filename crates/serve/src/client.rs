@@ -1,0 +1,127 @@
+//! Client API for the job server: submit jobs, stream snapshots, read
+//! tenant-scoped stats, request a drain.
+
+use crate::job::{JobObservables, JobSpec};
+use crate::wire::{Msg, PROTO_VERSION};
+use crate::{ServeError, TenantStats};
+use qmc_comm::tcp::FrameConn;
+use std::net::ToSocketAddrs;
+
+/// A connected, handshaken client for one tenant.
+pub struct Client {
+    conn: FrameConn,
+    tenant: String,
+}
+
+impl Client {
+    /// Connect and complete the Hello/HelloAck handshake.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> Result<Client, ServeError> {
+        let mut conn = FrameConn::connect(addr)?;
+        conn.send(
+            &Msg::Hello {
+                proto: PROTO_VERSION,
+                tenant: tenant.to_string(),
+            }
+            .encode(),
+        )?;
+        match Msg::decode(&conn.recv()?)? {
+            Msg::HelloAck { proto } if proto == PROTO_VERSION => Ok(Client {
+                conn,
+                tenant: tenant.to_string(),
+            }),
+            Msg::Error { detail } => Err(ServeError::Rejected(detail)),
+            other => Err(ServeError::Protocol(format!(
+                "expected HelloAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The tenant this connection authenticated as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Submit a job; returns the server-assigned job id.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ServeError> {
+        self.conn
+            .send(&Msg::Submit { spec: spec.clone() }.encode())?;
+        match Msg::decode(&self.conn.recv()?)? {
+            Msg::Accepted { job } => Ok(job),
+            Msg::Rejected { reason } => Err(ServeError::Rejected(reason)),
+            Msg::Error { detail } => Err(ServeError::Rejected(detail)),
+            other => Err(ServeError::Protocol(format!(
+                "expected Accepted/Rejected, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Block until `job` finishes, feeding every progress snapshot to
+    /// `on_snapshot(sweep, total, mean_energy, attempt)`. Returns the
+    /// final observables and the attempt count (>1 means the job
+    /// survived at least one worker death).
+    pub fn await_result(
+        &mut self,
+        job: u64,
+        mut on_snapshot: impl FnMut(u64, u64, f64, u32),
+    ) -> Result<(JobObservables, u32), ServeError> {
+        let mut after = 0u64;
+        self.conn.send(&Msg::Await { job, after }.encode())?;
+        loop {
+            match Msg::decode(&self.conn.recv()?)? {
+                Msg::Snapshot {
+                    job: j,
+                    seq,
+                    sweep,
+                    total,
+                    mean_energy,
+                    attempt,
+                } if j == job => {
+                    after = after.max(seq);
+                    on_snapshot(sweep, total, mean_energy, attempt);
+                }
+                Msg::Result {
+                    job: j,
+                    obs,
+                    attempts,
+                } if j == job => return Ok((obs, attempts)),
+                Msg::Draining => return Err(ServeError::Draining),
+                Msg::Error { detail } => return Err(ServeError::Rejected(detail)),
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "unexpected {other:?} while awaiting job {job}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Server counters and health snapshots; empty `tenant` means the
+    /// global (unfiltered) view.
+    pub fn stats(&mut self, tenant: &str) -> Result<TenantStats, ServeError> {
+        self.conn.send(
+            &Msg::Stats {
+                tenant: tenant.to_string(),
+            }
+            .encode(),
+        )?;
+        match Msg::decode(&self.conn.recv()?)? {
+            Msg::StatsReply { counters, health } => Ok((counters, health)),
+            Msg::Error { detail } => Err(ServeError::Rejected(detail)),
+            other => Err(ServeError::Protocol(format!(
+                "expected StatsReply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to drain: stop admitting, checkpoint in-flight
+    /// jobs, shut down. The server acknowledges then hangs up.
+    pub fn drain(&mut self) -> Result<(), ServeError> {
+        self.conn.send(&Msg::Drain.encode())?;
+        match Msg::decode(&self.conn.recv()?)? {
+            Msg::Draining => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected Draining, got {other:?}"
+            ))),
+        }
+    }
+}

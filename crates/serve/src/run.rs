@@ -1,0 +1,526 @@
+//! Job execution: one checkpointed drive loop per job kind.
+//!
+//! The server cannot depend on `qmc-bench` (which depends on this crate
+//! for the demo), so the serial drive loop here mirrors
+//! `qmc_bench::ckpt_driver` — restore from the newest generation,
+//! checkpoint *before* the sweep whose index the generation carries,
+//! honour kill/drain at sweep boundaries — against the same `qmc-ckpt`
+//! section plans, so a job checkpointed by one incarnation of a worker
+//! resumes bit-identically in the next.
+//!
+//! Kills come in two flavors, both deterministic:
+//! * serial jobs abort at a chosen sweep boundary, leaving the store
+//!   exactly as a real mid-run death would (any generation due at that
+//!   boundary is written; nothing newer);
+//! * parallel-tempering jobs die for real: a [`FaultPlan::kill`] panics
+//!   one rank of the job's ThreadWorld mid-run, its peers exhaust their
+//!   recv retries, and the whole world unwinds — caught, reported as
+//!   [`Outcome::Killed`], requeued by the scheduler.
+
+use crate::job::{JobKind, JobObservables, JobSpec};
+use qmc_ckpt::{
+    plan_sections, restore_sections, Checkpoint, CkptStore, Decoder, Encoder, SectionPlan,
+};
+use qmc_comm::{run_threads, run_threads_with_timeout, Communicator, FaultPlan, FaultyComm};
+use qmc_core::pt::{run_pt_parallel_ckpt, PtCheckpointing, PtConfig};
+use qmc_obs::Registry;
+use qmc_rng::{StreamFactory, Xoshiro256StarStar};
+use qmc_tfim::serial::{SerialTfim, TfimSeries};
+use qmc_tfim::TfimModel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How a single attempt at a job ended.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Ran to completion; per-tenant engine counters ride along for the
+    /// metrics namespace.
+    Done(JobObservables, Registry),
+    /// The worker died at (or near) this sweep; the job's checkpoint
+    /// store holds its latest surviving generation.
+    Killed {
+        /// Sweep boundary of the injected death.
+        at_sweep: u64,
+    },
+    /// Graceful drain: a final checkpoint generation was written at this
+    /// boundary before exiting.
+    Drained {
+        /// Sweep boundary the drain checkpoint carries.
+        at_sweep: u64,
+    },
+}
+
+/// Controls for one attempt: checkpointing, fault injection, drain, and
+/// progress streaming.
+pub struct RunCtl<'a> {
+    /// Per-job checkpoint store (`None` disables checkpointing — used
+    /// for uninterrupted reference runs).
+    pub store: Option<&'a CkptStore>,
+    /// Checkpoint cadence in sweeps.
+    pub every: usize,
+    /// Full-snapshot cadence in generations (0 = all full).
+    pub full_every: usize,
+    /// Resume from the newest generation (a fresh store has none, so
+    /// this is safe to leave on).
+    pub resume: bool,
+    /// Deterministic injected death at this sweep boundary.
+    pub kill_at: Option<u64>,
+    /// Graceful-drain flag, checked at sweep boundaries.
+    pub stop: Option<&'a AtomicBool>,
+    /// Progress callback: `(sweep, total, mean_energy)` at every
+    /// checkpoint boundary.
+    pub snapshot: Option<&'a mut dyn FnMut(u64, u64, f64)>,
+}
+
+impl Default for RunCtl<'_> {
+    fn default() -> Self {
+        RunCtl {
+            store: None,
+            every: 10,
+            full_every: 3,
+            resume: true,
+            kill_at: None,
+            stop: None,
+            snapshot: None,
+        }
+    }
+}
+
+/// Run one attempt of `spec` under `ctl`. The spec must already be
+/// validated; parameter errors here are bugs, not tenant input.
+pub fn run_job(spec: &JobSpec, ctl: RunCtl<'_>) -> Outcome {
+    match &spec.kind {
+        JobKind::Tfim {
+            lx,
+            ly,
+            j,
+            h,
+            m,
+            wolff,
+        } => {
+            let model = TfimModel {
+                lx: *lx,
+                ly: *ly,
+                j: *j,
+                h: *h,
+                beta: spec.betas[0],
+                m: *m,
+            };
+            run_tfim(model, *wolff, spec, ctl)
+        }
+        JobKind::PtXxz {
+            l,
+            jx,
+            jz,
+            m,
+            exchange_every,
+        } => {
+            let cfg = PtConfig {
+                l: *l,
+                jx: *jx,
+                jz: *jz,
+                m: *m,
+                betas: spec.betas.clone(),
+                therm: spec.therm as usize,
+                sweeps: spec.sweeps as usize,
+                exchange_every: *exchange_every,
+                seed: spec.seed,
+            };
+            run_pt(cfg, spec, ctl)
+        }
+    }
+}
+
+/// Serial TFIM drive loop (mirrors `qmc_bench::ckpt_driver::drive`).
+fn run_tfim(model: TfimModel, wolff: usize, spec: &JobSpec, mut ctl: RunCtl<'_>) -> Outcome {
+    let therm = spec.therm as usize;
+    let total = therm + spec.sweeps as usize;
+    let mut eng = SerialTfim::new(model);
+    let mut series = TfimSeries::default();
+    let mut rng = Xoshiro256StarStar::new(spec.seed);
+
+    let mut start = 0usize;
+    if let Some(store) = ctl.store {
+        if ctl.resume {
+            if let Some((generation, file)) = store.latest() {
+                let meta = file.require("meta").expect("job checkpoint meta");
+                let mut dec = Decoder::new(meta);
+                let s0 = dec.u64().expect("job checkpoint sweep index") as usize;
+                assert_eq!(generation, s0 as u64, "generation = sweep index");
+                restore_sections(&file, "engine", &mut eng).expect("restore engine");
+                restore_sections(&file, "rng", &mut rng).expect("restore rng");
+                restore_sections(&file, "series", &mut series).expect("restore series");
+                start = s0;
+            }
+        }
+    }
+
+    let mean = |series: &TfimSeries| -> f64 {
+        if series.energy.is_empty() {
+            f64::NAN
+        } else {
+            series.energy.iter().sum::<f64>() / series.energy.len() as f64
+        }
+    };
+
+    for s in start..total {
+        let draining = ctl.stop.is_some_and(|f| f.load(Ordering::SeqCst));
+        if let Some(store) = ctl.store {
+            if draining || s % ctl.every == 0 {
+                let gen_index = s / ctl.every;
+                let want_full =
+                    draining || ctl.full_every == 0 || gen_index.is_multiple_of(ctl.full_every);
+                let delta = !want_full && store.delta_base().is_some_and(|b| b < s as u64);
+                let mut meta = Encoder::new();
+                meta.u64(s as u64);
+                let mut plan = vec![("meta".to_string(), SectionPlan::Payload(meta.into_bytes()))];
+                plan_sections(&mut plan, "engine", &eng, delta);
+                plan_sections(&mut plan, "rng", &rng, delta);
+                plan_sections(&mut plan, "series", &series, delta);
+                if store.write_plan(s as u64, plan, delta).is_ok() {
+                    eng.mark_clean();
+                    rng.mark_clean();
+                    series.mark_clean();
+                }
+                if let Some(snap) = ctl.snapshot.as_deref_mut() {
+                    snap(s as u64, total as u64, mean(&series));
+                }
+            }
+        }
+        if draining {
+            return Outcome::Drained { at_sweep: s as u64 };
+        }
+        if ctl.kill_at == Some(s as u64) {
+            // Die exactly as the crash-matrix tests do: after any
+            // generation due at this boundary, before the sweep runs.
+            return Outcome::Killed { at_sweep: s as u64 };
+        }
+        eng.metropolis_sweep(&mut rng);
+        for _ in 0..wolff {
+            eng.wolff_update(&mut rng);
+        }
+        if s >= therm {
+            series.record(&eng.measure());
+        }
+    }
+    let obs = JobObservables {
+        energy: vec![series.energy.clone()],
+        extra: vec![series.abs_m.clone()],
+    };
+    Outcome::Done(obs, eng.metrics().clone())
+}
+
+/// Serializes panic-hook swaps across workers: injected PT kills unwind
+/// a whole ThreadWorld, and silencing the expected panic must not race
+/// another worker doing the same.
+static KILL_HOOK: Mutex<()> = Mutex::new(());
+
+/// Parallel-tempering attempt on a fresh ThreadWorld (one rank per β).
+fn run_pt(cfg: PtConfig, spec: &JobSpec, mut ctl: RunCtl<'_>) -> Outcome {
+    let ranks = cfg.betas.len();
+    let every = ctl.every;
+    let full_every = if ctl.full_every == 0 {
+        0
+    } else {
+        ctl.full_every
+    };
+    let dir = ctl.store.map(|s| s.dir().to_path_buf());
+    let therm = cfg.therm;
+    let sweeps = cfg.sweeps;
+    let seed = spec.seed;
+
+    if let Some(kill_sweep) = ctl.kill_at {
+        // Injected death: rank 1 panics at the scheduled sweep, peers
+        // exhaust bounded recv retries, the world unwinds. The hook swap
+        // is serialized so concurrent killed jobs don't race it.
+        let guard = KILL_HOOK.lock().expect("kill hook guard");
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let dir2 = dir.clone();
+        let cfg2 = cfg.clone();
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            run_threads_with_timeout(ranks, Duration::from_secs(20), move |comm| {
+                let plan = FaultPlan::new(seed ^ 0xD1E)
+                    .kill(1 % comm.size(), kill_sweep as usize)
+                    .retry(3, Duration::from_millis(5));
+                let mut rng = StreamFactory::new(seed).stream(comm.rank());
+                let store = dir2
+                    .as_ref()
+                    .map(|d| CkptStore::new(d, 3).expect("job store"));
+                let ck = store.as_ref().map(|s| PtCheckpointing {
+                    store: s,
+                    every,
+                    full_every,
+                    resume: true,
+                    stop: None,
+                });
+                let mut faulty = FaultyComm::new(comm, plan);
+                run_pt_parallel_ckpt(&mut faulty, &cfg2, &mut rng, ck.as_ref(), |c, s| {
+                    c.tick_sweep(s)
+                })
+            })
+        }));
+        std::panic::set_hook(hook);
+        drop(guard);
+        match crashed {
+            Err(_) => {
+                return Outcome::Killed {
+                    at_sweep: kill_sweep,
+                }
+            }
+            Ok(results) => {
+                // Kill sweep beyond the end of the run: it completed.
+                return pt_outcome(results, therm, sweeps, None);
+            }
+        }
+    }
+
+    let dir2 = dir.clone();
+    let cfg2 = cfg.clone();
+    // Every rank shares the same drain flag; the PT driver reads it only
+    // on rank 0 and broadcasts the verdict, so this is rank-consistent.
+    let stop_outer = ctl.stop;
+    let results = run_threads(ranks, move |comm| {
+        let mut rng = StreamFactory::new(seed).stream(comm.rank());
+        let store = dir2
+            .as_ref()
+            .map(|d| CkptStore::new(d, 3).expect("job store"));
+        let ck = store.as_ref().map(|s| PtCheckpointing {
+            store: s,
+            every,
+            full_every,
+            resume: true,
+            stop: stop_outer,
+        });
+        run_pt_parallel_ckpt(comm, &cfg2, &mut rng, ck.as_ref(), |_, _| {})
+    });
+    let mut snap = ctl.snapshot.take();
+    let drained = results
+        .first()
+        .is_some_and(|(energies, _)| energies.len() < sweeps);
+    if drained {
+        let at = therm as u64 + results[0].0.len() as u64;
+        if let Some(s) = snap.as_deref_mut() {
+            s(at, (therm + sweeps) as u64, f64::NAN);
+        }
+        return Outcome::Drained { at_sweep: at };
+    }
+    pt_outcome(results, therm, sweeps, snap)
+}
+
+fn pt_outcome(
+    results: Vec<(Vec<f64>, Vec<f64>)>,
+    therm: usize,
+    sweeps: usize,
+    snapshot: Option<&mut dyn FnMut(u64, u64, f64)>,
+) -> Outcome {
+    let rates = results.first().map(|(_, r)| r.clone()).unwrap_or_default();
+    let energy: Vec<Vec<f64>> = results.into_iter().map(|(e, _)| e).collect();
+    if let Some(snap) = snapshot {
+        let mean = energy
+            .first()
+            .filter(|e| !e.is_empty())
+            .map(|e| e.iter().sum::<f64>() / e.len() as f64)
+            .unwrap_or(f64::NAN);
+        snap((therm + sweeps) as u64, (therm + sweeps) as u64, mean);
+    }
+    Outcome::Done(
+        JobObservables {
+            energy,
+            extra: vec![rates],
+        },
+        Registry::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU64;
+
+    fn scratch(label: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("qmc-serve-run-{}-{label}-{n}", std::process::id()))
+    }
+
+    fn tfim_spec() -> JobSpec {
+        JobSpec {
+            tenant: "alice".into(),
+            name: "t".into(),
+            kind: JobKind::Tfim {
+                lx: 4,
+                ly: 1,
+                j: 1.0,
+                h: 2.0,
+                m: 4,
+                wolff: 1,
+            },
+            betas: vec![1.0],
+            therm: 5,
+            sweeps: 15,
+            seed: 11,
+            priority: 0,
+            ckpt_every: 4,
+        }
+    }
+
+    fn pt_spec() -> JobSpec {
+        JobSpec {
+            tenant: "bob".into(),
+            name: "pt".into(),
+            kind: JobKind::PtXxz {
+                l: 8,
+                jx: 1.0,
+                jz: 1.0,
+                m: 8,
+                exchange_every: 2,
+            },
+            betas: vec![0.5, 0.9, 1.4, 2.0],
+            therm: 8,
+            sweeps: 16,
+            seed: 23,
+            priority: 0,
+            ckpt_every: 4,
+        }
+    }
+
+    fn reference(spec: &JobSpec) -> JobObservables {
+        match run_job(spec, RunCtl::default()) {
+            Outcome::Done(obs, _) => obs,
+            other => panic!("reference run must complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tfim_kill_and_resume_is_bit_identical() {
+        let spec = tfim_spec();
+        let want = reference(&spec);
+        for kill in [3u64, 9, 14] {
+            let dir = scratch("tfim-kill");
+            let store = CkptStore::new(&dir, 3).unwrap();
+            let killed = run_job(
+                &spec,
+                RunCtl {
+                    store: Some(&store),
+                    every: 4,
+                    kill_at: Some(kill),
+                    ..Default::default()
+                },
+            );
+            assert!(matches!(killed, Outcome::Killed { at_sweep } if at_sweep == kill));
+            let resumed = run_job(
+                &spec,
+                RunCtl {
+                    store: Some(&store),
+                    every: 4,
+                    ..Default::default()
+                },
+            );
+            match resumed {
+                Outcome::Done(obs, _) => {
+                    assert!(obs.bits_eq(&want), "kill at {kill}: observables diverged")
+                }
+                other => panic!("resume must complete, got {other:?}"),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn pt_world_kill_and_resume_is_bit_identical() {
+        let spec = pt_spec();
+        let want = reference(&spec);
+        let dir = scratch("pt-kill");
+        let store = CkptStore::new(&dir, 3).unwrap();
+        let kill = (spec.therm + spec.sweeps) as u64 * 2 / 3;
+        let killed = run_job(
+            &spec,
+            RunCtl {
+                store: Some(&store),
+                every: 4,
+                kill_at: Some(kill),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(killed, Outcome::Killed { .. }), "{killed:?}");
+        // A generation at or before the kill survived.
+        let newest = *store.generations().last().expect("generation survived");
+        assert!(newest <= kill);
+        let resumed = run_job(
+            &spec,
+            RunCtl {
+                store: Some(&store),
+                every: 4,
+                ..Default::default()
+            },
+        );
+        match resumed {
+            Outcome::Done(obs, _) => assert!(obs.bits_eq(&want), "PT resume diverged"),
+            other => panic!("resume must complete, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tfim_drain_then_resume_is_bit_identical() {
+        let spec = tfim_spec();
+        let want = reference(&spec);
+        let dir = scratch("tfim-drain");
+        let store = CkptStore::new(&dir, 3).unwrap();
+        let flag = AtomicBool::new(true); // drain immediately at the first boundary
+        let drained = run_job(
+            &spec,
+            RunCtl {
+                store: Some(&store),
+                every: 4,
+                stop: Some(&flag),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(drained, Outcome::Drained { .. }), "{drained:?}");
+        let resumed = run_job(
+            &spec,
+            RunCtl {
+                store: Some(&store),
+                every: 4,
+                ..Default::default()
+            },
+        );
+        match resumed {
+            Outcome::Done(obs, _) => assert!(obs.bits_eq(&want), "drain resume diverged"),
+            other => panic!("resume must complete, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshots_stream_at_checkpoint_boundaries() {
+        let spec = tfim_spec();
+        let dir = scratch("tfim-snap");
+        let store = CkptStore::new(&dir, 3).unwrap();
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        let mut cb = |sweep: u64, total: u64, _mean: f64| seen.push((sweep, total));
+        let done = run_job(
+            &spec,
+            RunCtl {
+                store: Some(&store),
+                every: 4,
+                snapshot: Some(&mut cb),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(done, Outcome::Done(..)));
+        let total = (spec.therm + spec.sweeps) as u64;
+        assert_eq!(
+            seen,
+            (0..total)
+                .step_by(4)
+                .map(|s| (s, total))
+                .collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,403 @@
+//! Scheduler state machine: admission (validation + tenant quota),
+//! priority dispatch, requeue-on-kill, and per-tenant metrics.
+//!
+//! This module is pure bookkeeping — no sockets, no threads — so every
+//! transition is unit-testable. The server wraps one [`Sched`] in a
+//! mutex and drives it from the acceptor, the connection handlers, and
+//! the worker pool.
+
+use crate::job::{JobObservables, JobSpec};
+use qmc_obs::{HealthMonitor, HealthSnapshot, RankObs, Registry};
+use std::collections::VecDeque;
+
+/// Per-tenant admission limits.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantQuota {
+    /// Maximum unfinished (queued + running) jobs a tenant may hold;
+    /// submissions beyond it are rejected, which is what keeps every
+    /// server-side queue bounded against a hostile client.
+    pub max_active: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota { max_active: 64 }
+    }
+}
+
+/// A deterministic injected worker death: the `index`-th accepted job
+/// dies at `at_sweep` on its first attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct KillSpec {
+    /// Submission-order job id (ids are assigned sequentially).
+    pub job: u64,
+    /// Sweep boundary of the death.
+    pub at_sweep: u64,
+}
+
+/// Lifecycle of an accepted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker (also the state after a requeue).
+    Queued,
+    /// A worker is sweeping it.
+    Running,
+    /// Finished; result retained for `Await`.
+    Done,
+    /// Checkpointed and parked by a server drain.
+    Paused,
+}
+
+/// One progress snapshot retained for streaming.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapRec {
+    /// Monotonic per-job sequence number (1-based).
+    pub seq: u64,
+    /// Sweeps completed.
+    pub sweep: u64,
+    /// Total sweep budget.
+    pub total: u64,
+    /// Running mean energy (NaN before measurement starts).
+    pub mean_energy: f64,
+    /// Attempt that produced it (> 1 after a requeue).
+    pub attempt: u32,
+}
+
+/// Everything the server tracks about one accepted job.
+#[derive(Debug)]
+pub struct JobRec {
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Attempts started (1 on first dispatch).
+    pub attempts: u32,
+    /// Armed deterministic kill for the *first* attempt only.
+    pub kill_at: Option<u64>,
+    /// Recent snapshots (bounded ring; old entries are dropped).
+    pub snapshots: VecDeque<SnapRec>,
+    /// Next snapshot sequence number to assign.
+    pub next_seq: u64,
+    /// Final observables and attempt count, once done.
+    pub result: Option<(JobObservables, u32)>,
+}
+
+/// How many snapshots a job retains for late-joining `Await` streams.
+const SNAPSHOT_RING: usize = 64;
+
+/// The scheduler: job table, pending queue, counters, tenant health.
+#[derive(Default)]
+pub struct Sched {
+    /// All accepted jobs, indexed by id.
+    pub jobs: Vec<JobRec>,
+    /// Ids awaiting a worker.
+    pending: Vec<u64>,
+    /// Set once a drain begins; rejects new submissions.
+    pub draining: bool,
+    /// Server counters (`serve.*`) and absorbed per-tenant registries.
+    pub obs: RankObs,
+    /// Per-tenant online health over completed-job mean energies.
+    tenant_health: Vec<(String, HealthMonitor)>,
+}
+
+impl Sched {
+    /// Admission: validation, drain check, tenant quota. On success the
+    /// job is queued and its id returned.
+    pub fn submit(
+        &mut self,
+        spec: JobSpec,
+        quota: &TenantQuota,
+        kills: &[KillSpec],
+    ) -> Result<u64, String> {
+        self.obs.counter_add("serve.jobs_submitted", 1);
+        if self.draining {
+            self.obs.counter_add("serve.jobs_rejected", 1);
+            return Err("server is draining".into());
+        }
+        if let Err(reason) = spec.validate() {
+            self.obs.counter_add("serve.jobs_rejected", 1);
+            return Err(reason);
+        }
+        let active = self
+            .jobs
+            .iter()
+            .filter(|j| {
+                j.spec.tenant == spec.tenant
+                    && matches!(j.state, JobState::Queued | JobState::Running)
+            })
+            .count();
+        if active >= quota.max_active {
+            self.obs.counter_add("serve.jobs_rejected", 1);
+            return Err(format!(
+                "tenant {} quota exceeded ({active} active, limit {})",
+                spec.tenant, quota.max_active
+            ));
+        }
+        let id = self.jobs.len() as u64;
+        let kill_at = kills.iter().find(|k| k.job == id).map(|k| k.at_sweep);
+        self.jobs.push(JobRec {
+            spec,
+            state: JobState::Queued,
+            attempts: 0,
+            kill_at,
+            snapshots: VecDeque::new(),
+            next_seq: 1,
+            result: None,
+        });
+        // Bounded by construction: admission above enforces the tenant
+        // quota before anything is queued.
+        self.pending.push(id);
+        Ok(id)
+    }
+
+    /// Pop the next job to run: highest priority first, then oldest id
+    /// (a requeued job keeps its original id, so it goes back to the
+    /// front of its priority class).
+    pub fn pop_next(&mut self) -> Option<u64> {
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &id)| (self.jobs[id as usize].spec.priority, std::cmp::Reverse(id)))?
+            .0;
+        let id = self.pending.swap_remove(best);
+        let rec = &mut self.jobs[id as usize];
+        rec.state = JobState::Running;
+        rec.attempts += 1;
+        Some(id)
+    }
+
+    /// Number of jobs awaiting a worker.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Record a progress snapshot (bounded ring per job).
+    pub fn record_snapshot(&mut self, id: u64, sweep: u64, total: u64, mean_energy: f64) {
+        let rec = &mut self.jobs[id as usize];
+        let snap = SnapRec {
+            seq: rec.next_seq,
+            sweep,
+            total,
+            mean_energy,
+            attempt: rec.attempts,
+        };
+        rec.next_seq += 1;
+        if rec.snapshots.len() == SNAPSHOT_RING {
+            rec.snapshots.pop_front();
+        }
+        rec.snapshots.push_back(snap);
+        self.obs.counter_add("serve.snapshots", 1);
+    }
+
+    /// A worker finished the job: store the result, fold the engine's
+    /// registry into the tenant namespace, feed tenant health.
+    pub fn complete(&mut self, id: u64, obs: JobObservables, engine_metrics: &Registry) {
+        let rec = &mut self.jobs[id as usize];
+        rec.state = JobState::Done;
+        let attempts = rec.attempts;
+        let tenant = rec.spec.tenant.clone();
+        let mean = obs
+            .energy
+            .first()
+            .filter(|e| !e.is_empty())
+            .map(|e| e.iter().sum::<f64>() / e.len() as f64);
+        rec.result = Some((obs, attempts));
+        self.obs
+            .absorb_registry_prefixed(engine_metrics, &format!("tenant.{tenant}."));
+        self.obs.counter_add("serve.jobs_completed", 1);
+        self.obs
+            .counter_add(&format!("tenant.{tenant}.jobs_completed"), 1);
+        if let Some(mean) = mean {
+            let idx = match self.tenant_health.iter().position(|(t, _)| *t == tenant) {
+                Some(i) => i,
+                None => {
+                    self.tenant_health.push((tenant, HealthMonitor::new(4)));
+                    self.tenant_health.len() - 1
+                }
+            };
+            self.tenant_health[idx].1.push(mean);
+        }
+    }
+
+    /// A worker died running the job: put it back in the queue (the
+    /// armed kill is disarmed — a requeue retries for real).
+    pub fn requeue(&mut self, id: u64) {
+        let rec = &mut self.jobs[id as usize];
+        rec.state = JobState::Queued;
+        rec.kill_at = None;
+        // Re-admission is not re-checked against the quota: the job
+        // already holds its admission slot (it never left Queued|Running
+        // from the tenant's accounting perspective).
+        self.pending.push(id);
+        self.obs.counter_add("serve.requeues", 1);
+        self.obs.counter_add("serve.worker_kills", 1);
+    }
+
+    /// A drain checkpointed the job mid-run and parked it.
+    pub fn pause(&mut self, id: u64) {
+        self.jobs[id as usize].state = JobState::Paused;
+        self.obs.counter_add("serve.jobs_drained", 1);
+    }
+
+    /// Counters and health snapshots, optionally filtered to one
+    /// tenant's namespace (plus the global `serve.*` counters).
+    pub fn stats(&self, tenant: &str) -> crate::TenantStats {
+        let keep = |name: &str| {
+            tenant.is_empty()
+                || name.starts_with("serve.")
+                || name.starts_with(&format!("tenant.{tenant}."))
+        };
+        let mut counters: Vec<(String, u64)> = self
+            .obs
+            .counters
+            .iter()
+            .filter(|(n, _)| keep(n))
+            .cloned()
+            .collect();
+        counters.sort();
+        let health = self
+            .tenant_health
+            .iter()
+            .filter(|(t, _)| tenant.is_empty() || *t == tenant)
+            .map(|(t, hm)| HealthSnapshot::of(&format!("tenant.{t}.energy"), hm))
+            .collect();
+        (counters, health)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    fn spec(tenant: &str, name: &str, priority: u8) -> JobSpec {
+        JobSpec {
+            tenant: tenant.into(),
+            name: name.into(),
+            kind: JobKind::Tfim {
+                lx: 4,
+                ly: 1,
+                j: 1.0,
+                h: 2.0,
+                m: 4,
+                wolff: 1,
+            },
+            betas: vec![1.0],
+            therm: 2,
+            sweeps: 8,
+            seed: 1,
+            priority,
+            ckpt_every: 0,
+        }
+    }
+
+    #[test]
+    fn quota_rejects_excess_submissions() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota { max_active: 2 };
+        assert!(sched.submit(spec("a", "j1", 0), &quota, &[]).is_ok());
+        assert!(sched.submit(spec("a", "j2", 0), &quota, &[]).is_ok());
+        let err = sched.submit(spec("a", "j3", 0), &quota, &[]).unwrap_err();
+        assert!(err.contains("quota"), "{err}");
+        // Another tenant is unaffected.
+        assert!(sched.submit(spec("b", "j1", 0), &quota, &[]).is_ok());
+        assert_eq!(sched.obs.counter("serve.jobs_rejected"), 1);
+    }
+
+    #[test]
+    fn dispatch_is_priority_then_fifo_and_requeue_goes_first() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota::default();
+        let lo1 = sched.submit(spec("a", "lo1", 1), &quota, &[]).unwrap();
+        let hi = sched.submit(spec("a", "hi", 9), &quota, &[]).unwrap();
+        let lo2 = sched.submit(spec("a", "lo2", 1), &quota, &[]).unwrap();
+        assert_eq!(sched.pop_next(), Some(hi));
+        assert_eq!(sched.pop_next(), Some(lo1));
+        // A kill requeues lo1; it outranks lo2 (same priority, older id).
+        sched.requeue(lo1);
+        assert_eq!(sched.pop_next(), Some(lo1));
+        assert_eq!(sched.pop_next(), Some(lo2));
+        assert_eq!(sched.pop_next(), None);
+        assert_eq!(sched.obs.counter("serve.requeues"), 1);
+    }
+
+    #[test]
+    fn kills_arm_only_the_named_job_and_disarm_on_requeue() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota::default();
+        let kills = [KillSpec {
+            job: 1,
+            at_sweep: 5,
+        }];
+        let a = sched.submit(spec("a", "a", 0), &quota, &kills).unwrap();
+        let b = sched.submit(spec("a", "b", 0), &quota, &kills).unwrap();
+        assert_eq!(sched.jobs[a as usize].kill_at, None);
+        assert_eq!(sched.jobs[b as usize].kill_at, Some(5));
+        sched.requeue(b);
+        assert_eq!(sched.jobs[b as usize].kill_at, None, "retry runs for real");
+    }
+
+    #[test]
+    fn snapshot_ring_is_bounded() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota::default();
+        let id = sched.submit(spec("a", "a", 0), &quota, &[]).unwrap();
+        for s in 0..(SNAPSHOT_RING as u64 + 40) {
+            sched.record_snapshot(id, s, 1000, f64::NAN);
+        }
+        let rec = &sched.jobs[id as usize];
+        assert_eq!(rec.snapshots.len(), SNAPSHOT_RING);
+        // Sequence numbers stay monotonic across the dropped prefix.
+        assert_eq!(rec.snapshots.back().unwrap().seq, SNAPSHOT_RING as u64 + 40);
+    }
+
+    #[test]
+    fn stats_filter_isolates_tenants() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota::default();
+        let a = sched.submit(spec("alice", "a", 0), &quota, &[]).unwrap();
+        let b = sched.submit(spec("bob", "b", 0), &quota, &[]).unwrap();
+        sched.pop_next();
+        sched.pop_next();
+        let mut reg = Registry::new();
+        reg.add_named("accepted", 5);
+        sched.complete(
+            a,
+            JobObservables {
+                energy: vec![vec![-1.0]],
+                extra: vec![],
+            },
+            &reg,
+        );
+        sched.complete(
+            b,
+            JobObservables {
+                energy: vec![vec![-2.0]],
+                extra: vec![],
+            },
+            &reg,
+        );
+        let (counters, health) = sched.stats("alice");
+        assert!(counters.iter().any(|(n, _)| n == "tenant.alice.accepted"));
+        assert!(
+            !counters.iter().any(|(n, _)| n.starts_with("tenant.bob.")),
+            "bob's counters leaked into alice's view"
+        );
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].name, "tenant.alice.energy");
+        assert_eq!(health[0].mean, -1.0);
+    }
+
+    #[test]
+    fn draining_rejects_new_work() {
+        let mut sched = Sched {
+            draining: true,
+            ..Sched::default()
+        };
+        let err = sched
+            .submit(spec("a", "late", 0), &TenantQuota::default(), &[])
+            .unwrap_err();
+        assert!(err.contains("draining"), "{err}");
+    }
+}

@@ -1,0 +1,482 @@
+//! The job server: acceptor, connection handlers, and the worker pool.
+//!
+//! Thread layout:
+//! * one acceptor thread polls the non-blocking listener (2 ms sleep
+//!   between polls) and spawns a handler per connection;
+//! * handler threads speak the [`crate::wire`] protocol with one client,
+//!   using a bounded read timeout so they notice a server drain;
+//! * `cfg.workers` worker threads pull jobs from the scheduler, run
+//!   attempts via [`crate::run::run_job`] under a per-job namespaced
+//!   checkpoint store, and requeue on an injected death.
+//!
+//! Locking discipline: the scheduler mutex is held only for state
+//! transitions — never across a sweep, a socket write, or a condvar wait
+//! with work in hand.
+
+use crate::run::{run_job, Outcome, RunCtl};
+use crate::sched::{JobState, KillSpec, Sched, TenantQuota};
+use crate::wire::{Msg, PROTO_VERSION};
+use qmc_ckpt::CkptStore;
+use qmc_comm::tcp::{FrameConn, FrameError, FrameListener};
+use qmc_obs::RankObs;
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker pool size (concurrent jobs; a PT job's ranks are threads
+    /// *inside* one worker).
+    pub workers: usize,
+    /// Root directory for per-job checkpoint namespaces.
+    pub ckpt_root: PathBuf,
+    /// Default checkpoint cadence in sweeps (a job's `ckpt_every`
+    /// overrides it when nonzero).
+    pub ckpt_every: usize,
+    /// Per-tenant admission quota.
+    pub quota: TenantQuota,
+    /// Deterministic injected worker deaths (demo / fault drills).
+    pub kills: Vec<KillSpec>,
+    /// Per-frame payload cap for client connections.
+    pub max_frame: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            ckpt_root: std::env::temp_dir().join("qmc-serve"),
+            ckpt_every: 10,
+            quota: TenantQuota::default(),
+            kills: Vec::new(),
+            max_frame: 1024 * 1024,
+        }
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    cfg: ServeConfig,
+    sched: Mutex<Sched>,
+    /// Wakes workers when work is queued or a drain begins.
+    work_cv: Condvar,
+    /// Wakes `Await` streams when a job progresses.
+    update_cv: Condvar,
+    /// Drain requested: reject new jobs, checkpoint in-flight ones,
+    /// wind every thread down.
+    stop: AtomicBool,
+}
+
+/// A running job server. Dropping the handle does NOT stop the server;
+/// call [`Server::drain`] then [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (port 0 for ephemeral) and start the thread pool.
+    pub fn start(cfg: ServeConfig, addr: &str) -> io::Result<Server> {
+        let listener = FrameListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            sched: Mutex::new(Sched::default()),
+            work_cv: Condvar::new(),
+            update_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+
+        Ok(Server {
+            shared,
+            addr: local,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the kernel-chosen port after a port-0
+    /// bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain: reject new submissions, checkpoint
+    /// in-flight jobs at their next sweep boundary, wind down.
+    pub fn drain(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let mut sched = self.shared.sched.lock().expect("scheduler lock");
+        sched.draining = true;
+        drop(sched);
+        self.shared.work_cv.notify_all();
+        self.shared.update_cv.notify_all();
+    }
+
+    /// Wait for the acceptor and every worker to exit (requires
+    /// [`Server::drain`] first, or the queue to go idle forever).
+    pub fn join(mut self) -> RankObs {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let sched = self.shared.sched.lock().expect("scheduler lock");
+        sched.obs.clone()
+    }
+
+    /// Convenience: drain and join in one call, returning the final
+    /// server metrics record.
+    pub fn shutdown(self) -> RankObs {
+        self.drain();
+        self.join()
+    }
+
+    /// Snapshot of the counters and (optionally tenant-filtered) health
+    /// series without going over the wire.
+    pub fn stats(&self, tenant: &str) -> crate::TenantStats {
+        self.shared
+            .sched
+            .lock()
+            .expect("scheduler lock")
+            .stats(tenant)
+    }
+}
+
+fn accept_loop(listener: FrameListener, shared: Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                let shared = Arc::clone(&shared);
+                // Handler threads are detached; they exit on hangup or
+                // when the stop flag trips their read timeout.
+                std::thread::spawn(move || handle_conn(conn, shared));
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => return,
+        }
+    }
+}
+
+/// One client connection: Hello handshake, then a command loop.
+fn handle_conn(mut conn: FrameConn, shared: Arc<Shared>) {
+    conn.set_max_frame(shared.cfg.max_frame);
+    let _ = conn.set_recv_timeout(Some(Duration::from_millis(100)));
+    let peer = conn.peer().to_string();
+
+    // Handshake: first frame must be a version-matched Hello.
+    let tenant = loop {
+        match recv_msg(&mut conn, &shared, &peer, "<handshake>") {
+            Ok(Some(Msg::Hello { proto, tenant })) if proto == PROTO_VERSION => {
+                let _ = send_msg(
+                    &mut conn,
+                    &Msg::HelloAck {
+                        proto: PROTO_VERSION,
+                    },
+                );
+                break tenant;
+            }
+            Ok(Some(Msg::Hello { proto, .. })) => {
+                let _ = send_msg(
+                    &mut conn,
+                    &Msg::Error {
+                        detail: format!(
+                            "peer {peer}: protocol revision {proto} unsupported (want {PROTO_VERSION})"
+                        ),
+                    },
+                );
+                return;
+            }
+            Ok(Some(_)) => {
+                let _ = send_msg(
+                    &mut conn,
+                    &Msg::Error {
+                        detail: format!("peer {peer}: expected Hello"),
+                    },
+                );
+                return;
+            }
+            Ok(None) => continue, // timeout tick; re-check stop below
+            Err(()) => return,
+        }
+    };
+
+    loop {
+        let msg = match recv_msg(&mut conn, &shared, &peer, &tenant) {
+            Ok(Some(m)) => m,
+            Ok(None) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    let _ = send_msg(&mut conn, &Msg::Draining);
+                    return;
+                }
+                continue;
+            }
+            Err(()) => return,
+        };
+        match msg {
+            Msg::Submit { spec } => {
+                let reply = {
+                    let mut sched = shared.sched.lock().expect("scheduler lock");
+                    // Admission enforces the tenant quota before anything
+                    // is queued; a spoofed tenant field bills the spoofer.
+                    let quota = shared.cfg.quota;
+                    match sched.submit(spec, &quota, &shared.cfg.kills) {
+                        Ok(job) => Msg::Accepted { job },
+                        Err(reason) => Msg::Rejected { reason },
+                    }
+                };
+                if matches!(reply, Msg::Accepted { .. }) {
+                    shared.work_cv.notify_one();
+                }
+                if send_msg(&mut conn, &reply).is_err() {
+                    return;
+                }
+            }
+            Msg::Await { job, mut after } => {
+                // Stream snapshots (and finally the result) for one job.
+                loop {
+                    enum Step {
+                        Send(Vec<Msg>),
+                        Finished(Msg),
+                        Wait,
+                    }
+                    let step = {
+                        let sched = shared.sched.lock().expect("scheduler lock");
+                        match sched.jobs.get(job as usize) {
+                            None => Step::Finished(Msg::Error {
+                                detail: format!("peer {peer} tenant {tenant}: unknown job {job}"),
+                            }),
+                            Some(rec) => {
+                                let fresh: Vec<Msg> = rec
+                                    .snapshots
+                                    .iter()
+                                    .filter(|s| s.seq > after)
+                                    .map(|s| Msg::Snapshot {
+                                        job,
+                                        seq: s.seq,
+                                        sweep: s.sweep,
+                                        total: s.total,
+                                        mean_energy: s.mean_energy,
+                                        attempt: s.attempt,
+                                    })
+                                    .collect();
+                                if !fresh.is_empty() {
+                                    Step::Send(fresh)
+                                } else if let Some((obs, attempts)) = &rec.result {
+                                    Step::Finished(Msg::Result {
+                                        job,
+                                        obs: obs.clone(),
+                                        attempts: *attempts,
+                                    })
+                                } else if rec.state == JobState::Paused {
+                                    Step::Finished(Msg::Draining)
+                                } else {
+                                    Step::Wait
+                                }
+                            }
+                        }
+                    };
+                    match step {
+                        Step::Send(msgs) => {
+                            for m in msgs {
+                                if let Msg::Snapshot { seq, .. } = m {
+                                    after = after.max(seq);
+                                }
+                                if send_msg(&mut conn, &m).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        Step::Finished(m) => {
+                            let _ = send_msg(&mut conn, &m);
+                            break;
+                        }
+                        Step::Wait => {
+                            if shared.stop.load(Ordering::SeqCst) {
+                                let _ = send_msg(&mut conn, &Msg::Draining);
+                                return;
+                            }
+                            let sched = shared.sched.lock().expect("scheduler lock");
+                            let _unused = shared
+                                .update_cv
+                                .wait_timeout(sched, Duration::from_millis(100))
+                                .expect("scheduler lock");
+                        }
+                    }
+                }
+            }
+            Msg::Stats { tenant: filter } => {
+                let (counters, health) = {
+                    let sched = shared.sched.lock().expect("scheduler lock");
+                    sched.stats(&filter)
+                };
+                if send_msg(&mut conn, &Msg::StatsReply { counters, health }).is_err() {
+                    return;
+                }
+            }
+            Msg::Drain => {
+                shared.stop.store(true, Ordering::SeqCst);
+                {
+                    let mut sched = shared.sched.lock().expect("scheduler lock");
+                    sched.draining = true;
+                }
+                shared.work_cv.notify_all();
+                shared.update_cv.notify_all();
+                let _ = send_msg(&mut conn, &Msg::Draining);
+                return;
+            }
+            other => {
+                let _ = send_msg(
+                    &mut conn,
+                    &Msg::Error {
+                        detail: format!(
+                            "peer {peer} tenant {tenant}: unexpected {other:?} from a client"
+                        ),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Receive and decode one message. `Ok(None)` is a retryable timeout
+/// tick. A malformed frame or payload bumps `serve.bad_frames`, sends an
+/// `Error` with peer/tenant context, and drops the connection (`Err`).
+fn recv_msg(
+    conn: &mut FrameConn,
+    shared: &Shared,
+    peer: &str,
+    tenant: &str,
+) -> Result<Option<Msg>, ()> {
+    match conn.recv() {
+        Ok(payload) => match Msg::decode(&payload) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(e) => {
+                bad_frame(shared);
+                let _ = send_msg(
+                    conn,
+                    &Msg::Error {
+                        detail: format!("peer {peer} tenant {tenant}: {e}"),
+                    },
+                );
+                Err(())
+            }
+        },
+        Err(FrameError::TimedOut) => Ok(None),
+        Err(FrameError::Closed) => Err(()),
+        Err(e) => {
+            bad_frame(shared);
+            let _ = send_msg(
+                conn,
+                &Msg::Error {
+                    detail: format!("peer {peer} tenant {tenant}: {e}"),
+                },
+            );
+            Err(())
+        }
+    }
+}
+
+fn bad_frame(shared: &Shared) {
+    let mut sched = shared.sched.lock().expect("scheduler lock");
+    sched.obs.counter_add("serve.bad_frames", 1);
+}
+
+fn send_msg(conn: &mut FrameConn, msg: &Msg) -> Result<(), FrameError> {
+    conn.send(&msg.encode())
+}
+
+/// One worker: pull, run, report, repeat — until drained and idle.
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        // Pull the next job (or exit if draining with nothing queued).
+        let job = {
+            let mut sched = shared.sched.lock().expect("scheduler lock");
+            loop {
+                if let Some(id) = sched.pop_next() {
+                    break Some(id);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .work_cv
+                    .wait_timeout(sched, Duration::from_millis(100))
+                    .expect("scheduler lock");
+                sched = guard;
+            }
+        };
+        let Some(id) = job else { return };
+
+        // Snapshot what the attempt needs, then run without the lock.
+        let (spec, kill_at) = {
+            let sched = shared.sched.lock().expect("scheduler lock");
+            let rec = &sched.jobs[id as usize];
+            (rec.spec.clone(), rec.kill_at)
+        };
+        let every = if spec.ckpt_every > 0 {
+            spec.ckpt_every as usize
+        } else {
+            shared.cfg.ckpt_every
+        };
+        let store = CkptStore::open_namespace(&shared.cfg.ckpt_root, &spec.namespace(), 3)
+            .expect("job checkpoint namespace");
+        let mut on_snapshot = |sweep: u64, total: u64, mean: f64| {
+            let mut sched = shared.sched.lock().expect("scheduler lock");
+            sched.record_snapshot(id, sweep, total, mean);
+            drop(sched);
+            shared.update_cv.notify_all();
+        };
+        let outcome = run_job(
+            &spec,
+            RunCtl {
+                store: Some(&store),
+                every,
+                full_every: 3,
+                resume: true,
+                kill_at,
+                stop: Some(&shared.stop),
+                snapshot: Some(&mut on_snapshot),
+            },
+        );
+
+        let mut sched = shared.sched.lock().expect("scheduler lock");
+        match outcome {
+            Outcome::Done(obs, metrics) => sched.complete(id, obs, &metrics),
+            Outcome::Killed { .. } => {
+                sched.requeue(id);
+                drop(sched);
+                // The "respawned" worker is this same thread looping
+                // around; wake a sibling in case it is idle.
+                shared.work_cv.notify_one();
+                shared.update_cv.notify_all();
+                continue;
+            }
+            Outcome::Drained { .. } => sched.pause(id),
+        }
+        drop(sched);
+        shared.update_cv.notify_all();
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end server ↔ client exercises over real sockets: submit,
+//! stream, kill-and-requeue, tenant isolation, quota, drain.
+
+use qmc_serve::{
+    run_job, Client, JobKind, JobObservables, JobSpec, KillSpec, Outcome, RunCtl, ServeConfig,
+    Server, TenantQuota,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(label: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("qmc-serve-it-{}-{label}-{n}", std::process::id()))
+}
+
+fn tfim_spec(tenant: &str, name: &str, seed: u64) -> JobSpec {
+    JobSpec {
+        tenant: tenant.into(),
+        name: name.into(),
+        kind: JobKind::Tfim {
+            lx: 4,
+            ly: 1,
+            j: 1.0,
+            h: 2.0,
+            m: 4,
+            wolff: 1,
+        },
+        betas: vec![1.0],
+        therm: 5,
+        sweeps: 15,
+        seed,
+        priority: 0,
+        ckpt_every: 4,
+    }
+}
+
+fn reference(spec: &JobSpec) -> JobObservables {
+    match run_job(spec, RunCtl::default()) {
+        Outcome::Done(obs, _) => obs,
+        other => panic!("reference run must complete, got {other:?}"),
+    }
+}
+
+#[test]
+fn submit_await_drain_round_trip_matches_direct_run() {
+    let cfg = ServeConfig {
+        workers: 2,
+        ckpt_root: scratch("rt"),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, "127.0.0.1:0").expect("server start");
+    let addr = server.addr();
+
+    let mut alice = Client::connect(addr, "alice").expect("alice connects");
+    let mut bob = Client::connect(addr, "bob").expect("bob connects");
+
+    let sa = tfim_spec("alice", "job-a", 11);
+    let sb = tfim_spec("bob", "job-b", 77);
+    let ja = alice.submit(&sa).expect("alice submit");
+    let jb = bob.submit(&sb).expect("bob submit");
+    assert_ne!(ja, jb);
+
+    let mut snaps = 0usize;
+    let (obs_a, attempts_a) = alice
+        .await_result(ja, |_, _, _, _| snaps += 1)
+        .expect("alice result");
+    let (obs_b, attempts_b) = bob.await_result(jb, |_, _, _, _| {}).expect("bob result");
+    assert_eq!(attempts_a, 1);
+    assert_eq!(attempts_b, 1);
+    assert!(snaps > 0, "snapshots must stream during the run");
+
+    // Served results are bit-identical to a direct local run.
+    assert!(obs_a.bits_eq(&reference(&sa)));
+    assert!(obs_b.bits_eq(&reference(&sb)));
+
+    // Tenant metric isolation over the wire: alice's view has no bob
+    // counters and vice versa.
+    let (alice_counters, _) = alice.stats("alice").expect("alice stats");
+    assert!(alice_counters
+        .iter()
+        .any(|(k, _)| k == "tenant.alice.jobs_completed"));
+    assert!(!alice_counters
+        .iter()
+        .any(|(k, _)| k.contains("tenant.bob.")));
+    let (bob_counters, _) = bob.stats("bob").expect("bob stats");
+    assert!(!bob_counters
+        .iter()
+        .any(|(k, _)| k.contains("tenant.alice.")));
+
+    alice.drain().expect("drain ack");
+    let obs = server.join();
+    assert_eq!(obs.counter("serve.jobs_completed"), 2);
+    assert_eq!(obs.counter("serve.requeues"), 0);
+}
+
+#[test]
+fn killed_worker_requeues_and_resumes_bit_identical() {
+    let cfg = ServeConfig {
+        workers: 1,
+        ckpt_root: scratch("kill"),
+        // Job id 0's first attempt dies at sweep 9 (mid-run, past a
+        // checkpoint boundary).
+        kills: vec![KillSpec {
+            job: 0,
+            at_sweep: 9,
+        }],
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, "127.0.0.1:0").expect("server start");
+    let mut client = Client::connect(server.addr(), "carol").expect("connect");
+
+    let spec = tfim_spec("carol", "survivor", 41);
+    let id = client.submit(&spec).expect("submit");
+    assert_eq!(id, 0);
+
+    let (obs, attempts) = client.await_result(id, |_, _, _, _| {}).expect("result");
+    assert_eq!(attempts, 2, "first attempt must die and be requeued");
+    assert!(
+        obs.bits_eq(&reference(&spec)),
+        "resumed run must be bit-identical to an uninterrupted one"
+    );
+
+    client.drain().expect("drain ack");
+    let counters = server.join();
+    assert_eq!(counters.counter("serve.worker_kills"), 1);
+    assert_eq!(counters.counter("serve.requeues"), 1);
+    assert_eq!(counters.counter("serve.jobs_completed"), 1);
+}
+
+#[test]
+fn quota_rejections_come_back_over_the_wire() {
+    let cfg = ServeConfig {
+        workers: 1,
+        ckpt_root: scratch("quota"),
+        quota: TenantQuota { max_active: 2 },
+        // Park the worker so submissions stay active.
+        kills: Vec::new(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, "127.0.0.1:0").expect("server start");
+    let mut client = Client::connect(server.addr(), "dora").expect("connect");
+
+    let mut big = tfim_spec("dora", "j0", 1);
+    big.sweeps = 4000; // long enough to still be active while we spam
+    client.submit(&big).expect("first fits");
+    let mut j1 = tfim_spec("dora", "j1", 2);
+    j1.sweeps = 4000;
+    client.submit(&j1).expect("second fits");
+    let err = client
+        .submit(&tfim_spec("dora", "j2", 3))
+        .expect_err("third must exceed the quota");
+    assert!(err.to_string().contains("quota"), "got: {err}");
+
+    // Invalid specs are rejected with the validation reason.
+    let mut bad = tfim_spec("dora", "bad", 4);
+    bad.betas = vec![-1.0];
+    let err = client.submit(&bad).expect_err("negative beta");
+    assert!(err.to_string().contains("beta"), "got: {err}");
+
+    client.drain().expect("drain ack");
+    server.join();
+}

@@ -1,0 +1,23 @@
+//! Lint fixture: queue growth in a network-fed loop with no quota —
+//! `net-unbounded-queue` must fire on the `push` and the `push_back`.
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::TcpListener;
+
+pub struct Inbox {
+    jobs: Vec<Vec<u8>>,
+    backlog: VecDeque<Vec<u8>>,
+}
+
+pub fn admit(listener: &TcpListener, inbox: &mut Inbox) {
+    for stream in listener.incoming().flatten() {
+        let mut payload = Vec::new();
+        let mut s = stream;
+        if s.read_to_end(&mut payload).is_ok() {
+            // BAD: nothing bounds how many jobs a peer may enqueue.
+            inbox.jobs.push(payload.clone());
+            inbox.backlog.push_back(payload);
+        }
+    }
+}

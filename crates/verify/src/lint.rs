@@ -14,6 +14,7 @@
 //! | `ckpt-unbounded-chain` | no `.write_delta(`/`.write_plan(` in a file that never mentions a `full_every` cadence knob or `compact` — an unbounded delta chain grows restore cost without limit |
 //! | `hot-scalar-spin-loop` | no per-spin `.metropolis(`/`.bernoulli(` decision inside `#[qmc_hot::hot]` functions — a multi-spin-coded equivalent (batched draws, bitwise acceptance; see `qmc_tfim::packed`) exists, so scalar per-spin branching in a hot kernel must be a sanctioned reference path (waived) |
 //! | `hot-wall-clock`    | no `Instant::now`/`SystemTime::now` inside `#[qmc_hot::hot]` functions, *any* crate — timing belongs in `qmc_obs::span` guards around the kernel, not per-iteration clock reads inside it |
+//! | `net-unbounded-queue` | no `.push(`/`.push_back(` in a network-fed file (`TcpStream`/`TcpListener`/`FrameConn`/`FrameListener`/`recv_frame`) that never mentions a quota — a hostile peer must hit an admission bound, not grow server memory |
 //!
 //! Test code (`#[cfg(test)]` items, `#[test]` functions, `tests/`
 //! directories) is exempt from every rule. A violation can be waived at
@@ -54,6 +55,8 @@ pub enum Rule {
     HotScalarSpinLoop,
     /// Wall-clock read inside a `#[qmc_hot::hot]` region (any crate).
     HotWallClock,
+    /// Queue growth in a network-fed file with no quota in sight.
+    NetUnboundedQueue,
 }
 
 impl Rule {
@@ -68,6 +71,7 @@ impl Rule {
             Rule::CkptUnboundedChain => "ckpt-unbounded-chain",
             Rule::HotScalarSpinLoop => "hot-scalar-spin-loop",
             Rule::HotWallClock => "hot-wall-clock",
+            Rule::NetUnboundedQueue => "net-unbounded-queue",
         }
     }
 
@@ -82,6 +86,7 @@ impl Rule {
             Rule::CkptUnboundedChain,
             Rule::HotScalarSpinLoop,
             Rule::HotWallClock,
+            Rule::NetUnboundedQueue,
         ]
     }
 }
@@ -609,6 +614,21 @@ pub fn lint_source(display_path: &str, source: &str) -> Vec<Finding> {
         .iter()
         .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "full_every" || s == "compact"));
 
+    // Network-fed queue bounding: a file that reads from the network
+    // (raw TCP or the framed transport) and grows a queue must mention
+    // the quota that bounds it. Without an admission bound a hostile
+    // peer can submit until the server dies of allocation.
+    let net_fed = tokens.iter().any(|t| {
+        matches!(&t.tok, Tok::Ident(s) if s == "TcpStream"
+            || s == "TcpListener"
+            || s == "FrameConn"
+            || s == "FrameListener"
+            || s == "recv_frame")
+    });
+    let queue_bounded = tokens
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if s.to_lowercase().contains("quota")));
+
     let mut findings = Vec::new();
     let mut push = |line: u32, rule: Rule, message: String| {
         let waived = [line, line.saturating_sub(1)].iter().any(|l| {
@@ -740,6 +760,16 @@ pub fn lint_source(display_path: &str, source: &str) -> Vec<Finding> {
             }
         }
 
+        if net_fed && !queue_bounded {
+            if let Some(name) = method_call(tokens, i, &["push", "push_back"]) {
+                push(
+                    line,
+                    Rule::NetUnboundedQueue,
+                    format!("`.{name}()` grows a queue in a network-fed file that never names a quota (enforce an admission quota before queueing; waive only for provably bounded buffers)"),
+                );
+            }
+        }
+
         if is_lib_crate && method_call(tokens, i, &["unwrap"]).is_some() {
             push(
                 line,
@@ -828,6 +858,7 @@ mod tests {
     const CKPT_CHAIN_BAD: &str = include_str!("../fixtures/ckpt_chain.rs");
     const HOT_SCALAR_SPIN_BAD: &str = include_str!("../fixtures/hot_scalar_spin_loop.rs");
     const HOT_WALL_CLOCK_BAD: &str = include_str!("../fixtures/hot_wall_clock.rs");
+    const NET_QUEUE_BAD: &str = include_str!("../fixtures/net_queue.rs");
     const CLEAN: &str = include_str!("../fixtures/clean.rs");
 
     fn rules_fired(path: &str, src: &str) -> Vec<Rule> {
@@ -897,6 +928,31 @@ mod tests {
     }
 
     #[test]
+    fn fixture_fires_net_unbounded_queue() {
+        let fired = rules_fired("crates/fixture/src/lib.rs", NET_QUEUE_BAD);
+        // The Vec push and the VecDeque push_back both fire; the
+        // quota-checked sibling file pattern is covered below.
+        assert_eq!(
+            fired
+                .iter()
+                .filter(|r| **r == Rule::NetUnboundedQueue)
+                .count(),
+            2,
+            "{fired:?}"
+        );
+    }
+
+    #[test]
+    fn net_queue_is_fine_once_a_quota_is_named() {
+        let bounded = NET_QUEUE_BAD.replace(
+            "fn admit(",
+            "fn admit_quota(", // any ident naming the quota bounds the file
+        );
+        let fired = rules_fired("crates/fixture/src/lib.rs", &bounded);
+        assert!(!fired.contains(&Rule::NetUnboundedQueue), "{fired:?}");
+    }
+
+    #[test]
     fn hot_wall_clock_fires_even_inside_qmc_obs() {
         // The crate-scoped `wall-clock` rule exempts qmc-obs; the hot
         // variant must not — a kernel is a kernel wherever it lives.
@@ -949,6 +1005,7 @@ mod tests {
             CKPT_CHAIN_BAD,
             HOT_SCALAR_SPIN_BAD,
             HOT_WALL_CLOCK_BAD,
+            NET_QUEUE_BAD,
         ] {
             fired.extend(rules_fired("crates/fixture/src/lib.rs", src));
         }

@@ -55,6 +55,14 @@ cargo test -q -p qmc-comm --test deadlock
 cargo test -q -p qmc-bench --test alloc_guard
 cargo run -q -p qmc-bench --bin repro -- verify
 
+echo "== serve: multi-tenant job server fault drill =="
+# 240 jobs from four tenants over TCP with five injected worker deaths,
+# a PT world kill, and a drain/restart — every result must be
+# bit-identical to a direct run with zero jobs lost. The same drill is
+# pinned as the `serve` integration test; running the binary here also
+# regenerates METRICS_serve.json.
+cargo run -q --release -p qmc-bench --bin repro -- serve-demo --quick
+
 echo "== analyze: causal trace -> critical-path report =="
 # Records the 4-rank traced PT demo, merges the per-rank streams into
 # the happens-before DAG, and prints the critical path + attribution.

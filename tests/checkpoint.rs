@@ -101,6 +101,7 @@ where
             every,
             full_every: 3,
             resume: false,
+            stop: None,
         };
         assert!(
             run(Some(&ck), Some(k)).is_none(),
@@ -111,6 +112,7 @@ where
             every,
             full_every: 3,
             resume: true,
+            stop: None,
         };
         let resumed = run(Some(&ck), None)
             .unwrap_or_else(|| panic!("{label}: resume after kill at {k} did not complete"));
@@ -192,6 +194,7 @@ fn packed_delta_checkpoints_stay_under_half_full_size() {
             every,
             full_every,
             resume: false,
+            stop: None,
         };
         let mut rng = Xoshiro256StarStar::new(37);
         run_packed_tfim_ckpt(model, lanes, &mut rng, 0, sweeps, Some(&ck), None)
@@ -413,6 +416,7 @@ fn pt_recovers_bit_identical_after_injected_rank_kill() {
                 every,
                 full_every: 2,
                 resume: false,
+                stop: None,
             };
             let mut faulty = FaultyComm::new(comm, plan);
             run_pt_parallel_ckpt(&mut faulty, &cfg2, &mut rng, Some(&ck), |c, s| {
@@ -446,6 +450,7 @@ fn pt_recovers_bit_identical_after_injected_rank_kill() {
             every,
             full_every: 2,
             resume: true,
+            stop: None,
         };
         let mut faulty = FaultyComm::new(comm, plan);
         run_pt_parallel_ckpt(&mut faulty, &cfg2, &mut rng, Some(&ck), |c, s| {
@@ -515,6 +520,7 @@ fn v1_monolithic_checkpoints_resume_under_the_delta_driver() {
         every: 5,
         full_every: 3,
         resume: true,
+        stop: None,
     };
     let mut rng = CountingRng::new(Xoshiro256StarStar::new(7));
     let (_, resumed) = run_serial_tfim_ckpt(model, &mut rng, therm, sweeps, 1, Some(&ck), None)
@@ -556,4 +562,186 @@ fn pt_ladder_round_trips_and_continues_identically() {
     assert_eq!(save_state(&a), save_state(&b), "continuations diverged");
     assert_eq!(a.stats().attempted, b.stats().attempted);
     assert_eq!(a.stats().accepted, b.stats().accepted);
+}
+
+/// Graceful drain of the serial driver: a stop flag raised mid-run (here
+/// deterministically, after a fixed number of RNG draws) makes the
+/// driver write one final full generation at the next sweep boundary and
+/// exit cleanly; resuming from that generation completes bit-identical
+/// to a run that was never drained.
+#[test]
+fn serial_tfim_drains_at_sweep_boundary_and_resumes_bit_identical() {
+    use std::sync::atomic::AtomicBool;
+
+    /// Counts draws like `CountingRng` (same checkpoint layout) and
+    /// raises the drain flag once `after` draws have been consumed.
+    struct DrainRng<'a, R> {
+        inner: R,
+        draws: u64,
+        flag: &'a AtomicBool,
+        after: u64,
+    }
+    impl<R: Rng64> Rng64 for DrainRng<'_, R> {
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            if self.draws >= self.after {
+                self.flag.store(true, Ordering::SeqCst);
+            }
+            self.inner.next_u64()
+        }
+    }
+    impl<R: Rng64 + Checkpoint> Checkpoint for DrainRng<'_, R> {
+        fn kind(&self) -> &'static str {
+            // Shares `CountingRng`'s kind and layout so the drained
+            // checkpoint can be resumed by either wrapper.
+            "test.counting-rng"
+        }
+
+        fn save(&self, enc: &mut qmc_ckpt::Encoder) {
+            enc.u64(self.draws);
+            enc.state(&self.inner);
+        }
+        fn load(&mut self, dec: &mut qmc_ckpt::Decoder) -> Result<(), qmc_ckpt::CkptError> {
+            self.draws = dec.u64()?;
+            dec.load_state(&mut self.inner)
+        }
+    }
+
+    let model = TfimModel {
+        lx: 8,
+        ly: 8,
+        j: 1.0,
+        h: 2.0,
+        beta: 1.0,
+        m: 4,
+    };
+    let (therm, sweeps, every) = (6usize, 12usize, 5usize);
+
+    let mut rng = CountingRng::new(Xoshiro256StarStar::new(7));
+    let (_, reference) = run_serial_tfim_ckpt(model, &mut rng, therm, sweeps, 1, None, None)
+        .expect("reference run completes");
+    let (ref_bits, ref_draws) = (bits(&reference.energy), rng.draws);
+
+    // Drain roughly halfway through the draw stream: the flag goes up
+    // mid-sweep, the driver notices at the next sweep boundary.
+    let dir = scratch("drain");
+    let store = CkptStore::new(&dir, 3).expect("scratch store");
+    let flag = AtomicBool::new(false);
+    let ck = CkptCfg {
+        store: &store,
+        every,
+        full_every: 3,
+        resume: false,
+        stop: Some(&flag),
+    };
+    let mut rng = DrainRng {
+        inner: Xoshiro256StarStar::new(7),
+        draws: 0,
+        flag: &flag,
+        after: ref_draws / 2,
+    };
+    assert!(
+        run_serial_tfim_ckpt(model, &mut rng, therm, sweeps, 1, Some(&ck), None).is_none(),
+        "a drained run must end early"
+    );
+    let drained_at = *store
+        .generations()
+        .last()
+        .expect("drain wrote a generation");
+    assert!(
+        drained_at > 0 && (drained_at as usize) < therm + sweeps,
+        "drain landed at sweep {drained_at}, expected mid-run"
+    );
+
+    // Resume (plain counting RNG — the checkpoint layouts match) and
+    // land exactly on the undisturbed trajectory.
+    let ck = CkptCfg {
+        store: &store,
+        every,
+        full_every: 3,
+        resume: true,
+        stop: None,
+    };
+    let mut rng = CountingRng::new(Xoshiro256StarStar::new(7));
+    let (_, resumed) = run_serial_tfim_ckpt(model, &mut rng, therm, sweeps, 1, Some(&ck), None)
+        .expect("resumed run completes");
+    assert_eq!(ref_bits, bits(&resumed.energy), "drained resume diverged");
+    assert_eq!(ref_draws, rng.draws, "draw count diverged across the drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful drain of the 4-rank PT driver: the stop flag (read on rank 0,
+/// broadcast to everyone) makes all ranks write one coordinated full
+/// generation and exit together; resuming finishes bit-identical to an
+/// undisturbed run.
+#[test]
+fn pt_drains_collectively_and_resumes_bit_identical() {
+    use std::sync::atomic::AtomicBool;
+    let cfg = pt_cfg();
+    let every = 4;
+    let drain_after = (cfg.therm + cfg.sweeps) / 2;
+    let dir = scratch("pt-drain");
+
+    let cfg2 = cfg.clone();
+    let reference = run_threads(4, move |comm| {
+        let mut rng = StreamFactory::new(17).stream(comm.rank());
+        run_pt_parallel_ckpt(comm, &cfg2, &mut rng, None, |_, _| {})
+    });
+
+    let cfg2 = cfg.clone();
+    let dir2 = dir.clone();
+    let drained = run_threads(4, move |comm| {
+        let flag = AtomicBool::new(false);
+        let store = CkptStore::new(&dir2, 3).expect("store");
+        let ck = PtCheckpointing {
+            store: &store,
+            every,
+            full_every: 2,
+            resume: false,
+            stop: Some(&flag),
+        };
+        let mut rng = StreamFactory::new(17).stream(comm.rank());
+        run_pt_parallel_ckpt(comm, &cfg2, &mut rng, Some(&ck), |_, s| {
+            if s == drain_after {
+                flag.store(true, Ordering::SeqCst);
+            }
+        })
+    });
+    // Every rank exited early together with the same partial series len.
+    for (energies, _) in &drained {
+        assert_eq!(
+            energies.len(),
+            drain_after + 1 - cfg.therm,
+            "rank drained at the wrong boundary"
+        );
+    }
+    let store = CkptStore::new(&dir, 3).expect("store");
+    assert_eq!(
+        *store
+            .generations()
+            .last()
+            .expect("drain wrote a generation"),
+        (drain_after + 1) as u64,
+        "the drain generation names the boundary after the flag was raised"
+    );
+
+    let cfg2 = cfg.clone();
+    let dir2 = dir.clone();
+    let resumed = run_threads(4, move |comm| {
+        let store = CkptStore::new(&dir2, 3).expect("store");
+        let ck = PtCheckpointing {
+            store: &store,
+            every,
+            full_every: 2,
+            resume: true,
+            stop: None,
+        };
+        let mut rng = StreamFactory::new(17).stream(comm.rank());
+        run_pt_parallel_ckpt(comm, &cfg2, &mut rng, Some(&ck), |_, _| {})
+    });
+    for (r, d) in reference.iter().zip(&resumed) {
+        assert_eq!(bits(&r.0), bits(&d.0), "drained PT resume diverged");
+        assert_eq!(bits(&r.1), bits(&d.1), "drained PT rates diverged");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

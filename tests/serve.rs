@@ -1,0 +1,34 @@
+//! Pins the `repro serve-demo` fault drill: a multi-tenant job server
+//! under injected worker deaths must lose zero jobs and resume every
+//! killed or drained job bit-identically.
+
+#[test]
+fn serve_demo_loses_nothing_and_resumes_bit_identical() {
+    let (report, ok) = qmc_bench::serve_demo::serve_demo(true);
+    assert!(ok, "serve demo failed:\n{report}");
+    assert!(
+        report.contains("completed 240/240 (lost 0)"),
+        "fleet must complete in full:\n{report}"
+    );
+    assert!(
+        report.contains("bit-identical to direct runs: 240/240"),
+        "every served result must match a direct run:\n{report}"
+    );
+    assert!(
+        report.contains("killed jobs retried: 5/5"),
+        "every injected kill must requeue and finish:\n{report}"
+    );
+    assert!(
+        report.contains("tenant metric isolation: yes"),
+        "tenant metrics must not leak:\n{report}"
+    );
+    assert!(
+        report.contains("bit-identical resume yes"),
+        "the PT kill must resume bit-identically:\n{report}"
+    );
+    assert!(
+        report.contains("restarted server resumed bit-identical yes"),
+        "the drain/restart act must resume bit-identically:\n{report}"
+    );
+    assert!(report.contains("[PASS]"), "{report}");
+}
