@@ -162,8 +162,9 @@ fn ckpt_request(flags: &HashMap<String, String>, engine: &str) -> Option<CkptReq
 }
 
 /// `qmc serve --addr H:P --workers N --ckpt-dir D --ckpt-every N
-/// --max-active N` — run the multi-tenant job server until a client
-/// drains it (`qmc submit --addr H:P --drain`).
+/// --max-active N --admin T` — run the multi-tenant job server until an
+/// admin session drains it (`qmc submit --addr H:P --tenant admin
+/// --drain`).
 fn run_serve(flags: &HashMap<String, String>) {
     let addr = flags
         .get("addr")
@@ -180,6 +181,10 @@ fn run_serve(flags: &HashMap<String, String>) {
         quota: qmc_serve::TenantQuota {
             max_active: get(flags, "max-active", 64),
         },
+        admin: flags
+            .get("admin")
+            .cloned()
+            .unwrap_or_else(|| "admin".into()),
         ..qmc_serve::ServeConfig::default()
     };
     let workers = cfg.workers;

@@ -169,7 +169,11 @@ pub fn serve_demo(quick: bool) -> (String, bool) {
     );
     ok &= lost == 0 && identical == FLEET_JOBS && kill_attempts_ok == KILLS.len();
 
-    let (counters, _) = clients[0].stats("").expect("global stats");
+    // Global counters need operator powers: tenant sessions are pinned
+    // to their own namespace, so the drill connects an admin session for
+    // the unfiltered view (and, below, the drains).
+    let mut admin = Client::connect(addr, "admin").expect("admin connects");
+    let (counters, _) = admin.stats("").expect("global stats");
     let get = |name: &str| {
         counters
             .iter()
@@ -203,7 +207,7 @@ pub fn serve_demo(quick: bool) -> (String, bool) {
     let _ = writeln!(out, "  tenant metric isolation: {}", yes(isolated));
     ok &= isolated;
 
-    clients[0].drain().expect("drain ack");
+    admin.drain().expect("drain ack");
     let fleet_obs = server.join();
 
     // ---- Act 2: PT world kill --------------------------------------
@@ -231,7 +235,8 @@ pub fn serve_demo(quick: bool) -> (String, bool) {
         yes(pt_identical)
     );
     ok &= attempts >= 2 && pt_identical;
-    client.drain().expect("drain ack");
+    let mut admin = Client::connect(server.addr(), "admin").expect("admin connects");
+    admin.drain().expect("drain ack");
     server.join();
 
     // ---- Act 3: drain, restart, finish -----------------------------
@@ -250,7 +255,8 @@ pub fn serve_demo(quick: bool) -> (String, bool) {
     client.submit(&spec).expect("submit long job");
     // Drain right away: the job pauses at its next sweep boundary (or
     // stays queued if no worker picked it up yet — either is safe).
-    client.drain().expect("drain ack");
+    let mut admin = Client::connect(server.addr(), "admin").expect("admin connects");
+    admin.drain().expect("drain ack");
     let drained_obs = server.join();
     let paused = drained_obs.counter("serve.jobs_drained");
 
@@ -273,7 +279,8 @@ pub fn serve_demo(quick: bool) -> (String, bool) {
         yes(drain_identical)
     );
     ok &= drain_identical;
-    client.drain().expect("drain ack");
+    let mut admin = Client::connect(server.addr(), "admin").expect("admin connects");
+    admin.drain().expect("drain ack");
     server.join();
 
     // ---- Artifact ---------------------------------------------------

@@ -27,7 +27,7 @@ pub mod registry;
 pub use crc32::crc32;
 pub use delta::{RawCkpt, SectionData, SectionPlan, SCHEMA_V2};
 pub use file::{CkptFile, SCHEMA};
-pub use store::CkptStore;
+pub use store::{namespace_key, CkptStore};
 pub use wire::{CkptError, Decoder, Encoder};
 
 /// Named sections of a [`Checkpoint`] value with a changed-since-last-

@@ -40,7 +40,7 @@ static ACTIVE_WRITERS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
 /// could still walk the tree (empty, `.`, `..`, or a segment that lost
 /// all its identity to `_`) into a CRC-derived token that is stable for
 /// a given input but cannot escape the root.
-fn sanitize_segment(segment: &str) -> String {
+pub(crate) fn sanitize_segment(segment: &str) -> String {
     let mapped: String = segment
         .chars()
         .map(|c| {
@@ -58,6 +58,18 @@ fn sanitize_segment(segment: &str) -> String {
     } else {
         mapped
     }
+}
+
+/// The canonical on-disk key of a `/`-separated namespace: each segment
+/// sanitized exactly as [`CkptStore::open_namespace`] would, re-joined
+/// with `/`. Two names with equal keys share a checkpoint directory —
+/// admission layers use this to reject namespace collisions *before*
+/// two live jobs can resume each other's generations.
+pub fn namespace_key(name: &str) -> String {
+    name.split('/')
+        .map(sanitize_segment)
+        .collect::<Vec<_>>()
+        .join("/")
 }
 
 /// Normalized directory key for the writer registry (two stores may name
@@ -546,6 +558,10 @@ mod tests {
         assert!(sanitize_segment("").starts_with("ns-"));
         // Distinct hostile inputs land on distinct tokens.
         assert_ne!(sanitize_segment(".."), sanitize_segment("..."));
+        // Distinct names that sanitize to the same directory share a
+        // namespace key — the collision signal admission layers need.
+        assert_eq!(namespace_key("t/job a"), namespace_key("t/job_a"));
+        assert_ne!(namespace_key("t/job-a"), namespace_key("t/job_a"));
     }
 
     #[test]

@@ -95,8 +95,10 @@ impl Client {
         }
     }
 
-    /// Server counters and health snapshots; empty `tenant` means the
-    /// global (unfiltered) view.
+    /// Server counters and health snapshots. The server scopes the view
+    /// to this session's handshaken tenant regardless of `tenant`;
+    /// only admin sessions may pass another tenant's name, or `""` for
+    /// the global (unfiltered) view.
     pub fn stats(&mut self, tenant: &str) -> Result<TenantStats, ServeError> {
         self.conn.send(
             &Msg::Stats {
@@ -114,11 +116,13 @@ impl Client {
     }
 
     /// Ask the server to drain: stop admitting, checkpoint in-flight
-    /// jobs, shut down. The server acknowledges then hangs up.
+    /// jobs, shut down. Only sessions handshaken as the server's admin
+    /// tenant may drain; the server acknowledges then hangs up.
     pub fn drain(&mut self) -> Result<(), ServeError> {
         self.conn.send(&Msg::Drain.encode())?;
         match Msg::decode(&self.conn.recv()?)? {
             Msg::Draining => Ok(()),
+            Msg::Error { detail } => Err(ServeError::Rejected(detail)),
             other => Err(ServeError::Protocol(format!(
                 "expected Draining, got {other:?}"
             ))),

@@ -79,8 +79,24 @@ pub struct JobSpec {
     pub ckpt_every: u32,
 }
 
+/// Largest admissible β ladder: one ThreadWorld rank (an OS thread) per
+/// β for parallel tempering, so this bounds the threads one quota slot
+/// can demand. The 1 MiB frame cap alone would still admit ~130k betas.
+pub const MAX_BETAS: usize = 64;
+/// Largest admissible lattice extent per dimension (serial TFIM) —
+/// bounds per-job memory at admission, not just frame size.
+pub const MAX_EXTENT: usize = 256;
+/// Largest admissible PT chain length.
+pub const MAX_CHAIN: usize = 4096;
+/// Largest admissible Trotter slice count.
+pub const MAX_SLICES: usize = 1024;
+/// Largest admissible Wolff-updates-per-sweep multiplier.
+pub const MAX_WOLFF: usize = 1024;
+
 impl JobSpec {
-    /// Validate the spec against engine constraints; returns a
+    /// Validate the spec against engine constraints *and* per-job
+    /// resource caps (a single quota-compliant submission must not be
+    /// able to exhaust server threads or memory); returns a
     /// human-readable reason on rejection.
     pub fn validate(&self) -> Result<(), String> {
         if self.tenant.is_empty() || self.tenant.len() > 64 {
@@ -92,11 +108,19 @@ impl JobSpec {
         if self.sweeps == 0 {
             return Err("sweep budget must be positive".into());
         }
+        if self.betas.len() > MAX_BETAS {
+            return Err(format!(
+                "beta schedule too long ({} betas, limit {MAX_BETAS})",
+                self.betas.len()
+            ));
+        }
         if self.betas.iter().any(|b| !b.is_finite() || *b <= 0.0) {
             return Err("every beta must be finite and positive".into());
         }
         match &self.kind {
-            JobKind::Tfim { lx, ly, m, .. } => {
+            JobKind::Tfim {
+                lx, ly, m, wolff, ..
+            } => {
                 if self.betas.len() != 1 {
                     return Err("serial TFIM jobs take exactly one beta".into());
                 }
@@ -110,6 +134,15 @@ impl JobSpec {
                 }
                 if *m < 2 || *m % 2 != 0 {
                     return Err("TFIM Trotter slices m must be even >= 2".into());
+                }
+                if *lx > MAX_EXTENT || *ly > MAX_EXTENT {
+                    return Err(format!("TFIM lattice extent limit is {MAX_EXTENT}"));
+                }
+                if *m > MAX_SLICES {
+                    return Err(format!("TFIM Trotter slice limit is {MAX_SLICES}"));
+                }
+                if *wolff > MAX_WOLFF {
+                    return Err(format!("TFIM wolff-per-sweep limit is {MAX_WOLFF}"));
                 }
             }
             JobKind::PtXxz {
@@ -126,6 +159,12 @@ impl JobSpec {
                 }
                 if *l == 0 || *m == 0 || *exchange_every == 0 {
                     return Err("PT XXZ needs l >= 1, m >= 1, exchange_every >= 1".into());
+                }
+                if *l > MAX_CHAIN {
+                    return Err(format!("PT XXZ chain length limit is {MAX_CHAIN}"));
+                }
+                if *m > MAX_SLICES {
+                    return Err(format!("PT XXZ Trotter slice limit is {MAX_SLICES}"));
                 }
             }
         }
@@ -338,6 +377,54 @@ mod tests {
         s.betas = vec![f64::NAN];
         assert!(s.validate().is_err(), "NaN beta");
         assert!(tfim_spec().validate().is_ok());
+    }
+
+    /// A single quota-compliant submission must not be able to exhaust
+    /// worker threads or memory: every resource dimension is capped at
+    /// admission, well below what the 1 MiB frame cap alone would admit.
+    #[test]
+    fn validation_caps_per_job_resources() {
+        let pt = |betas: Vec<f64>, l: usize, m: usize| JobSpec {
+            tenant: "t".into(),
+            name: "big".into(),
+            kind: JobKind::PtXxz {
+                l,
+                jx: 1.0,
+                jz: 1.0,
+                m,
+                exchange_every: 2,
+            },
+            betas,
+            therm: 1,
+            sweeps: 1,
+            seed: 1,
+            priority: 0,
+            ckpt_every: 0,
+        };
+        let ladder = |n: usize| (1..=n).map(|i| i as f64).collect::<Vec<_>>();
+        assert!(pt(ladder(MAX_BETAS), 8, 8).validate().is_ok());
+        let err = pt(ladder(MAX_BETAS + 1), 8, 8).validate().unwrap_err();
+        assert!(err.contains("beta schedule"), "{err}");
+        let err = pt(ladder(4), MAX_CHAIN + 1, 8).validate().unwrap_err();
+        assert!(err.contains("chain length"), "{err}");
+        let err = pt(ladder(4), 8, MAX_SLICES + 2).validate().unwrap_err();
+        assert!(err.contains("slice"), "{err}");
+
+        let mut s = tfim_spec();
+        if let JobKind::Tfim { lx, .. } = &mut s.kind {
+            *lx = MAX_EXTENT + 2;
+        }
+        assert!(s.validate().unwrap_err().contains("extent"));
+        let mut s = tfim_spec();
+        if let JobKind::Tfim { m, .. } = &mut s.kind {
+            *m = MAX_SLICES + 2;
+        }
+        assert!(s.validate().unwrap_err().contains("slice"));
+        let mut s = tfim_spec();
+        if let JobKind::Tfim { wolff, .. } = &mut s.kind {
+            *wolff = MAX_WOLFF + 1;
+        }
+        assert!(s.validate().unwrap_err().contains("wolff"));
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub enum Outcome {
         /// Sweep boundary the drain checkpoint carries.
         at_sweep: u64,
     },
+    /// The attempt cannot proceed and a retry would hit the same wall
+    /// (e.g. the checkpoint store fails to restore). The scheduler fails
+    /// the job with this reason instead of requeueing it forever.
+    Failed {
+        /// What went wrong, with enough context to diagnose.
+        reason: String,
+    },
 }
 
 /// Controls for one attempt: checkpointing, fault injection, drain, and
@@ -144,14 +151,32 @@ fn run_tfim(model: TfimModel, wolff: usize, spec: &JobSpec, mut ctl: RunCtl<'_>)
     if let Some(store) = ctl.store {
         if ctl.resume {
             if let Some((generation, file)) = store.latest() {
-                let meta = file.require("meta").expect("job checkpoint meta");
-                let mut dec = Decoder::new(meta);
-                let s0 = dec.u64().expect("job checkpoint sweep index") as usize;
-                assert_eq!(generation, s0 as u64, "generation = sweep index");
-                restore_sections(&file, "engine", &mut eng).expect("restore engine");
-                restore_sections(&file, "rng", &mut rng).expect("restore rng");
-                restore_sections(&file, "series", &mut series).expect("restore series");
-                start = s0;
+                // A restore failure (corrupt generation, or a checkpoint
+                // written by a different spec) is terminal for the job,
+                // not the worker: report it instead of panicking the
+                // pool thread.
+                let restored = (|| -> Result<usize, String> {
+                    let meta = file.require("meta").map_err(|e| e.to_string())?;
+                    let mut dec = Decoder::new(meta);
+                    let s0 = dec.u64().map_err(|e| e.to_string())? as usize;
+                    if generation != s0 as u64 {
+                        return Err(format!(
+                            "generation {generation} != checkpointed sweep {s0}"
+                        ));
+                    }
+                    restore_sections(&file, "engine", &mut eng).map_err(|e| e.to_string())?;
+                    restore_sections(&file, "rng", &mut rng).map_err(|e| e.to_string())?;
+                    restore_sections(&file, "series", &mut series).map_err(|e| e.to_string())?;
+                    Ok(s0)
+                })();
+                match restored {
+                    Ok(s0) => start = s0,
+                    Err(e) => {
+                        return Outcome::Failed {
+                            reason: format!("restore from checkpoint generation {generation}: {e}"),
+                        }
+                    }
+                }
             }
         }
     }

@@ -46,6 +46,9 @@ pub enum JobState {
     Done,
     /// Checkpointed and parked by a server drain.
     Paused,
+    /// An attempt died in a way a retry cannot fix (restore error,
+    /// worker panic); the reason is retained for `Await`.
+    Failed,
 }
 
 /// One progress snapshot retained for streaming.
@@ -68,6 +71,10 @@ pub struct SnapRec {
 pub struct JobRec {
     /// The submitted spec.
     pub spec: JobSpec,
+    /// Sanitized checkpoint-directory key of `spec.namespace()`; two
+    /// jobs with equal keys would resume each other's generations, so
+    /// admission refuses the collision while the first is live.
+    pub ns_key: String,
     /// Current lifecycle state.
     pub state: JobState,
     /// Attempts started (1 on first dispatch).
@@ -80,6 +87,8 @@ pub struct JobRec {
     pub next_seq: u64,
     /// Final observables and attempt count, once done.
     pub result: Option<(JobObservables, u32)>,
+    /// Why the job failed, once [`JobState::Failed`].
+    pub error: Option<String>,
 }
 
 /// How many snapshots a job retains for late-joining `Await` streams.
@@ -133,16 +142,41 @@ impl Sched {
                 spec.tenant, quota.max_active
             ));
         }
+        // Namespace uniqueness: the checkpoint directory is keyed by the
+        // *sanitized* tenant/name, so distinct names can still collide
+        // on disk ("job a" vs "job_a"). Two live jobs sharing a
+        // namespace would resume each other's generations; refuse the
+        // second while the first is Queued/Running/Paused. (Done and
+        // Failed jobs release the name — the worker removes their
+        // checkpoint directory, so reuse starts from a clean store.)
+        let ns_key = qmc_ckpt::namespace_key(&spec.namespace());
+        let live_collision = self.jobs.iter().any(|j| {
+            j.ns_key == ns_key
+                && matches!(
+                    j.state,
+                    JobState::Queued | JobState::Running | JobState::Paused
+                )
+        });
+        if live_collision {
+            self.obs.counter_add("serve.jobs_rejected", 1);
+            return Err(format!(
+                "job namespace '{}' collides with a live job's checkpoint \
+                 directory ({ns_key})",
+                spec.namespace()
+            ));
+        }
         let id = self.jobs.len() as u64;
         let kill_at = kills.iter().find(|k| k.job == id).map(|k| k.at_sweep);
         self.jobs.push(JobRec {
             spec,
+            ns_key,
             state: JobState::Queued,
             attempts: 0,
             kill_at,
             snapshots: VecDeque::new(),
             next_seq: 1,
             result: None,
+            error: None,
         });
         // Bounded by construction: admission above enforces the tenant
         // quota before anything is queued.
@@ -238,6 +272,16 @@ impl Sched {
     pub fn pause(&mut self, id: u64) {
         self.jobs[id as usize].state = JobState::Paused;
         self.obs.counter_add("serve.jobs_drained", 1);
+    }
+
+    /// An attempt died in a way a retry cannot fix (restore error,
+    /// worker panic): park the job as Failed with the reason, releasing
+    /// its quota slot and namespace instead of looping the failure.
+    pub fn fail(&mut self, id: u64, reason: String) {
+        let rec = &mut self.jobs[id as usize];
+        rec.state = JobState::Failed;
+        rec.error = Some(reason);
+        self.obs.counter_add("serve.jobs_failed", 1);
     }
 
     /// Counters and health snapshots, optionally filtered to one
@@ -387,6 +431,40 @@ mod tests {
         assert_eq!(health.len(), 1);
         assert_eq!(health[0].name, "tenant.alice.energy");
         assert_eq!(health[0].mean, -1.0);
+    }
+
+    #[test]
+    fn namespace_collisions_are_rejected_while_live() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota::default();
+        let id = sched.submit(spec("a", "job 1", 0), &quota, &[]).unwrap();
+        // Same sanitized checkpoint directory, different literal name.
+        let err = sched
+            .submit(spec("a", "job_1", 0), &quota, &[])
+            .unwrap_err();
+        assert!(err.contains("collides"), "{err}");
+        // Another tenant's identical job name is a different namespace.
+        assert!(sched.submit(spec("b", "job 1", 0), &quota, &[]).is_ok());
+        // Once the first job is done its namespace is free again.
+        sched.pop_next();
+        sched.complete(id, JobObservables::default(), &Registry::new());
+        assert!(sched.submit(spec("a", "job_1", 0), &quota, &[]).is_ok());
+    }
+
+    #[test]
+    fn failed_jobs_release_quota_and_keep_the_reason() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota { max_active: 1 };
+        let id = sched.submit(spec("a", "j1", 0), &quota, &[]).unwrap();
+        sched.pop_next();
+        sched.fail(id, "restore error: checkpoint corrupt".into());
+        let rec = &sched.jobs[id as usize];
+        assert_eq!(rec.state, JobState::Failed);
+        assert!(rec.error.as_deref().unwrap().contains("restore"));
+        assert_eq!(sched.obs.counter("serve.jobs_failed"), 1);
+        // The failed job no longer occupies the tenant's quota slot or
+        // its checkpoint namespace.
+        assert!(sched.submit(spec("a", "j1", 0), &quota, &[]).is_ok());
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub struct ServeConfig {
     pub kills: Vec<KillSpec>,
     /// Per-frame payload cap for client connections.
     pub max_frame: usize,
+    /// Tenant name granted operator powers: sessions handshaken as this
+    /// tenant may read unfiltered `Stats` and request a `Drain`. Every
+    /// other session sees only its own tenant's counters and cannot
+    /// drain the server.
+    pub admin: String,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +60,7 @@ impl Default for ServeConfig {
             quota: TenantQuota::default(),
             kills: Vec::new(),
             max_frame: 1024 * 1024,
+            admin: "admin".into(),
         }
     }
 }
@@ -217,10 +223,19 @@ fn handle_conn(mut conn: FrameConn, shared: Arc<Shared>) {
                 );
                 return;
             }
-            Ok(None) => continue, // timeout tick; re-check stop below
+            Ok(None) => {
+                // Timeout tick: a client that never says Hello must not
+                // pin this handler past a drain.
+                if shared.stop.load(Ordering::SeqCst) {
+                    let _ = send_msg(&mut conn, &Msg::Draining);
+                    return;
+                }
+                continue;
+            }
             Err(()) => return,
         }
     };
+    let is_admin = tenant == shared.cfg.admin;
 
     loop {
         let msg = match recv_msg(&mut conn, &shared, &peer, &tenant) {
@@ -291,6 +306,13 @@ fn handle_conn(mut conn: FrameConn, shared: Arc<Shared>) {
                                     })
                                 } else if rec.state == JobState::Paused {
                                     Step::Finished(Msg::Draining)
+                                } else if rec.state == JobState::Failed {
+                                    Step::Finished(Msg::Error {
+                                        detail: format!(
+                                            "job {job} failed: {}",
+                                            rec.error.as_deref().unwrap_or("unknown")
+                                        ),
+                                    })
                                 } else {
                                     Step::Wait
                                 }
@@ -327,11 +349,27 @@ fn handle_conn(mut conn: FrameConn, shared: Arc<Shared>) {
                 }
             }
             Msg::Stats { tenant: filter } => {
+                // Isolation is pinned at the socket layer: a non-admin
+                // session's view is always scoped to its handshaken
+                // tenant, whatever filter the client sent (in particular
+                // `""`, which for an admin means the global view).
+                let filter = if is_admin { filter } else { tenant.clone() };
                 let (counters, health) = {
                     let sched = shared.sched.lock().expect("scheduler lock");
                     sched.stats(&filter)
                 };
                 if send_msg(&mut conn, &Msg::StatsReply { counters, health }).is_err() {
+                    return;
+                }
+            }
+            Msg::Drain if !is_admin => {
+                let reply = Msg::Error {
+                    detail: format!(
+                        "peer {peer} tenant {tenant}: drain requires the '{}' tenant",
+                        shared.cfg.admin
+                    ),
+                };
+                if send_msg(&mut conn, &reply).is_err() {
                     return;
                 }
             }
@@ -441,30 +479,60 @@ fn worker_loop(shared: Arc<Shared>) {
         } else {
             shared.cfg.ckpt_every
         };
-        let store = CkptStore::open_namespace(&shared.cfg.ckpt_root, &spec.namespace(), 3)
-            .expect("job checkpoint namespace");
+        let store = match CkptStore::open_namespace(&shared.cfg.ckpt_root, &spec.namespace(), 3) {
+            Ok(store) => store,
+            Err(e) => {
+                let mut sched = shared.sched.lock().expect("scheduler lock");
+                sched.fail(id, format!("open checkpoint namespace: {e}"));
+                drop(sched);
+                shared.update_cv.notify_all();
+                continue;
+            }
+        };
         let mut on_snapshot = |sweep: u64, total: u64, mean: f64| {
             let mut sched = shared.sched.lock().expect("scheduler lock");
             sched.record_snapshot(id, sweep, total, mean);
             drop(sched);
             shared.update_cv.notify_all();
         };
-        let outcome = run_job(
-            &spec,
-            RunCtl {
-                store: Some(&store),
-                every,
-                full_every: 3,
-                resume: true,
-                kill_at,
-                stop: Some(&shared.stop),
-                snapshot: Some(&mut on_snapshot),
-            },
-        );
+        // An attempt must not be able to take the pool thread down with
+        // it: a panic anywhere in the drive loop (engine invariant, PT
+        // world restore, store I/O) fails the *job* — clients get the
+        // reason via Await — and the worker lives on.
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(
+                &spec,
+                RunCtl {
+                    store: Some(&store),
+                    every,
+                    full_every: 3,
+                    resume: true,
+                    kill_at,
+                    stop: Some(&shared.stop),
+                    snapshot: Some(&mut on_snapshot),
+                },
+            )
+        }));
+        let outcome = match attempt {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let reason = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".into());
+                Outcome::Failed {
+                    reason: format!("attempt panicked: {reason}"),
+                }
+            }
+        };
 
         let mut sched = shared.sched.lock().expect("scheduler lock");
-        match outcome {
-            Outcome::Done(obs, metrics) => sched.complete(id, obs, &metrics),
+        let release_namespace = match outcome {
+            Outcome::Done(obs, metrics) => {
+                sched.complete(id, obs, &metrics);
+                true
+            }
             Outcome::Killed { .. } => {
                 sched.requeue(id);
                 drop(sched);
@@ -474,9 +542,25 @@ fn worker_loop(shared: Arc<Shared>) {
                 shared.update_cv.notify_all();
                 continue;
             }
-            Outcome::Drained { .. } => sched.pause(id),
-        }
+            // A paused job's checkpoints are exactly what a restarted
+            // server resumes from; keep them.
+            Outcome::Drained { .. } => {
+                sched.pause(id);
+                false
+            }
+            Outcome::Failed { reason } => {
+                sched.fail(id, reason);
+                true
+            }
+        };
         drop(sched);
+        if release_namespace {
+            // Terminal states free the job's namespace: removing the
+            // checkpoint directory keeps finished jobs from accumulating
+            // on disk without bound, and guarantees a reused name starts
+            // from a clean store instead of a stale generation.
+            let _ = std::fs::remove_dir_all(store.dir());
+        }
         shared.update_cv.notify_all();
     }
 }

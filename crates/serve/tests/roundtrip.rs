@@ -88,7 +88,27 @@ fn submit_await_drain_round_trip_matches_direct_run() {
         .iter()
         .any(|(k, _)| k.contains("tenant.alice.")));
 
-    alice.drain().expect("drain ack");
+    // The filter is pinned to the session's handshaken tenant: bob
+    // asking for alice's namespace (or the global "" view) still gets
+    // only his own counters.
+    for nosy in ["alice", ""] {
+        let (counters, health) = bob.stats(nosy).expect("stats reply");
+        assert!(
+            !counters.iter().any(|(k, _)| k.contains("tenant.alice.")),
+            "bob read alice's counters via filter {nosy:?}"
+        );
+        assert!(health.iter().all(|h| !h.name.contains("alice")));
+    }
+
+    // Drain is an operator action: a tenant session is refused, the
+    // admin session is honored.
+    let err = alice.drain().expect_err("tenant drain must be refused");
+    assert!(err.to_string().contains("admin"), "got: {err}");
+    let mut admin = Client::connect(addr, "admin").expect("admin connects");
+    let (global, _) = admin.stats("").expect("admin global stats");
+    assert!(global.iter().any(|(k, _)| k.contains("tenant.alice.")));
+    assert!(global.iter().any(|(k, _)| k.contains("tenant.bob.")));
+    admin.drain().expect("drain ack");
     let obs = server.join();
     assert_eq!(obs.counter("serve.jobs_completed"), 2);
     assert_eq!(obs.counter("serve.requeues"), 0);
@@ -121,7 +141,8 @@ fn killed_worker_requeues_and_resumes_bit_identical() {
         "resumed run must be bit-identical to an uninterrupted one"
     );
 
-    client.drain().expect("drain ack");
+    let mut admin = Client::connect(server.addr(), "admin").expect("admin connects");
+    admin.drain().expect("drain ack");
     let counters = server.join();
     assert_eq!(counters.counter("serve.worker_kills"), 1);
     assert_eq!(counters.counter("serve.requeues"), 1);
@@ -158,6 +179,48 @@ fn quota_rejections_come_back_over_the_wire() {
     let err = client.submit(&bad).expect_err("negative beta");
     assert!(err.to_string().contains("beta"), "got: {err}");
 
-    client.drain().expect("drain ack");
+    let mut admin = Client::connect(server.addr(), "admin").expect("admin connects");
+    admin.drain().expect("drain ack");
+    server.join();
+}
+
+/// Two live jobs must never share a checkpoint namespace: the sanitized
+/// directory key is enforced at admission, and a completed job's
+/// namespace is released (its checkpoint directory removed) so the name
+/// can be reused from a clean store.
+#[test]
+fn live_namespace_collisions_are_rejected_and_done_jobs_release_disk() {
+    let root = scratch("ns");
+    let cfg = ServeConfig {
+        workers: 1,
+        ckpt_root: root.clone(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, "127.0.0.1:0").expect("server start");
+    let mut client = Client::connect(server.addr(), "erin").expect("connect");
+
+    let mut long = tfim_spec("erin", "job a", 5);
+    long.sweeps = 4000; // stays live while we probe the collision
+    let id = client.submit(&long).expect("first name fits");
+    // "job_a" sanitizes to the same checkpoint directory as "job a".
+    let err = client
+        .submit(&tfim_spec("erin", "job_a", 6))
+        .expect_err("colliding namespace while live");
+    assert!(err.to_string().contains("collides"), "got: {err}");
+
+    let (_, attempts) = client.await_result(id, |_, _, _, _| {}).expect("result");
+    assert_eq!(attempts, 1);
+    // Done: the namespace directory is gone and the name is free again.
+    assert!(
+        !root.join("erin").join("job_a").exists(),
+        "completed job's checkpoint namespace must be removed"
+    );
+    let id2 = client
+        .submit(&tfim_spec("erin", "job_a", 6))
+        .expect("name is free after completion");
+    client.await_result(id2, |_, _, _, _| {}).expect("reran");
+
+    let mut admin = Client::connect(server.addr(), "admin").expect("admin connects");
+    admin.drain().expect("drain ack");
     server.join();
 }
