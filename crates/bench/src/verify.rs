@@ -2,7 +2,7 @@
 //! workspace invariant linter, the two static/dynamic analyses from
 //! `qmc-verify`.
 //!
-//! Three acts:
+//! Four acts:
 //!
 //! 1. Record a real 4-rank thread-backed parallel-tempering run through
 //!    [`qmc_verify::RecordingComm`] and prove the captured traffic
@@ -11,6 +11,13 @@
 //! 2. Feed the checker a deliberately broken crossed-receive program and
 //!    show it reports the exact wait-for cycle.
 //! 3. Run `qmc-lint` over the workspace sources.
+//! 4. Exhaustively explore the checkpoint-commit, drain-verdict, and
+//!    scheduler protocol models (sleep sets + DPOR) at the committed
+//!    instance sizes: all three must be invariant-clean under their
+//!    transition ceilings, DPOR must beat the naive enumeration by at
+//!    least 2×, and a seeded drain mutant must yield a minimized,
+//!    rendered counterexample (the gate's teeth). Writes
+//!    `VERIFY_explore.json` (schema `qmc-verify-explore/v1`).
 //!
 //! Returns the report text and whether everything passed (the CLI turns
 //! a failure into a non-zero exit for `scripts/check.sh`).
@@ -18,7 +25,10 @@
 use qmc_comm::Communicator;
 use qmc_core::pt::{run_pt_parallel, PtConfig};
 use qmc_rng::StreamFactory;
-use qmc_verify::{check, lint, record_threads, Event, WorldTrace};
+use qmc_verify::model::{CkptCommitModel, DrainModel, DrainMutation, SchedModel};
+use qmc_verify::{
+    check, explore, explore_naive, lint, record_threads, Budget, Event, Outcome, WorldTrace,
+};
 use std::fmt::Write as _;
 
 /// Record a quick 4-rank PT run and return its trace.
@@ -72,7 +82,7 @@ pub fn verify_demo() -> (String, bool) {
     let trace = record_pt_trace();
     let _ = writeln!(
         out,
-        "[1/3] trace check: 4-rank ThreadWorld parallel tempering \
+        "[1/4] trace check: 4-rank ThreadWorld parallel tempering \
          ({} events recorded)",
         trace.len()
     );
@@ -91,7 +101,7 @@ pub fn verify_demo() -> (String, bool) {
 
     // Act 2: the checker must flag a crossed-receive program with the
     // exact wait-for cycle (a self-test that the gate has teeth).
-    let _ = writeln!(out, "[2/3] trace check: crossed-recv counterexample");
+    let _ = writeln!(out, "[2/4] trace check: crossed-recv counterexample");
     match check(&crossed_recv_trace()) {
         Ok(_) => {
             ok = false;
@@ -117,7 +127,7 @@ pub fn verify_demo() -> (String, bool) {
     }
 
     // Act 3: the workspace linter.
-    let _ = writeln!(out, "[3/3] qmc-lint: workspace invariants");
+    let _ = writeln!(out, "[3/4] qmc-lint: workspace invariants");
     match lint::workspace_root_from(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))) {
         Some(root) => match lint::lint_workspace(&root) {
             Ok(findings) if findings.is_empty() => {
@@ -146,6 +156,182 @@ pub fn verify_demo() -> (String, bool) {
         }
     }
 
+    // Act 4: exhaustive protocol exploration at the committed budgets.
+    let _ = writeln!(
+        out,
+        "[4/4] explore: exhaustive protocol exploration (sleep sets + DPOR)"
+    );
+    ok &= explore_act(&mut out);
+
     let _ = writeln!(out, "verify: {}", if ok { "PASS" } else { "FAIL" });
     (out, ok)
+}
+
+/// Committed exploration budgets: instance, fault budget, transition
+/// ceiling. A ceiling regression means the protocol grew a race or the
+/// model grew state; either deserves a red gate, not a silent slowdown.
+const CKPT_CEILING: u64 = 40_000;
+const DRAIN_CEILING: u64 = 6_000;
+const SCHED_CEILING: u64 = 600_000;
+/// Minimum acceptable DPOR-vs-naive transition ratio on the committed
+/// reduction instances.
+const MIN_REDUCTION: f64 = 2.0;
+
+/// Act 4 body: returns overall pass, appends to the report, and writes
+/// `VERIFY_explore.json`.
+fn explore_act(out: &mut String) -> bool {
+    let mut ok = true;
+
+    // (a) The three protocol models must be invariant-clean within
+    // their committed ceilings.
+    let mut model_rows = Vec::new();
+    let runs: [(&str, qmc_verify::ExploreStats, bool, u64); 3] = {
+        let ckpt = explore(&CkptCommitModel::new(3, 2, 2), Budget::with_faults(2));
+        let drain = explore(&DrainModel::new(4, 3), Budget::with_faults(0));
+        let sched = explore(&SchedModel::new(2, 2, 2, 2), Budget::with_faults(2));
+        [
+            (
+                "ckpt-commit(3 ranks, 2 rounds, full_every 2, 2 faults)",
+                ckpt.stats(),
+                ckpt.is_clean(),
+                CKPT_CEILING,
+            ),
+            (
+                "drain-verdict(4 ranks, 3 sweeps)",
+                drain.stats(),
+                drain.is_clean(),
+                DRAIN_CEILING,
+            ),
+            (
+                "scheduler(2 tenants x 2 jobs, 2 workers, quota 2, 2 faults)",
+                sched.stats(),
+                sched.is_clean(),
+                SCHED_CEILING,
+            ),
+        ]
+    };
+    for (name, stats, clean, ceiling) in &runs {
+        let within = stats.transitions <= *ceiling;
+        if *clean && within {
+            let _ = writeln!(
+                out,
+                "      OK: {name}: clean, {} transitions / {} states \
+                 (ceiling {ceiling})",
+                stats.transitions, stats.unique_states
+            );
+        } else {
+            ok = false;
+            let _ = writeln!(
+                out,
+                "      FAIL: {name}: clean={clean}, {} transitions \
+                 (ceiling {ceiling})",
+                stats.transitions
+            );
+        }
+        model_rows.push(format!(
+            "{{\"model\": \"{name}\", \"clean\": {clean}, \
+             \"transitions\": {}, \"unique_states\": {}, \
+             \"executions\": {}, \"ceiling\": {ceiling}}}",
+            stats.transitions, stats.unique_states, stats.executions
+        ));
+    }
+
+    // (b) DPOR must genuinely reduce: same verdict as the naive
+    // enumeration, at least MIN_REDUCTION times fewer transitions.
+    let mut reduction_rows = Vec::new();
+    {
+        type Counted = (u64, bool);
+        fn stat<A>(o: &Outcome<A>) -> Counted {
+            (o.stats().transitions, o.is_clean())
+        }
+        let instances: [(&str, Counted, Counted); 2] = {
+            let m1 = CkptCommitModel::new(3, 1, 1);
+            let m2 = DrainModel::new(3, 2);
+            let b = Budget::with_faults(0);
+            [
+                (
+                    "ckpt-commit(3 ranks, 1 round)",
+                    stat(&explore(&m1, b)),
+                    stat(&explore_naive(&m1, b)),
+                ),
+                (
+                    "drain-verdict(3 ranks, 2 sweeps)",
+                    stat(&explore(&m2, b)),
+                    stat(&explore_naive(&m2, b)),
+                ),
+            ]
+        };
+        for (name, (d, d_clean), (n, n_clean)) in &instances {
+            let ratio = *n as f64 / (*d).max(1) as f64;
+            let agree = d_clean == n_clean;
+            if agree && ratio >= MIN_REDUCTION {
+                let _ = writeln!(
+                    out,
+                    "      OK: {name}: DPOR {d} vs naive {n} transitions \
+                     ({ratio:.1}x reduction)"
+                );
+            } else {
+                ok = false;
+                let _ = writeln!(
+                    out,
+                    "      FAIL: {name}: DPOR {d} vs naive {n}, agree={agree} \
+                     ({ratio:.1}x < {MIN_REDUCTION:.1}x)"
+                );
+            }
+            reduction_rows.push(format!(
+                "{{\"instance\": \"{name}\", \"dpor\": {d}, \"naive\": {n}, \
+                 \"ratio\": {ratio:.3}}}"
+            ));
+        }
+    }
+
+    // (c) Teeth: a seeded drain mutant must produce a minimized,
+    // rendered counterexample (rank 0 stops on a raised flag without
+    // broadcasting the verdict; the world deadlocks on the receive).
+    let mutant = DrainModel::new(3, 2).mutated(DrainMutation::SkipFinalBroadcast);
+    let mut ce_len = 0usize;
+    match explore(&mutant, Budget::with_faults(0)) {
+        Outcome::Violation(ce) => {
+            ce_len = ce.schedule.len();
+            let _ = writeln!(
+                out,
+                "      OK, flagged: drain SkipFinalBroadcast mutant, minimized \
+                 to {ce_len} steps:"
+            );
+            for line in ce.render().lines() {
+                let _ = writeln!(out, "      {line}");
+            }
+        }
+        other => {
+            ok = false;
+            let _ = writeln!(
+                out,
+                "      FAIL: drain mutant not flagged (got {:?})",
+                other.stats()
+            );
+        }
+    }
+
+    // Artifact with guard verdicts, next to the other repro outputs.
+    let json = format!
+(
+        "{{\n  \"schema\": \"qmc-verify-explore/v1\",\n  \"models\": [\n    {}\n  ],\n  \"reduction\": [\n    {}\n  ],\n  \"mutant\": {{\"model\": \"drain SkipFinalBroadcast\", \"schedule_len\": {ce_len}}},\n  \"guards\": {{\"all_clean_within_ceiling\": {ok}, \"min_reduction_ratio\": {MIN_REDUCTION:.1}}}\n}}\n",
+        model_rows.join(",\n    "),
+        reduction_rows.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../VERIFY_explore.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => {
+            let _ = writeln!(
+                out,
+                "      wrote VERIFY_explore.json ({} bytes)",
+                json.len()
+            );
+        }
+        Err(e) => {
+            ok = false;
+            let _ = writeln!(out, "      could not write VERIFY_explore.json: {e}");
+        }
+    }
+    ok
 }

@@ -9,6 +9,7 @@
 use crate::job::{JobObservables, JobSpec};
 use qmc_obs::{HealthMonitor, HealthSnapshot, RankObs, Registry};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 /// Per-tenant admission limits.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +90,9 @@ pub struct JobRec {
     pub result: Option<(JobObservables, u32)>,
     /// Why the job failed, once [`JobState::Failed`].
     pub error: Option<String>,
+    /// When the job reached a terminal state (Done/Failed) — the clock
+    /// the result-retention TTL runs against.
+    pub finished: Option<Instant>,
 }
 
 /// How many snapshots a job retains for late-joining `Await` streams.
@@ -97,8 +101,10 @@ const SNAPSHOT_RING: usize = 64;
 /// The scheduler: job table, pending queue, counters, tenant health.
 #[derive(Default)]
 pub struct Sched {
-    /// All accepted jobs, indexed by id.
-    pub jobs: Vec<JobRec>,
+    /// All accepted jobs, indexed by id. `None` marks a terminal job
+    /// whose record was evicted after its result-retention TTL expired
+    /// (ids are never reused, so the slot stays).
+    jobs: Vec<Option<JobRec>>,
     /// Ids awaiting a worker.
     pending: Vec<u64>,
     /// Set once a drain begins; rejects new submissions.
@@ -110,6 +116,55 @@ pub struct Sched {
 }
 
 impl Sched {
+    /// The record for `id`, if it exists and has not been evicted.
+    pub fn job(&self, id: u64) -> Option<&JobRec> {
+        self.jobs.get(id as usize).and_then(Option::as_ref)
+    }
+
+    /// True when `id` was a real job whose terminal record has since
+    /// been evicted by the retention TTL (distinguishes "evicted" from
+    /// "never existed" in client-facing errors).
+    pub fn was_evicted(&self, id: u64) -> bool {
+        matches!(self.jobs.get(id as usize), Some(None))
+    }
+
+    /// A live (non-evicted) record, by internal invariant: only
+    /// terminal jobs are ever evicted, so any id the scheduler still
+    /// acts on must have its record.
+    fn rec(&self, id: u64) -> &JobRec {
+        self.jobs[id as usize]
+            .as_ref()
+            .expect("only terminal jobs are evicted; a live id keeps its record")
+    }
+
+    fn rec_mut(&mut self, id: u64) -> &mut JobRec {
+        self.jobs[id as usize]
+            .as_mut()
+            .expect("only terminal jobs are evicted; a live id keeps its record")
+    }
+
+    /// Evict terminal (Done/Failed) records older than `ttl`, freeing
+    /// their snapshots and results. Paused jobs are never evicted — a
+    /// drained job's record is what a restarted server resumes from.
+    /// Returns how many records were dropped.
+    pub fn evict_expired(&mut self, ttl: Duration) -> usize {
+        let mut evicted = 0u64;
+        for slot in &mut self.jobs {
+            let expired = slot.as_ref().is_some_and(|rec| {
+                matches!(rec.state, JobState::Done | JobState::Failed)
+                    && rec.finished.is_some_and(|at| at.elapsed() >= ttl)
+            });
+            if expired {
+                *slot = None;
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.obs.counter_add("serve.jobs_evicted", evicted);
+        }
+        evicted as usize
+    }
+
     /// Admission: validation, drain check, tenant quota. On success the
     /// job is queued and its id returned.
     pub fn submit(
@@ -130,6 +185,7 @@ impl Sched {
         let active = self
             .jobs
             .iter()
+            .flatten()
             .filter(|j| {
                 j.spec.tenant == spec.tenant
                     && matches!(j.state, JobState::Queued | JobState::Running)
@@ -150,7 +206,7 @@ impl Sched {
         // Failed jobs release the name — the worker removes their
         // checkpoint directory, so reuse starts from a clean store.)
         let ns_key = qmc_ckpt::namespace_key(&spec.namespace());
-        let live_collision = self.jobs.iter().any(|j| {
+        let live_collision = self.jobs.iter().flatten().any(|j| {
             j.ns_key == ns_key
                 && matches!(
                     j.state,
@@ -167,7 +223,7 @@ impl Sched {
         }
         let id = self.jobs.len() as u64;
         let kill_at = kills.iter().find(|k| k.job == id).map(|k| k.at_sweep);
-        self.jobs.push(JobRec {
+        self.jobs.push(Some(JobRec {
             spec,
             ns_key,
             state: JobState::Queued,
@@ -177,7 +233,8 @@ impl Sched {
             next_seq: 1,
             result: None,
             error: None,
-        });
+            finished: None,
+        }));
         // Bounded by construction: admission above enforces the tenant
         // quota before anything is queued.
         self.pending.push(id);
@@ -192,10 +249,10 @@ impl Sched {
             .pending
             .iter()
             .enumerate()
-            .max_by_key(|(_, &id)| (self.jobs[id as usize].spec.priority, std::cmp::Reverse(id)))?
+            .max_by_key(|(_, &id)| (self.rec(id).spec.priority, std::cmp::Reverse(id)))?
             .0;
         let id = self.pending.swap_remove(best);
-        let rec = &mut self.jobs[id as usize];
+        let rec = self.rec_mut(id);
         rec.state = JobState::Running;
         rec.attempts += 1;
         Some(id)
@@ -208,7 +265,7 @@ impl Sched {
 
     /// Record a progress snapshot (bounded ring per job).
     pub fn record_snapshot(&mut self, id: u64, sweep: u64, total: u64, mean_energy: f64) {
-        let rec = &mut self.jobs[id as usize];
+        let rec = self.rec_mut(id);
         let snap = SnapRec {
             seq: rec.next_seq,
             sweep,
@@ -227,8 +284,10 @@ impl Sched {
     /// A worker finished the job: store the result, fold the engine's
     /// registry into the tenant namespace, feed tenant health.
     pub fn complete(&mut self, id: u64, obs: JobObservables, engine_metrics: &Registry) {
-        let rec = &mut self.jobs[id as usize];
+        let rec = self.rec_mut(id);
         rec.state = JobState::Done;
+        // lint: allow(wall-clock) — the result-retention TTL is wall time
+        rec.finished = Some(Instant::now());
         let attempts = rec.attempts;
         let tenant = rec.spec.tenant.clone();
         let mean = obs
@@ -257,7 +316,7 @@ impl Sched {
     /// A worker died running the job: put it back in the queue (the
     /// armed kill is disarmed — a requeue retries for real).
     pub fn requeue(&mut self, id: u64) {
-        let rec = &mut self.jobs[id as usize];
+        let rec = self.rec_mut(id);
         rec.state = JobState::Queued;
         rec.kill_at = None;
         // Re-admission is not re-checked against the quota: the job
@@ -270,7 +329,7 @@ impl Sched {
 
     /// A drain checkpointed the job mid-run and parked it.
     pub fn pause(&mut self, id: u64) {
-        self.jobs[id as usize].state = JobState::Paused;
+        self.rec_mut(id).state = JobState::Paused;
         self.obs.counter_add("serve.jobs_drained", 1);
     }
 
@@ -278,9 +337,11 @@ impl Sched {
     /// worker panic): park the job as Failed with the reason, releasing
     /// its quota slot and namespace instead of looping the failure.
     pub fn fail(&mut self, id: u64, reason: String) {
-        let rec = &mut self.jobs[id as usize];
+        let rec = self.rec_mut(id);
         rec.state = JobState::Failed;
         rec.error = Some(reason);
+        // lint: allow(wall-clock) — the result-retention TTL is wall time
+        rec.finished = Some(Instant::now());
         self.obs.counter_add("serve.jobs_failed", 1);
     }
 
@@ -376,10 +437,10 @@ mod tests {
         }];
         let a = sched.submit(spec("a", "a", 0), &quota, &kills).unwrap();
         let b = sched.submit(spec("a", "b", 0), &quota, &kills).unwrap();
-        assert_eq!(sched.jobs[a as usize].kill_at, None);
-        assert_eq!(sched.jobs[b as usize].kill_at, Some(5));
+        assert_eq!(sched.job(a).unwrap().kill_at, None);
+        assert_eq!(sched.job(b).unwrap().kill_at, Some(5));
         sched.requeue(b);
-        assert_eq!(sched.jobs[b as usize].kill_at, None, "retry runs for real");
+        assert_eq!(sched.job(b).unwrap().kill_at, None, "retry runs for real");
     }
 
     #[test]
@@ -390,7 +451,7 @@ mod tests {
         for s in 0..(SNAPSHOT_RING as u64 + 40) {
             sched.record_snapshot(id, s, 1000, f64::NAN);
         }
-        let rec = &sched.jobs[id as usize];
+        let rec = sched.job(id).unwrap();
         assert_eq!(rec.snapshots.len(), SNAPSHOT_RING);
         // Sequence numbers stay monotonic across the dropped prefix.
         assert_eq!(rec.snapshots.back().unwrap().seq, SNAPSHOT_RING as u64 + 40);
@@ -458,13 +519,59 @@ mod tests {
         let id = sched.submit(spec("a", "j1", 0), &quota, &[]).unwrap();
         sched.pop_next();
         sched.fail(id, "restore error: checkpoint corrupt".into());
-        let rec = &sched.jobs[id as usize];
+        let rec = sched.job(id).unwrap();
         assert_eq!(rec.state, JobState::Failed);
         assert!(rec.error.as_deref().unwrap().contains("restore"));
         assert_eq!(sched.obs.counter("serve.jobs_failed"), 1);
         // The failed job no longer occupies the tenant's quota slot or
         // its checkpoint namespace.
         assert!(sched.submit(spec("a", "j1", 0), &quota, &[]).is_ok());
+    }
+
+    #[test]
+    fn ttl_evicts_terminal_jobs_only() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota::default();
+        let done = sched.submit(spec("a", "done", 0), &quota, &[]).unwrap();
+        let failed = sched.submit(spec("a", "failed", 0), &quota, &[]).unwrap();
+        let queued = sched.submit(spec("a", "queued", 0), &quota, &[]).unwrap();
+        let running = sched.submit(spec("a", "running", 0), &quota, &[]).unwrap();
+        assert_eq!(sched.pop_next(), Some(done));
+        sched.complete(done, JobObservables::default(), &Registry::new());
+        assert_eq!(sched.pop_next(), Some(failed));
+        sched.fail(failed, "injected".into());
+        assert_eq!(sched.pop_next(), Some(queued));
+        assert_eq!(sched.pop_next(), Some(running));
+        // Requeue one so a job sits in each non-terminal state
+        // alongside the two terminal ones.
+        sched.requeue(queued);
+
+        assert_eq!(sched.evict_expired(Duration::ZERO), 2);
+        assert!(sched.was_evicted(done) && sched.job(done).is_none());
+        assert!(sched.was_evicted(failed));
+        assert!(sched.job(queued).is_some(), "queued jobs are never evicted");
+        assert!(
+            sched.job(running).is_some(),
+            "running jobs are never evicted"
+        );
+        assert_eq!(sched.obs.counter("serve.jobs_evicted"), 2);
+        // An id that never existed is not "evicted".
+        assert!(!sched.was_evicted(99));
+        // The pending queue and dispatch survive eviction untouched.
+        assert_eq!(sched.pending_len(), 1);
+        assert_eq!(sched.pop_next(), Some(queued));
+    }
+
+    #[test]
+    fn ttl_retains_fresh_results() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota::default();
+        let id = sched.submit(spec("a", "j", 0), &quota, &[]).unwrap();
+        sched.pop_next();
+        sched.complete(id, JobObservables::default(), &Registry::new());
+        assert_eq!(sched.evict_expired(Duration::from_secs(3600)), 0);
+        assert!(sched.job(id).is_some(), "a fresh result must be retained");
+        assert!(!sched.was_evicted(id));
     }
 
     #[test]

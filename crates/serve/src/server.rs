@@ -49,6 +49,11 @@ pub struct ServeConfig {
     /// other session sees only its own tenant's counters and cannot
     /// drain the server.
     pub admin: String,
+    /// Result-retention TTL: terminal (Done/Failed) job records older
+    /// than this are evicted on the worker tick, bounding server memory
+    /// against tenants that never `Await` their results. `None` retains
+    /// every record for the server's lifetime.
+    pub ttl: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +66,7 @@ impl Default for ServeConfig {
             kills: Vec::new(),
             max_frame: 1024 * 1024,
             admin: "admin".into(),
+            ttl: None,
         }
     }
 }
@@ -278,7 +284,13 @@ fn handle_conn(mut conn: FrameConn, shared: Arc<Shared>) {
                     }
                     let step = {
                         let sched = shared.sched.lock().expect("scheduler lock");
-                        match sched.jobs.get(job as usize) {
+                        match sched.job(job) {
+                            None if sched.was_evicted(job) => Step::Finished(Msg::Error {
+                                detail: format!(
+                                    "peer {peer} tenant {tenant}: job {job} was evicted \
+                                     after its result-retention TTL expired"
+                                ),
+                            }),
                             None => Step::Finished(Msg::Error {
                                 detail: format!("peer {peer} tenant {tenant}: unknown job {job}"),
                             }),
@@ -453,6 +465,12 @@ fn worker_loop(shared: Arc<Shared>) {
         let job = {
             let mut sched = shared.sched.lock().expect("scheduler lock");
             loop {
+                // Retention sweep rides the worker tick (the 100 ms
+                // condvar timeout below), so eviction needs no thread of
+                // its own.
+                if let Some(ttl) = shared.cfg.ttl {
+                    sched.evict_expired(ttl);
+                }
                 if let Some(id) = sched.pop_next() {
                     break Some(id);
                 }
@@ -471,7 +489,7 @@ fn worker_loop(shared: Arc<Shared>) {
         // Snapshot what the attempt needs, then run without the lock.
         let (spec, kill_at) = {
             let sched = shared.sched.lock().expect("scheduler lock");
-            let rec = &sched.jobs[id as usize];
+            let rec = sched.job(id).expect("a dispatched job is never evicted");
             (rec.spec.clone(), rec.kill_at)
         };
         let every = if spec.ckpt_every > 0 {

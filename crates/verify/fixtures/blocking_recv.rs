@@ -1,0 +1,32 @@
+//! Lint fixture: network-fed read loops with no timeout, shutdown
+//! flag, or deadline anywhere in the file — `blocking-recv-no-stop`
+//! fires on the framed receive and on the raw `read_exact`. (Words
+//! like "quota" keep `net-unbounded-queue` out of the way so this
+//! fixture exercises exactly one rule.)
+
+struct Pump {
+    sock: TcpStream,
+    quota: usize,
+}
+
+impl Pump {
+    fn run(&mut self) {
+        loop {
+            let frame = self.sock.recv_frame();
+            self.dispatch(frame);
+        }
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) {
+        let mut off = 0;
+        while off < buf.len() {
+            off += self.sock.read_exact(&mut buf[off..]);
+        }
+    }
+
+    fn one_shot(&mut self) -> Frame {
+        // Outside any loop: a single blocking receive is not a parked
+        // thread, so the rule stays quiet here.
+        self.sock.recv_frame()
+    }
+}

@@ -21,16 +21,28 @@
 //!   serialization disciplines (`hot-transcendental`, `hot-alloc`,
 //!   `wall-clock`, `ckpt-hashmap`, `lib-unwrap`) across the workspace,
 //!   with per-site waiver comments as the audit trail.
+//! * **Exhaustive protocol explorer** ([`explore`], [`model`]): the
+//!   checkpoint-commit, drain-verdict, and `qmc-serve` scheduler
+//!   protocols modeled as deterministic per-process step functions;
+//!   [`explore`] enumerates *every* distinguishable interleaving of
+//!   deliveries, crashes, and write failures (sleep sets + dynamic
+//!   partial-order reduction) within a configurable depth/fault
+//!   budget, and renders any violation as a minimized counterexample
+//!   schedule. The `tests/explore.rs` conformance suite replays those
+//!   schedules against the real `Sched`/`CkptStore`/`ThreadComm`.
 //!
-//! `repro verify` and `scripts/check.sh` run both on every gate.
+//! `repro verify` and `scripts/check.sh` run all three on every gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod explore;
 pub mod lint;
+pub mod model;
 pub mod trace;
 
 pub use checker::{check, Report, Violation, WaitEdge};
+pub use explore::{explore, explore_naive, Budget, CounterExample, ExploreStats, Model, Outcome};
 pub use lint::{lint_source, lint_workspace, workspace_root_from, Finding, Rule};
 pub use trace::{record_threads, Event, RecordingComm, WorldTrace};

@@ -15,6 +15,7 @@
 //! | `hot-scalar-spin-loop` | no per-spin `.metropolis(`/`.bernoulli(` decision inside `#[qmc_hot::hot]` functions — a multi-spin-coded equivalent (batched draws, bitwise acceptance; see `qmc_tfim::packed`) exists, so scalar per-spin branching in a hot kernel must be a sanctioned reference path (waived) |
 //! | `hot-wall-clock`    | no `Instant::now`/`SystemTime::now` inside `#[qmc_hot::hot]` functions, *any* crate — timing belongs in `qmc_obs::span` guards around the kernel, not per-iteration clock reads inside it |
 //! | `net-unbounded-queue` | no `.push(`/`.push_back(` in a network-fed file (`TcpStream`/`TcpListener`/`FrameConn`/`FrameListener`/`recv_frame`) that never mentions a quota — a hostile peer must hit an admission bound, not grow server memory |
+//! | `blocking-recv-no-stop` | no blocking `.recv(`/`.recv_frame(`/`.read(`/`.read_exact(` inside a `loop`/`while` body of a network-fed file that never consults a timeout, stop flag, drain, or deadline — a dead peer parks that loop forever and the thread never re-checks shutdown |
 //!
 //! Test code (`#[cfg(test)]` items, `#[test]` functions, `tests/`
 //! directories) is exempt from every rule. A violation can be waived at
@@ -57,6 +58,9 @@ pub enum Rule {
     HotWallClock,
     /// Queue growth in a network-fed file with no quota in sight.
     NetUnboundedQueue,
+    /// Blocking receive in a loop of a network-fed file that never
+    /// consults a timeout, stop flag, drain, or deadline.
+    BlockingRecvNoStop,
 }
 
 impl Rule {
@@ -72,6 +76,7 @@ impl Rule {
             Rule::HotScalarSpinLoop => "hot-scalar-spin-loop",
             Rule::HotWallClock => "hot-wall-clock",
             Rule::NetUnboundedQueue => "net-unbounded-queue",
+            Rule::BlockingRecvNoStop => "blocking-recv-no-stop",
         }
     }
 
@@ -87,6 +92,7 @@ impl Rule {
             Rule::HotScalarSpinLoop,
             Rule::HotWallClock,
             Rule::NetUnboundedQueue,
+            Rule::BlockingRecvNoStop,
         ]
     }
 }
@@ -499,6 +505,43 @@ fn compute_regions(tokens: &[Token]) -> Regions {
     Regions { test, hot }
 }
 
+/// Per-token mask of `loop { … }` / `while … { … }` bodies. The body is
+/// the brace-balanced region opened by the first `{` after the keyword
+/// — sound at token level because Rust forbids an unparenthesized
+/// struct literal in a `while` condition. Nested loops re-mark inner
+/// tokens, which is idempotent.
+fn compute_loop_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !matches!(&tokens[i].tok, Tok::Ident(s) if s == "loop" || s == "while") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < tokens.len() && !matches!(tokens[j].tok, Tok::Punct('{')) {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            mask[j] = true;
+            j += 1;
+        }
+        i += 1;
+    }
+    mask
+}
+
 // ---------------------------------------------------------------------
 // File classification
 // ---------------------------------------------------------------------
@@ -628,6 +671,19 @@ pub fn lint_source(display_path: &str, source: &str) -> Vec<Finding> {
     let queue_bounded = tokens
         .iter()
         .any(|t| matches!(&t.tok, Tok::Ident(s) if s.to_lowercase().contains("quota")));
+
+    // Blocking-receive liveness: a network-fed file whose read loops
+    // can park forever must somewhere consult a timeout, stop flag,
+    // drain verdict, or deadline — any such ident anywhere in the file
+    // counts as the loop's escape hatch.
+    let stop_aware = tokens.iter().any(|t| {
+        matches!(&t.tok, Tok::Ident(s) if {
+            let s = s.to_lowercase();
+            s.contains("timeout") || s.contains("stop") || s.contains("drain")
+                || s.contains("deadline")
+        })
+    });
+    let loops = compute_loop_regions(tokens);
 
     let mut findings = Vec::new();
     let mut push = |line: u32, rule: Rule, message: String| {
@@ -770,6 +826,18 @@ pub fn lint_source(display_path: &str, source: &str) -> Vec<Finding> {
             }
         }
 
+        if net_fed && !stop_aware && loops[i] {
+            if let Some(name) =
+                method_call(tokens, i, &["recv", "recv_frame", "read", "read_exact"])
+            {
+                push(
+                    line,
+                    Rule::BlockingRecvNoStop,
+                    format!("blocking `.{name}()` in a loop of a network-fed file that never consults a timeout, stop flag, drain, or deadline (a dead peer parks this loop forever; add a read timeout or a shutdown check, or waive for provably finite protocols)"),
+                );
+            }
+        }
+
         if is_lib_crate && method_call(tokens, i, &["unwrap"]).is_some() {
             push(
                 line,
@@ -859,6 +927,7 @@ mod tests {
     const HOT_SCALAR_SPIN_BAD: &str = include_str!("../fixtures/hot_scalar_spin_loop.rs");
     const HOT_WALL_CLOCK_BAD: &str = include_str!("../fixtures/hot_wall_clock.rs");
     const NET_QUEUE_BAD: &str = include_str!("../fixtures/net_queue.rs");
+    const BLOCKING_RECV_BAD: &str = include_str!("../fixtures/blocking_recv.rs");
     const CLEAN: &str = include_str!("../fixtures/clean.rs");
 
     fn rules_fired(path: &str, src: &str) -> Vec<Rule> {
@@ -943,6 +1012,30 @@ mod tests {
     }
 
     #[test]
+    fn fixture_fires_blocking_recv_no_stop() {
+        let fired = rules_fired("crates/fixture/src/lib.rs", BLOCKING_RECV_BAD);
+        // The `loop { recv_frame }` and the `while { read_exact }`
+        // fire; the one-shot receive outside any loop does not.
+        assert_eq!(
+            fired
+                .iter()
+                .filter(|r| **r == Rule::BlockingRecvNoStop)
+                .count(),
+            2,
+            "{fired:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_recv_is_fine_once_the_file_consults_a_stop() {
+        // Any timeout/stop/drain/deadline ident anywhere in the file is
+        // the loop's escape hatch — here a receive-timeout setter.
+        let aware = BLOCKING_RECV_BAD.replace("fn run(", "fn run_with_timeout(");
+        let fired = rules_fired("crates/fixture/src/lib.rs", &aware);
+        assert!(!fired.contains(&Rule::BlockingRecvNoStop), "{fired:?}");
+    }
+
+    #[test]
     fn net_queue_is_fine_once_a_quota_is_named() {
         let bounded = NET_QUEUE_BAD.replace(
             "fn admit(",
@@ -1006,6 +1099,7 @@ mod tests {
             HOT_SCALAR_SPIN_BAD,
             HOT_WALL_CLOCK_BAD,
             NET_QUEUE_BAD,
+            BLOCKING_RECV_BAD,
         ] {
             fired.extend(rules_fired("crates/fixture/src/lib.rs", src));
         }

@@ -1,0 +1,45 @@
+//! Protocol models: the workspace's multi-party coordination protocols
+//! extracted as pure state machines for the [`crate::explore`] DPOR
+//! explorer.
+//!
+//! Extraction rules (see DESIGN.md "Exhaustive protocol exploration"):
+//!
+//! * One model process per participant (rank, worker, environment);
+//!   every source of nondeterminism — message delivery, crash timing,
+//!   write failure, flag raise — is a distinct action, so the explorer
+//!   owns the schedule completely.
+//! * Transitions mirror the real implementation step-for-step at the
+//!   granularity of its atomic sections (one mutex-held region or one
+//!   blocking call boundary per action); the conformance suite in
+//!   `tests/explore.rs` replays explored schedules against the real
+//!   `Sched`/`CkptStore`/`ThreadComm` code to keep the two pinned.
+//! * Each model carries an optional seeded *mutation* reproducing a
+//!   protocol bug the real code was engineered to avoid (dropping the
+//!   commit-ack gate, reading the drain flag locally, forgetting the
+//!   kill-requeue). Mutants exist so the checker's teeth are tested:
+//!   every mutant must yield a minimized counterexample, and the
+//!   unmutated model must explore clean.
+//!
+//! The three models:
+//!
+//! * [`ckpt_commit`]: coordinated full-vs-delta checkpoint write with
+//!   rank-0 decision broadcast, plan gather, persist, and the
+//!   commit-ack broadcast that gates `mark_clean` — under crash and
+//!   write-failure injection (mirrors
+//!   `qmc_ckpt::coord::write_coordinated_sections` and its callers).
+//! * [`drain`]: the graceful-drain verdict broadcast at sweep
+//!   boundaries — every rank must stop at the same sweep in every
+//!   schedule (mirrors the drain check in
+//!   `qmc_core::pt::run_pt_parallel_ckpt`).
+//! * [`sched`]: the qmc-serve job lifecycle — submit admission
+//!   (quota, namespace uniqueness, draining), dispatch,
+//!   worker-kill/requeue, fail, drain-park — with no-lost-job and
+//!   quota invariants (mirrors `qmc_serve::sched::Sched`).
+
+pub mod ckpt_commit;
+pub mod drain;
+pub mod sched;
+
+pub use ckpt_commit::{CkptAction, CkptCommitModel, CkptMutation};
+pub use drain::{DrainAction, DrainModel, DrainMutation, TAG_VERDICT};
+pub use sched::{JobSt, SchedAction, SchedModel, SchedMutation, SchedState};

@@ -1,0 +1,508 @@
+//! Model of the qmc-serve job lifecycle (`qmc_serve::sched::Sched`
+//! plus the worker pool's dispatch/kill/requeue/drain behavior).
+//!
+//! Processes: one submitting client per tenant, the worker pool (one
+//! process per worker), and the admin issuing the drain. The scheduler
+//! itself is the shared state behind one mutex; every action is one
+//! lock-held region of the real code:
+//!
+//! * **Submit**: admission in order — draining rejects, per-tenant
+//!   active quota (queued + running), namespace-key uniqueness among
+//!   live jobs; accepted jobs enter the pending queue.
+//! * **Dispatch**: an idle worker pops the highest-priority (FIFO
+//!   within a priority level) pending job.
+//! * **Complete / Fail**: terminal transitions, worker freed.
+//! * **Kill**: the environment kills the worker mid-job; the real
+//!   worker loop *requeues* the job ([`SchedMutation::ForgetRequeue`]
+//!   drops that, losing the job while its namespace stays claimed).
+//! * **Drain / DrainPark**: after the drain, no new admissions and no
+//!   dispatch; running jobs park as Paused at the next boundary.
+//!
+//! Invariants (every reachable state): per-tenant active count within
+//! quota; namespace uniqueness among live jobs; the running-job ↔
+//! worker assignment is a bijection; the pending queue holds exactly
+//! the queued jobs, once each — together: no job is ever lost or
+//! duplicated, in any interleaving of clients, workers, kills, and
+//! the drain.
+
+use crate::explore::Model;
+
+/// Seeded protocol bugs (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMutation {
+    /// The worker loop forgets to requeue a killed job: the worker
+    /// frees itself but the job stays Running with no executor.
+    ForgetRequeue,
+    /// Admission skips the per-tenant quota check.
+    SkipQuota,
+}
+
+/// The scheduler lifecycle model.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedModel {
+    /// Number of tenants (one submitting client each).
+    pub tenants: usize,
+    /// Jobs each tenant submits, in order.
+    pub jobs_per_tenant: usize,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Per-tenant active-job quota.
+    pub quota: usize,
+    /// When true, each tenant's jobs all share one namespace key, so
+    /// the second submit while the first is live must be rejected.
+    pub ns_collide: bool,
+    /// Optional seeded bug.
+    pub mutation: Option<SchedMutation>,
+}
+
+impl SchedModel {
+    /// Unmutated model.
+    pub fn new(tenants: usize, jobs_per_tenant: usize, workers: usize, quota: usize) -> Self {
+        SchedModel {
+            tenants,
+            jobs_per_tenant,
+            workers,
+            quota,
+            ns_collide: false,
+            mutation: None,
+        }
+    }
+
+    /// Same instance with colliding namespace keys per tenant.
+    pub fn with_ns_collision(mut self) -> Self {
+        self.ns_collide = true;
+        self
+    }
+
+    /// Same instance with a seeded bug.
+    pub fn mutated(mut self, m: SchedMutation) -> Self {
+        self.mutation = Some(m);
+        self
+    }
+
+    fn njobs(&self) -> usize {
+        self.tenants * self.jobs_per_tenant
+    }
+
+    fn tenant_of(&self, job: usize) -> usize {
+        job / self.jobs_per_tenant
+    }
+
+    /// Namespace key id: shared within a tenant when colliding,
+    /// unique otherwise.
+    fn ns_of(&self, job: usize) -> usize {
+        if self.ns_collide {
+            self.tenant_of(job)
+        } else {
+            job
+        }
+    }
+
+    /// Mirror of the real `pop_next`: highest priority first, FIFO
+    /// (lowest id) within a level. Second job of a tenant gets
+    /// priority 1 so the ordering path is exercised.
+    fn priority_of(&self, job: usize) -> u8 {
+        u8::from(self.jobs_per_tenant > 1 && job % self.jobs_per_tenant == 1)
+    }
+}
+
+/// Lifecycle state of one modeled job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobSt {
+    /// Client has not submitted it yet.
+    NotSubmitted,
+    /// Admission rejected it (quota / namespace / draining).
+    Rejected,
+    /// Accepted, waiting in the pending queue.
+    Queued,
+    /// Dispatched to worker `.0`.
+    Running(u8),
+    /// Checkpointed and parked by the drain.
+    Paused,
+    /// Completed.
+    Done,
+    /// Failed.
+    Failed,
+}
+
+impl JobSt {
+    fn live(&self) -> bool {
+        matches!(self, JobSt::Queued | JobSt::Running(_) | JobSt::Paused)
+    }
+
+    fn active(&self) -> bool {
+        matches!(self, JobSt::Queued | JobSt::Running(_))
+    }
+}
+
+/// Global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SchedState {
+    jobs: Vec<JobSt>,
+    /// Queued job ids in submission/requeue order.
+    pending: Vec<u8>,
+    /// Worker → running job.
+    workers: Vec<Option<u8>>,
+    draining: bool,
+}
+
+impl SchedState {
+    /// The queued jobs, pending-queue membership, worker table and
+    /// per-state job sets — exposed for the conformance suite's
+    /// abstraction function.
+    pub fn snapshot(&self) -> (Vec<JobSt>, Vec<u8>, Vec<Option<u8>>, bool) {
+        (
+            self.jobs.clone(),
+            self.pending.clone(),
+            self.workers.clone(),
+            self.draining,
+        )
+    }
+}
+
+/// One scheduler choice in the lifecycle model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedAction {
+    /// Tenant `tenant` submits its next job (admission applies).
+    Submit {
+        /// Submitting tenant.
+        tenant: u8,
+    },
+    /// Idle worker `worker` pops the best pending job.
+    Dispatch {
+        /// Dispatching worker.
+        worker: u8,
+    },
+    /// Worker `worker` finishes its job successfully.
+    Complete {
+        /// Finishing worker.
+        worker: u8,
+    },
+    /// Worker `worker`'s job fails (fault budget).
+    Fail {
+        /// Failing worker.
+        worker: u8,
+    },
+    /// The environment kills worker `worker` mid-job; the job is
+    /// requeued (fault budget).
+    Kill {
+        /// Killed worker.
+        worker: u8,
+    },
+    /// The admin starts a graceful drain.
+    Drain,
+    /// Worker `worker` parks its running job at the next checkpoint
+    /// boundary (drain in effect).
+    DrainPark {
+        /// Parking worker.
+        worker: u8,
+    },
+}
+
+impl Model for SchedModel {
+    type State = SchedState;
+    type Action = SchedAction;
+
+    fn init(&self) -> SchedState {
+        SchedState {
+            jobs: vec![JobSt::NotSubmitted; self.njobs()],
+            pending: Vec::new(),
+            workers: vec![None; self.workers],
+            draining: false,
+        }
+    }
+
+    fn actions(&self, s: &SchedState) -> Vec<SchedAction> {
+        let mut acts = Vec::new();
+        for t in 0..self.tenants {
+            let next = (0..self.jobs_per_tenant)
+                .map(|j| t * self.jobs_per_tenant + j)
+                .find(|&id| s.jobs[id] == JobSt::NotSubmitted);
+            if next.is_some() {
+                acts.push(SchedAction::Submit { tenant: t as u8 });
+            }
+        }
+        for (w, slot) in s.workers.iter().enumerate() {
+            let w8 = w as u8;
+            match slot {
+                None => {
+                    if !s.pending.is_empty() && !s.draining {
+                        acts.push(SchedAction::Dispatch { worker: w8 });
+                    }
+                }
+                Some(_) => {
+                    acts.push(SchedAction::Complete { worker: w8 });
+                    acts.push(SchedAction::Fail { worker: w8 });
+                    acts.push(SchedAction::Kill { worker: w8 });
+                    if s.draining {
+                        acts.push(SchedAction::DrainPark { worker: w8 });
+                    }
+                }
+            }
+        }
+        if !s.draining {
+            acts.push(SchedAction::Drain);
+        }
+        acts
+    }
+
+    fn apply(&self, s: &SchedState, a: &SchedAction) -> SchedState {
+        let mut t = s.clone();
+        match *a {
+            SchedAction::Submit { tenant } => {
+                let tenant = tenant as usize;
+                let id = (0..self.jobs_per_tenant)
+                    .map(|j| tenant * self.jobs_per_tenant + j)
+                    .find(|&id| t.jobs[id] == JobSt::NotSubmitted)
+                    .expect("submit enabled only with a job left");
+                let active = t
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, st)| self.tenant_of(*j) == tenant && st.active())
+                    .count();
+                let ns_taken = t
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .any(|(j, st)| st.live() && self.ns_of(j) == self.ns_of(id));
+                let over_quota =
+                    active >= self.quota && self.mutation != Some(SchedMutation::SkipQuota);
+                if t.draining || over_quota || ns_taken {
+                    t.jobs[id] = JobSt::Rejected;
+                } else {
+                    t.jobs[id] = JobSt::Queued;
+                    t.pending.push(id as u8);
+                }
+            }
+            SchedAction::Dispatch { worker } => {
+                // Mirror of the real `pop_next`: highest priority, then
+                // oldest id — NOT queue position. A requeued job keeps
+                // its original (older) id, so it outranks later
+                // submissions of the same priority even though the
+                // requeue pushed it to the back of the queue.
+                let best = *t
+                    .pending
+                    .iter()
+                    .max_by_key(|&&id| (self.priority_of(id as usize), std::cmp::Reverse(id)))
+                    .expect("dispatch enabled only with pending jobs");
+                t.pending.retain(|&id| id != best);
+                t.jobs[best as usize] = JobSt::Running(worker);
+                t.workers[worker as usize] = Some(best);
+            }
+            SchedAction::Complete { worker } => {
+                let id = t.workers[worker as usize].expect("complete needs a running job");
+                t.jobs[id as usize] = JobSt::Done;
+                t.workers[worker as usize] = None;
+            }
+            SchedAction::Fail { worker } => {
+                let id = t.workers[worker as usize].expect("fail needs a running job");
+                t.jobs[id as usize] = JobSt::Failed;
+                t.workers[worker as usize] = None;
+            }
+            SchedAction::Kill { worker } => {
+                let id = t.workers[worker as usize].expect("kill needs a running job");
+                t.workers[worker as usize] = None;
+                if self.mutation == Some(SchedMutation::ForgetRequeue) {
+                    // Bug: the job record still says Running(worker).
+                } else {
+                    t.jobs[id as usize] = JobSt::Queued;
+                    t.pending.push(id);
+                }
+            }
+            SchedAction::Drain => t.draining = true,
+            SchedAction::DrainPark { worker } => {
+                let id = t.workers[worker as usize].expect("park needs a running job");
+                t.jobs[id as usize] = JobSt::Paused;
+                t.workers[worker as usize] = None;
+            }
+        }
+        t
+    }
+
+    fn invariant(&self, s: &SchedState) -> Result<(), String> {
+        // Per-tenant quota over active (queued + running) jobs.
+        for t in 0..self.tenants {
+            let active = s
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(j, st)| self.tenant_of(*j) == t && st.active())
+                .count();
+            if active > self.quota {
+                return Err(format!(
+                    "tenant {t} has {active} active jobs, quota is {}",
+                    self.quota
+                ));
+            }
+        }
+        // Namespace uniqueness among live jobs.
+        for a in 0..self.njobs() {
+            for b in (a + 1)..self.njobs() {
+                if s.jobs[a].live() && s.jobs[b].live() && self.ns_of(a) == self.ns_of(b) {
+                    return Err(format!(
+                        "jobs {a} and {b} are both live under namespace key {}",
+                        self.ns_of(a)
+                    ));
+                }
+            }
+        }
+        // Running ↔ worker bijection: a lost job is a Running record
+        // no worker owns.
+        for (j, st) in s.jobs.iter().enumerate() {
+            if let JobSt::Running(w) = st {
+                if s.workers.get(*w as usize).copied().flatten() != Some(j as u8) {
+                    return Err(format!(
+                        "job {j} is recorded Running on worker {w}, but that worker \
+                         is not executing it — the job is lost"
+                    ));
+                }
+            }
+        }
+        for (w, slot) in s.workers.iter().enumerate() {
+            if let Some(id) = slot {
+                if s.jobs[*id as usize] != JobSt::Running(w as u8) {
+                    return Err(format!(
+                        "worker {w} claims job {id}, whose record says {:?}",
+                        s.jobs[*id as usize]
+                    ));
+                }
+            }
+        }
+        // Pending holds exactly the queued jobs, once each.
+        for (i, &id) in s.pending.iter().enumerate() {
+            if s.jobs[id as usize] != JobSt::Queued {
+                return Err(format!(
+                    "pending queue holds job {id} in state {:?}",
+                    s.jobs[id as usize]
+                ));
+            }
+            if s.pending[i + 1..].contains(&id) {
+                return Err(format!("job {id} queued twice"));
+            }
+        }
+        for (j, st) in s.jobs.iter().enumerate() {
+            if *st == JobSt::Queued && !s.pending.contains(&(j as u8)) {
+                return Err(format!("queued job {j} missing from the pending queue"));
+            }
+        }
+        Ok(())
+    }
+
+    fn pid(&self, a: &SchedAction) -> usize {
+        match a {
+            SchedAction::Submit { tenant } => *tenant as usize,
+            SchedAction::Dispatch { worker }
+            | SchedAction::Complete { worker }
+            | SchedAction::Fail { worker }
+            | SchedAction::Kill { worker }
+            | SchedAction::DrainPark { worker } => self.tenants + *worker as usize,
+            SchedAction::Drain => self.tenants + self.workers,
+        }
+    }
+
+    fn dependent(&self, a: &SchedAction, b: &SchedAction) -> bool {
+        if self.pid(a) == self.pid(b) {
+            return true;
+        }
+        // The drain gates admission and dispatch globally.
+        if matches!(a, SchedAction::Drain) || matches!(b, SchedAction::Drain) {
+            return true;
+        }
+        // Actions that reorder or consume the shared pending queue.
+        let pending_touch = |x: &SchedAction| {
+            matches!(
+                x,
+                SchedAction::Submit { .. }
+                    | SchedAction::Dispatch { .. }
+                    | SchedAction::Kill { .. }
+            )
+        };
+        if pending_touch(a) && pending_touch(b) {
+            return true;
+        }
+        // Admission reads quota and namespace liveness over the whole
+        // job table, and worker transitions change both — keep every
+        // (Submit, worker-action) pair dependent.
+        if matches!(a, SchedAction::Submit { .. }) || matches!(b, SchedAction::Submit { .. }) {
+            return true;
+        }
+        // Remaining pairs: Complete/Fail/DrainPark/Dispatch on
+        // different workers touch disjoint jobs.
+        false
+    }
+
+    fn is_fault(&self, a: &SchedAction) -> bool {
+        matches!(a, SchedAction::Kill { .. } | SchedAction::Fail { .. })
+    }
+
+    fn is_final(&self, s: &SchedState) -> bool {
+        let submits_left = s.jobs.contains(&JobSt::NotSubmitted);
+        let workers_idle = s.workers.iter().all(Option::is_none);
+        let queue_drained = s.pending.is_empty() || s.draining;
+        !submits_left && workers_idle && queue_drained
+    }
+
+    fn describe(&self, a: &SchedAction) -> String {
+        match *a {
+            SchedAction::Submit { tenant } => format!("tenant {tenant}: submit next job"),
+            SchedAction::Dispatch { worker } => format!("worker {worker}: dispatch best pending"),
+            SchedAction::Complete { worker } => format!("worker {worker}: job completes"),
+            SchedAction::Fail { worker } => format!("worker {worker}: job FAILS"),
+            SchedAction::Kill { worker } => format!("worker {worker}: KILLED mid-job"),
+            SchedAction::Drain => "admin: begin graceful drain".into(),
+            SchedAction::DrainPark { worker } => {
+                format!("worker {worker}: park job at checkpoint boundary")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, Budget, Outcome};
+
+    #[test]
+    fn lifecycle_explores_clean_with_kills_and_drain() {
+        let m = SchedModel::new(2, 1, 1, 1);
+        let out = explore(&m, Budget::with_faults(1));
+        assert!(out.is_clean(), "expected clean, got {:?}", out.stats());
+    }
+
+    #[test]
+    fn quota_and_ns_admission_explore_clean() {
+        let m = SchedModel::new(1, 2, 1, 1).with_ns_collision();
+        let out = explore(&m, Budget::with_faults(1));
+        assert!(out.is_clean(), "expected clean, got {:?}", out.stats());
+    }
+
+    #[test]
+    fn forget_requeue_mutant_loses_the_job() {
+        let m = SchedModel::new(1, 1, 1, 1).mutated(SchedMutation::ForgetRequeue);
+        let out = explore(&m, Budget::with_faults(1));
+        let Outcome::Violation(ce) = out else {
+            panic!("forgetting the requeue must lose the job");
+        };
+        assert!(ce.message.contains("lost"), "message: {}", ce.message);
+        // Minimal: submit, dispatch, kill.
+        assert_eq!(ce.schedule.len(), 3, "schedule: {:#?}", ce.schedule);
+        assert!(matches!(ce.schedule[2], SchedAction::Kill { .. }));
+    }
+
+    #[test]
+    fn skip_quota_mutant_over_admits() {
+        let m = SchedModel::new(1, 2, 1, 1).mutated(SchedMutation::SkipQuota);
+        let out = explore(&m, Budget::with_faults(0));
+        let Outcome::Violation(ce) = out else {
+            panic!("skipping the quota check must over-admit");
+        };
+        assert!(
+            ce.message.contains("active jobs, quota is"),
+            "message: {}",
+            ce.message
+        );
+        // Minimal: two submits back to back.
+        assert_eq!(ce.schedule.len(), 2, "schedule: {:#?}", ce.schedule);
+    }
+}

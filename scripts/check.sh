@@ -55,6 +55,16 @@ cargo test -q -p qmc-comm --test deadlock
 cargo test -q -p qmc-bench --test alloc_guard
 cargo run -q -p qmc-bench --bin repro -- verify
 
+echo "== explore: DPOR protocol exploration + model conformance =="
+# Exhaustive interleaving exploration (sleep sets + DPOR) of the
+# checkpoint-commit, drain-verdict, and scheduler protocol models at
+# the committed budgets, plus the model<->implementation conformance
+# suite: every seeded mutant's minimized counterexample must replay
+# against the real Sched / CkptStore / ThreadComm and reproduce the
+# violation. (`repro verify` act 4 re-runs the budget+ratio guards and
+# regenerates VERIFY_explore.json.)
+cargo test -q -p qmc-bench --test explore
+
 echo "== serve: multi-tenant job server fault drill =="
 # 240 jobs from four tenants over TCP with five injected worker deaths,
 # a PT world kill, and a drain/restart — every result must be
