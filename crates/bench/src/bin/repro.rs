@@ -37,6 +37,13 @@
 //! Writes `METRICS_serve.json` and exits non-zero on any divergence
 //! (the `scripts/check.sh serve` stage).
 //!
+//! `repro elastic` runs the elastic-worlds demo: a 4-rank
+//! parallel-tempering world loses a rank mid-flight and finishes
+//! bit-identical after an in-place respawn, then the same death with a
+//! zero respawn budget shrinks the β ladder and resumes the survivors
+//! deterministically. Writes `VERIFY_elastic.json` and exits non-zero
+//! on any divergence (the `scripts/check.sh elastic` stage).
+//!
 //! `repro analyze` records the same 4-rank parallel-tempering run
 //! through `qmc_obs::TracingComm`, merges the per-rank streams into a
 //! cross-rank happens-before DAG, and prints the critical path with
@@ -107,7 +114,7 @@ fn main() {
             return;
         }
         eprintln!(
-            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults|verify|analyze|serve-demo> \
+            "usage: repro <f1|f2|f3|f4|f5|t1|t2|t3|t4|t5|t6|all|bench|faults|verify|analyze|serve-demo|elastic> \
              [--quick] [--metrics] [--trace] [--health-every N] [--assert-guards] \
              [--checkpoint-every N] [--checkpoint-dir D] [--resume]"
         );
@@ -152,6 +159,15 @@ fn main() {
         if *name == "serve-demo" {
             println!("=== serve-demo ===");
             let (report, ok) = qmc_bench::serve_demo::serve_demo(quick);
+            print!("{report}");
+            if !ok {
+                std::process::exit(1);
+            }
+            continue;
+        }
+        if *name == "elastic" {
+            println!("=== elastic ===");
+            let (report, ok) = qmc_bench::elastic::elastic_demo(quick);
             print!("{report}");
             if !ok {
                 std::process::exit(1);

@@ -99,6 +99,7 @@ fn faulty_run(
                     full_every: 2,
                     resume: *resume,
                     stop: None,
+                    elastic_from: None,
                 };
                 run_pt_parallel_ckpt(&mut faulty, &cfg, &mut rng, Some(&ck), |c, s| {
                     c.tick_sweep(s)

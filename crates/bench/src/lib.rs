@@ -10,6 +10,7 @@
 
 pub mod analyze;
 pub mod ckpt_driver;
+pub mod elastic;
 pub mod faults;
 pub mod figures;
 pub mod kernels;

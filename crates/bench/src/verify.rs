@@ -25,7 +25,9 @@
 use qmc_comm::Communicator;
 use qmc_core::pt::{run_pt_parallel, PtConfig};
 use qmc_rng::StreamFactory;
-use qmc_verify::model::{CkptCommitModel, DrainModel, DrainMutation, SchedModel};
+use qmc_verify::model::{
+    CkptCommitModel, DrainModel, DrainMutation, RespawnModel, RespawnMutation, SchedModel,
+};
 use qmc_verify::{
     check, explore, explore_naive, lint, record_threads, Budget, Event, Outcome, WorldTrace,
 };
@@ -173,6 +175,7 @@ pub fn verify_demo() -> (String, bool) {
 const CKPT_CEILING: u64 = 40_000;
 const DRAIN_CEILING: u64 = 6_000;
 const SCHED_CEILING: u64 = 600_000;
+const RESPAWN_CEILING: u64 = 4_000;
 /// Minimum acceptable DPOR-vs-naive transition ratio on the committed
 /// reduction instances.
 const MIN_REDUCTION: f64 = 2.0;
@@ -182,13 +185,14 @@ const MIN_REDUCTION: f64 = 2.0;
 fn explore_act(out: &mut String) -> bool {
     let mut ok = true;
 
-    // (a) The three protocol models must be invariant-clean within
+    // (a) The four protocol models must be invariant-clean within
     // their committed ceilings.
     let mut model_rows = Vec::new();
-    let runs: [(&str, qmc_verify::ExploreStats, bool, u64); 3] = {
+    let runs: [(&str, qmc_verify::ExploreStats, bool, u64); 4] = {
         let ckpt = explore(&CkptCommitModel::new(3, 2, 2), Budget::with_faults(2));
         let drain = explore(&DrainModel::new(4, 3), Budget::with_faults(0));
         let sched = explore(&SchedModel::new(2, 2, 2, 2), Budget::with_faults(2));
+        let respawn = explore(&RespawnModel::new(3), Budget::with_faults(0));
         [
             (
                 "ckpt-commit(3 ranks, 2 rounds, full_every 2, 2 faults)",
@@ -207,6 +211,12 @@ fn explore_act(out: &mut String) -> bool {
                 sched.stats(),
                 sched.is_clean(),
                 SCHED_CEILING,
+            ),
+            (
+                "respawn-barrier(3 ranks, 1 crash)",
+                respawn.stats(),
+                respawn.is_clean(),
+                RESPAWN_CEILING,
             ),
         ]
     };
@@ -312,10 +322,37 @@ fn explore_act(out: &mut String) -> bool {
         }
     }
 
+    // Same teeth for the elastic-world rejoin: resetting the mailboxes
+    // while an incarnation-0 thread still runs must be caught as stale
+    // residue reaching incarnation 1.
+    let mutant = RespawnModel::new(2).mutated(RespawnMutation::EagerReset);
+    let mut respawn_ce_len = 0usize;
+    match explore(&mutant, Budget::with_faults(0)) {
+        Outcome::Violation(ce) => {
+            respawn_ce_len = ce.schedule.len();
+            let _ = writeln!(
+                out,
+                "      OK, flagged: respawn EagerReset mutant, minimized \
+                 to {respawn_ce_len} steps:"
+            );
+            for line in ce.render().lines() {
+                let _ = writeln!(out, "      {line}");
+            }
+        }
+        other => {
+            ok = false;
+            let _ = writeln!(
+                out,
+                "      FAIL: respawn mutant not flagged (got {:?})",
+                other.stats()
+            );
+        }
+    }
+
     // Artifact with guard verdicts, next to the other repro outputs.
     let json = format!
 (
-        "{{\n  \"schema\": \"qmc-verify-explore/v1\",\n  \"models\": [\n    {}\n  ],\n  \"reduction\": [\n    {}\n  ],\n  \"mutant\": {{\"model\": \"drain SkipFinalBroadcast\", \"schedule_len\": {ce_len}}},\n  \"guards\": {{\"all_clean_within_ceiling\": {ok}, \"min_reduction_ratio\": {MIN_REDUCTION:.1}}}\n}}\n",
+        "{{\n  \"schema\": \"qmc-verify-explore/v1\",\n  \"models\": [\n    {}\n  ],\n  \"reduction\": [\n    {}\n  ],\n  \"mutants\": [\n    {{\"model\": \"drain SkipFinalBroadcast\", \"schedule_len\": {ce_len}}},\n    {{\"model\": \"respawn EagerReset\", \"schedule_len\": {respawn_ce_len}}}\n  ],\n  \"guards\": {{\"all_clean_within_ceiling\": {ok}, \"min_reduction_ratio\": {MIN_REDUCTION:.1}}}\n}}\n",
         model_rows.join(",\n    "),
         reduction_rows.join(",\n    ")
     );

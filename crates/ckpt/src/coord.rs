@@ -272,6 +272,127 @@ pub fn restore_coordinated<C: Communicator>(
     Some((generation, file))
 }
 
+/// Per-rank outcome of [`restore_coordinated_remapped`]. Rank-consistent:
+/// either the whole world is `Fresh`, or every rank got the same
+/// generation and is `Resumed` or `Joined`.
+pub enum ElasticRestore {
+    /// No usable checkpoint (none on disk, or the remap declined the
+    /// mismatch): every rank starts from scratch.
+    Fresh,
+    /// This rank's state was rehydrated from the given generation.
+    Resumed(u64, CkptFile),
+    /// A checkpoint at the given generation exists for the world, but
+    /// maps no old rank onto this one (the world re-grew): start fresh
+    /// state *at that generation's boundary*, not at sweep zero.
+    Joined(u64),
+}
+
+/// [`restore_coordinated`] with an elastic escape hatch: when the newest
+/// checkpoint was written by a *different* world size, rank 0 asks
+/// `remap(old_world)` for a per-new-rank mapping (`mapping[r] = Some(j)`
+/// rehydrates new rank `r` from old rank `j`'s sections; `None` means
+/// rank `r` joins fresh) instead of unconditionally degrading. The
+/// remapped file is rebuilt on rank 0 and broadcast, so the store is
+/// never rewritten — a second death re-derives the same mapping
+/// deterministically. A matching world size behaves exactly like
+/// [`restore_coordinated`]; `remap` returning `None` (or an out-of-range
+/// mapping) reproduces its consistent whole-world degrade.
+pub fn restore_coordinated_remapped<C: Communicator>(
+    comm: &mut C,
+    store: &CkptStore,
+    remap: impl FnOnce(usize) -> Option<Vec<Option<usize>>>,
+) -> ElasticRestore {
+    let me = comm.rank();
+    let world = comm.size();
+    let msg = if me == 0 {
+        match store.latest() {
+            Some((generation, file)) => {
+                let covered = covered_ranks(&file);
+                let outer = match covered {
+                    Some(n) if n == world => Some(file),
+                    Some(n) => match remap(n).filter(|m| valid_mapping(m, n, world)) {
+                        Some(mapping) => Some(remap_outer(&file, &mapping)),
+                        None => {
+                            eprintln!(
+                                "warning: checkpoint generation {generation} covers {n} rank(s) \
+                                 but this world has {world} and no remap applies; all ranks \
+                                 resume fresh"
+                            );
+                            None
+                        }
+                    },
+                    None => {
+                        eprintln!(
+                            "warning: checkpoint generation {generation} covers an invalid rank \
+                             set; all ranks resume fresh"
+                        );
+                        None
+                    }
+                };
+                match outer {
+                    Some(outer) => {
+                        let mut m = vec![1u8];
+                        m.extend_from_slice(&generation.to_le_bytes());
+                        m.extend_from_slice(&outer.to_bytes());
+                        m
+                    }
+                    None => vec![0u8],
+                }
+            }
+            None => vec![0u8],
+        }
+    } else {
+        Vec::new()
+    };
+    let msg = comm.broadcast_bytes(0, msg);
+    let Some((generation, outer)) = decode_restore_broadcast(me, &msg) else {
+        return ElasticRestore::Fresh;
+    };
+    match extract_rank_file(&outer, me) {
+        Some(file) => {
+            if me != 0 {
+                // Rank 0's restore was counted inside `CkptStore::latest`.
+                qmc_obs::counter_add("ckpt.restores", 1);
+            }
+            ElasticRestore::Resumed(generation, file)
+        }
+        None => ElasticRestore::Joined(generation),
+    }
+}
+
+/// A mapping is usable when it has one entry per new rank, every source
+/// is a rank the old file actually covers, and no old rank is cloned
+/// into two new ones (two ranks resuming identical RNG streams would
+/// silently correlate the chains).
+fn valid_mapping(mapping: &[Option<usize>], old_world: usize, new_world: usize) -> bool {
+    let sources: Vec<usize> = mapping.iter().copied().flatten().collect();
+    mapping.len() == new_world
+        && sources.iter().all(|&j| j < old_world)
+        && sources
+            .iter()
+            .enumerate()
+            .all(|(i, j)| !sources[..i].contains(j))
+}
+
+/// Rebuild a coordinated file for the new world: new rank `r` takes old
+/// rank `mapping[r]`'s sections (either layout), renamed in place.
+fn remap_outer(old: &CkptFile, mapping: &[Option<usize>]) -> CkptFile {
+    let mut out = CkptFile::new();
+    for (r, src) in mapping.iter().enumerate() {
+        let Some(j) = *src else { continue };
+        if let Some(opaque) = old.get(&rank_section(j)) {
+            out.add(&rank_section(r), opaque.to_vec());
+        }
+        let prefix = format!("rank{j}/");
+        for (name, payload) in old.sections() {
+            if let Some(rest) = name.strip_prefix(prefix.as_str()) {
+                out.add(&format!("rank{r}/{rest}"), payload.to_vec());
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +506,96 @@ mod tests {
         write_world(&dir, 3);
         let resumed = restore_world_outcomes(&dir, 3);
         assert_eq!(resumed, vec![true; 3]);
+    }
+
+    // ---- elastic remapped restore ----
+
+    /// Outcome triple per rank: (resumed?, joined?, payload or marker).
+    fn elastic_outcomes(
+        dir: &Path,
+        ranks: usize,
+        mapping: Option<Vec<Option<usize>>>,
+    ) -> Vec<(String, Vec<u8>)> {
+        let dir = dir.to_path_buf();
+        run_threads(ranks, move |comm| {
+            let store = CkptStore::new(&dir, 2).unwrap();
+            let mapping = mapping.clone();
+            match restore_coordinated_remapped(comm, &store, move |_old| mapping) {
+                ElasticRestore::Fresh => ("fresh".to_string(), Vec::new()),
+                ElasticRestore::Resumed(g, f) => {
+                    (format!("resumed@{g}"), f.get("payload").unwrap().to_vec())
+                }
+                ElasticRestore::Joined(g) => (format!("joined@{g}"), Vec::new()),
+            }
+        })
+    }
+
+    #[test]
+    fn shrink_remap_rehydrates_surviving_ranks() {
+        let dir = scratch("remap-shrink");
+        write_world(&dir, 4);
+        // Drop old rank 2: new ranks 0,1,2 take old 0,1,3.
+        let got = elastic_outcomes(&dir, 3, Some(vec![Some(0), Some(1), Some(3)]));
+        assert_eq!(got[0], ("resumed@1".to_string(), vec![0u8; 4]));
+        assert_eq!(got[1], ("resumed@1".to_string(), vec![1u8; 4]));
+        assert_eq!(got[2], ("resumed@1".to_string(), vec![3u8; 4]));
+    }
+
+    #[test]
+    fn grow_remap_joins_the_new_rank_at_the_boundary() {
+        let dir = scratch("remap-grow");
+        write_world(&dir, 2);
+        let got = elastic_outcomes(&dir, 3, Some(vec![Some(0), Some(1), None]));
+        assert_eq!(got[0], ("resumed@1".to_string(), vec![0u8; 4]));
+        assert_eq!(got[1], ("resumed@1".to_string(), vec![1u8; 4]));
+        assert_eq!(got[2], ("joined@1".to_string(), Vec::new()));
+    }
+
+    #[test]
+    fn declined_or_invalid_remap_degrades_on_every_rank() {
+        let dir = scratch("remap-decline");
+        write_world(&dir, 4);
+        for mapping in [
+            None,                               // remap declines
+            Some(vec![Some(9), Some(1), None]), // source out of range
+            Some(vec![Some(0), Some(0), None]), // duplicate source
+            Some(vec![Some(0)]),                // wrong arity
+        ] {
+            let got = elastic_outcomes(&dir, 3, mapping.clone());
+            assert!(
+                got.iter().all(|(kind, _)| kind == "fresh"),
+                "mapping {mapping:?}: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matching_world_ignores_the_remap_hook() {
+        let dir = scratch("remap-match");
+        write_world(&dir, 2);
+        // The hook would be invalid if consulted; a matching world must
+        // never call it.
+        let got = elastic_outcomes(&dir, 2, Some(vec![Some(9), Some(9)]));
+        assert_eq!(got[0], ("resumed@1".to_string(), vec![0u8; 4]));
+        assert_eq!(got[1], ("resumed@1".to_string(), vec![1u8; 4]));
+    }
+
+    #[test]
+    fn remap_works_on_sectioned_layout_too() {
+        let dir = scratch("remap-sectioned");
+        {
+            let dir = dir.clone();
+            run_threads(3, move |comm| {
+                let store = CkptStore::new(&dir, 2).unwrap();
+                let me = comm.rank() as u8;
+                write_coordinated_sections(comm, &store, 5, true, move |_| {
+                    vec![("payload".to_string(), SectionPlan::Payload(vec![me; 4]))]
+                });
+            });
+        }
+        let got = elastic_outcomes(&dir, 2, Some(vec![Some(0), Some(2)]));
+        assert_eq!(got[0], ("resumed@5".to_string(), vec![0u8; 4]));
+        assert_eq!(got[1], ("resumed@5".to_string(), vec![2u8; 4]));
     }
 
     // ---- truncated broadcast (regression: a short message starting

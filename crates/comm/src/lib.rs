@@ -69,7 +69,10 @@ pub mod util;
 pub use faulty::{FaultPlan, FaultStats, FaultyComm};
 pub use model::{job_seconds, run_model, MachineModel, ModelComm, ModelReport};
 pub use serial::SerialComm;
-pub use thread_world::{run_threads, run_threads_with_timeout, ThreadComm};
+pub use thread_world::{
+    run_threads, run_threads_elastic, run_threads_with_timeout, ElasticError, ElasticRun,
+    ThreadComm,
+};
 
 use std::time::Duration;
 

@@ -352,6 +352,73 @@ mod tests {
         }
     }
 
+    /// Serves a byte-stream prefix, then fails every further read with
+    /// the given error kind forever — a peer that stalled (or died
+    /// behind a dropped link) at an arbitrary wire position, as seen
+    /// through a socket read timeout.
+    struct StallAfter {
+        data: Cursor<Vec<u8>>,
+        kind: io::ErrorKind,
+        /// Serve at most this many bytes per read (1 exercises the
+        /// re-fill loop inside a single `read_exact_or` call).
+        chunk: usize,
+    }
+
+    impl Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let want = buf.len().min(self.chunk);
+            match self.data.read(&mut buf[..want])? {
+                0 => Err(io::Error::new(self.kind, "simulated read timeout")),
+                n => Ok(n),
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_at_every_cut_is_classified_by_frame_alignment() {
+        // The retryability contract: a timeout is `TimedOut` (retryable,
+        // stream still frame-aligned) only when *no byte* of the frame
+        // has arrived. A peer stalling at any later cut — inside the
+        // header, between header and payload, inside the payload or the
+        // CRC — must be `Truncated` (non-retryable), or a retrying
+        // client would re-read a misaligned stream.
+        let wire = encode_frame(b"some payload worth guarding");
+        for kind in [io::ErrorKind::WouldBlock, io::ErrorKind::TimedOut] {
+            for chunk in [usize::MAX, 1] {
+                for cut in 0..=wire.len() {
+                    let mut r = StallAfter {
+                        data: Cursor::new(wire[..cut].to_vec()),
+                        kind,
+                        chunk,
+                    };
+                    let res = read_frame(&mut r, 64);
+                    let label = format!("cut {cut}, kind {kind:?}, chunk {chunk}");
+                    match cut {
+                        0 => assert_eq!(res.unwrap_err(), FrameError::TimedOut, "{label}"),
+                        c if c == wire.len() => {
+                            assert_eq!(res.unwrap(), b"some payload worth guarding", "{label}");
+                        }
+                        _ => assert_eq!(res.unwrap_err(), FrameError::Truncated, "{label}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_between_header_and_payload_is_truncated() {
+        // The boundary the retry loops get wrong if misclassified: the
+        // full 8-byte header arrived, then the peer died before the
+        // first payload byte. Pin it by name, not just via the sweep.
+        let wire = encode_frame(b"boundary");
+        let mut r = StallAfter {
+            data: Cursor::new(wire[..8].to_vec()),
+            kind: io::ErrorKind::WouldBlock,
+            chunk: usize::MAX,
+        };
+        assert_eq!(read_frame(&mut r, 64).unwrap_err(), FrameError::Truncated);
+    }
+
     #[test]
     fn every_single_bit_flip_is_detected() {
         let wire = encode_frame(b"bit flip target");

@@ -30,6 +30,7 @@ pub struct ThreadComm {
     stats: CommStats,
     coll_seq: u32,
     timeout: Duration,
+    incarnation: u32,
 }
 
 impl ThreadComm {
@@ -39,6 +40,7 @@ impl ThreadComm {
         boxes: Arc<Vec<Mailbox>>,
         poison: Arc<Poison>,
         timeout: Duration,
+        incarnation: u32,
     ) -> Self {
         Self {
             rank,
@@ -49,7 +51,17 @@ impl ThreadComm {
             stats: CommStats::default(),
             coll_seq: 0,
             timeout,
+            incarnation,
         }
+    }
+
+    /// Which elastic round this world is on: 0 for the initial launch,
+    /// +1 for every in-place respawn after a rank death (see
+    /// [`run_threads_elastic`]). Fresh per-round communicators also mean
+    /// fresh collective sequence numbers and per-channel FIFO queues, so
+    /// tracing and deadlock detection stay coherent across respawns.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
     }
 
     fn raw_send(&mut self, dest: usize, tag: u32, data: &[u8]) {
@@ -102,12 +114,17 @@ impl ThreadComm {
             }
             // lint: allow(wall-clock)
             if Instant::now() >= deadline {
-                self.boxes[me].set_running();
-                panic!(
+                let msg = format!(
                     "rank {me}: recv(src={src}, tag={tag:#x}) timed out after {:?} — \
                      deadlock or mismatched send/recv",
                     self.timeout
                 );
+                // Fail the *world*, not just this rank: peers blocked on
+                // other channels pick the poison up within a wait slice
+                // instead of each riding out its own full timeout.
+                self.poison.set(&msg);
+                self.boxes[me].set_running();
+                panic!("{msg}");
             }
         }
     }
@@ -239,18 +256,8 @@ where
     T: Send,
     F: Fn(&mut ThreadComm) -> T + Send + Sync,
 {
-    run_threads_with_timeout(nranks, Duration::from_secs(60), f)
-}
-
-/// [`run_threads`] with an explicit receive-timeout (the backstop for
-/// blocked receives the deadlock detector cannot prove stuck, e.g. a
-/// peer spinning forever without sending).
-pub fn run_threads_with_timeout<T, F>(nranks: usize, timeout: Duration, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(&mut ThreadComm) -> T + Send + Sync,
-{
     assert!(nranks >= 1, "need at least one rank");
+    let timeout = Duration::from_secs(60);
     let boxes: Arc<Vec<Mailbox>> = Arc::new((0..nranks).map(|_| Mailbox::new()).collect());
     let poison = Arc::new(Poison::new());
     std::thread::scope(|scope| {
@@ -264,7 +271,7 @@ where
                     boxes: boxes.clone(),
                     rank,
                 };
-                let mut comm = ThreadComm::new(rank, nranks, boxes, poison, timeout);
+                let mut comm = ThreadComm::new(rank, nranks, boxes, poison, timeout, 0);
                 f(&mut comm)
             }));
         }
@@ -286,6 +293,304 @@ where
         }
         results
     })
+}
+
+/// A completed elastic run: per-rank results plus which mailbox slots
+/// had to be respawned along the way (in death order; empty means the
+/// run never lost a rank).
+#[derive(Debug)]
+pub struct ElasticRun<T> {
+    /// Each rank's return value from the final (successful) round,
+    /// indexed by rank.
+    pub results: Vec<T>,
+    /// Rank slot respawned before each retry round, in death order.
+    pub respawned: Vec<usize>,
+}
+
+/// Why an elastic run gave up.
+pub enum ElasticError {
+    /// A rank died after the respawn budget was spent. `payload` is the
+    /// fatal rank's original panic payload.
+    Exhausted {
+        /// The rank whose death exhausted the budget.
+        dead_rank: usize,
+        /// Slots respawned before giving up, in death order.
+        respawned: Vec<usize>,
+        /// The fatal rank's panic payload, for re-raising.
+        payload: Box<dyn std::any::Any + Send>,
+    },
+    /// Some ranks neither returned nor panicked within the stall
+    /// backstop; their threads were poisoned and abandoned.
+    Stalled {
+        /// Ranks that never finished.
+        unfinished: Vec<usize>,
+        /// Human-readable report (also the poison message).
+        message: String,
+    },
+}
+
+impl std::fmt::Debug for ElasticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElasticError::Exhausted {
+                dead_rank,
+                respawned,
+                ..
+            } => f
+                .debug_struct("Exhausted")
+                .field("dead_rank", dead_rank)
+                .field("respawned", respawned)
+                .finish_non_exhaustive(),
+            ElasticError::Stalled {
+                unfinished,
+                message,
+            } => f
+                .debug_struct("Stalled")
+                .field("unfinished", unfinished)
+                .field("message", message)
+                .finish(),
+        }
+    }
+}
+
+/// One round's verdict, as seen by the supervisor.
+enum RoundOutcome<T> {
+    /// Every rank returned normally; results indexed by rank.
+    Done(Vec<T>),
+    /// At least one rank panicked (all threads did exit).
+    Died {
+        dead_rank: usize,
+        payload: Box<dyn std::any::Any + Send>,
+    },
+    /// Some ranks never reported back within the stall backstop.
+    Stalled {
+        unfinished: Vec<usize>,
+        message: String,
+    },
+}
+
+/// Spawn one round of detached rank threads and collect all verdicts.
+///
+/// Every thread reports exactly once over the channel — result or
+/// caught panic payload — *after* its `DoneGuard` has marked the
+/// mailbox `Done`, so by the time the supervisor has `nranks` reports
+/// no rank can still touch the mailboxes and a respawn reset is safe.
+/// Threads are detached: if one stalls past the backstop the supervisor
+/// poisons the world (so blocked survivors fail fast), drains briefly,
+/// and abandons whatever still runs rather than hanging the caller.
+fn run_round<T, F>(
+    nranks: usize,
+    timeout: Duration,
+    incarnation: u32,
+    boxes: &Arc<Vec<Mailbox>>,
+    poison: &Arc<Poison>,
+    f: &Arc<F>,
+) -> RoundOutcome<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut ThreadComm) -> T + Send + Sync + 'static,
+{
+    type Verdict<T> = (usize, Result<T, Box<dyn std::any::Any + Send>>);
+    let (tx, rx) = std::sync::mpsc::channel::<Verdict<T>>();
+    for rank in 0..nranks {
+        let boxes = boxes.clone();
+        let poison = poison.clone();
+        let f = f.clone();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // The guard lives *inside* the catch so its Drop (which
+                // records Done{panicked}) runs before the verdict is
+                // sent — the supervisor never resets a mailbox whose
+                // owner hasn't published its exit yet.
+                let _done = DoneGuard {
+                    boxes: boxes.clone(),
+                    rank,
+                };
+                let mut comm = ThreadComm::new(rank, nranks, boxes, poison, timeout, incarnation);
+                f(&mut comm)
+            }));
+            let _ = tx.send((rank, out));
+        });
+    }
+    drop(tx);
+
+    // Stall backstop: every live rank either finishes or hits its own
+    // receive timeout by `timeout`; the grace covers compute time and
+    // slow-but-live senders (which may legitimately outlast `timeout`,
+    // see `slow_sender_past_timeout_panics`).
+    let grace = (timeout * 2).max(Duration::from_secs(1));
+    // lint: allow(wall-clock) — stall backstop needs host time
+    let stall_deadline = Instant::now() + timeout + grace;
+    let mut slots: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    let mut finished = vec![false; nranks];
+    let mut got = 0usize;
+    let mut first_death: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    let collect =
+        |msg: Verdict<T>,
+         slots: &mut Vec<Option<T>>,
+         finished: &mut Vec<bool>,
+         first_death: &mut Option<(usize, Box<dyn std::any::Any + Send>)>| {
+            let (rank, out) = msg;
+            finished[rank] = true;
+            match out {
+                Ok(v) => slots[rank] = Some(v),
+                Err(payload) => {
+                    if first_death.is_none() {
+                        *first_death = Some((rank, payload));
+                    }
+                }
+            }
+        };
+    while got < nranks {
+        // lint: allow(wall-clock)
+        let remaining = stall_deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        match rx.recv_timeout(remaining) {
+            Ok(msg) => {
+                collect(msg, &mut slots, &mut finished, &mut first_death);
+                got += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    if got < nranks {
+        let unfinished: Vec<usize> = (0..nranks).filter(|&r| !finished[r]).collect();
+        let message = format!(
+            "run_threads: rank(s) {unfinished:?} neither returned nor panicked within \
+             {timeout:?} + {grace:?} grace — poisoning the world and abandoning their threads"
+        );
+        poison.set(&message);
+        // Short drain: poisoned stragglers blocked in a receive notice
+        // within a wait slice; give them a few to report in.
+        // lint: allow(wall-clock)
+        let drain_deadline = Instant::now() + WAIT_SLICE * 20;
+        while got < nranks {
+            // lint: allow(wall-clock)
+            let remaining = drain_deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(remaining) {
+                Ok(msg) => {
+                    collect(msg, &mut slots, &mut finished, &mut first_death);
+                    got += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if got < nranks {
+            let unfinished: Vec<usize> = (0..nranks).filter(|&r| !finished[r]).collect();
+            return RoundOutcome::Stalled {
+                unfinished,
+                message,
+            };
+        }
+    }
+    match first_death {
+        Some((dead_rank, payload)) => RoundOutcome::Died { dead_rank, payload },
+        None => RoundOutcome::Done(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every finished rank left a result"))
+                .collect(),
+        ),
+    }
+}
+
+/// [`run_threads`] with an explicit receive-timeout (the backstop for
+/// blocked receives the deadlock detector cannot prove stuck, e.g. a
+/// peer spinning forever without sending).
+///
+/// Unlike the plain scope-based [`run_threads`], rank threads here are
+/// detached and supervised: a rank that neither returns nor panics
+/// within `timeout` plus a grace period no longer hangs the caller
+/// while silently holding live mailbox `Arc`s — the world is poisoned
+/// (so blocked survivors fail fast) and the run panics naming the ranks
+/// that never finished.
+pub fn run_threads_with_timeout<T, F>(nranks: usize, timeout: Duration, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut ThreadComm) -> T + Send + Sync + 'static,
+{
+    match run_threads_elastic(nranks, timeout, 0, f) {
+        Ok(run) => run.results,
+        Err(ElasticError::Exhausted { payload, .. }) => std::panic::resume_unwind(payload),
+        Err(ElasticError::Stalled { message, .. }) => panic!("{message}"),
+    }
+}
+
+/// Run an SPMD function on `nranks` thread-backed ranks with in-place
+/// rank respawn: when a rank dies, the supervisor waits for every
+/// thread of the round to exit, resets all mailbox slots and the world
+/// poison, and relaunches the full world with `incarnation + 1` — up to
+/// `max_respawns` times. The rank closure is responsible for recovering
+/// its state on re-entry (the PT driver resumes from the latest
+/// coordinated checkpoint generation; survivors roll back to the same
+/// boundary, so the respawned world is bit-identical to one that never
+/// died).
+///
+/// Respawning the *whole* world rather than just the dead slot is what
+/// makes the rejoin protocol race-free: there is no barrier between a
+/// half-old, half-new world because no such world ever exists — the
+/// model in `qmc_verify::model::respawn` checks exactly this design
+/// against its mutants.
+pub fn run_threads_elastic<T, F>(
+    nranks: usize,
+    timeout: Duration,
+    max_respawns: usize,
+    f: F,
+) -> Result<ElasticRun<T>, ElasticError>
+where
+    T: Send + 'static,
+    F: Fn(&mut ThreadComm) -> T + Send + Sync + 'static,
+{
+    assert!(nranks >= 1, "need at least one rank");
+    let boxes: Arc<Vec<Mailbox>> = Arc::new((0..nranks).map(|_| Mailbox::new()).collect());
+    let poison = Arc::new(Poison::new());
+    let f = Arc::new(f);
+    let mut respawned = Vec::new();
+    loop {
+        let incarnation = respawned.len() as u32;
+        match run_round(nranks, timeout, incarnation, &boxes, &poison, &f) {
+            RoundOutcome::Done(results) => {
+                return Ok(ElasticRun { results, respawned });
+            }
+            RoundOutcome::Stalled {
+                unfinished,
+                message,
+            } => {
+                // Never respawn over a stall: abandoned threads may
+                // still hold mailbox Arcs, so a reset could race them.
+                return Err(ElasticError::Stalled {
+                    unfinished,
+                    message,
+                });
+            }
+            RoundOutcome::Died { dead_rank, payload } => {
+                if respawned.len() >= max_respawns {
+                    return Err(ElasticError::Exhausted {
+                        dead_rank,
+                        respawned,
+                        payload,
+                    });
+                }
+                respawned.push(dead_rank);
+                // Every thread of the failed round has exited (the
+                // round verdict only lands once all n reports are in),
+                // so resetting the shared state cannot race a live
+                // rank. Clear residue messages, wait states, and the
+                // poison; the epoch bump keeps stale diagnoses from
+                // ever comparing equal.
+                for mb in boxes.iter() {
+                    mb.reset_for_respawn();
+                }
+                poison.clear();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +655,115 @@ mod tests {
                 c.send_bytes(0, 2, &[1]);
             }
         });
+    }
+
+    #[test]
+    fn stalled_rank_is_reported_and_does_not_hang_the_run() {
+        // Rank 1 computes forever without touching the comm layer: the
+        // deadlock detector sees it Running and the receive timeout
+        // never fires for it. Pre-fix this leaked the thread silently
+        // and rank 0's timeout was the only (misleading) signal; now
+        // the supervisor poisons the world and names the stalled rank.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static STOP: AtomicBool = AtomicBool::new(false);
+        let err = std::panic::catch_unwind(|| {
+            run_threads_with_timeout(2, Duration::from_millis(50), |c| {
+                if c.rank() == 1 {
+                    while !STOP.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            });
+        })
+        .expect_err("a stalled rank must fail the run");
+        STOP.store(true, Ordering::Relaxed); // release the leaked thread
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("stall panic carries a String payload");
+        assert!(
+            msg.contains("rank(s) [1]") && msg.contains("neither returned nor panicked"),
+            "stall report must name the unfinished rank: {msg}"
+        );
+    }
+
+    #[test]
+    fn timeout_poisons_the_world_so_survivors_fail_fast() {
+        // Rank 0 times out on a receive after 60 ms; rank 1 is blocked
+        // on a receive of its own with nothing in flight. Pre-fix rank 1
+        // had to ride out its own full timeout; now rank 0's timeout
+        // poisons the world and the whole run ends quickly.
+        let t0 = Instant::now();
+        let err = std::panic::catch_unwind(|| {
+            run_threads_with_timeout(2, Duration::from_millis(60), |c| {
+                if c.rank() == 0 {
+                    let _ = c.recv_bytes(1, 2);
+                } else {
+                    // Keep rank 1 Running past rank 0's timeout so the
+                    // deadlock detector cannot conclude first, then
+                    // block on a receive that only poison can end.
+                    std::thread::sleep(Duration::from_millis(120));
+                    let _ = c.recv_bytes(0, 3);
+                }
+            });
+        })
+        .expect_err("both ranks must fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("timed out"), "unexpected payload: {msg}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "survivor did not fail fast: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn elastic_respawn_restarts_the_world_and_reports_the_slot() {
+        // Rank 1 dies on its first incarnation, succeeds on the second;
+        // the respawned world exchanges cleanly over the reset mailboxes.
+        let run = run_threads_elastic(2, Duration::from_secs(5), 1, |c| {
+            if c.rank() == 1 && c.incarnation() == 0 {
+                // Residue: a message rank 0 will never receive in this
+                // round; the reset must drop it.
+                c.send_bytes(0, 9, &[0xEE]);
+                panic!("injected death on incarnation 0");
+            }
+            if c.rank() == 0 {
+                c.send_bytes(1, 4, &[c.incarnation() as u8]);
+                Vec::new()
+            } else {
+                c.recv_bytes(0, 4)
+            }
+        })
+        .expect("one respawn is within budget");
+        assert_eq!(run.respawned, vec![1]);
+        assert_eq!(run.results[1], vec![1], "rank 1 sees the respawned round");
+    }
+
+    #[test]
+    fn elastic_budget_zero_reraises_the_original_payload() {
+        let err = std::panic::catch_unwind(|| {
+            run_threads_elastic(2, Duration::from_secs(5), 0, |c| {
+                if c.rank() == 1 {
+                    panic!("fatal rank death");
+                }
+            })
+        })
+        .map(|r| {
+            // No panic escaped: must be an Exhausted error instead.
+            let e = r.expect_err("budget 0 cannot absorb a death");
+            let ElasticError::Exhausted {
+                dead_rank,
+                respawned,
+                ..
+            } = e
+            else {
+                panic!("expected Exhausted, got {e:?}");
+            };
+            assert_eq!(dead_rank, 1);
+            assert!(respawned.is_empty());
+        });
+        assert!(err.is_ok(), "run_threads_elastic itself must not panic");
     }
 
     #[test]

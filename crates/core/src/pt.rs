@@ -416,6 +416,17 @@ pub struct PtCheckpointing<'a> {
     /// bit for bit; checking only rank 0's flag keeps the ranks from
     /// desynchronizing on a racy read.
     pub stop: Option<&'a std::sync::atomic::AtomicBool>,
+    /// β ladder of the run that wrote the checkpoints this run resumes
+    /// from, when the ladder was resized to fit a changed world
+    /// (elastic shrink or re-grow). `None` — the common case — means
+    /// the ladder never changed and a world-size mismatch degrades to a
+    /// fresh start as before. With `Some(old_betas)`, a mismatched
+    /// checkpoint is *remapped*: each new rank is rehydrated from the
+    /// old rank that simulated the same β (bit equality), βs with no
+    /// old counterpart join fresh at the resumed sweep boundary, and
+    /// pair statistics migrate only where both ends of the pair kept
+    /// their βs (all other pairs restart at zero attempts).
+    pub elastic_from: Option<&'a [f64]>,
 }
 
 /// [`run_pt_parallel`] with coordinated checkpoint/restore and a
@@ -479,52 +490,116 @@ where
 
     if let Some(ck) = ck {
         if ck.resume {
-            if let Some((generation, file)) = qmc_ckpt::coord::restore_coordinated(comm, ck.store) {
-                let meta = file
-                    .require("meta")
-                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                let mut dec = qmc_ckpt::Decoder::new(meta);
-                let s0 = dec
-                    .u64()
-                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"))
-                    as usize;
-                let step0 = dec
-                    .u64()
-                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                if file.get("replica").is_some() {
-                    // Legacy monolithic layout: restore, but leave the
-                    // state dirty so the next delta write degrades to a
-                    // full snapshot (this file carries no sectioned
-                    // names a delta could reference).
-                    file.restore("replica", &mut replica)
-                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                    file.restore("rng", rng)
-                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                } else {
-                    qmc_ckpt::restore_sections(&file, "replica", &mut replica)
-                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                    qmc_ckpt::restore_sections(&file, "rng", rng)
-                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+            use qmc_ckpt::coord::ElasticRestore;
+            let restored = match ck.elastic_from {
+                None => match qmc_ckpt::coord::restore_coordinated(comm, ck.store) {
+                    Some((generation, file)) => ElasticRestore::Resumed(generation, file),
+                    None => ElasticRestore::Fresh,
+                },
+                Some(old_betas) => {
+                    let old: Vec<f64> = old_betas.to_vec();
+                    let new: Vec<f64> = betas.clone();
+                    qmc_ckpt::coord::restore_coordinated_remapped(
+                        comm,
+                        ck.store,
+                        move |old_world| {
+                            // Only a checkpoint from the declared pre-resize
+                            // ladder is remappable; anything else degrades.
+                            (old_world == old.len()).then(|| {
+                                new.iter()
+                                    .map(|b| old.iter().position(|ob| ob.to_bits() == b.to_bits()))
+                                    .collect()
+                            })
+                        },
+                    )
                 }
-                let stats = file
-                    .require("stats")
-                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                let mut dec = qmc_ckpt::Decoder::new(stats);
-                accepted = dec
-                    .f64s()
-                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                attempted = dec
-                    .f64s()
-                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                energies = dec
-                    .f64s()
-                    .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
-                assert_eq!(
-                    generation, s0 as u64,
-                    "checkpoint generation must equal its sweep index"
-                );
-                step = step0;
-                start = s0;
+            };
+            match restored {
+                ElasticRestore::Fresh => {}
+                ElasticRestore::Joined(generation) => {
+                    // A re-grown rank has no old state: it joins the
+                    // resumed world at the checkpoint boundary with a
+                    // fresh replica/rng and empty accumulators. The
+                    // exchange-step counter is reconstructed from the
+                    // sweep index (one phase per `exchange_every`
+                    // boundary in [0, generation)), so its parity stays
+                    // in lockstep with the survivors' restored counters.
+                    start = generation as usize;
+                    step = (generation).div_ceil(exchange_every as u64);
+                }
+                ElasticRestore::Resumed(generation, file) => {
+                    let meta = file
+                        .require("meta")
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    let mut dec = qmc_ckpt::Decoder::new(meta);
+                    let s0 = dec
+                        .u64()
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"))
+                        as usize;
+                    let step0 = dec
+                        .u64()
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    if file.get("replica").is_some() {
+                        // Legacy monolithic layout: restore, but leave the
+                        // state dirty so the next delta write degrades to a
+                        // full snapshot (this file carries no sectioned
+                        // names a delta could reference).
+                        file.restore("replica", &mut replica)
+                            .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                        file.restore("rng", rng)
+                            .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    } else {
+                        qmc_ckpt::restore_sections(&file, "replica", &mut replica)
+                            .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                        qmc_ckpt::restore_sections(&file, "rng", rng)
+                            .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    }
+                    let stats = file
+                        .require("stats")
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    let mut dec = qmc_ckpt::Decoder::new(stats);
+                    let acc = dec
+                        .f64s()
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    let att = dec
+                        .f64s()
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    energies = dec
+                        .f64s()
+                        .unwrap_or_else(|e| panic!("rank {me}: resume failed: {e}"));
+                    if acc.len() == betas.len() - 1 {
+                        accepted = acc;
+                        attempted = att;
+                    } else if let Some(old_betas) = ck.elastic_from {
+                        // Checkpoint from the pre-resize ladder: migrate
+                        // pair accumulators where both ends of the pair
+                        // survived adjacently; every other pair is new
+                        // and restarts at zero attempts.
+                        for k in 0..betas.len() - 1 {
+                            let p = old_betas.windows(2).position(|w| {
+                                w[0].to_bits() == betas[k].to_bits()
+                                    && w[1].to_bits() == betas[k + 1].to_bits()
+                            });
+                            if let Some(p) = p {
+                                accepted[k] = acc.get(p).copied().unwrap_or(0.0);
+                                attempted[k] = att.get(p).copied().unwrap_or(0.0);
+                            }
+                        }
+                    } else {
+                        panic!(
+                            "rank {me}: resume failed: pair statistics have length {} for a \
+                             {}-rung ladder",
+                            acc.len(),
+                            betas.len()
+                        );
+                    }
+                    assert_eq!(
+                        generation, s0 as u64,
+                        "checkpoint generation must equal its sweep index"
+                    );
+                    step = step0;
+                    start = s0;
+                }
             }
         }
     }

@@ -12,23 +12,25 @@
 //! * serial jobs abort at a chosen sweep boundary, leaving the store
 //!   exactly as a real mid-run death would (any generation due at that
 //!   boundary is written; nothing newer);
-//! * parallel-tempering jobs die for real: a [`FaultPlan::kill`] panics
-//!   one rank of the job's ThreadWorld mid-run, its peers exhaust their
-//!   recv retries, and the whole world unwinds — caught, reported as
-//!   [`Outcome::Killed`], requeued by the scheduler.
+//! * parallel-tempering jobs die for real: one rank of the job's
+//!   ThreadWorld panics mid-run and the elastic supervisor rides the
+//!   death through *inside the attempt* — in-place respawn from the
+//!   latest coordinated generation first, β-ladder resize when the
+//!   respawn budget is spent — so the job no longer bounces back to the
+//!   scheduler's requeue path unless both policies are unavailable.
 
 use crate::job::{JobKind, JobObservables, JobSpec};
 use qmc_ckpt::{
     plan_sections, restore_sections, Checkpoint, CkptStore, Decoder, Encoder, SectionPlan,
 };
-use qmc_comm::{run_threads, run_threads_with_timeout, Communicator, FaultPlan, FaultyComm};
+use qmc_comm::{run_threads, run_threads_elastic, Communicator, ElasticError};
 use qmc_core::pt::{run_pt_parallel_ckpt, PtCheckpointing, PtConfig};
 use qmc_obs::Registry;
 use qmc_rng::{StreamFactory, Xoshiro256StarStar};
 use qmc_tfim::serial::{SerialTfim, TfimSeries};
 use qmc_tfim::TfimModel;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How a single attempt at a job ended.
@@ -36,7 +38,16 @@ use std::time::Duration;
 pub enum Outcome {
     /// Ran to completion; per-tenant engine counters ride along for the
     /// metrics namespace.
-    Done(JobObservables, Registry),
+    Done {
+        /// The job's observable series.
+        obs: JobObservables,
+        /// Per-tenant engine counters for the metrics namespace.
+        metrics: Registry,
+        /// Rank deaths absorbed by in-place respawn during the attempt.
+        respawns: u32,
+        /// Whether the β ladder was resized (shrunk) to finish.
+        resized: bool,
+    },
     /// The worker died at (or near) this sweep; the job's checkpoint
     /// store holds its latest surviving generation.
     Killed {
@@ -75,6 +86,11 @@ pub struct RunCtl<'a> {
     pub kill_at: Option<u64>,
     /// Graceful-drain flag, checked at sweep boundaries.
     pub stop: Option<&'a AtomicBool>,
+    /// How many in-place rank respawns a parallel attempt may absorb
+    /// before falling back to a ladder resize (and, failing that, the
+    /// scheduler's requeue path). `0` disables respawn, forcing the
+    /// resize policy on the first death.
+    pub respawn_budget: usize,
     /// Progress callback: `(sweep, total, mean_energy)` at every
     /// checkpoint boundary.
     pub snapshot: Option<&'a mut dyn FnMut(u64, u64, f64)>,
@@ -89,6 +105,7 @@ impl Default for RunCtl<'_> {
             resume: true,
             kill_at: None,
             stop: None,
+            respawn_budget: 1,
             snapshot: None,
         }
     }
@@ -233,7 +250,12 @@ fn run_tfim(model: TfimModel, wolff: usize, spec: &JobSpec, mut ctl: RunCtl<'_>)
         energy: vec![series.energy.clone()],
         extra: vec![series.abs_m.clone()],
     };
-    Outcome::Done(obs, eng.metrics().clone())
+    Outcome::Done {
+        obs,
+        metrics: eng.metrics().clone(),
+        respawns: 0,
+        resized: false,
+    }
 }
 
 /// Serializes panic-hook swaps across workers: injected PT kills unwind
@@ -242,33 +264,46 @@ fn run_tfim(model: TfimModel, wolff: usize, spec: &JobSpec, mut ctl: RunCtl<'_>)
 static KILL_HOOK: Mutex<()> = Mutex::new(());
 
 /// Parallel-tempering attempt on a fresh ThreadWorld (one rank per β).
+///
+/// Elastic ride-through of a rank death: the world is supervised by
+/// [`run_threads_elastic`], so an injected kill is absorbed *inside the
+/// attempt*. First policy is in-place respawn (up to
+/// `ctl.respawn_budget` whole-world relaunches, every rank rehydrating
+/// from the latest coordinated generation — bit-identical to a run that
+/// never died). When the budget is spent and the job has a checkpoint
+/// store with at least three rungs, the second policy resizes the
+/// ladder: the dying rank's β is dropped and the survivors resume
+/// remapped onto the smaller world. Only when neither applies does the
+/// attempt report `Killed` for the scheduler's requeue path.
 fn run_pt(cfg: PtConfig, spec: &JobSpec, mut ctl: RunCtl<'_>) -> Outcome {
-    let ranks = cfg.betas.len();
     let every = ctl.every;
-    let full_every = if ctl.full_every == 0 {
-        0
-    } else {
-        ctl.full_every
-    };
+    let full_every = ctl.full_every;
     let dir = ctl.store.map(|s| s.dir().to_path_buf());
     let therm = cfg.therm;
     let sweeps = cfg.sweeps;
     let seed = spec.seed;
 
     if let Some(kill_sweep) = ctl.kill_at {
-        // Injected death: rank 1 panics at the scheduled sweep, peers
-        // exhaust bounded recv retries, the world unwinds. The hook swap
-        // is serialized so concurrent killed jobs don't race it.
+        // One-shot injected death: rank `1 % size` panics at the
+        // scheduled sweep on its first pass only — a respawned world
+        // replaying the same boundary must not die again, or the
+        // respawn loop could never converge. The hook swap silences the
+        // expected panic spam and is serialized so concurrent killed
+        // jobs don't race it.
+        let fired = Arc::new(AtomicBool::new(false));
+        let snap = ctl.snapshot.take();
         let guard = KILL_HOOK.lock().expect("kill hook guard");
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let dir2 = dir.clone();
-        let cfg2 = cfg.clone();
-        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            run_threads_with_timeout(ranks, Duration::from_secs(20), move |comm| {
-                let plan = FaultPlan::new(seed ^ 0xD1E)
-                    .kill(1 % comm.size(), kill_sweep as usize)
-                    .retry(3, Duration::from_millis(5));
+        let launch = |betas: Vec<f64>, elastic_from: Option<Vec<f64>>, budget: usize| {
+            let ranks = betas.len();
+            let cfg2 = PtConfig {
+                betas,
+                ..cfg.clone()
+            };
+            let dir2 = dir.clone();
+            let fired = fired.clone();
+            run_threads_elastic(ranks, Duration::from_secs(20), budget, move |comm| {
                 let mut rng = StreamFactory::new(seed).stream(comm.rank());
                 let store = dir2
                     .as_ref()
@@ -279,28 +314,61 @@ fn run_pt(cfg: PtConfig, spec: &JobSpec, mut ctl: RunCtl<'_>) -> Outcome {
                     full_every,
                     resume: true,
                     stop: None,
+                    elastic_from: elastic_from.as_deref(),
                 });
-                let mut faulty = FaultyComm::new(comm, plan);
-                run_pt_parallel_ckpt(&mut faulty, &cfg2, &mut rng, ck.as_ref(), |c, s| {
-                    c.tick_sweep(s)
+                let fired = fired.clone();
+                run_pt_parallel_ckpt(comm, &cfg2, &mut rng, ck.as_ref(), move |c, s| {
+                    if s as u64 == kill_sweep
+                        && c.rank() == 1 % c.size()
+                        && !fired.swap(true, Ordering::SeqCst)
+                    {
+                        panic!("injected rank kill at sweep {s}");
+                    }
                 })
             })
-        }));
-        std::panic::set_hook(hook);
-        drop(guard);
-        match crashed {
-            Err(_) => {
-                return Outcome::Killed {
-                    at_sweep: kill_sweep,
+        };
+        let outcome = match launch(cfg.betas.clone(), None, ctl.respawn_budget) {
+            Ok(run) => {
+                let respawns = run.respawned.len() as u32;
+                pt_outcome(run.results, therm, sweeps, snap, respawns, false)
+            }
+            Err(ElasticError::Exhausted {
+                dead_rank,
+                respawned,
+                ..
+            }) => {
+                if cfg.betas.len() > 2 && dir.is_some() {
+                    // Resize: drop the dying rank's β, resume survivors
+                    // remapped from the pre-resize checkpoints.
+                    let mut betas = cfg.betas.clone();
+                    betas.remove(dead_rank.min(betas.len() - 1));
+                    match launch(betas, Some(cfg.betas.clone()), 0) {
+                        Ok(run) => pt_outcome(
+                            run.results,
+                            therm,
+                            sweeps,
+                            snap,
+                            respawned.len() as u32,
+                            true,
+                        ),
+                        Err(_) => Outcome::Killed {
+                            at_sweep: kill_sweep,
+                        },
+                    }
+                } else {
+                    Outcome::Killed {
+                        at_sweep: kill_sweep,
+                    }
                 }
             }
-            Ok(results) => {
-                // Kill sweep beyond the end of the run: it completed.
-                return pt_outcome(results, therm, sweeps, None);
-            }
-        }
+            Err(ElasticError::Stalled { message, .. }) => Outcome::Failed { reason: message },
+        };
+        std::panic::set_hook(hook);
+        drop(guard);
+        return outcome;
     }
 
+    let ranks = cfg.betas.len();
     let dir2 = dir.clone();
     let cfg2 = cfg.clone();
     // Every rank shares the same drain flag; the PT driver reads it only
@@ -317,6 +385,7 @@ fn run_pt(cfg: PtConfig, spec: &JobSpec, mut ctl: RunCtl<'_>) -> Outcome {
             full_every,
             resume: true,
             stop: stop_outer,
+            elastic_from: None,
         });
         run_pt_parallel_ckpt(comm, &cfg2, &mut rng, ck.as_ref(), |_, _| {})
     });
@@ -331,7 +400,7 @@ fn run_pt(cfg: PtConfig, spec: &JobSpec, mut ctl: RunCtl<'_>) -> Outcome {
         }
         return Outcome::Drained { at_sweep: at };
     }
-    pt_outcome(results, therm, sweeps, snap)
+    pt_outcome(results, therm, sweeps, snap, 0, false)
 }
 
 fn pt_outcome(
@@ -339,6 +408,8 @@ fn pt_outcome(
     therm: usize,
     sweeps: usize,
     snapshot: Option<&mut dyn FnMut(u64, u64, f64)>,
+    respawns: u32,
+    resized: bool,
 ) -> Outcome {
     let rates = results.first().map(|(_, r)| r.clone()).unwrap_or_default();
     let energy: Vec<Vec<f64>> = results.into_iter().map(|(e, _)| e).collect();
@@ -350,13 +421,15 @@ fn pt_outcome(
             .unwrap_or(f64::NAN);
         snap((therm + sweeps) as u64, (therm + sweeps) as u64, mean);
     }
-    Outcome::Done(
-        JobObservables {
+    Outcome::Done {
+        obs: JobObservables {
             energy,
             extra: vec![rates],
         },
-        Registry::new(),
-    )
+        metrics: Registry::new(),
+        respawns,
+        resized,
+    }
 }
 
 #[cfg(test)]
@@ -414,7 +487,7 @@ mod tests {
 
     fn reference(spec: &JobSpec) -> JobObservables {
         match run_job(spec, RunCtl::default()) {
-            Outcome::Done(obs, _) => obs,
+            Outcome::Done { obs, .. } => obs,
             other => panic!("reference run must complete, got {other:?}"),
         }
     }
@@ -445,7 +518,7 @@ mod tests {
                 },
             );
             match resumed {
-                Outcome::Done(obs, _) => {
+                Outcome::Done { obs, .. } => {
                     assert!(obs.bits_eq(&want), "kill at {kill}: observables diverged")
                 }
                 other => panic!("resume must complete, got {other:?}"),
@@ -455,13 +528,16 @@ mod tests {
     }
 
     #[test]
-    fn pt_world_kill_and_resume_is_bit_identical() {
+    fn pt_world_kill_rides_through_via_respawn_bit_identical() {
         let spec = pt_spec();
         let want = reference(&spec);
         let dir = scratch("pt-kill");
         let store = CkptStore::new(&dir, 3).unwrap();
         let kill = (spec.therm + spec.sweeps) as u64 * 2 / 3;
-        let killed = run_job(
+        // One rank dies mid-flight; the world respawns it in place, rolls
+        // everyone back to the newest coordinated generation, and finishes
+        // in the SAME run_job call — no external requeue needed.
+        let outcome = run_job(
             &spec,
             RunCtl {
                 store: Some(&store),
@@ -470,23 +546,71 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(matches!(killed, Outcome::Killed { .. }), "{killed:?}");
-        // A generation at or before the kill survived.
-        let newest = *store.generations().last().expect("generation survived");
-        assert!(newest <= kill);
-        let resumed = run_job(
+        match outcome {
+            Outcome::Done {
+                obs,
+                respawns,
+                resized,
+                ..
+            } => {
+                assert_eq!(respawns, 1, "exactly one respawn expected");
+                assert!(!resized, "respawn path must not shrink the ladder");
+                assert!(obs.bits_eq(&want), "PT respawn ride-through diverged");
+            }
+            other => panic!("ride-through must complete, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pt_world_kill_with_no_budget_resizes_the_ladder() {
+        let spec = pt_spec();
+        let dir = scratch("pt-resize");
+        let store = CkptStore::new(&dir, 3).unwrap();
+        let kill = (spec.therm + spec.sweeps) as u64 * 2 / 3;
+        let outcome = run_job(
             &spec,
             RunCtl {
                 store: Some(&store),
                 every: 4,
+                kill_at: Some(kill),
+                respawn_budget: 0,
                 ..Default::default()
             },
         );
-        match resumed {
-            Outcome::Done(obs, _) => assert!(obs.bits_eq(&want), "PT resume diverged"),
-            other => panic!("resume must complete, got {other:?}"),
+        match outcome {
+            Outcome::Done {
+                obs,
+                respawns,
+                resized,
+                ..
+            } => {
+                assert_eq!(respawns, 0);
+                assert!(resized, "budget 0 must fall back to a ladder resize");
+                // One β was dropped: the surviving ladder has one fewer row.
+                assert_eq!(obs.energy.len(), spec.betas.len() - 1);
+            }
+            other => panic!("resize ride-through must complete, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pt_world_kill_without_store_or_budget_is_killed() {
+        let spec = pt_spec();
+        let kill = (spec.therm + spec.sweeps) as u64 * 2 / 3;
+        let outcome = run_job(
+            &spec,
+            RunCtl {
+                kill_at: Some(kill),
+                respawn_budget: 0,
+                ..Default::default()
+            },
+        );
+        assert!(
+            matches!(outcome, Outcome::Killed { at_sweep } if at_sweep == kill),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -515,7 +639,7 @@ mod tests {
             },
         );
         match resumed {
-            Outcome::Done(obs, _) => assert!(obs.bits_eq(&want), "drain resume diverged"),
+            Outcome::Done { obs, .. } => assert!(obs.bits_eq(&want), "drain resume diverged"),
             other => panic!("resume must complete, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -537,7 +661,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(matches!(done, Outcome::Done(..)));
+        assert!(matches!(done, Outcome::Done { .. }));
         let total = (spec.therm + spec.sweeps) as u64;
         assert_eq!(
             seen,

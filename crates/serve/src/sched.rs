@@ -327,6 +327,37 @@ impl Sched {
         self.obs.counter_add("serve.worker_kills", 1);
     }
 
+    /// Requeue with a retry cap: if the job has already started
+    /// `max_attempts` attempts, transition it to [`JobState::Failed`]
+    /// with `last_error` instead of queueing attempt `max_attempts + 1`.
+    /// Returns `true` if the job was requeued, `false` if it was failed
+    /// (the caller must then release any per-job resources exactly as
+    /// it does for [`Sched::fail`]).
+    pub fn requeue_capped(&mut self, id: u64, max_attempts: u32, last_error: String) -> bool {
+        if self.rec(id).attempts >= max_attempts {
+            self.obs.counter_add("serve.worker_kills", 1);
+            self.fail(
+                id,
+                format!("retry cap reached ({max_attempts} attempts): {last_error}"),
+            );
+            return false;
+        }
+        self.requeue(id);
+        true
+    }
+
+    /// A PT world rode through a worker death in place: record how it
+    /// survived (`respawns` in-place rank respawns and/or one ladder
+    /// `resize`) without the job ever leaving `Running`.
+    pub fn note_elastic(&mut self, respawns: u32, resized: bool) {
+        if respawns > 0 {
+            self.obs.counter_add("serve.respawns", respawns as u64);
+        }
+        if resized {
+            self.obs.counter_add("serve.resizes", 1);
+        }
+    }
+
     /// A drain checkpointed the job mid-run and parked it.
     pub fn pause(&mut self, id: u64) {
         self.rec_mut(id).state = JobState::Paused;
@@ -526,6 +557,45 @@ mod tests {
         // The failed job no longer occupies the tenant's quota slot or
         // its checkpoint namespace.
         assert!(sched.submit(spec("a", "j1", 0), &quota, &[]).is_ok());
+    }
+
+    #[test]
+    fn retry_cap_fails_the_job_with_the_last_error() {
+        let mut sched = Sched::default();
+        let quota = TenantQuota::default();
+        let id = sched.submit(spec("a", "crashy", 0), &quota, &[]).unwrap();
+        // Attempts 1 and 2 die and are requeued under a cap of 3.
+        for _ in 0..2 {
+            assert_eq!(sched.pop_next(), Some(id));
+            assert!(sched.requeue_capped(id, 3, "worker panicked".into()));
+            assert_eq!(sched.job(id).unwrap().state, JobState::Queued);
+        }
+        // Attempt 3 dies too: the cap is reached, so the job fails with
+        // the last error instead of queueing a fourth attempt.
+        assert_eq!(sched.pop_next(), Some(id));
+        assert!(!sched.requeue_capped(id, 3, "worker panicked".into()));
+        let rec = sched.job(id).unwrap();
+        assert_eq!(rec.state, JobState::Failed);
+        let err = rec.error.as_deref().unwrap();
+        assert!(
+            err.contains("retry cap") && err.contains("worker panicked"),
+            "{err}"
+        );
+        assert_eq!(sched.pending_len(), 0, "a capped job must not be queued");
+        assert_eq!(sched.pop_next(), None);
+        assert_eq!(sched.obs.counter("serve.jobs_failed"), 1);
+        assert_eq!(sched.obs.counter("serve.requeues"), 2);
+        assert_eq!(sched.obs.counter("serve.worker_kills"), 3);
+    }
+
+    #[test]
+    fn elastic_ride_throughs_bump_the_counters() {
+        let mut sched = Sched::default();
+        sched.note_elastic(2, false);
+        sched.note_elastic(0, true);
+        sched.note_elastic(0, false);
+        assert_eq!(sched.obs.counter("serve.respawns"), 2);
+        assert_eq!(sched.obs.counter("serve.resizes"), 1);
     }
 
     #[test]

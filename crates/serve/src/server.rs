@@ -54,6 +54,14 @@ pub struct ServeConfig {
     /// against tenants that never `Await` their results. `None` retains
     /// every record for the server's lifetime.
     pub ttl: Option<Duration>,
+    /// Retry cap: a job whose worker dies after `max_attempts` started
+    /// attempts transitions to `Failed` with the last error instead of
+    /// being requeued forever.
+    pub max_attempts: u32,
+    /// In-place rank respawns a PT attempt may perform before falling
+    /// back to a ladder resize (see [`crate::run::RunCtl`]); deaths the
+    /// attempt rides through never reach the requeue path at all.
+    pub respawn_budget: usize,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +75,8 @@ impl Default for ServeConfig {
             max_frame: 1024 * 1024,
             admin: "admin".into(),
             ttl: None,
+            max_attempts: 5,
+            respawn_budget: 1,
         }
     }
 }
@@ -528,6 +538,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     kill_at,
                     stop: Some(&shared.stop),
                     snapshot: Some(&mut on_snapshot),
+                    respawn_budget: shared.cfg.respawn_budget,
                 },
             )
         }));
@@ -547,18 +558,35 @@ fn worker_loop(shared: Arc<Shared>) {
 
         let mut sched = shared.sched.lock().expect("scheduler lock");
         let release_namespace = match outcome {
-            Outcome::Done(obs, metrics) => {
+            Outcome::Done {
+                obs,
+                metrics,
+                respawns,
+                resized,
+            } => {
+                // A PT attempt that rode through a worker death in place
+                // (rank respawn and/or ladder resize) completes like any
+                // other — only the elastic counters record the event.
+                sched.note_elastic(respawns, resized);
                 sched.complete(id, obs, &metrics);
                 true
             }
-            Outcome::Killed { .. } => {
-                sched.requeue(id);
-                drop(sched);
-                // The "respawned" worker is this same thread looping
-                // around; wake a sibling in case it is idle.
-                shared.work_cv.notify_one();
-                shared.update_cv.notify_all();
-                continue;
+            Outcome::Killed { at_sweep } => {
+                if sched.requeue_capped(
+                    id,
+                    shared.cfg.max_attempts,
+                    format!("worker killed at sweep {at_sweep}"),
+                ) {
+                    drop(sched);
+                    // The "respawned" worker is this same thread looping
+                    // around; wake a sibling in case it is idle.
+                    shared.work_cv.notify_one();
+                    shared.update_cv.notify_all();
+                    continue;
+                }
+                // Retry cap reached: the job is now Failed, so release
+                // its namespace like any other terminal state.
+                true
             }
             // A paused job's checkpoints are exactly what a restarted
             // server resumes from; keep them.

@@ -37,7 +37,7 @@ fn tfim_spec(tenant: &str, name: &str, seed: u64) -> JobSpec {
 
 fn reference(spec: &JobSpec) -> JobObservables {
     match run_job(spec, RunCtl::default()) {
-        Outcome::Done(obs, _) => obs,
+        Outcome::Done { obs, .. } => obs,
         other => panic!("reference run must complete, got {other:?}"),
     }
 }

@@ -20,7 +20,7 @@
 //!   every mutant must yield a minimized counterexample, and the
 //!   unmutated model must explore clean.
 //!
-//! The three models:
+//! The four models:
 //!
 //! * [`ckpt_commit`]: coordinated full-vs-delta checkpoint write with
 //!   rank-0 decision broadcast, plan gather, persist, and the
@@ -35,11 +35,17 @@
 //!   (quota, namespace uniqueness, draining), dispatch,
 //!   worker-kill/requeue, fail, drain-park — with no-lost-job and
 //!   quota invariants (mirrors `qmc_serve::sched::Sched`).
+//! * [`respawn`]: the elastic-world respawn barrier — reset only after
+//!   every incarnation-0 thread exited, restore exactly once behind the
+//!   rejoin ack barrier (mirrors `qmc_comm::run_threads_elastic` plus
+//!   the rejoin path of `qmc_ckpt::coord::restore_coordinated`).
 
 pub mod ckpt_commit;
 pub mod drain;
+pub mod respawn;
 pub mod sched;
 
 pub use ckpt_commit::{CkptAction, CkptCommitModel, CkptMutation};
 pub use drain::{DrainAction, DrainModel, DrainMutation, TAG_VERDICT};
+pub use respawn::{RespawnAction, RespawnModel, RespawnMutation, TAG_ACK, TAG_GEN};
 pub use sched::{JobSt, SchedAction, SchedModel, SchedMutation, SchedState};

@@ -73,6 +73,16 @@ echo "== serve: multi-tenant job server fault drill =="
 # regenerates METRICS_serve.json.
 cargo run -q --release -p qmc-bench --bin repro -- serve-demo --quick
 
+echo "== elastic: rank respawn + ladder resize drill =="
+# A 4-rank PT world loses a rank mid-flight and must finish
+# bit-identical (observables + RNG draw counts) after an in-place
+# respawn; the same death with a zero budget shrinks the β ladder and
+# resumes the survivors deterministically. The crash matrix behind it
+# is pinned as the `elastic` integration test; the binary regenerates
+# VERIFY_elastic.json.
+cargo test -q --release -p qmc-bench --test elastic
+cargo run -q --release -p qmc-bench --bin repro -- elastic --quick
+
 echo "== analyze: causal trace -> critical-path report =="
 # Records the 4-rank traced PT demo, merges the per-rank streams into
 # the happens-before DAG, and prints the critical path + attribution.

@@ -417,6 +417,7 @@ fn pt_recovers_bit_identical_after_injected_rank_kill() {
                 full_every: 2,
                 resume: false,
                 stop: None,
+                elastic_from: None,
             };
             let mut faulty = FaultyComm::new(comm, plan);
             run_pt_parallel_ckpt(&mut faulty, &cfg2, &mut rng, Some(&ck), |c, s| {
@@ -451,6 +452,7 @@ fn pt_recovers_bit_identical_after_injected_rank_kill() {
             full_every: 2,
             resume: true,
             stop: None,
+            elastic_from: None,
         };
         let mut faulty = FaultyComm::new(comm, plan);
         run_pt_parallel_ckpt(&mut faulty, &cfg2, &mut rng, Some(&ck), |c, s| {
@@ -699,6 +701,7 @@ fn pt_drains_collectively_and_resumes_bit_identical() {
             full_every: 2,
             resume: false,
             stop: Some(&flag),
+            elastic_from: None,
         };
         let mut rng = StreamFactory::new(17).stream(comm.rank());
         run_pt_parallel_ckpt(comm, &cfg2, &mut rng, Some(&ck), |_, s| {
@@ -735,6 +738,7 @@ fn pt_drains_collectively_and_resumes_bit_identical() {
             full_every: 2,
             resume: true,
             stop: None,
+            elastic_from: None,
         };
         let mut rng = StreamFactory::new(17).stream(comm.rank());
         run_pt_parallel_ckpt(comm, &cfg2, &mut rng, Some(&ck), |_, _| {})

@@ -27,6 +27,10 @@ fn serve_demo_loses_nothing_and_resumes_bit_identical() {
         "the PT kill must resume bit-identically:\n{report}"
     );
     assert!(
+        report.contains("rode through in attempts 1"),
+        "the PT kill must be absorbed inside one attempt, not requeued:\n{report}"
+    );
+    assert!(
         report.contains("restarted server resumed bit-identical yes"),
         "the drain/restart act must resume bit-identically:\n{report}"
     );
